@@ -1,0 +1,51 @@
+// Ablation A3: query batch size (the paper fixes s=2000). Query-aware
+// loading dedups b*s cluster demands into unique loads, so the per-query
+// network cost should fall sharply as the batch grows.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/ground_truth.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+
+  std::printf("==== Ablation: query batch size (paper §3.3, s=2000) ====\n");
+  dhnsw::Dataset ds = LoadDataset(config);
+  dhnsw::DhnswEngine engine = BuildEngine(ds, config);
+
+  std::printf("\n%10s %14s %14s %12s %10s\n", "batch", "net(us/q)", "loads/query",
+              "RT/query", "recall");
+  for (size_t batch : {size_t{1}, size_t{10}, size_t{100}, size_t{500},
+                       ds.queries.size()}) {
+    auto node = AttachComputeNode(engine, config, dhnsw::EngineMode::kFull);
+    dhnsw::BatchBreakdown total;
+    double recall_sum = 0.0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin < ds.queries.size(); begin += batch) {
+      const size_t count = std::min(batch, ds.queries.size() - begin);
+      auto result = node->SearchBatch(ds.queries, begin, count, 10, 32);
+      if (!result.ok()) {
+        std::fprintf(stderr, "search failed: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      total += result.value().breakdown;
+      // recall over this slice
+      double r = 0;
+      for (size_t i = 0; i < count; ++i) {
+        r += dhnsw::RecallAtK(result.value().results[i],
+                              ds.GroundTruthFor(begin + i), 10);
+      }
+      recall_sum += r;
+      ++batches;
+    }
+    const double nq = static_cast<double>(ds.queries.size());
+    std::printf("%10zu %14.3f %14.4f %12.4f %10.4f\n", batch,
+                total.network_us / nq,
+                static_cast<double>(total.clusters_loaded) / nq,
+                static_cast<double>(total.round_trips) / nq, recall_sum / nq);
+  }
+  std::printf("\n# larger batches amortize cluster loads across more queries.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation A2: compute-side cluster cache size (paper fixes it at 10% of the
+// clusters; §3.3 "we retain the most recently loaded c sub-HNSWs for the
+// next batch"). Sweeps the cache fraction and measures the second batch
+// (warm) against the first (cold): hit rate and network time per query.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+
+  std::printf("==== Ablation: cluster cache capacity (paper §3.3) ====\n");
+  dhnsw::Dataset ds = LoadDataset(config);
+  dhnsw::DhnswEngine engine = BuildEngine(ds, config);
+
+  std::printf("\n%8s %10s %16s %16s %12s\n", "cache%", "clusters", "cold net(us/q)",
+              "warm net(us/q)", "warm hits");
+  for (double fraction : {0.0, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    BenchConfig point = config;
+    point.cache_fraction = fraction;
+    auto node = AttachComputeNode(engine, point, dhnsw::EngineMode::kFull);
+    const SweepPoint cold = RunPoint(*node, ds, /*k=*/10, /*ef=*/32);
+    const SweepPoint warm = RunPoint(*node, ds, /*k=*/10, /*ef=*/32);
+    std::printf("%7.0f%% %10u %16.3f %16.3f %12lu\n", fraction * 100,
+                std::max(1u, static_cast<uint32_t>(fraction * config.num_representatives)),
+                cold.breakdown.per_query_network_us(),
+                warm.breakdown.per_query_network_us(),
+                static_cast<unsigned long>(warm.breakdown.cache_hits));
+  }
+  std::printf("\n# cold batches pay the full load; warm batches shrink with capacity.\n");
+  return 0;
+}

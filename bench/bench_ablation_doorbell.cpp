@@ -1,0 +1,37 @@
+// Ablation A1: the doorbell batch-size tradeoff discussed in paper §3.2 —
+// "If too many operations are included in one round-trip, it can interfere
+// with other RDMA commands and incur long latency due to the scalability of
+// the RDMA NIC." Sweeps the per-ring WR budget D and reports per-batch
+// network time; the curve should fall steeply (fewer round trips) and then
+// flatten/worsen past the NIC's linear window.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  // More partitions -> more loads per batch -> a richer doorbell curve.
+  config.num_representatives = 200;
+
+  std::printf("==== Ablation: doorbell batch size (paper §3.2 tradeoff) ====\n");
+  dhnsw::Dataset ds = LoadDataset(config);
+  dhnsw::DhnswEngine engine = BuildEngine(ds, config);
+
+  std::printf("\n%10s %14s %12s %14s %10s\n", "doorbell", "net(us/q)", "RT/batch",
+              "bytes", "recall");
+  for (uint32_t doorbell : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    BenchConfig point = config;
+    point.doorbell_batch = doorbell;
+    auto node = AttachComputeNode(engine, point, dhnsw::EngineMode::kFull);
+    const SweepPoint p = RunPoint(*node, ds, /*k=*/10, /*ef=*/32);
+    std::printf("%10u %14.3f %12lu %14s %10.4f\n", doorbell,
+                p.breakdown.per_query_network_us(),
+                static_cast<unsigned long>(p.breakdown.round_trips),
+                FormatBytes(p.breakdown.bytes_read).c_str(), p.recall);
+  }
+  std::printf("\n# note: NIC model saturates past %u WRs/ring; the gain flattens there.\n",
+              engine.fabric().nic_config().doorbell_linear_limit);
+  return 0;
+}

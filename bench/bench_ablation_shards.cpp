@@ -1,0 +1,47 @@
+// Ablation A6: memory-pool width. Cluster groups shard round-robin across
+// memory instances (paper Fig. 2's memory pool). Per-destination doorbell
+// batching means more shards -> more (smaller) rings per batch; payload
+// bytes are unchanged. This quantifies the round-trip overhead of spreading
+// the index across the pool.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/ground_truth.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  config.num_base = 10000;
+  config.num_queries = 1000;
+
+  std::printf("==== Ablation: memory-pool shard count ====\n");
+  dhnsw::Dataset ds = LoadDataset(config);
+
+  std::printf("\n%8s %12s %14s %14s %10s\n", "shards", "RT/batch", "net(us/q)",
+              "bytes", "recall");
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    dhnsw::DhnswConfig dcfg = dhnsw::DhnswConfig::Defaults();
+    dcfg.meta.num_representatives = config.num_representatives;
+    dcfg.sub_hnsw.M = config.sub_m;
+    dcfg.sub_hnsw.ef_construction = config.ef_construction;
+    dcfg.compute.clusters_per_query = config.clusters_per_query;
+    dcfg.compute.cache_capacity = static_cast<uint32_t>(
+        std::max(1.0, config.cache_fraction * config.num_representatives));
+    dcfg.compute.doorbell_batch = config.doorbell_batch;
+    dcfg.num_memory_nodes = shards;
+    auto engine = dhnsw::DhnswEngine::Build(ds.base, dcfg);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    auto node = AttachComputeNode(engine.value(), config, dhnsw::EngineMode::kFull);
+    const SweepPoint p = RunPoint(*node, ds, 10, 32);
+    std::printf("%8u %12lu %14.3f %14s %10.4f\n", shards,
+                static_cast<unsigned long>(p.breakdown.round_trips),
+                p.breakdown.per_query_network_us(),
+                FormatBytes(p.breakdown.bytes_read).c_str(), p.recall);
+  }
+  std::printf("\n# answers are shard-count invariant; only ring counts change.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 6(a): latency-recall curves on the SIFT-like
+// workload with top-10 queries, efSearch swept 1..48, for naive d-HNSW,
+// d-HNSW without doorbell batching, and full d-HNSW.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  const BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  RunLatencyRecallFigure("Fig. 6(a): SIFT-like, top-10", config, /*k=*/10);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 6(b): latency-recall on SIFT-like, top-1.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  config.gt_k = 1;
+  RunLatencyRecallFigure("Fig. 6(b): SIFT-like, top-1", config, /*k=*/1);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Fig. 6(c): latency-recall on GIST-like (960-d), top-10.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  const BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kGistLike));
+  RunLatencyRecallFigure("Fig. 6(c): GIST-like, top-10", config, /*k=*/10);
+  return 0;
+}

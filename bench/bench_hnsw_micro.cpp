@@ -1,0 +1,84 @@
+// Microbenchmarks for the HNSW kernel itself (micro M1): distance kernels,
+// graph insert, and search across ef, independent of the disaggregation
+// machinery. google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dataset/synthetic.h"
+#include "index/distance.h"
+#include "index/flat_index.h"
+#include "index/hnsw.h"
+
+namespace dhnsw {
+namespace {
+
+std::vector<float> RandomVec(Xoshiro256& rng, uint32_t dim) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng.NextFloat() * 100.0f;
+  return v;
+}
+
+void BM_DistanceL2(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  Xoshiro256 rng(1);
+  const auto a = RandomVec(rng, dim), b = RandomVec(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Sq(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistanceL2)->Arg(128)->Arg(960);
+
+void BM_DistanceCosine(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  Xoshiro256 rng(2);
+  const auto a = RandomVec(rng, dim), b = RandomVec(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineDistance(a, b));
+  }
+}
+BENCHMARK(BM_DistanceCosine)->Arg(128)->Arg(960);
+
+void BM_HnswInsert(benchmark::State& state) {
+  const uint32_t dim = 64;
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    HnswIndex index(dim, {.M = 16, .ef_construction = 100});
+    std::vector<std::vector<float>> data;
+    for (int i = 0; i < 1000; ++i) data.push_back(RandomVec(rng, dim));
+    state.ResumeTiming();
+    for (const auto& v : data) index.Add(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HnswInsert)->Unit(benchmark::kMillisecond);
+
+void BM_HnswSearch(benchmark::State& state) {
+  const uint32_t ef = static_cast<uint32_t>(state.range(0));
+  const uint32_t dim = 64;
+  Xoshiro256 rng(4);
+  HnswIndex index(dim, {.M = 16, .ef_construction = 100});
+  for (int i = 0; i < 10000; ++i) index.Add(RandomVec(rng, dim));
+  const auto q = RandomVec(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(q, 10, ef));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HnswSearch)->Arg(8)->Arg(16)->Arg(48)->Arg(128);
+
+void BM_FlatSearch(benchmark::State& state) {
+  const uint32_t dim = 64;
+  Xoshiro256 rng(5);
+  FlatIndex index(dim);
+  for (int i = 0; i < 10000; ++i) index.Add(RandomVec(rng, dim));
+  const auto q = RandomVec(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(q, 10));
+  }
+}
+BENCHMARK(BM_FlatSearch);
+
+}  // namespace
+}  // namespace dhnsw

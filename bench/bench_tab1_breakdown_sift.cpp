@@ -1,0 +1,12 @@
+// Reproduces paper Table 1: per-query latency breakdown (network / sub-HNSW /
+// meta-HNSW) for SIFT-like top-1 at efSearch=48, plus the round-trips-per-
+// query counts quoted in §4 (3.547 naive, 0.896 w/o doorbell, 4.75e-3 full).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  const BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  RunBreakdownTable("Table 1: latency breakdown, SIFT-like @1, efSearch=48", config);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Table 2: per-query latency breakdown for GIST-like top-1
+// at efSearch=48.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  const BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kGistLike));
+  RunBreakdownTable("Table 2: latency breakdown, GIST-like @1, efSearch=48", config);
+  return 0;
+}

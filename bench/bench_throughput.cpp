@@ -1,0 +1,45 @@
+// Throughput scaling across the compute pool (paper §4 runs 24 instances
+// over 3 servers; §1 targets "high-throughput vector query"). The client
+// load balancer shards each batch across instances; with independent QPs
+// and caches, throughput should scale near-linearly until the shards get so
+// small that per-batch fixed costs (metadata refresh, cold loads) dominate.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/client_router.h"
+#include "dataset/ground_truth.h"
+
+int main(int argc, char** argv) {
+  using namespace dhnsw::bench;
+  BenchConfig config =
+      ParseFlags(argc, argv, BenchConfig::ForWorkload(Workload::kSiftLike));
+  config.num_queries = 2000;
+
+  std::printf("==== Throughput scaling over compute instances ====\n");
+  dhnsw::Dataset ds = LoadDataset(config);
+  dhnsw::DhnswEngine engine = BuildEngine(ds, config);
+
+  std::printf("\n%10s %16s %16s %14s\n", "instances", "batch latency", "throughput",
+              "recall");
+  std::printf("%10s %16s %16s %14s\n", "", "(us)", "(queries/s)", "@10");
+  for (size_t instances : {1u, 2u, 4u, 8u, 16u}) {
+    // A fresh pool per point (cold caches), all attached to the same region.
+    std::vector<std::unique_ptr<dhnsw::ComputeNode>> nodes;
+    std::vector<dhnsw::ComputeNode*> pool;
+    for (size_t i = 0; i < instances; ++i) {
+      nodes.push_back(AttachComputeNode(engine, config, dhnsw::EngineMode::kFull));
+      pool.push_back(nodes.back().get());
+    }
+    dhnsw::ClientRouter router(pool);
+    auto result = router.SearchBatch(ds.queries, 10, 32);
+    if (!result.ok()) {
+      std::fprintf(stderr, "router failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    double recall = dhnsw::MeanRecallAtK(ds, result.value().results, 10);
+    std::printf("%10zu %16.1f %16.0f %14.4f\n", instances,
+                result.value().batch_latency_us, result.value().throughput_qps, recall);
+  }
+  std::printf("\n# latency = slowest shard; throughput = batch size / latency.\n");
+  return 0;
+}

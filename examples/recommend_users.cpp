@@ -1,0 +1,115 @@
+// Recommendation-system retrieval (paper §1 cites recommendation as a core
+// vector-DB workload): item embeddings live in the memory pool; for each
+// user's taste vector the compute pool retrieves candidate items by inner
+// product (the classic matrix-factorization setup, where higher dot product
+// means stronger preference).
+//
+// Demonstrates: inner-product metric, batched retrieval for a user cohort,
+// and the cross-batch cache paying off when cohorts share taste clusters.
+//
+//   $ ./build/examples/recommend_users
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dataset/dataset.h"
+
+namespace {
+
+constexpr uint32_t kDim = 64;
+constexpr uint32_t kGenres = 20;
+constexpr uint32_t kItemsPerGenre = 300;
+
+}  // namespace
+
+int main() {
+  using namespace dhnsw;
+  Xoshiro256 rng(7);
+
+  // Item embeddings: unit-ish vectors around genre directions.
+  std::vector<std::vector<float>> genres(kGenres, std::vector<float>(kDim));
+  for (auto& g : genres) {
+    for (auto& x : g) x = static_cast<float>(rng.NextGaussian());
+  }
+  VectorSet items(kDim);
+  std::vector<uint32_t> item_genre;
+  for (uint32_t g = 0; g < kGenres; ++g) {
+    for (uint32_t i = 0; i < kItemsPerGenre; ++i) {
+      std::vector<float> v(kDim);
+      for (uint32_t d = 0; d < kDim; ++d) {
+        v[d] = genres[g][d] + 0.3f * static_cast<float>(rng.NextGaussian());
+      }
+      items.Append(v);
+      item_genre.push_back(g);
+    }
+  }
+
+  DhnswConfig config = DhnswConfig::Defaults(Metric::kInnerProduct);
+  config.meta.num_representatives = 40;
+  config.compute.clusters_per_query = 4;
+  config.compute.cache_capacity = 6;
+  auto engine = DhnswEngine::Build(items, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("catalog: %zu items, %u genres; %u partitions on the memory pool\n",
+              items.size(), kGenres, engine.value().num_partitions());
+
+  // Two cohorts of users. Cohort B's tastes overlap cohort A's genres, so
+  // its batch should hit clusters cached by cohort A's batch.
+  auto make_cohort = [&](uint32_t genre_lo, uint32_t genre_hi, size_t n) {
+    VectorSet cohort(kDim);
+    for (size_t u = 0; u < n; ++u) {
+      const uint32_t g = genre_lo + static_cast<uint32_t>(
+          rng.NextBounded(genre_hi - genre_lo));
+      std::vector<float> taste(kDim);
+      for (uint32_t d = 0; d < kDim; ++d) {
+        taste[d] = genres[g][d] + 0.4f * static_cast<float>(rng.NextGaussian());
+      }
+      cohort.Append(taste);
+    }
+    return cohort;
+  };
+  const VectorSet cohort_a = make_cohort(0, 8, 200);
+  const VectorSet cohort_b = make_cohort(4, 12, 200);  // overlaps genres 4..8
+
+  auto run = [&](const char* name, const VectorSet& cohort) {
+    auto result = engine.value().compute(0).SearchAll(cohort, /*k=*/10, /*ef_search=*/32);
+    if (!result.ok()) {
+      std::fprintf(stderr, "recommend failed: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    const BatchBreakdown& b = result.value().breakdown;
+    std::printf("%-10s loads=%3lu  cache_hits=%3lu  network=%9.1f us  RT/user=%.4f\n",
+                name, static_cast<unsigned long>(b.clusters_loaded),
+                static_cast<unsigned long>(b.cache_hits), b.network_us,
+                b.per_query_round_trips());
+    return result.value().results;
+  };
+
+  const auto recs_a = run("cohort A", cohort_a);
+  const auto recs_b = run("cohort B", cohort_b);  // warm: reuses A's clusters
+
+  // Sanity: a user's recommendations should concentrate in few genres.
+  size_t concentrated = 0;
+  for (const auto& recs : recs_a) {
+    uint32_t histogram[kGenres] = {};
+    for (const Scored& s : recs) ++histogram[item_genre[s.id]];
+    for (uint32_t g = 0; g < kGenres; ++g) {
+      if (histogram[g] >= 7) {
+        ++concentrated;
+        break;
+      }
+    }
+  }
+  std::printf("%zu/%zu cohort-A users get >=7/10 recommendations from one genre\n",
+              concentrated, recs_a.size());
+  std::printf("sample recs for user 0:");
+  for (size_t i = 0; i < 5; ++i) {
+    std::printf(" item#%u(genre %u)", recs_a[0][i].id, item_genre[recs_a[0][i].id]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "common/aligned_buffer.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace dhnsw {
+
+AlignedBuffer::AlignedBuffer(size_t size, size_t alignment)
+    : size_(size), alignment_(alignment) {
+  assert(alignment >= 64 && (alignment & (alignment - 1)) == 0 &&
+         "alignment must be a power of two >= 64");
+  if (size == 0) return;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const size_t padded = (size + alignment - 1) / alignment * alignment;
+  data_ = static_cast<uint8_t*>(std::aligned_alloc(alignment, padded));
+  if (data_ == nullptr) throw std::bad_alloc();
+  std::memset(data_, 0, padded);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
+  }
+  return *this;
+}
+
+std::span<uint8_t> AlignedBuffer::subspan(size_t offset, size_t length) {
+  assert(offset <= size_ && length <= size_ - offset && "subspan out of bounds");
+  return {data_ + offset, length};
+}
+
+std::span<const uint8_t> AlignedBuffer::subspan(size_t offset, size_t length) const {
+  assert(offset <= size_ && length <= size_ - offset && "subspan out of bounds");
+  return {data_ + offset, length};
+}
+
+}  // namespace dhnsw

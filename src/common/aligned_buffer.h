@@ -1,0 +1,45 @@
+// Cache-line/page-aligned byte buffer. RDMA registered memory and the
+// compute-side staging buffers are allocated through this so simulated DMA
+// targets have realistic alignment, and so reads/writes can assert alignment
+// invariants the real NIC would require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dhnsw {
+
+/// Owning, aligned, fixed-size byte buffer (zero-initialized).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+  /// Allocates `size` bytes aligned to `alignment` (power of two, >= 64).
+  AlignedBuffer(size_t size, size_t alignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  uint8_t* data() noexcept { return data_; }
+  const uint8_t* data() const noexcept { return data_; }
+  size_t size() const noexcept { return size_; }
+  size_t alignment() const noexcept { return alignment_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::span<uint8_t> span() noexcept { return {data_, size_}; }
+  std::span<const uint8_t> span() const noexcept { return {data_, size_}; }
+
+  /// Bounds-checked subspan; terminates on violation (programming error).
+  std::span<uint8_t> subspan(size_t offset, size_t length);
+  std::span<const uint8_t> subspan(size_t offset, size_t length) const;
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t alignment_ = 0;
+};
+
+}  // namespace dhnsw

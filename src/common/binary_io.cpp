@@ -1,0 +1,5 @@
+#include "common/binary_io.h"
+
+// All members are defined inline in the header; this TU exists so the target
+// has an object file and the header gets compiled standalone at least once.
+namespace dhnsw {}

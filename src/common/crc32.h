@@ -1,0 +1,13 @@
+// CRC-32C (Castagnoli) used to checksum serialized cluster blobs so a torn or
+// corrupt remote read is detected at deserialization time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dhnsw {
+
+/// Computes CRC-32C over `data`, chained from `seed` (pass 0 to start).
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0) noexcept;
+
+}  // namespace dhnsw

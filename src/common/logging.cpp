@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dhnsw {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex& LogMutex() {
+  static std::mutex m;
+  return m;
+}
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), base, line, message.c_str());
+}
+
+}  // namespace dhnsw

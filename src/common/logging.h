@@ -1,0 +1,44 @@
+// Minimal leveled logger. Single process, thread-safe line output, no
+// dependencies. Intended for examples, benches and error paths — hot paths
+// must not log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dhnsw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Emits one formatted line (`[LEVEL] file:line message`) to stderr under a
+/// global mutex. Prefer the DHNSW_LOG macro below.
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace detail {
+/// Stream collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define DHNSW_LOG(level)                                                   \
+  if (static_cast<int>(::dhnsw::LogLevel::level) <                         \
+      static_cast<int>(::dhnsw::GetLogLevel())) {                          \
+  } else                                                                   \
+    ::dhnsw::detail::LogMessage(::dhnsw::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace dhnsw

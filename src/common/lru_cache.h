@@ -1,0 +1,139 @@
+// Generic LRU cache with entry pinning, used by ComputeNode to hold the most
+// recently loaded sub-HNSW clusters (paper §3.3: "retain the most recently
+// loaded c sub-HNSWs for the next batch").
+//
+// Pinning exists because within one batch every cluster currently being
+// traversed must stay resident even if it is the least recently used; eviction
+// only considers unpinned entries.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace dhnsw {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// `capacity` = max number of entries; 0 means caching disabled.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const noexcept { return capacity_; }
+  size_t size() const noexcept { return map_.size(); }
+
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    EvictToCapacity();
+  }
+
+  bool Contains(const K& key) const { return map_.count(key) != 0; }
+
+  /// Looks up and marks as most-recently-used. Returns nullptr on miss.
+  V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second.order_it);
+    return &it->second.value;
+  }
+
+  /// Looks up without touching recency or stats (for tests/introspection).
+  const V* Peek(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.value;
+  }
+
+  /// Inserts or overwrites; marks most-recently-used; may evict. Returns a
+  /// pointer to the stored value (valid until eviction). If capacity is 0 the
+  /// value is not stored and nullptr is returned.
+  V* Put(const K& key, V value) {
+    if (capacity_ == 0) return nullptr;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second.order_it);
+      return &it->second.value;
+    }
+    order_.push_front(key);
+    auto [ins, fresh] = map_.emplace(key, Entry{std::move(value), order_.begin(), 0});
+    assert(fresh);
+    (void)fresh;
+    // Hold a transient pin so the entry being inserted is never the eviction
+    // victim, even when every other entry is pinned.
+    ++ins->second.pins;
+    EvictToCapacity();
+    --ins->second.pins;
+    return &ins->second.value;
+  }
+
+  /// Pin/unpin an entry against eviction. Pins nest.
+  bool Pin(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    ++it->second.pins;
+    return true;
+  }
+  bool Unpin(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.pins == 0) return false;
+    --it->second.pins;
+    return true;
+  }
+
+  /// Removes an entry (even if pinned — caller's responsibility).
+  bool Erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second.order_it);
+    map_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  uint64_t hits() const noexcept { return hits_; }
+  uint64_t misses() const noexcept { return misses_; }
+  void ResetStats() noexcept { hits_ = misses_ = 0; }
+
+  /// Keys from most- to least-recently used (test hook).
+  std::list<K> KeysByRecency() const { return order_; }
+
+ private:
+  struct Entry {
+    V value;
+    typename std::list<K>::iterator order_it;
+    uint32_t pins;
+  };
+
+  void EvictToCapacity() {
+    // Scan from the LRU end, skipping pinned entries. If everything is pinned
+    // the cache may transiently exceed capacity; that mirrors a compute
+    // instance that must hold all clusters of an in-flight doorbell read.
+    auto it = order_.end();
+    while (map_.size() > capacity_ && it != order_.begin()) {
+      --it;
+      auto map_it = map_.find(*it);
+      assert(map_it != map_.end());
+      if (map_it->second.pins > 0) continue;
+      it = order_.erase(it);
+      map_.erase(map_it);
+    }
+  }
+
+  size_t capacity_;
+  std::list<K> order_;  // front = MRU
+  std::unordered_map<K, Entry> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,43 @@
+// Simulated time accounting for the RDMA fabric.
+//
+// The fabric executes real data movement but *models* time: each verb charges
+// a deterministic number of simulated nanoseconds onto a SimClock. Callers
+// read deltas around an operation to attribute simulated network time, the
+// same way a wall timer attributes compute time.
+#pragma once
+
+#include <cstdint>
+
+namespace dhnsw {
+
+/// Monotonic simulated clock in nanoseconds. Not thread-safe by design: each
+/// compute instance owns its own clock (its own view of elapsed network time),
+/// matching per-instance latency accounting in the paper.
+class SimClock {
+ public:
+  /// Current simulated time.
+  uint64_t now_ns() const noexcept { return now_ns_; }
+
+  /// Advances time by `delta_ns`.
+  void Advance(uint64_t delta_ns) noexcept { now_ns_ += delta_ns; }
+
+  /// Resets to zero (used between benchmark phases).
+  void Reset() noexcept { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+/// Measures a simulated-time span on a clock, RAII-style.
+class SimSpan {
+ public:
+  explicit SimSpan(const SimClock& clock) noexcept
+      : clock_(clock), start_ns_(clock.now_ns()) {}
+  uint64_t elapsed_ns() const noexcept { return clock_.now_ns() - start_ns_; }
+
+ private:
+  const SimClock& clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhnsw {
+
+void RunningStat::Add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Reset() noexcept { *this = RunningStat(); }
+
+double RunningStat::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void LatencyRecorder::Add(double value_us) {
+  samples_.push_back(value_us);
+  sorted_ = false;
+}
+
+void LatencyRecorder::Reset() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+double LatencyRecorder::min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double LatencyRecorder::max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+std::string FormatRow(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string row;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) < width) {
+      cell.insert(0, static_cast<size_t>(width) - cell.size(), ' ');
+    }
+    row += cell;
+    if (i + 1 < cells.size()) row += "  ";
+  }
+  return row;
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,60 @@
+// Streaming statistics and latency histograms for the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhnsw {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x) noexcept;
+  void Reset() noexcept;
+
+  uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact-percentile latency recorder: stores all samples (benchmark scale is
+/// small enough), sorts lazily on query.
+class LatencyRecorder {
+ public:
+  void Add(double value_us);
+  void Reset();
+
+  size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  /// Percentile in [0,100]; nearest-rank on the sorted sample set.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  double min() const;
+  double max() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Formats a row of fixed-width columns for bench table output.
+std::string FormatRow(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths);
+
+}  // namespace dhnsw

@@ -1,0 +1,124 @@
+// Lightweight error-handling primitives for the d-HNSW codebase.
+//
+// The library avoids exceptions on hot paths: fallible operations return a
+// `Status`, and fallible producers return a `Result<T>` (a tagged union of a
+// value and a Status). Both are cheap to move and self-describing.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dhnsw {
+
+/// Coarse error taxonomy. Mirrors the failure classes the system actually
+/// produces; keep it small so call sites can switch exhaustively.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< lookup missed (key, file, cluster id, ...)
+  kOutOfRange,        ///< offset/length outside a region or file
+  kCapacity,          ///< fixed-size region/queue is full
+  kCorruption,        ///< checksum/format mismatch while decoding
+  kUnavailable,       ///< transient: remote node down, QP disconnected
+  kInternal,          ///< invariant violation; a bug if it ever fires
+  kUnimplemented,     ///< feature intentionally not built
+  kIoError,           ///< filesystem-level failure
+};
+
+/// Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// Value-semantic status: either OK (no message allocated) or an error code
+/// plus a context message. Copyable, movable, cheap when OK.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Capacity(std::string m) { return {StatusCode::kCapacity, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CODE: message" — for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: holds either a T or an error Status. Accessing the value of an
+/// error result is a programming error (asserts in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(storage_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const noexcept {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(storage_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+/// Propagate-on-error helper: `DHNSW_RETURN_IF_ERROR(DoThing());`
+#define DHNSW_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::dhnsw::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Assign-or-propagate helper for Result<T> producers:
+/// `DHNSW_ASSIGN_OR_RETURN(auto blob, Decode(bytes));`
+#define DHNSW_ASSIGN_OR_RETURN(decl, expr)           \
+  DHNSW_ASSIGN_OR_RETURN_IMPL_(decl, expr, DHNSW_CONCAT_(_res, __LINE__))
+#define DHNSW_CONCAT_INNER_(a, b) a##b
+#define DHNSW_CONCAT_(a, b) DHNSW_CONCAT_INNER_(a, b)
+#define DHNSW_ASSIGN_OR_RETURN_IMPL_(decl, expr, tmp) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  decl = std::move(tmp).value()
+
+}  // namespace dhnsw

@@ -1,0 +1,44 @@
+// Fixed-size thread pool used for intra-instance parallel sub-HNSW search
+// (the paper uses 18 OpenMP threads per compute instance; we expose the same
+// degree of parallelism as a configurable pool).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dhnsw {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dhnsw

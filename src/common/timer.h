@@ -1,0 +1,52 @@
+// Wall-clock timing helpers used to attribute real compute time
+// (meta-HNSW search, sub-HNSW search, (de)serialization) in benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dhnsw {
+
+/// Simple monotonic stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  uint64_t elapsed_ns() const noexcept {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+  double elapsed_us() const noexcept { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const noexcept { return static_cast<double>(elapsed_ns()) / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across many disjoint spans (e.g. total sub-HNSW
+/// compute time over a batch).
+class TimeAccumulator {
+ public:
+  void Add(uint64_t ns) noexcept {
+    total_ns_ += ns;
+    ++count_;
+  }
+  void Reset() noexcept {
+    total_ns_ = 0;
+    count_ = 0;
+  }
+  uint64_t total_ns() const noexcept { return total_ns_; }
+  uint64_t count() const noexcept { return count_; }
+  double mean_us() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_ns_) / (1e3 * static_cast<double>(count_));
+  }
+
+ private:
+  uint64_t total_ns_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,76 @@
+#include "core/batch_scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dhnsw {
+
+BatchPlan PlanBatch(const std::vector<std::vector<uint32_t>>& clusters_per_query,
+                    const std::function<bool(uint32_t)>& is_cached,
+                    uint32_t cache_capacity) {
+  const uint32_t capacity = std::max<uint32_t>(cache_capacity, 1);
+
+  // Demand map: cluster -> queries wanting it (deduplicated per query).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> demand;
+  uint64_t total_pairs = 0;
+  for (uint32_t qi = 0; qi < clusters_per_query.size(); ++qi) {
+    for (uint32_t cluster : clusters_per_query[qi]) {
+      std::vector<uint32_t>& queries = demand[cluster];
+      if (queries.empty() || queries.back() != qi) {
+        queries.push_back(qi);
+        ++total_pairs;
+      }
+    }
+  }
+
+  BatchPlan plan;
+  plan.unique_clusters = demand.size();
+
+  std::vector<uint32_t> hits;
+  std::vector<uint32_t> misses;
+  for (const auto& [cluster, queries] : demand) {
+    (is_cached(cluster) ? hits : misses).push_back(cluster);
+  }
+  plan.cache_hits = hits.size();
+  plan.dedup_saved_loads = total_pairs - misses.size();
+
+  // Deterministic order; most-demanded misses first so popular clusters are
+  // available earliest (helps latency of the many queries sharing them).
+  auto by_demand_desc = [&](uint32_t a, uint32_t b) {
+    const size_t da = demand[a].size(), db = demand[b].size();
+    if (da != db) return da > db;
+    return a < b;
+  };
+  std::sort(misses.begin(), misses.end(), by_demand_desc);
+  std::sort(hits.begin(), hits.end());
+
+  // Wave 0: all cache-hit work (nothing to load), plus the first chunk of
+  // misses if that keeps the resident set within capacity.
+  auto emit_wave = [&](std::vector<uint32_t> to_load, const std::vector<uint32_t>& usable) {
+    LoadWave wave;
+    wave.to_load = std::move(to_load);
+    for (uint32_t cluster : usable) {
+      for (uint32_t qi : demand[cluster]) {
+        wave.work.push_back({qi, cluster});
+      }
+    }
+    // Group by query for cache-friendly heap updates.
+    std::stable_sort(wave.work.begin(), wave.work.end(),
+                     [](const WorkItem& a, const WorkItem& b) {
+                       return a.query_index < b.query_index;
+                     });
+    plan.waves.push_back(std::move(wave));
+  };
+
+  if (!hits.empty()) {
+    emit_wave({}, hits);
+  }
+  for (size_t begin = 0; begin < misses.size(); begin += capacity) {
+    const size_t end = std::min(misses.size(), begin + capacity);
+    std::vector<uint32_t> chunk(misses.begin() + begin, misses.begin() + end);
+    emit_wave(chunk, chunk);
+  }
+  return plan;
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,49 @@
+// Query-aware batched data loading (paper §3.3).
+//
+// Given a batch of queries, each needing its `b` closest sub-HNSW clusters,
+// the scheduler plans cluster movement so that
+//   (1) every cluster crosses the network at most ONCE per batch, even when
+//       many queries share it,
+//   (2) clusters already resident in the compute instance's cache are not
+//       re-fetched at all, and
+//   (3) at no point do more than `cache_capacity` clusters need to be
+//       resident: loading happens in *waves*, and all (query, cluster) work
+//       for a wave's clusters completes while they are resident; per-query
+//       top-k heaps carry partial results across waves ("results will be
+//       temporarily stored for further computation and comparison").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dhnsw {
+
+/// One unit of search work: run query `query_index` against `cluster`.
+struct WorkItem {
+  uint32_t query_index;
+  uint32_t cluster;
+};
+
+/// One load wave: fetch `to_load`, then process `work` (which references
+/// only clusters in `to_load` or clusters already resident).
+struct LoadWave {
+  std::vector<uint32_t> to_load;
+  std::vector<WorkItem> work;
+};
+
+struct BatchPlan {
+  std::vector<LoadWave> waves;
+  uint64_t unique_clusters = 0;  ///< distinct clusters the batch touches
+  uint64_t cache_hits = 0;       ///< of those, already resident
+  uint64_t dedup_saved_loads = 0;///< loads avoided vs naive (per-pair) loading
+};
+
+/// Plans the batch. `clusters_per_query[i]` lists query i's clusters, best
+/// first. `is_cached(cluster)` reflects residency at batch start.
+/// `cache_capacity` == 0 is treated as capacity 1 (a single staging slot).
+BatchPlan PlanBatch(const std::vector<std::vector<uint32_t>>& clusters_per_query,
+                    const std::function<bool(uint32_t)>& is_cached,
+                    uint32_t cache_capacity);
+
+}  // namespace dhnsw

@@ -1,0 +1,63 @@
+// Client-side load balancer (paper Fig. 2: "the client load balancer
+// distributes the workload across multiple CPU instances").
+//
+// Splits a query batch into per-instance shards, runs them concurrently on
+// the compute pool (each instance has its own QP, cache, and sim clock, as
+// in the paper), and merges results back into request order. Because shards
+// execute in parallel on independent hardware, the batch's latency is the
+// *slowest shard's* latency, while throughput scales with the pool size —
+// the quantity the paper's multi-instance evaluation exercises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/compute_node.h"
+
+namespace dhnsw {
+
+struct RouterResult {
+  /// results[i] = top-k for queries[i], merged back into request order.
+  std::vector<std::vector<Scored>> results;
+  /// Per-instance breakdowns, index-aligned with the pool.
+  std::vector<BatchBreakdown> per_instance;
+  /// Max over instances of (network + meta + sub + deserialize): the batch's
+  /// wall-clock latency under parallel execution.
+  double batch_latency_us = 0.0;
+  /// num_queries / batch_latency: aggregate throughput in queries/second.
+  double throughput_qps = 0.0;
+};
+
+/// How shards execute on this host. In the real deployment every compute
+/// instance has dedicated cores, so shard wall-times are independent.
+enum class RouterExecution : uint8_t {
+  /// Run shards one after another, timing each alone. Each shard sees the
+  /// full host CPU — faithful to dedicated-hardware instances even when this
+  /// process has fewer cores than instances. Default.
+  kIsolated,
+  /// Run shards on real threads concurrently. Faithful only when the host
+  /// has at least one core per instance.
+  kConcurrent,
+};
+
+class ClientRouter {
+ public:
+  /// The router does not own the nodes; all must be connected.
+  explicit ClientRouter(std::vector<ComputeNode*> pool,
+                        RouterExecution execution = RouterExecution::kIsolated)
+      : pool_(std::move(pool)), execution_(execution) {}
+
+  size_t pool_size() const noexcept { return pool_.size(); }
+
+  /// Shards `queries` across the pool in contiguous chunks; the batch's
+  /// latency is the slowest shard's latency (instances run in parallel in a
+  /// real pool regardless of the local execution policy).
+  Result<RouterResult> SearchBatch(const VectorSet& queries, size_t k, uint32_t ef_search);
+
+ private:
+  std::vector<ComputeNode*> pool_;
+  RouterExecution execution_;
+};
+
+}  // namespace dhnsw

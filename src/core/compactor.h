@@ -1,0 +1,53 @@
+// Overflow compaction — the maintenance path the paper leaves as future work
+// ("a production system would trigger cluster compaction when the shared
+// overflow fills").
+//
+// A compute-side job reads every cluster plus its overflow through the same
+// one-sided verbs queries use, folds live inserted vectors into the sub-HNSW
+// graphs, drops tombstoned ids, re-serializes, and provisions a FRESH region
+// with empty overflow areas (layout_version bumped). Compute instances then
+// Reconnect() to the new handle — the moral equivalent of the connection
+// manager pushing a new memory-region lease.
+//
+// Compaction never mutates the old region, so queries against it remain
+// correct until the switch; the old region is simply abandoned (a real
+// deployment would deregister it).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/memory_node.h"
+#include "rdma/fabric.h"
+
+namespace dhnsw {
+
+struct CompactionStats {
+  uint32_t clusters = 0;
+  uint32_t live_records_folded = 0;   ///< inserts now first-class graph nodes
+  uint32_t tombstones_applied = 0;    ///< base/overflow vectors removed
+  uint64_t bytes_read = 0;            ///< one-sided traffic of the job
+  uint64_t old_region_bytes = 0;
+  uint64_t new_region_bytes = 0;
+};
+
+class Compactor {
+ public:
+  /// `sub_hnsw_template` supplies metric/ef_construction for re-inserting
+  /// folded vectors (M comes from each blob).
+  Compactor(rdma::Fabric* fabric, HnswOptions sub_hnsw_template)
+      : fabric_(fabric), sub_hnsw_template_(sub_hnsw_template) {}
+
+  /// Reads the region at `old_handle`, rebuilds all clusters, and provisions
+  /// a new memory node on the same fabric. On success `*new_node` owns the
+  /// new region and `stats` describes the work done.
+  Result<CompactionStats> Run(const MemoryNodeHandle& old_handle,
+                              std::unique_ptr<MemoryNode>* new_node,
+                              const LayoutConfig& layout);
+
+ private:
+  rdma::Fabric* fabric_;
+  HnswOptions sub_hnsw_template_;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,603 @@
+#include "core/compute_node.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+std::string_view EngineModeName(EngineMode mode) noexcept {
+  switch (mode) {
+    case EngineMode::kNaive: return "naive";
+    case EngineMode::kNoDoorbell: return "no-doorbell";
+    case EngineMode::kFull: return "d-hnsw";
+  }
+  return "?";
+}
+
+BatchBreakdown& BatchBreakdown::operator+=(const BatchBreakdown& rhs) noexcept {
+  network_us += rhs.network_us;
+  meta_us += rhs.meta_us;
+  sub_us += rhs.sub_us;
+  deserialize_us += rhs.deserialize_us;
+  round_trips += rhs.round_trips;
+  bytes_read += rhs.bytes_read;
+  clusters_loaded += rhs.clusters_loaded;
+  cache_hits += rhs.cache_hits;
+  pruned_searches += rhs.pruned_searches;
+  pruned_loads += rhs.pruned_loads;
+  num_queries += rhs.num_queries;
+  return *this;
+}
+
+ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
+                         ComputeOptions options, std::string name)
+    : fabric_(fabric),
+      memory_(memory),
+      options_(options),
+      name_(std::move(name)),
+      qp_(fabric, &clock_, options.doorbell_batch),
+      cache_(options.mode == EngineMode::kNaive ? 0 : options.cache_capacity) {
+  fabric_->AddNode(name_);
+}
+
+Status ComputeNode::Connect() {
+  // 1. Region header.
+  AlignedBuffer header_buf(RegionHeader::kEncodedSize, 64);
+  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, 0, header_buf.span()));
+  DHNSW_ASSIGN_OR_RETURN(header_, DecodeRegionHeader(header_buf.span()));
+
+  // 2. meta-HNSW blob — cached in this instance for the engine's lifetime
+  //    (paper §3.1: "we cache the lightweight meta-HNSW in the compute pool").
+  AlignedBuffer meta_buf(header_.meta_blob_size, 64);
+  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.meta_blob_offset, meta_buf.span()));
+  DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::FromBlob(meta_buf.span()));
+  meta.set_ef_route(options_.ef_meta);
+  meta_.emplace(std::move(meta));
+
+  // 3. Cluster offset table (paper §3.2: offsets "are cached in all compute
+  //    instances after the sub-HNSW clusters are written to the memory pool").
+  DHNSW_RETURN_IF_ERROR(RefreshMetadata());
+
+  qp_.ResetStats();
+  clock_.Reset();
+  return Status::Ok();
+}
+
+Status ComputeNode::RefreshMetadata() {
+  const size_t table_bytes =
+      static_cast<size_t>(header_.num_clusters) * ClusterMeta::kEncodedSize;
+  AlignedBuffer buf(table_bytes, 64);
+  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.table_offset, buf.span()));
+  std::vector<ClusterMeta> fresh(header_.num_clusters);
+  for (uint32_t c = 0; c < header_.num_clusters; ++c) {
+    DHNSW_ASSIGN_OR_RETURN(
+        fresh[c],
+        DecodeClusterMeta(buf.subspan(static_cast<size_t>(c) * ClusterMeta::kEncodedSize,
+                                      ClusterMeta::kEncodedSize)));
+  }
+  // Drop cached clusters whose overflow advanced since they were loaded —
+  // their resident copy is missing the newly inserted vectors.
+  for (uint32_t c = 0; c < fresh.size(); ++c) {
+    const LoadedClusterPtr* resident = cache_.Peek(c);
+    if (resident != nullptr && (*resident)->used_bytes_at_load != fresh[c].overflow_used) {
+      cache_.Erase(c);
+    }
+  }
+  table_ = std::move(fresh);
+  return Status::Ok();
+}
+
+void ComputeNode::InvalidateCache() { cache_.Clear(); }
+
+bool ComputeNode::LoadedCluster::IsDeleted(uint32_t global_id) const noexcept {
+  return std::binary_search(tombstones.begin(), tombstones.end(), global_id);
+}
+
+void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint32_t ef,
+                                        Metric metric, SubSearchMode mode,
+                                        TopKHeap* out) const {
+  const DistanceFn dist = DistanceFunction(metric);
+  if (mode == SubSearchMode::kFlatScan) {
+    // IVF-style exact scan over the cluster's stored vectors.
+    const uint32_t dim = cluster.index.dim();
+    for (uint32_t local = 0; local < cluster.index.size(); ++local) {
+      const uint32_t gid = cluster.global_ids[local];
+      if (IsDeleted(gid)) continue;
+      out->Push(dist({cluster.index.vectors().data() + static_cast<size_t>(local) * dim,
+                      dim}, q), gid);
+    }
+  } else {
+    // Graph part: local ids -> global ids, skipping tombstoned entries. Ask
+    // for a few extra candidates so deletions don't starve the top-k.
+    const size_t slack = std::min<size_t>(tombstones.size(), 64);
+    for (const Scored& s :
+         cluster.index.Search(q, k + slack, std::max<uint32_t>(ef, 1))) {
+      const uint32_t gid = cluster.global_ids[s.id];
+      if (!IsDeleted(gid)) out->Push(s.distance, gid);
+    }
+  }
+  // Overflow part: the paper appends inserted vectors as raw records read
+  // back with the cluster; unless linked at load time they are scanned
+  // exactly (no graph links yet).
+  for (const OverflowRecord& rec : overflow) {
+    if (!IsDeleted(rec.global_id)) out->Push(dist(rec.vector, q), rec.global_id);
+  }
+}
+
+Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
+    uint32_t cluster, std::span<const uint8_t> bytes, uint64_t used_bytes,
+    double* deserialize_us) {
+  const ClusterMeta& meta = table_[cluster];
+  WallTimer timer;
+
+  // For a backward (B-side) cluster the overflow records precede the blob;
+  // for a forward cluster they follow it (possibly after alignment padding).
+  const std::span<const uint8_t> blob_bytes =
+      bytes.subspan(meta.BlobOffsetInRead(used_bytes), meta.blob_size);
+  const std::span<const uint8_t> overflow_bytes =
+      bytes.subspan(meta.OverflowOffsetInRead(), used_bytes);
+
+  DHNSW_ASSIGN_OR_RETURN(Cluster decoded,
+                         DecodeCluster(blob_bytes, options_.sub_hnsw_template));
+  if (decoded.partition_id != cluster) {
+    return Status::Corruption("loaded blob belongs to a different partition");
+  }
+  DHNSW_ASSIGN_OR_RETURN(
+      std::vector<OverflowRecord> records,
+      DecodeOverflowArea(overflow_bytes, used_bytes, header_.dim));
+
+  // Split the raw records into tombstones and live inserts; optionally link
+  // live inserts straight into the decoded graph.
+  std::vector<uint32_t> tombstones;
+  std::vector<OverflowRecord> live;
+  for (OverflowRecord& rec : records) {
+    if (rec.is_tombstone()) {
+      tombstones.push_back(rec.global_id);
+    } else {
+      live.push_back(std::move(rec));
+    }
+  }
+  std::sort(tombstones.begin(), tombstones.end());
+  if (options_.link_overflow_on_load) {
+    for (const OverflowRecord& rec : live) {
+      decoded.index.Add(rec.vector);
+      decoded.global_ids.push_back(rec.global_id);
+    }
+    live.clear();
+  }
+
+  auto loaded = std::make_shared<LoadedCluster>(LoadedCluster{
+      std::move(decoded), std::move(live), std::move(tombstones), used_bytes});
+  *deserialize_us += timer.elapsed_us();
+  return LoadedClusterPtr(std::move(loaded));
+}
+
+Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
+                                 std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                                 BatchBreakdown* breakdown) {
+  if (ids.empty()) return Status::Ok();
+
+  // Stage buffers and post READs; ring per cluster (kNoDoorbell) or per
+  // doorbell chunk (kFull). A doorbell ring is a per-destination-QP batch,
+  // so loads are grouped by owning memory instance (node_slot) before
+  // chunking. The QP itself also enforces the doorbell window.
+  std::vector<uint32_t> ordered(ids.begin(), ids.end());
+  for (uint32_t cluster : ordered) {
+    if (cluster >= table_.size()) return Status::InvalidArgument("LoadClusters: bad id");
+  }
+  std::stable_sort(ordered.begin(), ordered.end(), [this](uint32_t a, uint32_t b) {
+    return table_[a].node_slot < table_[b].node_slot;
+  });
+
+  std::vector<PendingLoad> pending;
+  pending.reserve(ordered.size());
+  const uint32_t doorbell =
+      options_.mode == EngineMode::kFull ? std::max<uint32_t>(options_.doorbell_batch, 1) : 1;
+  qp_.set_max_doorbell_wrs(doorbell);
+
+  uint32_t in_ring = 0;
+  uint32_t ring_slot = 0;
+  for (uint32_t cluster : ordered) {
+    const ClusterMeta& meta = table_[cluster];
+    if (in_ring > 0 && meta.node_slot != ring_slot) {
+      qp_.RingDoorbell();  // destination changed: close the previous batch
+      in_ring = 0;
+    }
+    ring_slot = meta.node_slot;
+    const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
+    pending.push_back(PendingLoad{cluster, AlignedBuffer(range.length, 64)});
+    qp_.PostRead(memory_.rkey_for_slot(meta.node_slot), range.offset,
+                 pending.back().buffer.span(), cluster);
+    if (++in_ring == doorbell) {
+      qp_.RingDoorbell();
+      in_ring = 0;
+    }
+  }
+  if (in_ring > 0) qp_.RingDoorbell();
+
+  // Drain the whole CQ before acting on errors — leaving stale completions
+  // behind would poison the next batch.
+  bool any_error = false;
+  rdma::Completion c;
+  while (qp_.PollCompletion(&c)) {
+    any_error |= (c.status != rdma::WcStatus::kSuccess);
+  }
+  if (any_error) {
+    return Status::Unavailable("cluster load failed: rdma completion error");
+  }
+
+  for (PendingLoad& load : pending) {
+    const uint64_t used = table_[load.cluster].overflow_used;
+    DHNSW_ASSIGN_OR_RETURN(
+        LoadedClusterPtr loaded,
+        DecodeLoaded(load.cluster, load.buffer.span(), used, &breakdown->deserialize_us));
+    breakdown->clusters_loaded += 1;
+    breakdown->bytes_read += load.buffer.size();
+    if (options_.mode != EngineMode::kNaive) {
+      cache_.Put(load.cluster, loaded);
+    }
+    out->emplace_back(load.cluster, std::move(loaded));
+  }
+  return Status::Ok();
+}
+
+Status ComputeNode::NaiveSearch(const VectorSet& queries, size_t begin, size_t count,
+                                size_t k, uint32_t ef_search,
+                                const std::vector<std::vector<uint32_t>>& routes,
+                                BatchResult* result) {
+  // Baseline (1): no dedup, no cache, no doorbell — one READ round trip per
+  // (query, cluster) pair, exactly as described in the paper's §4.
+  const Metric metric = options_.sub_hnsw_template.metric;
+  for (size_t i = 0; i < count; ++i) {
+    TopKHeap heap(k);
+    for (uint32_t cluster : routes[i]) {
+      std::vector<std::pair<uint32_t, LoadedClusterPtr>> loaded;
+      const uint32_t id[1] = {cluster};
+      DHNSW_RETURN_IF_ERROR(LoadClusters(id, &loaded, &result->breakdown));
+      WallTimer sub_timer;
+      loaded.front().second->Search(queries[begin + i], k, ef_search, metric,
+                                    options_.sub_search, &heap);
+      result->breakdown.sub_us += sub_timer.elapsed_us();
+    }
+    result->results[i] = heap.TakeSorted();
+  }
+  return Status::Ok();
+}
+
+Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t begin,
+                                             size_t count, size_t k, uint32_t ef_search) {
+  if (!connected()) return Status::Unavailable("ComputeNode: not connected");
+  if (begin + count > queries.size()) {
+    return Status::InvalidArgument("SearchBatch: range out of bounds");
+  }
+  if (queries.dim() != header_.dim) {
+    return Status::InvalidArgument("SearchBatch: query dim mismatch");
+  }
+
+  BatchResult result;
+  result.results.resize(count);
+  result.breakdown.num_queries = count;
+
+  const rdma::QpStats stats_before = qp_.stats();
+
+  // Offset-table refresh: one small READ per batch keeps the cached offsets
+  // and overflow counters current (paper §3.2, "latest version stored at the
+  // beginning of the memory space").
+  DHNSW_RETURN_IF_ERROR(RefreshMetadata());
+
+  // --- meta-HNSW routing (the "cache computation" column of Tables 1-2) ---
+  WallTimer meta_timer;
+  std::vector<std::vector<Scored>> routes_scored(count);
+  std::vector<std::vector<uint32_t>> routes(count);
+  const uint32_t b = std::max<uint32_t>(options_.clusters_per_query, 1);
+  for (size_t i = 0; i < count; ++i) {
+    routes_scored[i] = meta_->RouteManyScored(queries[begin + i], b);
+    routes[i].reserve(routes_scored[i].size());
+    for (const Scored& s : routes_scored[i]) routes[i].push_back(s.id);
+  }
+  result.breakdown.meta_us = meta_timer.elapsed_us();
+
+  if (options_.mode == EngineMode::kNaive) {
+    DHNSW_RETURN_IF_ERROR(NaiveSearch(queries, begin, count, k, ef_search, routes, &result));
+  } else {
+    // --- query-aware batched loading (§3.3) ---
+    BatchPlan plan = PlanBatch(routes, [this](uint32_t c) { return cache_.Contains(c); },
+                               options_.cache_capacity);
+    result.breakdown.cache_hits = plan.cache_hits;
+
+    std::vector<TopKHeap> heaps;
+    heaps.reserve(count);
+    for (size_t i = 0; i < count; ++i) heaps.emplace_back(k);
+
+    const Metric metric = options_.sub_hnsw_template.metric;
+    const double prune = options_.adaptive_prune_factor;
+
+    // Representative distance for a (query, cluster) pair — b is small, a
+    // linear scan beats a hash map here.
+    auto rep_dist = [&](uint32_t qi, uint32_t cluster) {
+      for (const Scored& s : routes_scored[qi]) {
+        if (s.id == cluster) return static_cast<double>(s.distance);
+      }
+      return 0.0;  // not routed => never prune (shouldn't happen)
+    };
+    // Monotone predicate: once a query's heap is full, its worst only
+    // improves, so a pruned pair stays pruned for the rest of the batch.
+    // Under L2 the stored distances are squared; the sound bound uses true
+    // distances with the cluster's covering radius:
+    //   any member distance >= dist(q, rep) - radius,
+    // so prune when (dist(q,rep) - radius) > factor * kth_best. Non-L2
+    // metrics lack the triangle inequality; fall back to comparing raw
+    // representative scores.
+    auto prunable = [&](const WorkItem& item, const std::vector<TopKHeap>& heaps) {
+      if (prune <= 0.0) return false;
+      const TopKHeap& heap = heaps[item.query_index];
+      if (!heap.full()) return false;
+      const double rd = rep_dist(item.query_index, item.cluster);
+      if (metric == Metric::kL2) {
+        const double bound =
+            std::sqrt(std::max(rd, 0.0)) - table_[item.cluster].radius;
+        return bound > prune * std::sqrt(std::max<double>(heap.worst(), 0.0));
+      }
+      return rd > prune * static_cast<double>(heap.worst());
+    };
+
+    for (const LoadWave& wave : plan.waves) {
+      // Adaptive pruning: elide a cluster's load entirely when every query
+      // that wanted it already has a full top-k that its representative
+      // cannot beat (cf. learned early termination [12]).
+      std::vector<uint8_t> load_wanted(table_.size(), 0);
+      if (prune > 0.0) {
+        for (const WorkItem& item : wave.work) {
+          if (!prunable(item, heaps)) load_wanted[item.cluster] = 1;
+        }
+      }
+
+      // Resident set for this wave: cache hits or fresh loads.
+      std::vector<std::pair<uint32_t, LoadedClusterPtr>> fresh;
+      std::vector<uint32_t> to_load;
+      for (uint32_t cluster : wave.to_load) {
+        if (prune > 0.0 && !load_wanted[cluster]) {
+          ++result.breakdown.pruned_loads;
+          continue;
+        }
+        if (!cache_.Contains(cluster)) to_load.push_back(cluster);
+      }
+      DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown));
+
+      auto resident = [&](uint32_t cluster) -> const LoadedCluster* {
+        for (const auto& [id, ptr] : fresh) {
+          if (id == cluster) return ptr.get();
+        }
+        LoadedClusterPtr* hit = cache_.Get(cluster);
+        return hit == nullptr ? nullptr : hit->get();
+      };
+
+      WallTimer sub_timer;
+      std::atomic<uint64_t> pruned_searches{0};
+      if (options_.search_threads > 1) {
+        // Work items are grouped by query, so parallelizing over disjoint
+        // query ranges keeps each heap single-owner.
+        ThreadPool pool(options_.search_threads);
+        std::vector<size_t> starts;
+        for (size_t w = 0; w < wave.work.size(); ++w) {
+          if (w == 0 || wave.work[w].query_index != wave.work[w - 1].query_index) {
+            starts.push_back(w);
+          }
+        }
+        pool.ParallelFor(starts.size(), [&](size_t s) {
+          const size_t first = starts[s];
+          const size_t last = s + 1 < starts.size() ? starts[s + 1] : wave.work.size();
+          for (size_t w = first; w < last; ++w) {
+            const WorkItem& item = wave.work[w];
+            if (prunable(item, heaps)) {
+              pruned_searches.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const LoadedCluster* cluster = resident(item.cluster);
+            if (cluster != nullptr) {
+              cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
+                              &heaps[item.query_index]);
+            }
+          }
+        });
+      } else {
+        for (const WorkItem& item : wave.work) {
+          if (prunable(item, heaps)) {
+            pruned_searches.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const LoadedCluster* cluster = resident(item.cluster);
+          if (cluster == nullptr) return Status::Internal("wave cluster not resident");
+          cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
+                          &heaps[item.query_index]);
+        }
+      }
+      result.breakdown.pruned_searches += pruned_searches.load();
+      result.breakdown.sub_us += sub_timer.elapsed_us();
+    }
+
+    for (size_t i = 0; i < count; ++i) result.results[i] = heaps[i].TakeSorted();
+  }
+
+  const rdma::QpStats delta = qp_.stats() - stats_before;
+  result.breakdown.network_us = static_cast<double>(delta.sim_network_ns) / 1e3;
+  result.breakdown.round_trips = delta.round_trips;
+  return result;
+}
+
+Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
+                                                std::span<const uint8_t> record) {
+  ClusterMeta& meta = table_[partition];
+  const uint64_t rec = meta.record_size;
+  if (record.size() != rec) return Status::Internal("AppendRecord: bad record size");
+
+  // Ring 1: FAA-allocate `rec` bytes from this cluster's side of the shared
+  // overflow area, and read the partner's counter in the SAME round trip to
+  // validate the shared budget (used_A + used_B <= capacity).
+  auto used_counter_offset = [this](uint32_t cluster) {
+    return header_.table_offset +
+           static_cast<uint64_t>(cluster) * ClusterMeta::kEncodedSize +
+           ClusterMeta::kUsedFieldOffset;
+  };
+  uint64_t partner_used = 0;
+  AlignedBuffer partner_buf(8, 64);
+  qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), rec, /*wr_id=*/1);
+  const bool has_partner = meta.partner != ClusterMeta::kNoPartner;
+  if (has_partner) {
+    qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+  }
+  qp_.RingDoorbell();
+  uint64_t old_used = 0;
+  bool any_error = false;
+  rdma::Completion c;
+  while (qp_.PollCompletion(&c)) {
+    any_error |= (c.status != rdma::WcStatus::kSuccess);
+    if (c.wr_id == 1) old_used = c.atomic_result;
+  }
+  if (any_error) return Status::Unavailable("append: rdma completion error");
+  if (has_partner) std::memcpy(&partner_used, partner_buf.data(), 8);
+
+  if (old_used + rec + partner_used > meta.overflow_capacity) {
+    // Shared area exhausted: roll the allocation back and report Capacity.
+    // The caller can run Compact() (compactor.h) to fold overflow into the
+    // base blobs and start over with an empty overflow area.
+    auto rollback = qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
+                                 static_cast<uint64_t>(-static_cast<int64_t>(rec)));
+    if (!rollback.ok()) return rollback.status();
+    return Status::Capacity("overflow area full for partition " + std::to_string(partition));
+  }
+
+  // Ring 2: write the record at its FAA-assigned slot, on the memory
+  // instance that owns this cluster's group. The slot position keeps the
+  // cluster + overflow contiguous for single-READ loads.
+  const uint64_t remote_offset = meta.RecordOffset(old_used);
+  DHNSW_RETURN_IF_ERROR(
+      qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record));
+
+  // Local bookkeeping: our cached table entry advances; a cached decoded
+  // cluster is now stale and must be re-fetched on next use.
+  meta.overflow_used = old_used + rec;
+  cache_.Erase(partition);
+  return InsertReceipt{partition, remote_offset};
+}
+
+Result<InsertReceipt> ComputeNode::Insert(std::span<const float> v, uint32_t global_id) {
+  if (!connected()) return Status::Unavailable("ComputeNode: not connected");
+  if (v.size() != header_.dim) return Status::InvalidArgument("Insert: dim mismatch");
+
+  // Route with the cached meta-HNSW — no network needed to pick the partition.
+  const uint32_t partition = meta_->RouteOne(v);
+  std::vector<uint8_t> record(table_[partition].record_size);
+  EncodeOverflowRecord(global_id, v, record);
+  return AppendRecord(partition, record);
+}
+
+Result<InsertReceipt> ComputeNode::Remove(std::span<const float> v, uint32_t global_id) {
+  if (!connected()) return Status::Unavailable("ComputeNode: not connected");
+  if (v.size() != header_.dim) return Status::InvalidArgument("Remove: dim mismatch");
+
+  // The tombstone must land in the partition that owns the vector; routing
+  // by the vector itself reproduces the assignment/insert decision.
+  const uint32_t partition = meta_->RouteOne(v);
+  std::vector<uint8_t> record(table_[partition].record_size);
+  EncodeOverflowTombstone(global_id, header_.dim, record);
+  return AppendRecord(partition, record);
+}
+
+Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
+    const VectorSet& vectors, std::span<const uint32_t> global_ids) {
+  if (!connected()) return Status::Unavailable("ComputeNode: not connected");
+  if (vectors.dim() != header_.dim) {
+    return Status::InvalidArgument("InsertBatch: dim mismatch");
+  }
+  if (vectors.size() != global_ids.size()) {
+    return Status::InvalidArgument("InsertBatch: ids/vectors size mismatch");
+  }
+
+  // Route everything with the cached meta-HNSW, then group by partition.
+  std::unordered_map<uint32_t, std::vector<size_t>> by_partition;
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    by_partition[meta_->RouteOne(vectors[i])].push_back(i);
+  }
+
+  auto used_counter_offset = [this](uint32_t cluster) {
+    return header_.table_offset +
+           static_cast<uint64_t>(cluster) * ClusterMeta::kEncodedSize +
+           ClusterMeta::kUsedFieldOffset;
+  };
+
+  BatchInsertResult result;
+  for (auto& [partition, members] : by_partition) {
+    ClusterMeta& meta = table_[partition];
+    const uint64_t rec = meta.record_size;
+    const uint64_t want = rec * members.size();
+
+    // Ring 1: one FAA claims space for the whole group; the partner counter
+    // rides along to validate the shared budget.
+    uint64_t partner_used = 0;
+    AlignedBuffer partner_buf(8, 64);
+    qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), want, 1);
+    const bool has_partner = meta.partner != ClusterMeta::kNoPartner;
+    if (has_partner) {
+      qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+    }
+    qp_.RingDoorbell();
+    uint64_t old_used = 0;
+    bool any_error = false;
+    rdma::Completion c;
+    while (qp_.PollCompletion(&c)) {
+      any_error |= (c.status != rdma::WcStatus::kSuccess);
+      if (c.wr_id == 1) old_used = c.atomic_result;
+    }
+    if (any_error) return Status::Unavailable("batch insert: rdma completion error");
+    if (has_partner) std::memcpy(&partner_used, partner_buf.data(), 8);
+
+    if (old_used + want + partner_used > meta.overflow_capacity) {
+      auto rollback = qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
+                                   static_cast<uint64_t>(-static_cast<int64_t>(want)));
+      if (!rollback.ok()) return rollback.status();
+      for (size_t i : members) result.rejected.push_back(i);
+      continue;
+    }
+
+    // Ring(s) 2: doorbell-batched WRITEs of the group's records. Records of
+    // one partition are adjacent, but each is posted as its own WR (the
+    // doorbell coalesces them into one round trip per window).
+    std::vector<std::vector<uint8_t>> records(members.size());
+    const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
+    for (size_t j = 0; j < members.size(); ++j) {
+      records[j].resize(rec);
+      EncodeOverflowRecord(global_ids[members[j]], vectors[members[j]], records[j]);
+      qp_.PostWrite(shard_rkey, meta.RecordOffset(old_used + j * rec), records[j]);
+    }
+    qp_.RingDoorbell();
+    any_error = false;
+    while (qp_.PollCompletion(&c)) {
+      any_error |= (c.status != rdma::WcStatus::kSuccess);
+    }
+    if (any_error) return Status::Unavailable("batch insert: write completion error");
+
+    meta.overflow_used = old_used + want;
+    cache_.Erase(partition);
+    result.inserted += static_cast<uint32_t>(members.size());
+  }
+  std::sort(result.rejected.begin(), result.rejected.end());
+  return result;
+}
+
+Status ComputeNode::Reconnect(MemoryNodeHandle memory) {
+  memory_ = memory;
+  meta_.reset();
+  table_.clear();
+  cache_.Clear();
+  return Connect();
+}
+
+}  // namespace dhnsw

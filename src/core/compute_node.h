@@ -1,0 +1,235 @@
+// A compute instance: the active side of d-HNSW.
+//
+// Holds the cached meta-HNSW, a small LRU cluster cache, and a queue pair to
+// the memory node. Serves batched top-k queries (paper §3.1-3.3) and dynamic
+// inserts (§3.2's overflow protocol). All remote access is one-sided.
+//
+// The three evaluation modes of the paper map to `EngineMode`:
+//   kNaive      — baseline (1): one RDMA READ round trip per (query, cluster)
+//                 pair; no cluster cache, no batch dedup, no doorbell.
+//   kNoDoorbell — baseline (2): meta caching + query-aware dedup + cache, but
+//                 each cluster load is its own round trip.
+//   kFull       — d-HNSW: additionally coalesces loads into doorbell batches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "core/batch_scheduler.h"
+#include "core/memory_layout.h"
+#include "core/memory_node.h"
+#include "core/meta_hnsw.h"
+#include "rdma/queue_pair.h"
+#include "serialize/cluster_blob.h"
+#include "serialize/overflow.h"
+
+namespace dhnsw {
+
+enum class EngineMode : uint8_t { kNaive = 0, kNoDoorbell = 1, kFull = 2 };
+
+std::string_view EngineModeName(EngineMode mode) noexcept;
+
+/// How a loaded cluster is searched on the compute side.
+enum class SubSearchMode : uint8_t {
+  kGraph = 0,     ///< sub-HNSW greedy search with efSearch (the paper)
+  kFlatScan = 1,  ///< exact linear scan of the cluster's vectors — the
+                  ///< "d-IVF" ablation isolating the graph's contribution
+};
+
+struct ComputeOptions {
+  EngineMode mode = EngineMode::kFull;
+  uint32_t clusters_per_query = 2;  ///< b: sub-HNSWs searched per query
+  uint32_t cache_capacity = 8;      ///< c: clusters the DRAM cache holds
+  uint32_t doorbell_batch = 16;     ///< D: max READ WRs coalesced per ring
+  uint32_t ef_meta = 32;            ///< ef for meta-HNSW routing
+  size_t search_threads = 1;        ///< intra-instance search parallelism
+  /// When true, overflow vectors are inserted into the decoded sub-HNSW at
+  /// load time (CPU cost once per load) instead of being linearly scanned on
+  /// every query against that cluster. Worth it once overflow grows.
+  bool link_overflow_on_load = false;
+  /// Adaptive cluster pruning (cf. the paper's related work [12, 43]): when
+  /// > 0, a query whose top-k is already full skips any remaining routed
+  /// cluster whose *representative* distance exceeds
+  ///   factor * (current k-th best distance).
+  /// A whole cluster load is elided when every query wanting it prunes it.
+  /// 0 disables pruning (the paper's behaviour). Typical values 1.5-4.0;
+  /// smaller is more aggressive. Applies to kNoDoorbell/kFull modes only.
+  double adaptive_prune_factor = 0.0;
+  /// Graph search (the paper) or exact per-cluster scan (IVF-style ablation).
+  SubSearchMode sub_search = SubSearchMode::kGraph;
+  HnswOptions sub_hnsw_template;    ///< decode-side options (metric etc.)
+};
+
+/// Per-batch latency/traffic attribution — the paper's Table 1/2 columns
+/// plus the round-trip counts quoted in §4.
+struct BatchBreakdown {
+  double network_us = 0.0;      ///< simulated fabric time
+  double meta_us = 0.0;         ///< meta-HNSW (cache) computation, wall time
+  double sub_us = 0.0;          ///< sub-HNSW search on loaded data, wall time
+  double deserialize_us = 0.0;  ///< blob decode, wall time
+  uint64_t round_trips = 0;
+  uint64_t bytes_read = 0;
+  uint64_t clusters_loaded = 0;
+  uint64_t cache_hits = 0;
+  uint64_t pruned_searches = 0;  ///< (query, cluster) pairs skipped adaptively
+  uint64_t pruned_loads = 0;     ///< whole cluster loads elided by pruning
+  size_t num_queries = 0;
+
+  BatchBreakdown& operator+=(const BatchBreakdown& rhs) noexcept;
+  double per_query_network_us() const { return Per(network_us); }
+  double per_query_meta_us() const { return Per(meta_us); }
+  double per_query_sub_us() const { return Per(sub_us); }
+  double per_query_round_trips() const { return Per(static_cast<double>(round_trips)); }
+
+ private:
+  double Per(double v) const {
+    return num_queries == 0 ? 0.0 : v / static_cast<double>(num_queries);
+  }
+};
+
+struct BatchResult {
+  /// results[i] = top-k (global ids) for query i, ascending distance.
+  std::vector<std::vector<Scored>> results;
+  BatchBreakdown breakdown;
+};
+
+struct InsertReceipt {
+  uint32_t partition = 0;
+  uint64_t remote_offset = 0;  ///< where the record landed
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory, ComputeOptions options,
+              std::string name = "compute-node");
+
+  /// Bootstrap: fetches region header, meta-HNSW blob, and metadata table
+  /// via RDMA. Must be called once before queries; resets stats afterwards.
+  Status Connect();
+
+  /// Re-attaches to a (possibly different) memory region — used after
+  /// compaction re-provisions the layout. Drops all cached state.
+  Status Reconnect(MemoryNodeHandle memory);
+
+  bool connected() const noexcept { return meta_.has_value(); }
+  const ComputeOptions& options() const noexcept { return options_; }
+  ComputeOptions* mutable_options() noexcept { return &options_; }
+  const MetaHnsw& meta() const { return *meta_; }
+  uint32_t num_clusters() const noexcept { return header_.num_clusters; }
+
+  /// Searches queries [begin, begin+count) of `queries` for their top-k with
+  /// the given sub-HNSW ef. One call == one batch (paper batch size 2000).
+  Result<BatchResult> SearchBatch(const VectorSet& queries, size_t begin, size_t count,
+                                  size_t k, uint32_t ef_search);
+
+  /// Whole-set convenience.
+  Result<BatchResult> SearchAll(const VectorSet& queries, size_t k, uint32_t ef_search) {
+    return SearchBatch(queries, 0, queries.size(), k, ef_search);
+  }
+
+  /// Inserts a vector under `global_id`: routes via the cached meta-HNSW,
+  /// allocates overflow space with a remote FAA (validating the shared
+  /// group budget), then writes the record with a single RDMA_WRITE.
+  Result<InsertReceipt> Insert(std::span<const float> v, uint32_t global_id);
+
+  /// Deletes `global_id` by appending a tombstone record to the partition
+  /// that owns it. `v` must be the stored vector (routing key — d-HNSW has
+  /// no id directory, matching the paper's design). Same cost as Insert.
+  Result<InsertReceipt> Remove(std::span<const float> v, uint32_t global_id);
+
+  /// Batched insertion: routes all vectors, groups them by partition, and
+  /// per partition claims space for the WHOLE group with a single FAA, then
+  /// writes the records with doorbell-batched WRITEs. Round trips drop from
+  /// 2 per vector to ~2 per touched partition — the write-path analogue of
+  /// §3.3's query-aware batching. All-or-nothing per partition: a partition
+  /// whose shared overflow cannot fit its group is rolled back and its
+  /// vector indices are reported in `rejected` (Capacity), while other
+  /// partitions' inserts proceed.
+  struct BatchInsertResult {
+    uint32_t inserted = 0;
+    std::vector<size_t> rejected;  ///< indices into the input batch
+  };
+  Result<BatchInsertResult> InsertBatch(const VectorSet& vectors,
+                                        std::span<const uint32_t> global_ids);
+
+  /// Re-reads the metadata table (1 round trip). SearchBatch does this
+  /// automatically at batch start; exposed for tests.
+  Status RefreshMetadata();
+
+  /// Drops all cached clusters (not the meta-HNSW).
+  void InvalidateCache();
+
+  const rdma::QpStats& qp_stats() const noexcept { return qp_.stats(); }
+  const SimClock& clock() const noexcept { return clock_; }
+  size_t cache_size() const noexcept { return cache_.size(); }
+  uint64_t cache_hits() const noexcept { return cache_.hits(); }
+  uint64_t cache_misses() const noexcept { return cache_.misses(); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  /// A cluster resident in compute DRAM: decoded graph + overflow records
+  /// (live inserts either linearly scanned or linked into the graph at load
+  /// time) + the set of tombstoned ids to suppress.
+  struct LoadedCluster {
+    Cluster cluster;
+    std::vector<OverflowRecord> overflow;      ///< live records (unlinked mode)
+    std::vector<uint32_t> tombstones;          ///< deleted global ids (sorted)
+    uint64_t used_bytes_at_load = 0;
+
+    bool IsDeleted(uint32_t global_id) const noexcept;
+
+    /// Searches graph + overflow, pushing *global* ids into `out`.
+    void Search(std::span<const float> q, size_t k, uint32_t ef, Metric metric,
+                SubSearchMode mode, TopKHeap* out) const;
+  };
+  using LoadedClusterPtr = std::shared_ptr<const LoadedCluster>;
+
+  /// Reads one cluster (blob + used overflow) into a fresh buffer and posts
+  /// nothing — the caller controls doorbell grouping via `qp_.PostRead`.
+  struct PendingLoad {
+    uint32_t cluster;
+    AlignedBuffer buffer;
+  };
+
+  Result<LoadedClusterPtr> DecodeLoaded(uint32_t cluster, std::span<const uint8_t> bytes,
+                                        uint64_t used_bytes, double* deserialize_us);
+
+  /// Loads `ids` (must not be cached): kFull coalesces into doorbell rings of
+  /// `doorbell_batch`, kNoDoorbell issues one ring each. Decoded clusters are
+  /// installed into the cache. Returns resident pointers for the wave.
+  Status LoadClusters(std::span<const uint32_t> ids,
+                      std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                      BatchBreakdown* breakdown);
+
+  Status NaiveSearch(const VectorSet& queries, size_t begin, size_t count, size_t k,
+                     uint32_t ef_search,
+                     const std::vector<std::vector<uint32_t>>& routes,
+                     BatchResult* result);
+
+  /// Shared tail of Insert/Remove: FAA-allocate a record slot in `partition`
+  /// (validating the shared group budget against the partner), then WRITE
+  /// the pre-encoded record bytes. Two round trips.
+  Result<InsertReceipt> AppendRecord(uint32_t partition,
+                                     std::span<const uint8_t> record);
+
+  rdma::Fabric* fabric_;
+  MemoryNodeHandle memory_;
+  ComputeOptions options_;
+  std::string name_;
+
+  SimClock clock_;
+  rdma::QueuePair qp_;
+
+  RegionHeader header_;
+  std::vector<ClusterMeta> table_;
+  std::optional<MetaHnsw> meta_;
+  LruCache<uint32_t, LoadedClusterPtr> cache_;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,134 @@
+// DhnswEngine: the top-level façade a downstream user interacts with.
+//
+// Owns the simulated fabric, the memory instance, and a pool of compute
+// instances; wires up the build pipeline
+//     sample -> meta-HNSW -> partition -> sub-HNSWs -> layout -> provision
+// and exposes batched search, dynamic insert/remove, overflow compaction,
+// and region snapshots. Examples and benches go through this class; tests
+// may also reach into the individual modules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/client_router.h"
+#include "core/compactor.h"
+#include "core/compute_node.h"
+#include "core/memory_node.h"
+#include "core/meta_hnsw.h"
+#include "core/partitioner.h"
+#include "dataset/dataset.h"
+#include "rdma/fabric.h"
+
+namespace dhnsw {
+
+struct DhnswConfig {
+  MetaHnswOptions meta;          ///< representative sampling + meta graph
+  HnswOptions sub_hnsw;          ///< per-partition graph build parameters
+  LayoutConfig layout;           ///< remote-memory layout (overflow sizing)
+  rdma::NicModelConfig nic;      ///< fabric cost model
+  ComputeOptions compute;        ///< per-instance query options
+  size_t num_compute_nodes = 1;  ///< instances in the compute pool
+  size_t num_memory_nodes = 1;   ///< instances in the memory pool (shards)
+  size_t build_threads = 1;      ///< parallelism for partition/build phase
+
+  /// Convenience: paper-default configuration for a given metric.
+  static DhnswConfig Defaults(Metric metric = Metric::kL2);
+};
+
+class DhnswEngine {
+ public:
+  /// Builds the full system over `base`. Global ids are the base-row indices;
+  /// inserts continue from base.size().
+  static Result<DhnswEngine> Build(const VectorSet& base, DhnswConfig config);
+
+  /// Restores a system from a region snapshot (see snapshot.h) — skips
+  /// sampling/partitioning/graph construction entirely. `next_global_id`
+  /// must be at least one past any id stored in the snapshot.
+  static Result<DhnswEngine> BuildFromSnapshot(const std::string& path, DhnswConfig config,
+                                               uint32_t next_global_id);
+
+  DhnswEngine(DhnswEngine&&) = default;
+  DhnswEngine& operator=(DhnswEngine&&) = default;
+
+  size_t num_compute_nodes() const noexcept { return computes_.size(); }
+  ComputeNode& compute(size_t i = 0) { return *computes_[i]; }
+  const MemoryNodeHandle& memory_handle() const noexcept { return memory_handle_; }
+  /// Present when the engine built (or compacted) the region itself; null
+  /// for snapshot-restored engines.
+  const MemoryNode* memory_node() const noexcept { return memory_.get(); }
+  rdma::Fabric& fabric() noexcept { return *fabric_; }
+  uint32_t num_partitions() const noexcept { return num_partitions_; }
+  uint32_t dim() const noexcept { return dim_; }
+  const std::vector<uint32_t>& partition_sizes() const noexcept { return partition_sizes_; }
+  uint64_t meta_blob_bytes() const noexcept { return meta_blob_bytes_; }
+  uint32_t next_global_id() const noexcept { return next_global_id_; }
+
+  /// Batched search on compute instance 0 (see ComputeNode::SearchBatch for
+  /// per-instance control).
+  Result<BatchResult> SearchAll(const VectorSet& queries, size_t k, uint32_t ef_search) {
+    return compute(0).SearchAll(queries, k, ef_search);
+  }
+
+  /// Load-balanced batched search across the whole compute pool.
+  Result<RouterResult> SearchSharded(const VectorSet& queries, size_t k, uint32_t ef_search);
+
+  /// Inserts a new vector; assigns and returns its global id.
+  /// Routed + written by compute instance `via_instance`.
+  Result<uint32_t> Insert(std::span<const float> v, size_t via_instance = 0);
+
+  /// Batched insertion: assigns consecutive global ids to `vectors` and
+  /// writes them with per-partition coalesced FAAs + doorbell-batched
+  /// WRITEs (see ComputeNode::InsertBatch). Returns the first assigned id;
+  /// `rejected` (if non-null) receives the indices that hit Capacity.
+  Result<uint32_t> InsertBatch(const VectorSet& vectors,
+                               std::vector<size_t>* rejected = nullptr,
+                               size_t via_instance = 0);
+
+  /// Tombstone-deletes `global_id`; `v` must be its stored vector (routing
+  /// key). Space is physically reclaimed by Compact().
+  Status Remove(std::span<const float> v, uint32_t global_id, size_t via_instance = 0);
+
+  /// Folds overflow (inserts + tombstones) into the base blobs, provisions a
+  /// fresh region with empty overflow, and reconnects every compute node.
+  Result<CompactionStats> Compact();
+
+  /// Persists / restores the current region (see snapshot.h).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Point-in-time operational counters aggregated across the compute pool.
+  struct Metrics {
+    uint32_t partitions = 0;
+    uint32_t compute_nodes = 0;
+    uint32_t memory_shards = 0;
+    uint64_t region_bytes_total = 0;   ///< summed over all shard regions
+    rdma::QpStats qp_total;            ///< summed over compute instances
+    uint64_t cache_entries = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+  Metrics CollectMetrics() const;
+
+  /// Human-readable one-screen summary (examples, debugging, ops).
+  std::string DebugString() const;
+
+ private:
+  DhnswEngine() = default;
+
+  Status ConnectComputePool(const DhnswConfig& config);
+
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::unique_ptr<MemoryNode> memory_;
+  MemoryNodeHandle memory_handle_;
+  std::vector<std::unique_ptr<ComputeNode>> computes_;
+  DhnswConfig config_;
+  uint32_t dim_ = 0;
+  uint32_t num_partitions_ = 0;
+  uint32_t next_global_id_ = 0;
+  uint64_t meta_blob_bytes_ = 0;
+  std::vector<uint32_t> partition_sizes_;
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,102 @@
+#include "core/memory_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "index/distance.h"
+#include "serialize/overflow.h"
+
+namespace dhnsw {
+
+MemoryNode::MemoryNode(rdma::Fabric* fabric, std::string name)
+    : fabric_(fabric), node_(fabric->AddNode(std::move(name))) {}
+
+Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& clusters,
+                             const LayoutConfig& config, uint64_t layout_version,
+                             uint32_t num_shards) {
+  if (provisioned()) return Status::InvalidArgument("MemoryNode already provisioned");
+  if (clusters.empty()) return Status::InvalidArgument("Provision: no clusters");
+
+  // Serialize everything first so the layout knows exact sizes.
+  const std::vector<uint8_t> meta_blob = meta.ToBlob();
+  std::vector<std::vector<uint8_t>> blobs;
+  std::vector<uint64_t> blob_sizes;
+  blobs.reserve(clusters.size());
+  blob_sizes.reserve(clusters.size());
+  for (const Cluster& c : clusters) {
+    blobs.push_back(EncodeCluster(c));
+    blob_sizes.push_back(blobs.back().size());
+  }
+
+  const uint32_t dim = meta.dim();
+  const uint32_t record_size = static_cast<uint32_t>(OverflowRecordSize(dim));
+  const Metric metric = meta.index().options().metric;
+  DHNSW_ASSIGN_OR_RETURN(
+      plan_, PlanLayout(dim, metric, record_size, meta_blob.size(), blob_sizes, config,
+                        num_shards));
+  plan_.header.layout_version = layout_version;
+
+  // Covering radius per cluster (L2 only): max distance from the partition's
+  // representative to any member. Powers compute-side adaptive pruning.
+  if (metric == Metric::kL2) {
+    for (uint32_t c = 0; c < clusters.size(); ++c) {
+      const std::span<const float> center = meta.index().vector(c);
+      float max_sq = 0.0f;
+      for (uint32_t local = 0; local < clusters[c].index.size(); ++local) {
+        max_sq = std::max(max_sq, L2Sq(center, clusters[c].index.vector(local)));
+      }
+      plan_.entries[c].radius = std::sqrt(max_sq);
+    }
+  }
+
+  // Register one region per shard; slot 0 lives on this node, further slots
+  // each get a fresh memory instance on the fabric.
+  std::vector<rdma::RKey> shard_rkeys;
+  std::vector<rdma::NodeId> shard_nodes;
+  for (uint32_t s = 0; s < plan_.num_shards(); ++s) {
+    const rdma::NodeId owner =
+        s == 0 ? node_ : fabric_->AddNode("memory-node-shard-" + std::to_string(s));
+    DHNSW_ASSIGN_OR_RETURN(const rdma::RKey rkey,
+                           fabric_->RegisterMemory(owner, plan_.shard_sizes[s]));
+    shard_rkeys.push_back(rkey);
+    shard_nodes.push_back(owner);
+  }
+
+  rdma::MemoryRegion* primary = fabric_->FindRegion(shard_rkeys[0]);
+  if (primary == nullptr) return Status::Internal("freshly registered region not found");
+  std::span<uint8_t> mem = primary->host_span();
+
+  // Region header + metadata table (primary only).
+  EncodeRegionHeader(plan_.header, mem.subspan(0, RegionHeader::kEncodedSize));
+  for (uint32_t c = 0; c < plan_.entries.size(); ++c) {
+    EncodeClusterMeta(plan_.entries[c],
+                      mem.subspan(plan_.TableEntryOffset(c), ClusterMeta::kEncodedSize));
+  }
+
+  // meta-HNSW blob (primary only).
+  std::memcpy(mem.data() + plan_.header.meta_blob_offset, meta_blob.data(), meta_blob.size());
+
+  // Cluster blobs at their planned offsets on their owning shard.
+  for (uint32_t c = 0; c < blobs.size(); ++c) {
+    rdma::MemoryRegion* shard = fabric_->FindRegion(shard_rkeys[plan_.entries[c].node_slot]);
+    if (shard == nullptr) return Status::Internal("shard region vanished");
+    std::memcpy(shard->host_span().data() + plan_.entries[c].blob_offset, blobs[c].data(),
+                blobs[c].size());
+  }
+
+  handle_ = MemoryNodeHandle{node_, shard_rkeys[0], plan_.total_size,
+                             std::move(shard_rkeys), std::move(shard_nodes)};
+  return Status::Ok();
+}
+
+Result<ClusterMeta> MemoryNode::InspectClusterMeta(uint32_t cluster) const {
+  if (!provisioned()) return Status::Unavailable("memory node not provisioned");
+  if (cluster >= plan_.entries.size()) return Status::InvalidArgument("bad cluster id");
+  const rdma::MemoryRegion* region = fabric_->FindRegion(handle_.rkey);
+  if (region == nullptr) return Status::Internal("region vanished");
+  return DecodeClusterMeta(
+      region->host_span().subspan(plan_.TableEntryOffset(cluster), ClusterMeta::kEncodedSize));
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,189 @@
+#include "core/meta_hnsw.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "serialize/cluster_blob.h"
+
+namespace dhnsw {
+namespace {
+
+/// The meta graph is serialized with the generic cluster codec; this sentinel
+/// partition id marks a blob as "the meta-HNSW", not a sub-HNSW.
+constexpr uint32_t kMetaPartitionId = 0xFFFFFFFFu;
+
+/// Uniform sample of `count` distinct indices from [0, n) (partial
+/// Fisher-Yates over an index array).
+std::vector<uint32_t> SampleIndices(size_t n, uint32_t count, uint64_t seed) {
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  Xoshiro256 rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t j = i + rng.NextBounded(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());  // deterministic, cache-friendly order
+  return all;
+}
+
+/// Lloyd's k-means over the base set, seeded by a uniform sample; returns
+/// the base-row index nearest each final centroid (medoid snap) so that
+/// representatives stay actual data points, preserving the paper's "each
+/// vector in L0 defines a partition and serves as an entry point" semantics.
+std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
+                                            uint32_t iterations, uint64_t seed) {
+  const uint32_t dim = base.dim();
+  const size_t n = base.size();
+
+  std::vector<uint32_t> init = SampleIndices(n, r, seed);
+  std::vector<float> centroids(static_cast<size_t>(r) * dim);
+  for (uint32_t c = 0; c < r; ++c) {
+    const auto v = base[init[c]];
+    std::copy(v.begin(), v.end(), centroids.begin() + static_cast<size_t>(c) * dim);
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(static_cast<size_t>(r) * dim);
+  std::vector<uint32_t> counts(r);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < r; ++c) {
+        const float d = L2Sq(
+            {centroids.data() + static_cast<size_t>(c) * dim, dim}, base[i]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      const auto v = base[i];
+      double* sum = sums.data() + static_cast<size_t>(assign[i]) * dim;
+      for (uint32_t d = 0; d < dim; ++d) sum[d] += v[d];
+      ++counts[assign[i]];
+    }
+    for (uint32_t c = 0; c < r; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      float* centroid = centroids.data() + static_cast<size_t>(c) * dim;
+      const double* sum = sums.data() + static_cast<size_t>(c) * dim;
+      for (uint32_t d = 0; d < dim; ++d) {
+        centroid[d] = static_cast<float>(sum[d] / counts[c]);
+      }
+    }
+  }
+
+  // Medoid snap: nearest base row per centroid, de-duplicated.
+  std::vector<uint32_t> reps;
+  std::vector<uint8_t> taken(n, 0);
+  for (uint32_t c = 0; c < r; ++c) {
+    float best = std::numeric_limits<float>::max();
+    uint32_t best_row = 0;
+    bool found = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      const float d = L2Sq(
+          {centroids.data() + static_cast<size_t>(c) * dim, dim}, base[i]);
+      if (d < best) {
+        best = d;
+        best_row = static_cast<uint32_t>(i);
+        found = true;
+      }
+    }
+    if (found) {
+      taken[best_row] = 1;
+      reps.push_back(best_row);
+    }
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps;
+}
+
+HnswOptions MetaGraphOptions(const MetaHnswOptions& options) {
+  HnswOptions h;
+  h.M = options.m;
+  h.ef_construction = options.ef_construction;
+  h.metric = options.metric;
+  h.seed = options.seed;
+  h.max_level = 2;  // paper §3.1: a three-layer representative HNSW
+  return h;
+}
+
+}  // namespace
+
+Result<MetaHnsw> MetaHnsw::Build(const VectorSet& base, const MetaHnswOptions& options) {
+  if (base.empty()) return Status::InvalidArgument("meta-HNSW: empty base set");
+  const uint32_t r = static_cast<uint32_t>(
+      std::min<size_t>(options.num_representatives, base.size()));
+  if (r == 0) return Status::InvalidArgument("meta-HNSW: zero representatives");
+
+  std::vector<uint32_t> rep_ids =
+      options.selection == RepresentativeSelection::kKmeans
+          ? KmeansRepresentatives(base, r, options.kmeans_iterations, options.seed)
+          : SampleIndices(base.size(), r, options.seed);
+
+  HnswIndex index(base.dim(), MetaGraphOptions(options));
+  for (uint32_t id : rep_ids) index.Add(base[id]);
+  DHNSW_RETURN_IF_ERROR(index.Validate());
+  return MetaHnsw(std::move(index), std::move(rep_ids), options.ef_route);
+}
+
+Result<MetaHnsw> MetaHnsw::FromBlob(std::span<const uint8_t> blob) {
+  HnswOptions options_template;  // M/metric come from the blob header
+  DHNSW_ASSIGN_OR_RETURN(Cluster cluster, DecodeCluster(blob, options_template));
+  if (cluster.partition_id != kMetaPartitionId) {
+    return Status::Corruption("blob is not a meta-HNSW");
+  }
+  // ef_route is a local search knob, not graph state; start from the default.
+  return MetaHnsw(std::move(cluster.index), std::move(cluster.global_ids),
+                  MetaHnswOptions{}.ef_route);
+}
+
+std::vector<uint8_t> MetaHnsw::ToBlob() const {
+  // Cheap structural copy through the generic codec: build a Cluster view.
+  // (Encode only reads through const accessors, but Cluster owns its parts,
+  // so serialize via a temporary raw rebuild.)
+  std::vector<std::vector<std::vector<uint32_t>>> links(index_.size());
+  std::vector<uint32_t> levels(index_.size());
+  for (uint32_t id = 0; id < index_.size(); ++id) {
+    levels[id] = index_.level(id);
+    links[id].resize(levels[id] + 1);
+    for (uint32_t layer = 0; layer <= levels[id]; ++layer) {
+      const auto nbs = index_.neighbors(id, layer);
+      links[id][layer].assign(nbs.begin(), nbs.end());
+    }
+  }
+  auto copy = HnswIndex::FromRaw(
+      index_.dim(), index_.options(),
+      std::vector<float>(index_.vectors().begin(), index_.vectors().end()),
+      std::move(levels), std::move(links), index_.entry_point());
+  Cluster view(kMetaPartitionId, std::move(copy).value(), rep_global_ids_);
+  return EncodeCluster(view);
+}
+
+uint32_t MetaHnsw::RouteOne(std::span<const float> v) const {
+  const std::vector<Scored> top = index_.Search(v, 1, ef_route_);
+  return top.empty() ? 0 : top.front().id;
+}
+
+std::vector<uint32_t> MetaHnsw::RouteMany(std::span<const float> v, uint32_t b) const {
+  const std::vector<Scored> top = RouteManyScored(v, b);
+  std::vector<uint32_t> out;
+  out.reserve(top.size());
+  for (const Scored& s : top) out.push_back(s.id);
+  return out;
+}
+
+std::vector<Scored> MetaHnsw::RouteManyScored(std::span<const float> v, uint32_t b) const {
+  const uint32_t ef = std::max(ef_route_, b);
+  return index_.Search(v, b, ef);
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,66 @@
+#include "core/partitioner.h"
+
+#include <cassert>
+#include <optional>
+
+#include "common/thread_pool.h"
+
+namespace dhnsw {
+
+Result<Partitioning> PartitionDataset(const VectorSet& base, const MetaHnsw& meta,
+                                      const PartitionerOptions& options) {
+  if (base.empty()) return Status::InvalidArgument("partitioner: empty base set");
+  if (base.dim() != meta.dim()) {
+    return Status::InvalidArgument("partitioner: dim mismatch with meta-HNSW");
+  }
+  const uint32_t num_parts = meta.num_partitions();
+
+  Partitioning out;
+  out.assignment.resize(base.size());
+
+  // Phase 1: classify. Each base vector goes to its nearest representative.
+  // (Representatives classify to themselves: distance 0 to their own node.)
+  {
+    auto classify = [&](size_t i) { out.assignment[i] = meta.RouteOne(base[i]); };
+    if (options.num_threads > 1) {
+      ThreadPool pool(options.num_threads);
+      pool.ParallelFor(base.size(), classify);
+    } else {
+      for (size_t i = 0; i < base.size(); ++i) classify(i);
+    }
+  }
+
+  // Phase 2: bucket members per partition (partition order == meta id order).
+  std::vector<std::vector<uint32_t>> members(num_parts);
+  for (size_t i = 0; i < base.size(); ++i) {
+    assert(out.assignment[i] < num_parts);
+    members[out.assignment[i]].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Phase 3: build one sub-HNSW per partition. Build is independent across
+  // partitions, so this parallelizes trivially.
+  std::vector<std::optional<Cluster>> built(num_parts);
+  auto build_one = [&](size_t p) {
+    HnswOptions sub_options = options.sub_hnsw;
+    // Decorrelate level assignment across partitions while staying
+    // deterministic for a fixed top-level seed.
+    sub_options.seed = options.sub_hnsw.seed * 0x9e3779b97f4a7c15ULL + p;
+    HnswIndex index(base.dim(), sub_options);
+    for (uint32_t gid : members[p]) index.Add(base[gid]);
+    built[p].emplace(static_cast<uint32_t>(p), std::move(index), std::move(members[p]));
+  };
+  if (options.num_threads > 1) {
+    ThreadPool pool(options.num_threads);
+    pool.ParallelFor(num_parts, build_one);
+  } else {
+    for (uint32_t p = 0; p < num_parts; ++p) build_one(p);
+  }
+
+  out.clusters.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    out.clusters.push_back(std::move(*built[p]));
+  }
+  return out;
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,34 @@
+// Build-time partitioning: classify every base vector with the meta-HNSW and
+// construct one sub-HNSW per partition (paper §3.1: "All vectors assigned to
+// the same partition will be used to construct their respective sub-HNSW").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/meta_hnsw.h"
+#include "dataset/dataset.h"
+#include "serialize/cluster_blob.h"
+
+namespace dhnsw {
+
+struct PartitionerOptions {
+  HnswOptions sub_hnsw;        ///< build parameters for every sub-HNSW
+  size_t num_threads = 1;      ///< parallel sub-HNSW construction
+};
+
+/// Result of partitioning: the clusters, aligned with meta partition ids
+/// (clusters[i].partition_id == i), plus the assignment for inspection.
+struct Partitioning {
+  std::vector<Cluster> clusters;
+  std::vector<uint32_t> assignment;  ///< base id -> partition id
+};
+
+/// Assigns every vector of `base` to its nearest representative and builds
+/// the per-partition sub-HNSW graphs. Every partition contains at least its
+/// own representative.
+Result<Partitioning> PartitionDataset(const VectorSet& base, const MetaHnsw& meta,
+                                      const PartitionerOptions& options);
+
+}  // namespace dhnsw

@@ -1,0 +1,128 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace dhnsw {
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x44534E50;  // "DSNP"
+constexpr uint32_t kSnapshotVersion = 2;         // v2: multi-shard pools
+constexpr size_t kFixedHeaderSize = 16;          // magic, version, shards, reserved
+constexpr size_t kPerShardHeaderSize = 16;       // size u64, crc u32, pad u32
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveRegionSnapshot(const rdma::Fabric& fabric, const MemoryNodeHandle& handle,
+                          const std::string& path) {
+  // Collect every shard region (slot 0 first).
+  std::vector<const rdma::MemoryRegion*> regions;
+  for (uint32_t s = 0; s < handle.num_shards(); ++s) {
+    const rdma::MemoryRegion* region = fabric.FindRegion(handle.rkey_for_slot(s));
+    if (region == nullptr) return Status::NotFound("snapshot: unknown region");
+    regions.push_back(region);
+  }
+
+  std::vector<uint8_t> header;
+  BinaryWriter w(&header);
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+  w.PutU32(static_cast<uint32_t>(regions.size()));
+  w.PutU32(0);  // reserved
+  for (const rdma::MemoryRegion* region : regions) {
+    w.PutU64(region->size());
+    w.PutU32(Crc32c(region->host_span()));
+    w.PutU32(0);  // pad
+  }
+  if (header.size() != kFixedHeaderSize + regions.size() * kPerShardHeaderSize) {
+    return Status::Internal("snapshot header size drifted");
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("snapshot: cannot open " + path + " for writing");
+  if (std::fwrite(header.data(), 1, header.size(), f.get()) != header.size()) {
+    return Status::IoError("snapshot: short write to " + path);
+  }
+  for (const rdma::MemoryRegion* region : regions) {
+    const auto bytes = region->host_span();
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+      return Status::IoError("snapshot: short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<MemoryNodeHandle> LoadRegionSnapshot(rdma::Fabric* fabric, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("snapshot: cannot open " + path);
+
+  std::vector<uint8_t> fixed(kFixedHeaderSize);
+  if (std::fread(fixed.data(), 1, fixed.size(), f.get()) != fixed.size()) {
+    return Status::Corruption("snapshot: truncated header in " + path);
+  }
+  BinaryReader r(fixed);
+  uint32_t magic = 0, version = 0, shards = 0, reserved = 0;
+  DHNSW_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kSnapshotMagic) return Status::Corruption("snapshot: bad magic");
+  DHNSW_RETURN_IF_ERROR(r.GetU32(&version));
+  if (version != kSnapshotVersion) return Status::Corruption("snapshot: unsupported version");
+  DHNSW_RETURN_IF_ERROR(r.GetU32(&shards));
+  DHNSW_RETURN_IF_ERROR(r.GetU32(&reserved));
+  if (shards == 0 || shards > 4096) {
+    return Status::Corruption("snapshot: implausible shard count");
+  }
+
+  std::vector<uint64_t> sizes(shards);
+  std::vector<uint32_t> crcs(shards);
+  {
+    std::vector<uint8_t> per_shard(shards * kPerShardHeaderSize);
+    if (std::fread(per_shard.data(), 1, per_shard.size(), f.get()) != per_shard.size()) {
+      return Status::Corruption("snapshot: truncated shard table in " + path);
+    }
+    BinaryReader sr(per_shard);
+    for (uint32_t s = 0; s < shards; ++s) {
+      uint32_t pad = 0;
+      DHNSW_RETURN_IF_ERROR(sr.GetU64(&sizes[s]));
+      DHNSW_RETURN_IF_ERROR(sr.GetU32(&crcs[s]));
+      DHNSW_RETURN_IF_ERROR(sr.GetU32(&pad));
+    }
+  }
+
+  MemoryNodeHandle handle;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const rdma::NodeId node =
+        fabric->AddNode("memory-node-restored-" + std::to_string(s));
+    DHNSW_ASSIGN_OR_RETURN(const rdma::RKey rkey, fabric->RegisterMemory(node, sizes[s]));
+    rdma::MemoryRegion* region = fabric->FindRegion(rkey);
+    if (region == nullptr) return Status::Internal("snapshot: fresh region vanished");
+
+    const std::span<uint8_t> dst = region->host_span().subspan(0, sizes[s]);
+    if (std::fread(dst.data(), 1, sizes[s], f.get()) != sizes[s]) {
+      return Status::Corruption("snapshot: truncated payload in " + path);
+    }
+    if (Crc32c({dst.data(), sizes[s]}) != crcs[s]) {
+      return Status::Corruption("snapshot: payload CRC mismatch in " + path);
+    }
+    if (s == 0) {
+      handle.node = node;
+      handle.rkey = rkey;
+      handle.region_size = sizes[s];
+    }
+    handle.shard_rkeys.push_back(rkey);
+    handle.shard_nodes.push_back(node);
+  }
+  return handle;
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,28 @@
+// Region snapshots: persist a provisioned memory region to disk and restore
+// it later without re-running sampling/partitioning/graph construction.
+//
+// The snapshot is the byte-exact registered region prefixed by a small
+// header (magic, version, region size, CRC-32C of the payload). Restoring
+// registers a fresh region on the target fabric and memcpy's the bytes in —
+// the moral equivalent of a memory node warm-booting its DRAM contents from
+// local NVMe (each paper testbed node carries a 1.6 TB NVMe SSD).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/memory_node.h"
+#include "rdma/fabric.h"
+
+namespace dhnsw {
+
+/// Writes the region behind `handle` to `path`. Fails on I/O errors.
+Status SaveRegionSnapshot(const rdma::Fabric& fabric, const MemoryNodeHandle& handle,
+                          const std::string& path);
+
+/// Reads a snapshot, registers a new region on `node` (a fresh fabric node
+/// is created), and returns the handle compute nodes can Connect() to.
+/// CRC-verified: a corrupt or truncated file yields kCorruption.
+Result<MemoryNodeHandle> LoadRegionSnapshot(rdma::Fabric* fabric, const std::string& path);
+
+}  // namespace dhnsw

@@ -1,0 +1,17 @@
+#include "dataset/dataset.h"
+
+#include <cassert>
+
+namespace dhnsw {
+
+VectorSet::VectorSet(uint32_t dim, std::vector<float> data)
+    : dim_(dim), data_(std::move(data)) {
+  assert(dim_ > 0 && data_.size() % dim_ == 0);
+}
+
+void VectorSet::Append(std::span<const float> v) {
+  assert(v.size() == dim_);
+  data_.insert(data_.end(), v.begin(), v.end());
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,53 @@
+// In-memory vector dataset: row-major float matrix plus a query set and
+// (optionally) exact ground truth for recall measurement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dhnsw {
+
+/// Row-major float matrix with fixed dimensionality.
+class VectorSet {
+ public:
+  VectorSet() = default;
+  explicit VectorSet(uint32_t dim) : dim_(dim) {}
+  VectorSet(uint32_t dim, std::vector<float> data);
+
+  uint32_t dim() const noexcept { return dim_; }
+  size_t size() const noexcept { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<const float> operator[](size_t i) const {
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  void Append(std::span<const float> v);
+  void Reserve(size_t rows) { data_.reserve(rows * dim_); }
+
+ private:
+  uint32_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// A benchmark dataset: base vectors, query vectors, and metadata.
+struct Dataset {
+  std::string name;        ///< "sift-like", "gist-like", file stem, ...
+  VectorSet base;
+  VectorSet queries;
+  /// Exact top-`gt_k` ids per query, row-major (queries.size() x gt_k).
+  /// Empty until ComputeGroundTruth fills it.
+  std::vector<uint32_t> ground_truth;
+  uint32_t gt_k = 0;
+
+  std::span<const uint32_t> GroundTruthFor(size_t query_index) const {
+    return {ground_truth.data() + query_index * gt_k, gt_k};
+  }
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,64 @@
+#include "dataset/ground_truth.h"
+
+#include <cassert>
+
+#include "common/thread_pool.h"
+#include "index/flat_index.h"
+
+namespace dhnsw {
+
+void ComputeGroundTruth(Dataset* ds, uint32_t k, Metric metric, size_t num_threads) {
+  assert(ds != nullptr && !ds->base.empty());
+  FlatIndex flat(ds->base.dim(), metric);
+  flat.AddBatch(ds->base.flat());
+
+  const size_t nq = ds->queries.size();
+  ds->gt_k = k;
+  ds->ground_truth.assign(nq * k, 0);
+
+  auto run_one = [&](size_t qi) {
+    const std::vector<Scored> top = flat.Search(ds->queries[qi], k);
+    for (size_t j = 0; j < k; ++j) {
+      // If the base set is smaller than k, repeat the last id (tests only).
+      const size_t src = j < top.size() ? j : top.size() - 1;
+      ds->ground_truth[qi * k + j] = top[src].id;
+    }
+  };
+
+  if (num_threads > 1) {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(nq, run_one);
+  } else {
+    for (size_t qi = 0; qi < nq; ++qi) run_one(qi);
+  }
+}
+
+double RecallAtK(std::span<const Scored> found, std::span<const uint32_t> exact, size_t k) {
+  if (k == 0) return 0.0;
+  assert(exact.size() >= k);
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const uint32_t want = exact[i];
+    for (size_t j = 0; j < std::min(found.size(), k); ++j) {
+      if (found[j].id == want) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecallAtK(const Dataset& ds, const std::vector<std::vector<Scored>>& results,
+                     size_t k) {
+  assert(results.size() == ds.queries.size());
+  assert(ds.gt_k >= k);
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    total += RecallAtK(results[qi], ds.GroundTruthFor(qi), k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,27 @@
+// Exact ground truth and recall measurement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/topk.h"
+#include "dataset/dataset.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+/// Fills `ds->ground_truth` with the exact top-`k` ids for every query
+/// (brute force over the base set; optionally parallel).
+void ComputeGroundTruth(Dataset* ds, uint32_t k, Metric metric = Metric::kL2,
+                        size_t num_threads = 1);
+
+/// recall@k of one result list against the exact ids (|found ∩ exact| / k).
+double RecallAtK(std::span<const Scored> found, std::span<const uint32_t> exact, size_t k);
+
+/// Mean recall@k over a whole query set. `results[i]` is the answer for
+/// query i; ds must carry ground truth with gt_k >= k.
+double MeanRecallAtK(const Dataset& ds, const std::vector<std::vector<Scored>>& results,
+                     size_t k);
+
+}  // namespace dhnsw

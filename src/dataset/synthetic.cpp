@@ -1,0 +1,90 @@
+#include "dataset/synthetic.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+std::vector<float> DrawCenters(const SyntheticSpec& spec, Xoshiro256& rng) {
+  std::vector<float> centers(static_cast<size_t>(spec.num_clusters) * spec.dim);
+  for (float& c : centers) {
+    c = (rng.NextFloat() * 2.0f - 1.0f) * spec.box_half_width;
+  }
+  return centers;
+}
+
+void DrawPoints(const SyntheticSpec& spec, const std::vector<float>& centers,
+                uint32_t count, Xoshiro256& rng, VectorSet* out) {
+  out->Reserve(count);
+  std::vector<float> v(spec.dim);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t c = static_cast<uint32_t>(rng.NextBounded(spec.num_clusters));
+    const float* center = centers.data() + static_cast<size_t>(c) * spec.dim;
+    for (uint32_t d = 0; d < spec.dim; ++d) {
+      v[d] = center[d] + spec.cluster_stddev * static_cast<float>(rng.NextGaussian());
+    }
+    out->Append(v);
+  }
+}
+
+}  // namespace
+
+Dataset MakeSynthetic(const SyntheticSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  const std::vector<float> centers = DrawCenters(spec, rng);
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.base = VectorSet(spec.dim);
+  ds.queries = VectorSet(spec.dim);
+  DrawPoints(spec, centers, spec.num_base, rng, &ds.base);
+  DrawPoints(spec, centers, spec.num_queries, rng, &ds.queries);
+  return ds;
+}
+
+Dataset MakeSiftLike(uint32_t num_base, uint32_t num_queries, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 128;
+  spec.num_base = num_base;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 120;
+  spec.box_half_width = 128.0f;  // SIFT components live in [0, 255]-ish
+  // Overlapping clusters: in 128-d this sigma puts intra-cluster spread at
+  // roughly half the typical inter-center distance, so nearest-neighbor sets
+  // cross partition boundaries the way real SIFT descriptors do (recall then
+  // climbs with efSearch instead of saturating immediately).
+  spec.cluster_stddev = 40.0f;
+  spec.seed = seed;
+  spec.name = "sift-like";
+  return MakeSynthetic(spec);
+}
+
+Dataset MakeGistLike(uint32_t num_base, uint32_t num_queries, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = 960;
+  spec.num_base = num_base;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 80;
+  spec.box_half_width = 0.5f;  // GIST descriptors are small positive floats
+  spec.cluster_stddev = 0.18f; // overlapping, as for the SIFT-like generator
+  spec.seed = seed;
+  spec.name = "gist-like";
+  return MakeSynthetic(spec);
+}
+
+Dataset MakeUniform(uint32_t dim, uint32_t num_base, uint32_t num_queries, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dim = dim;
+  spec.num_base = num_base;
+  spec.num_queries = num_queries;
+  spec.num_clusters = 1;
+  spec.box_half_width = 0.0f;   // single center at origin...
+  spec.cluster_stddev = 50.0f;  // ...with a wide isotropic cloud
+  spec.seed = seed;
+  spec.name = "uniform";
+  return MakeSynthetic(spec);
+}
+
+}  // namespace dhnsw

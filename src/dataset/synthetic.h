@@ -1,0 +1,43 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on SIFT1M (128-d) and GIST1M (960-d). Those corpora are
+// not redistributable here, so we synthesize *clustered Gaussian* data with
+// the same dimensionality: `num_clusters` centers drawn uniformly in a cube,
+// points drawn N(center, cluster_stddev^2 I), queries drawn the same way from
+// the same centers (so queries land inside the data distribution, as real
+// image descriptors do). Clusteredness is what the meta-HNSW partitioning
+// exploits, and dimension drives the bytes-per-vector that dominate network
+// transfer — both are preserved. Real .fvecs files drop in via vecs_io.h.
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace dhnsw {
+
+struct SyntheticSpec {
+  uint32_t dim = 128;
+  uint32_t num_base = 60000;
+  uint32_t num_queries = 1000;
+  uint32_t num_clusters = 100;
+  float box_half_width = 100.0f;  ///< centers uniform in [-w, w]^dim
+  float cluster_stddev = 8.0f;
+  uint64_t seed = 20250706;
+  const char* name = "synthetic";
+};
+
+/// Generates base + query sets per `spec` (ground truth left empty).
+Dataset MakeSynthetic(const SyntheticSpec& spec);
+
+/// 128-dimensional SIFT1M-shaped instance (paper Fig. 6a/b, Table 1).
+Dataset MakeSiftLike(uint32_t num_base, uint32_t num_queries, uint64_t seed = 1);
+
+/// 960-dimensional GIST1M-shaped instance (paper Fig. 6c/d, Table 2).
+Dataset MakeGistLike(uint32_t num_base, uint32_t num_queries, uint64_t seed = 2);
+
+/// Unclustered uniform data — the adversarial case for partition routing;
+/// used by tests and the ablation benches.
+Dataset MakeUniform(uint32_t dim, uint32_t num_base, uint32_t num_queries, uint64_t seed = 3);
+
+}  // namespace dhnsw

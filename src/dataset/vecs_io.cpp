@@ -1,0 +1,153 @@
+#include "dataset/vecs_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace dhnsw {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenFile(const std::string& path, const char* mode) {
+  return FilePtr(std::fopen(path.c_str(), mode));
+}
+
+Status ReadExact(std::FILE* f, void* dst, size_t bytes, const char* what) {
+  if (std::fread(dst, 1, bytes, f) != bytes) {
+    return Status::Corruption(std::string("truncated ") + what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<VectorSet> ReadFvecs(const std::string& path, size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IoError("cannot open " + path);
+
+  uint32_t dim = 0;
+  std::vector<float> data;
+  std::vector<float> row;
+  size_t rows = 0;
+  for (;;) {
+    int32_t row_dim;
+    const size_t got = std::fread(&row_dim, 1, sizeof row_dim, f.get());
+    if (got == 0) break;  // clean EOF
+    if (got != sizeof row_dim) return Status::Corruption("truncated fvecs header in " + path);
+    if (row_dim <= 0 || row_dim > (1 << 20)) {
+      return Status::Corruption("implausible fvecs dimension in " + path);
+    }
+    if (dim == 0) {
+      dim = static_cast<uint32_t>(row_dim);
+    } else if (dim != static_cast<uint32_t>(row_dim)) {
+      return Status::Corruption("inconsistent fvecs dimensions in " + path);
+    }
+    row.resize(dim);
+    DHNSW_RETURN_IF_ERROR(ReadExact(f.get(), row.data(), dim * sizeof(float), "fvecs row"));
+    data.insert(data.end(), row.begin(), row.end());
+    if (++rows == max_rows && max_rows != 0) break;
+  }
+  if (dim == 0) return Status::Corruption("empty fvecs file " + path);
+  return VectorSet(dim, std::move(data));
+}
+
+Result<IvecsData> ReadIvecs(const std::string& path, size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IoError("cannot open " + path);
+
+  IvecsData out;
+  std::vector<int32_t> row;
+  size_t rows = 0;
+  for (;;) {
+    int32_t row_dim;
+    const size_t got = std::fread(&row_dim, 1, sizeof row_dim, f.get());
+    if (got == 0) break;
+    if (got != sizeof row_dim) return Status::Corruption("truncated ivecs header in " + path);
+    if (row_dim <= 0 || row_dim > (1 << 20)) {
+      return Status::Corruption("implausible ivecs dimension in " + path);
+    }
+    if (out.row_dim == 0) {
+      out.row_dim = static_cast<uint32_t>(row_dim);
+    } else if (out.row_dim != static_cast<uint32_t>(row_dim)) {
+      return Status::Corruption("inconsistent ivecs dimensions in " + path);
+    }
+    row.resize(out.row_dim);
+    DHNSW_RETURN_IF_ERROR(
+        ReadExact(f.get(), row.data(), out.row_dim * sizeof(int32_t), "ivecs row"));
+    for (int32_t v : row) out.values.push_back(static_cast<uint32_t>(v));
+    if (++rows == max_rows && max_rows != 0) break;
+  }
+  if (out.row_dim == 0) return Status::Corruption("empty ivecs file " + path);
+  return out;
+}
+
+Result<VectorSet> ReadBvecs(const std::string& path, size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (!f) return Status::IoError("cannot open " + path);
+
+  uint32_t dim = 0;
+  std::vector<float> data;
+  std::vector<uint8_t> row;
+  size_t rows = 0;
+  for (;;) {
+    int32_t row_dim;
+    const size_t got = std::fread(&row_dim, 1, sizeof row_dim, f.get());
+    if (got == 0) break;
+    if (got != sizeof row_dim) return Status::Corruption("truncated bvecs header in " + path);
+    if (row_dim <= 0 || row_dim > (1 << 20)) {
+      return Status::Corruption("implausible bvecs dimension in " + path);
+    }
+    if (dim == 0) {
+      dim = static_cast<uint32_t>(row_dim);
+    } else if (dim != static_cast<uint32_t>(row_dim)) {
+      return Status::Corruption("inconsistent bvecs dimensions in " + path);
+    }
+    row.resize(dim);
+    DHNSW_RETURN_IF_ERROR(ReadExact(f.get(), row.data(), dim, "bvecs row"));
+    for (uint8_t b : row) data.push_back(static_cast<float>(b));
+    if (++rows == max_rows && max_rows != 0) break;
+  }
+  if (dim == 0) return Status::Corruption("empty bvecs file " + path);
+  return VectorSet(dim, std::move(data));
+}
+
+Status WriteFvecs(const std::string& path, const VectorSet& vectors) {
+  FilePtr f = OpenFile(path, "wb");
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t dim = static_cast<int32_t>(vectors.dim());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    if (std::fwrite(&dim, 1, sizeof dim, f.get()) != sizeof dim ||
+        std::fwrite(vectors[i].data(), 1, vectors.dim() * sizeof(float), f.get()) !=
+            vectors.dim() * sizeof(float)) {
+      return Status::IoError("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteIvecs(const std::string& path, const IvecsData& data) {
+  FilePtr f = OpenFile(path, "wb");
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t dim = static_cast<int32_t>(data.row_dim);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    if (std::fwrite(&dim, 1, sizeof dim, f.get()) != sizeof dim) {
+      return Status::IoError("short write to " + path);
+    }
+    for (uint32_t c = 0; c < data.row_dim; ++c) {
+      const int32_t v = static_cast<int32_t>(data.values[r * data.row_dim + c]);
+      if (std::fwrite(&v, 1, sizeof v, f.get()) != sizeof v) {
+        return Status::IoError("short write to " + path);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,34 @@
+// Readers/writers for the TEXMEX vector file formats used by SIFT1M/GIST1M:
+//   .fvecs — per row: int32 dim, then dim float32
+//   .ivecs — per row: int32 dim, then dim int32 (ground-truth ids)
+//   .bvecs — per row: int32 dim, then dim uint8
+// With these, the real datasets drop into every bench via --base/--query
+// flags in place of the synthetic generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+
+namespace dhnsw {
+
+/// Reads an .fvecs file; `max_rows` = 0 means all rows.
+Result<VectorSet> ReadFvecs(const std::string& path, size_t max_rows = 0);
+
+/// Reads an .ivecs file into row-major uint32 ids; returns (rows x row_dim).
+struct IvecsData {
+  uint32_t row_dim = 0;
+  std::vector<uint32_t> values;
+  size_t rows() const { return row_dim == 0 ? 0 : values.size() / row_dim; }
+};
+Result<IvecsData> ReadIvecs(const std::string& path, size_t max_rows = 0);
+
+/// Reads a .bvecs file, widening bytes to float.
+Result<VectorSet> ReadBvecs(const std::string& path, size_t max_rows = 0);
+
+Status WriteFvecs(const std::string& path, const VectorSet& vectors);
+Status WriteIvecs(const std::string& path, const IvecsData& data);
+
+}  // namespace dhnsw

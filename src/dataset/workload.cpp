@@ -1,0 +1,100 @@
+#include "dataset/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dhnsw {
+
+QueryStream::QueryStream(const VectorSet& base, WorkloadSpec spec)
+    : base_(base), spec_(std::move(spec)), rng_(spec_.seed) {
+  assert(!base.empty());
+  if (!spec_.row_topics.empty()) {
+    assert(spec_.row_topics.size() == base.size());
+    uint32_t max_topic = 0;
+    for (uint32_t t : spec_.row_topics) max_topic = std::max(max_topic, t);
+    spec_.num_topics = max_topic + 1;
+    topic_rows_.resize(spec_.num_topics);
+    for (uint32_t row = 0; row < spec_.row_topics.size(); ++row) {
+      topic_rows_[spec_.row_topics[row]].push_back(row);
+    }
+  }
+  spec_.num_topics = std::max<uint32_t>(1, std::min<uint32_t>(
+      spec_.num_topics, static_cast<uint32_t>(base.size())));
+  spec_.hot_topics = std::max<uint32_t>(1, std::min(spec_.hot_topics, spec_.num_topics));
+
+  if (spec_.shape == WorkloadShape::kZipfian) {
+    zipf_cdf_.resize(spec_.num_topics);
+    double total = 0.0;
+    for (uint32_t t = 0; t < spec_.num_topics; ++t) {
+      total += 1.0 / std::pow(static_cast<double>(t + 1), spec_.zipf_s);
+      zipf_cdf_[t] = total;
+    }
+    for (double& v : zipf_cdf_) v /= total;
+  }
+
+  // Rough per-dimension scale so the query noise is proportional to the
+  // data's spread (works for both SIFT-like ~100s and GIST-like ~0.5).
+  double abs_sum = 0.0;
+  const size_t probe = std::min<size_t>(base.size(), 100);
+  for (size_t i = 0; i < probe; ++i) {
+    for (float x : base[i]) abs_sum += std::fabs(x);
+  }
+  noise_scale_ = static_cast<float>(
+      abs_sum / (static_cast<double>(probe) * base.dim()) + 1e-6);
+}
+
+uint32_t QueryStream::TopicOf(size_t base_row) const noexcept {
+  if (!spec_.row_topics.empty()) return spec_.row_topics[base_row];
+  return static_cast<uint32_t>(base_row * spec_.num_topics / base_.size());
+}
+
+size_t QueryStream::DrawRow() {
+  const size_t n = base_.size();
+  const uint32_t topics = spec_.num_topics;
+  uint32_t topic = 0;
+  switch (spec_.shape) {
+    case WorkloadShape::kUniform:
+      return rng_.NextBounded(n);
+    case WorkloadShape::kZipfian: {
+      const double u = rng_.NextDouble();
+      // CDF is tiny (<= num_topics entries); linear scan is fine.
+      while (topic + 1 < topics && zipf_cdf_[topic] < u) ++topic;
+      break;
+    }
+    case WorkloadShape::kDrifting:
+      topic = (drift_offset_ + static_cast<uint32_t>(rng_.NextBounded(spec_.hot_topics))) %
+              topics;
+      break;
+  }
+  if (!topic_rows_.empty()) {
+    // Explicit-map mode: hop to the next non-empty topic if needed.
+    uint32_t probe = topic;
+    while (topic_rows_[probe].empty()) probe = (probe + 1) % topics;
+    const auto& rows = topic_rows_[probe];
+    return rows[rng_.NextBounded(rows.size())];
+  }
+  const size_t lo = static_cast<size_t>(topic) * n / topics;
+  const size_t hi = static_cast<size_t>(topic + 1) * n / topics;
+  return lo + rng_.NextBounded(std::max<size_t>(hi - lo, 1));
+}
+
+VectorSet QueryStream::NextBatch(size_t count) {
+  VectorSet out(base_.dim());
+  out.Reserve(count);
+  std::vector<float> q(base_.dim());
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row = DrawRow();
+    const auto src = base_[row];
+    for (uint32_t d = 0; d < base_.dim(); ++d) {
+      q[d] = src[d] + spec_.noise_stddev * noise_scale_ *
+                          static_cast<float>(rng_.NextGaussian());
+    }
+    out.Append(q);
+  }
+  if (spec_.shape == WorkloadShape::kDrifting) {
+    drift_offset_ = (drift_offset_ + 1) % spec_.num_topics;
+  }
+  return out;
+}
+
+}  // namespace dhnsw

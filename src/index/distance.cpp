@@ -1,0 +1,65 @@
+#include "index/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dhnsw {
+
+std::string_view MetricName(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kInnerProduct: return "ip";
+    case Metric::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+float L2Sq(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float InnerProduct(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return -acc;
+}
+
+float CosineDistance(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom == 0.0f) return 1.0f;  // convention: zero vector is maximally far
+  return 1.0f - dot / denom;
+}
+
+float Distance(Metric metric, std::span<const float> a, std::span<const float> b) noexcept {
+  switch (metric) {
+    case Metric::kL2: return L2Sq(a, b);
+    case Metric::kInnerProduct: return InnerProduct(a, b);
+    case Metric::kCosine: return CosineDistance(a, b);
+  }
+  return 0.0f;
+}
+
+DistanceFn DistanceFunction(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kL2: return &L2Sq;
+    case Metric::kInnerProduct: return &InnerProduct;
+    case Metric::kCosine: return &CosineDistance;
+  }
+  return &L2Sq;
+}
+
+}  // namespace dhnsw

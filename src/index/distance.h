@@ -1,0 +1,32 @@
+// Distance kernels for vector search. All kernels return a value where
+// *smaller is closer*, so inner product and cosine are negated/flipped into
+// distances. Plain loops; the compiler auto-vectorizes at -O2/-O3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace dhnsw {
+
+enum class Metric : uint8_t {
+  kL2,            ///< squared Euclidean distance
+  kInnerProduct,  ///< -(a . b): maximizing IP == minimizing this
+  kCosine,        ///< 1 - cos(a, b)
+};
+
+std::string_view MetricName(Metric metric) noexcept;
+
+float L2Sq(std::span<const float> a, std::span<const float> b) noexcept;
+float InnerProduct(std::span<const float> a, std::span<const float> b) noexcept;
+float CosineDistance(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Dispatches on `metric`. Hot loops should hoist the switch by calling the
+/// specific kernel; this is for generic code paths.
+float Distance(Metric metric, std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Function-pointer form for hoisting dispatch out of loops.
+using DistanceFn = float (*)(std::span<const float>, std::span<const float>) noexcept;
+DistanceFn DistanceFunction(Metric metric) noexcept;
+
+}  // namespace dhnsw

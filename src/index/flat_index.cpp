@@ -1,0 +1,30 @@
+#include "index/flat_index.h"
+
+#include <cassert>
+
+namespace dhnsw {
+
+uint32_t FlatIndex::Add(std::span<const float> v) {
+  assert(v.size() == dim_);
+  data_.insert(data_.end(), v.begin(), v.end());
+  return static_cast<uint32_t>(count_++);
+}
+
+void FlatIndex::AddBatch(std::span<const float> vectors) {
+  assert(vectors.size() % dim_ == 0);
+  data_.insert(data_.end(), vectors.begin(), vectors.end());
+  count_ += vectors.size() / dim_;
+}
+
+std::vector<Scored> FlatIndex::Search(std::span<const float> query, size_t k) const {
+  assert(query.size() == dim_);
+  const DistanceFn dist = DistanceFunction(metric_);
+  TopKHeap heap(k);
+  for (size_t i = 0; i < count_; ++i) {
+    const float d = dist({data_.data() + i * dim_, dim_}, query);
+    heap.Push(d, static_cast<uint32_t>(i));
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace dhnsw

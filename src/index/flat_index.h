@@ -1,0 +1,45 @@
+// Exact (brute-force) nearest-neighbor index. Serves two roles:
+//  - ground truth for recall measurement,
+//  - the trivial baseline any ANN index must beat.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/topk.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+class FlatIndex {
+ public:
+  FlatIndex(uint32_t dim, Metric metric = Metric::kL2)
+      : dim_(dim), metric_(metric) {}
+
+  uint32_t dim() const noexcept { return dim_; }
+  Metric metric() const noexcept { return metric_; }
+  size_t size() const noexcept { return count_; }
+
+  /// Appends a vector; returns its id (dense, starting at 0).
+  uint32_t Add(std::span<const float> v);
+
+  /// Appends many row-major vectors at once.
+  void AddBatch(std::span<const float> vectors);
+
+  std::span<const float> vector(uint32_t id) const {
+    return {data_.data() + static_cast<size_t>(id) * dim_, dim_};
+  }
+
+  /// Exact top-k by linear scan, sorted ascending by distance.
+  std::vector<Scored> Search(std::span<const float> query, size_t k) const;
+
+ private:
+  uint32_t dim_;
+  Metric metric_;
+  size_t count_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dhnsw

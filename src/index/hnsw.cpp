@@ -1,0 +1,293 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace dhnsw {
+
+HnswIndex::HnswIndex(uint32_t dim, HnswOptions options)
+    : dim_(dim),
+      options_(options),
+      dist_fn_(DistanceFunction(options.metric)),
+      level_lambda_(1.0 / std::log(std::max<uint32_t>(2, options.M))),
+      rng_(options.seed) {
+  assert(dim > 0);
+  if (options_.M < 2) options_.M = 2;
+}
+
+uint32_t HnswIndex::DrawLevel() {
+  double u;
+  do {
+    u = rng_.NextDouble();
+  } while (u <= 0.0);
+  uint32_t level = static_cast<uint32_t>(-std::log(u) * level_lambda_);
+  if (options_.max_level.has_value()) {
+    level = std::min(level, *options_.max_level);
+  }
+  return level;
+}
+
+uint32_t HnswIndex::Add(std::span<const float> v) {
+  return AddWithLevel(v, DrawLevel());
+}
+
+uint32_t HnswIndex::AddWithLevel(std::span<const float> v, uint32_t level) {
+  assert(v.size() == dim_);
+  if (options_.max_level.has_value()) level = std::min(level, *options_.max_level);
+
+  const uint32_t id = static_cast<uint32_t>(levels_.size());
+  vectors_.insert(vectors_.end(), v.begin(), v.end());
+  levels_.push_back(level);
+  links_.emplace_back(level + 1);
+
+  if (id == 0) {
+    entry_point_ = 0;
+    max_level_ = static_cast<int32_t>(level);
+    return id;
+  }
+
+  const std::span<const float> base = vector(id);
+  uint32_t current = entry_point_;
+
+  // Phase 1: greedy descent through layers above the new node's top level.
+  for (int32_t layer = max_level_; layer > static_cast<int32_t>(level); --layer) {
+    current = GreedyClosest(base, current, static_cast<uint32_t>(layer));
+  }
+
+  // Phase 2: on each layer the node participates in, search with
+  // ef_construction, pick diverse neighbors, and link bidirectionally.
+  const int32_t top = std::min<int32_t>(static_cast<int32_t>(level), max_level_);
+  for (int32_t layer = top; layer >= 0; --layer) {
+    const uint32_t ulayer = static_cast<uint32_t>(layer);
+    std::vector<Scored> candidates =
+        SearchLayer(base, current, options_.ef_construction, ulayer);
+    if (!candidates.empty()) {
+      // Best candidate seeds the next (lower) layer's search.
+      current = std::min_element(candidates.begin(), candidates.end())->id;
+    }
+    const uint32_t m = options_.M;  // select M on every layer (cap applies on 0 too)
+    std::vector<uint32_t> selected =
+        SelectNeighbors(id, base, std::move(candidates), m, ulayer);
+
+    links_[id][ulayer] = selected;
+    // Back-links, shrinking the neighbor's list if it overflows.
+    for (uint32_t nb : selected) {
+      std::vector<uint32_t>& nb_links = links_[nb][ulayer];
+      nb_links.push_back(id);
+      const uint32_t cap = MaxDegree(ulayer);
+      if (nb_links.size() > cap) {
+        std::vector<Scored> scored;
+        scored.reserve(nb_links.size());
+        const std::span<const float> nb_vec = vector(nb);
+        for (uint32_t cand : nb_links) {
+          scored.push_back({Dist(nb_vec, vector(cand)), cand});
+        }
+        nb_links = SelectNeighbors(nb, nb_vec, std::move(scored), cap, ulayer);
+      }
+    }
+  }
+
+  if (static_cast<int32_t>(level) > max_level_) {
+    max_level_ = static_cast<int32_t>(level);
+    entry_point_ = id;
+  }
+  return id;
+}
+
+uint32_t HnswIndex::GreedyClosest(std::span<const float> query, uint32_t entry,
+                                  uint32_t layer) const {
+  uint32_t current = entry;
+  float current_dist = Dist(query, vector(current));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t nb : links_[current][layer]) {
+      const float d = Dist(query, vector(nb));
+      if (d < current_dist) {
+        current = nb;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Scored> HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
+                                           uint32_t ef, uint32_t layer) const {
+  if (ef == 0) ef = 1;
+  // visited bitmap: graphs here are partition-sized (10^3..10^5 nodes), so a
+  // byte vector per call is cheap and keeps Search const + thread-safe.
+  std::vector<uint8_t> visited(levels_.size(), 0);
+
+  // Min-heap of candidates to expand; max-heap (TopKHeap) of results to keep.
+  auto cmp_min = [](const Scored& a, const Scored& b) { return b < a; };
+  std::priority_queue<Scored, std::vector<Scored>, decltype(cmp_min)> frontier(cmp_min);
+
+  TopKHeap best(ef);
+  const float entry_dist = Dist(query, vector(entry));
+  frontier.push({entry_dist, entry});
+  best.Push(entry_dist, entry);
+  visited[entry] = 1;
+
+  while (!frontier.empty()) {
+    const Scored candidate = frontier.top();
+    frontier.pop();
+    if (best.full() && candidate.distance > best.worst()) break;
+
+    for (uint32_t nb : links_[candidate.id][layer]) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float d = Dist(query, vector(nb));
+      if (!best.full() || d < best.worst()) {
+        frontier.push({d, nb});
+        best.Push(d, nb);
+      }
+    }
+  }
+  return best.TakeSorted();
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(uint32_t base_id,
+                                                 std::span<const float> base,
+                                                 std::vector<Scored> candidates,
+                                                 uint32_t m, uint32_t layer) const {
+  // Algorithm 4 (heuristic): take candidates closest-first, but admit one only
+  // if it is closer to the base than to every already-admitted neighbor —
+  // this spreads links across directions instead of clustering them.
+  std::sort(candidates.begin(), candidates.end());
+
+  if (options_.extend_candidates) {
+    std::vector<uint8_t> seen(levels_.size(), 0);
+    if (base_id < seen.size()) seen[base_id] = 1;  // never re-add the base
+    for (const Scored& c : candidates) seen[c.id] = 1;
+    const size_t original = candidates.size();
+    for (size_t i = 0; i < original; ++i) {
+      for (uint32_t nb : links_[candidates[i].id][layer]) {
+        if (seen[nb]) continue;
+        seen[nb] = 1;
+        candidates.push_back({Dist(base, vector(nb)), nb});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  std::vector<uint32_t> selected;
+  selected.reserve(m);
+  std::vector<Scored> pruned;
+
+  for (const Scored& c : candidates) {
+    if (selected.size() >= m) break;
+    bool diverse = true;
+    for (uint32_t s : selected) {
+      if (Dist(vector(c.id), vector(s)) < c.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(c.id);
+    } else if (options_.keep_pruned_connections) {
+      pruned.push_back(c);
+    }
+  }
+
+  if (options_.keep_pruned_connections) {
+    for (const Scored& c : pruned) {
+      if (selected.size() >= m) break;
+      selected.push_back(c.id);
+    }
+  }
+  return selected;
+}
+
+std::vector<Scored> HnswIndex::Search(std::span<const float> query, size_t k,
+                                      uint32_t ef) const {
+  assert(query.size() == dim_);
+  if (empty() || k == 0) return {};
+  ef = std::max<uint32_t>(ef, static_cast<uint32_t>(k));
+
+  uint32_t current = entry_point_;
+  for (int32_t layer = max_level_; layer > 0; --layer) {
+    current = GreedyClosest(query, current, static_cast<uint32_t>(layer));
+  }
+  std::vector<Scored> found = SearchLayer(query, current, ef, 0);
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+std::span<const uint32_t> HnswIndex::neighbors(uint32_t id, uint32_t layer) const {
+  assert(id < links_.size() && layer < links_[id].size());
+  return links_[id][layer];
+}
+
+Status HnswIndex::SetNeighbors(uint32_t id, uint32_t layer, std::span<const uint32_t> ids) {
+  if (id >= links_.size()) return Status::InvalidArgument("SetNeighbors: bad id");
+  if (layer >= links_[id].size()) return Status::InvalidArgument("SetNeighbors: bad layer");
+  if (ids.size() > MaxDegree(layer)) return Status::InvalidArgument("SetNeighbors: too many neighbors");
+  for (uint32_t nb : ids) {
+    if (nb >= links_.size()) return Status::InvalidArgument("SetNeighbors: bad neighbor id");
+    if (levels_[nb] < layer) return Status::InvalidArgument("SetNeighbors: neighbor below layer");
+  }
+  links_[id][layer].assign(ids.begin(), ids.end());
+  return Status::Ok();
+}
+
+Result<HnswIndex> HnswIndex::FromRaw(uint32_t dim, HnswOptions options,
+                                     std::vector<float> vectors,
+                                     std::vector<uint32_t> levels,
+                                     std::vector<std::vector<std::vector<uint32_t>>> links,
+                                     uint32_t entry_point) {
+  if (dim == 0) return Status::InvalidArgument("FromRaw: dim == 0");
+  if (vectors.size() != levels.size() * static_cast<size_t>(dim)) {
+    return Status::InvalidArgument("FromRaw: vector payload size mismatch");
+  }
+  if (links.size() != levels.size()) {
+    return Status::InvalidArgument("FromRaw: adjacency size mismatch");
+  }
+
+  HnswIndex index(dim, options);
+  index.vectors_ = std::move(vectors);
+  index.levels_ = std::move(levels);
+  index.links_ = std::move(links);
+  if (!index.levels_.empty()) {
+    if (entry_point >= index.levels_.size()) {
+      return Status::InvalidArgument("FromRaw: entry point out of range");
+    }
+    index.entry_point_ = entry_point;
+    int32_t max_level = 0;
+    for (uint32_t lvl : index.levels_) {
+      max_level = std::max(max_level, static_cast<int32_t>(lvl));
+    }
+    index.max_level_ = max_level;
+  }
+  DHNSW_RETURN_IF_ERROR(index.Validate());
+  return index;  // implicit move (C++20) into Result<HnswIndex>
+}
+
+Status HnswIndex::Validate() const {
+  if (empty()) return Status::Ok();
+  if (entry_point_ >= levels_.size()) return Status::Internal("entry point out of range");
+  if (levels_[entry_point_] != static_cast<uint32_t>(max_level_)) {
+    return Status::Internal("entry point is not on the top level");
+  }
+  for (uint32_t id = 0; id < levels_.size(); ++id) {
+    if (links_[id].size() != levels_[id] + 1) {
+      return Status::Internal("node layer count mismatch");
+    }
+    for (uint32_t layer = 0; layer <= levels_[id]; ++layer) {
+      const auto& nbs = links_[id][layer];
+      if (nbs.size() > MaxDegree(layer)) return Status::Internal("degree cap exceeded");
+      for (uint32_t nb : nbs) {
+        if (nb >= levels_.size()) return Status::Internal("neighbor id out of range");
+        if (nb == id) return Status::Internal("self loop");
+        if (levels_[nb] < layer) return Status::Internal("neighbor does not reach layer");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dhnsw

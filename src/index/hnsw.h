@@ -1,0 +1,135 @@
+// Hierarchical Navigable Small World graph index, implemented from scratch
+// after Malkov & Yashunin (TPAMI 2018) [paper ref 20].
+//
+// Supported:
+//  - dynamic insertion with exponentially distributed level assignment,
+//  - neighbor selection by the diversity heuristic (paper's Algorithm 4),
+//    with the `extend_candidates` / `keep_pruned_connections` switches,
+//  - layered greedy search with an `ef` dynamic candidate list,
+//  - an optional hard cap on the top level (d-HNSW's meta-HNSW is exactly a
+//    3-layer HNSW, paper §3.1),
+//  - full structural introspection so the serializer can lay the graph out
+//    for one-sided RDMA access.
+//
+// Concurrency: `Search` is const and safe to call from many threads
+// concurrently; `Add` requires external exclusion (d-HNSW serializes inserts
+// per partition, so the index itself stays single-writer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+struct HnswOptions {
+  uint32_t M = 16;                ///< max out-degree on layers > 0 (layer 0: 2M)
+  uint32_t ef_construction = 200; ///< candidate-list width during insertion
+  Metric metric = Metric::kL2;
+  uint64_t seed = 0x5eedULL;      ///< level-assignment RNG seed
+  /// If set, levels are clamped so the graph has at most `max_level+1`
+  /// layers. d-HNSW's meta-HNSW uses max_level = 2 (three layers).
+  std::optional<uint32_t> max_level;
+  bool extend_candidates = false;     ///< Algorithm 4's extendCandidates flag
+  bool keep_pruned_connections = true;///< Algorithm 4's keepPrunedConnections
+};
+
+class HnswIndex {
+ public:
+  HnswIndex(uint32_t dim, HnswOptions options = {});
+
+  uint32_t dim() const noexcept { return dim_; }
+  const HnswOptions& options() const noexcept { return options_; }
+  size_t size() const noexcept { return levels_.size(); }
+  bool empty() const noexcept { return levels_.empty(); }
+
+  /// Max out-degree at `layer` (2M at layer 0, M above — HNSW convention).
+  uint32_t MaxDegree(uint32_t layer) const noexcept {
+    return layer == 0 ? 2 * options_.M : options_.M;
+  }
+
+  /// Inserts a vector; returns its dense id. O(log n) expected.
+  uint32_t Add(std::span<const float> v);
+
+  /// Inserts a vector at a forced level (used by deserialization to rebuild a
+  /// structurally identical graph, and by tests).
+  uint32_t AddWithLevel(std::span<const float> v, uint32_t level);
+
+  /// Top-k approximate search with dynamic candidate list `ef`
+  /// (ef is clamped up to k). Results sorted ascending by distance.
+  std::vector<Scored> Search(std::span<const float> query, size_t k, uint32_t ef) const;
+
+  /// --- structural introspection (serializer, tests, layout code) ---
+  uint32_t entry_point() const noexcept { return entry_point_; }
+  int32_t max_level_in_graph() const noexcept { return max_level_; }
+  uint32_t level(uint32_t id) const { return levels_[id]; }
+  std::span<const uint32_t> neighbors(uint32_t id, uint32_t layer) const;
+  std::span<const float> vector(uint32_t id) const {
+    return {vectors_.data() + static_cast<size_t>(id) * dim_, dim_};
+  }
+  std::span<const float> vectors() const noexcept { return vectors_; }
+
+  /// Structural invariant check (degrees within bounds, links bidirectional
+  /// where required, ids valid, entry point on top level). For tests.
+  Status Validate() const;
+
+  /// Raw adjacency mutation used by the deserializer: replaces the neighbor
+  /// list wholesale. `ids` must be valid and fit the layer's degree cap.
+  Status SetNeighbors(uint32_t id, uint32_t layer, std::span<const uint32_t> ids);
+
+  /// Reconstructs a structurally *identical* graph from serialized parts —
+  /// no insertion heuristics are re-run. `links[id][layer]` must satisfy the
+  /// same invariants Validate() checks; on violation an error is returned.
+  static Result<HnswIndex> FromRaw(uint32_t dim, HnswOptions options,
+                                   std::vector<float> vectors,
+                                   std::vector<uint32_t> levels,
+                                   std::vector<std::vector<std::vector<uint32_t>>> links,
+                                   uint32_t entry_point);
+
+ private:
+  /// Greedy walk on one layer from `entry`, returning the closest node found
+  /// (ef = 1 search; used for the descent through upper layers).
+  uint32_t GreedyClosest(std::span<const float> query, uint32_t entry, uint32_t layer) const;
+
+  /// Algorithm 2: layer-restricted best-first search returning up to `ef`
+  /// candidates (unsorted heap order).
+  std::vector<Scored> SearchLayer(std::span<const float> query, uint32_t entry,
+                                  uint32_t ef, uint32_t layer) const;
+
+  /// Algorithm 4: diversity-preserving neighbor selection. `base_id` is the
+  /// node the links are being chosen for; candidate extension must never
+  /// reintroduce it (back-links would create self loops).
+  std::vector<uint32_t> SelectNeighbors(uint32_t base_id, std::span<const float> base,
+                                        std::vector<Scored> candidates,
+                                        uint32_t m, uint32_t layer) const;
+
+  /// Draws a level ~ floor(-ln(U) * 1/ln(M)), clamped by options_.max_level.
+  uint32_t DrawLevel();
+
+  float Dist(std::span<const float> a, std::span<const float> b) const noexcept {
+    return dist_fn_(a, b);
+  }
+
+  uint32_t dim_;
+  HnswOptions options_;
+  DistanceFn dist_fn_;
+  double level_lambda_;  ///< 1 / ln(M)
+  Xoshiro256 rng_;
+
+  std::vector<float> vectors_;          ///< row-major, id-indexed
+  std::vector<uint32_t> levels_;        ///< top layer of each node
+  /// links_[id][layer] = neighbor ids. Outer indexed by node, inner by layer
+  /// (0..levels_[id]).
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+
+  uint32_t entry_point_ = 0;
+  int32_t max_level_ = -1;  ///< -1 while empty
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,120 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace dhnsw {
+
+KdTreeIndex::KdTreeIndex(uint32_t dim, KdTreeOptions options)
+    : dim_(dim), options_(options) {
+  assert(dim > 0);
+  if (options_.leaf_size == 0) options_.leaf_size = 1;
+}
+
+void KdTreeIndex::Build(std::span<const float> vectors) {
+  assert(vectors.size() % dim_ == 0);
+  data_.assign(vectors.begin(), vectors.end());
+  count_ = vectors.size() / dim_;
+  num_leaves_ = 0;
+  ids_.resize(count_);
+  for (size_t i = 0; i < count_; ++i) ids_[i] = static_cast<uint32_t>(i);
+  nodes_.clear();
+  if (count_ == 0) return;
+  nodes_.reserve(2 * count_ / options_.leaf_size + 2);
+  BuildNode(0, static_cast<uint32_t>(count_));
+}
+
+uint32_t KdTreeIndex::BuildNode(uint32_t begin, uint32_t end) {
+  const uint32_t node_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (end - begin <= options_.leaf_size) {
+    nodes_[node_index].split_dim = -1;
+    nodes_[node_index].begin = begin;
+    nodes_[node_index].end = end;
+    ++num_leaves_;
+    return node_index;
+  }
+
+  // Split on the dimension with the largest spread in this slice.
+  uint32_t best_dim = 0;
+  float best_spread = -1.0f;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    float lo = Vector(ids_[begin])[d], hi = lo;
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      const float v = Vector(ids_[i])[d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = d;
+    }
+  }
+
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid, ids_.begin() + end,
+                   [&](uint32_t a, uint32_t b) {
+                     return Vector(a)[best_dim] < Vector(b)[best_dim];
+                   });
+  const float split_value = Vector(ids_[mid])[best_dim];
+
+  // Children are built after this node; store indices once known.
+  const uint32_t left = BuildNode(begin, mid);
+  const uint32_t right = BuildNode(mid, end);
+  Node& node = nodes_[node_index];
+  node.split_dim = static_cast<int32_t>(best_dim);
+  node.split_value = split_value;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+std::vector<Scored> KdTreeIndex::Search(std::span<const float> query, size_t k,
+                                        size_t max_leaves) const {
+  assert(query.size() == dim_);
+  if (count_ == 0 || k == 0) return {};
+  max_leaves = std::max<size_t>(max_leaves, 1);
+
+  TopKHeap best(k);
+  // Best-first frontier over nodes, keyed by a lower bound on the squared
+  // distance from the query to the node's half-space region.
+  struct Entry {
+    float bound;
+    uint32_t node;
+    bool operator>(const Entry& other) const { return bound > other.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.push({0.0f, 0});
+
+  size_t leaves_visited = 0;
+  while (!frontier.empty() && leaves_visited < max_leaves) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    if (best.full() && entry.bound >= best.worst()) break;  // provably done
+
+    const Node& node = nodes_[entry.node];
+    if (node.split_dim < 0) {
+      ++leaves_visited;
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t id = ids_[i];
+        best.Push(L2Sq(Vector(id), query), id);
+      }
+      continue;
+    }
+    // Children: the near side keeps the parent's bound; the far side adds
+    // the squared plane distance (valid lower-bound accumulation per axis
+    // would track per-dim offsets; the single-plane bound is looser but
+    // correct, and standard for limited-backtracking KD search).
+    const float delta = query[node.split_dim] - node.split_value;
+    const float plane_sq = delta * delta;
+    const uint32_t near = delta <= 0.0f ? node.left : node.right;
+    const uint32_t far = delta <= 0.0f ? node.right : node.left;
+    frontier.push({entry.bound, near});
+    frontier.push({std::max(entry.bound, plane_sq), far});
+  }
+  return best.TakeSorted();
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,72 @@
+// KD-tree nearest-neighbor index — one of the two classical baselines the
+// paper's §2.1 motivates HNSW against ("Traditional methods like KD-trees
+// [24] and LSH [7] struggle with scalability and search accuracy in
+// high-dimensional spaces").
+//
+// Build: recursive median split on the dimension of largest spread.
+// Search: best-first branch-and-bound over leaves with an exact distance
+// bound per subtree; `max_leaves` caps the number of leaves visited, trading
+// accuracy for time (the classical "defeatist"/limited-backtracking search).
+// With max_leaves >= the leaf count the search is exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/topk.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+struct KdTreeOptions {
+  uint32_t leaf_size = 16;  ///< max vectors per leaf
+};
+
+class KdTreeIndex {
+ public:
+  explicit KdTreeIndex(uint32_t dim, KdTreeOptions options = {});
+
+  uint32_t dim() const noexcept { return dim_; }
+  size_t size() const noexcept { return count_; }
+  size_t num_leaves() const noexcept { return num_leaves_; }
+
+  /// Builds the tree over row-major `vectors` (replaces previous contents).
+  void Build(std::span<const float> vectors);
+
+  /// Top-k search visiting at most `max_leaves` leaves (>= 1).
+  /// Results sorted ascending by L2^2 distance.
+  std::vector<Scored> Search(std::span<const float> query, size_t k,
+                             size_t max_leaves) const;
+
+  /// Exact search (visits as many leaves as the bound requires).
+  std::vector<Scored> SearchExact(std::span<const float> query, size_t k) const {
+    return Search(query, k, size() + 1);
+  }
+
+ private:
+  struct Node {
+    // Internal: split_dim >= 0; leaf: split_dim == -1 and [begin, end) into ids_.
+    int32_t split_dim = -1;
+    float split_value = 0.0f;
+    uint32_t left = 0;    ///< child node indices (internal only)
+    uint32_t right = 0;
+    uint32_t begin = 0;   ///< leaf row range
+    uint32_t end = 0;
+  };
+
+  uint32_t BuildNode(uint32_t begin, uint32_t end);
+  std::span<const float> Vector(uint32_t id) const {
+    return {data_.data() + static_cast<size_t>(id) * dim_, dim_};
+  }
+
+  uint32_t dim_;
+  KdTreeOptions options_;
+  size_t count_ = 0;
+  size_t num_leaves_ = 0;
+  std::vector<float> data_;      ///< row-major copy
+  std::vector<uint32_t> ids_;    ///< permutation grouping leaf members
+  std::vector<Node> nodes_;      ///< node 0 is the root (when count_ > 0)
+};
+
+}  // namespace dhnsw

@@ -1,0 +1,86 @@
+#include "index/lsh.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+
+LshIndex::LshIndex(uint32_t dim, LshOptions options) : dim_(dim), options_(options) {
+  assert(dim > 0);
+  if (options_.num_tables == 0) options_.num_tables = 1;
+  options_.num_bits = std::min<uint32_t>(std::max<uint32_t>(options_.num_bits, 1), 63);
+
+  // Random Gaussian hyperplanes, fixed at construction for determinism.
+  Xoshiro256 rng(options_.seed);
+  hyperplanes_.resize(static_cast<size_t>(options_.num_tables) * options_.num_bits * dim_);
+  for (float& x : hyperplanes_) x = static_cast<float>(rng.NextGaussian());
+  tables_.resize(options_.num_tables);
+}
+
+uint64_t LshIndex::HashInto(std::span<const float> v, uint32_t table) const {
+  uint64_t signature = 0;
+  const float* plane = hyperplanes_.data() +
+                       static_cast<size_t>(table) * options_.num_bits * dim_;
+  for (uint32_t bit = 0; bit < options_.num_bits; ++bit, plane += dim_) {
+    float dot = 0.0f;
+    for (uint32_t d = 0; d < dim_; ++d) dot += plane[d] * v[d];
+    signature = (signature << 1) | (dot >= 0.0f ? 1u : 0u);
+  }
+  return signature;
+}
+
+void LshIndex::Build(std::span<const float> vectors) {
+  assert(vectors.size() % dim_ == 0);
+  data_.assign(vectors.begin(), vectors.end());
+  count_ = vectors.size() / dim_;
+  for (auto& table : tables_) table.clear();
+  for (size_t i = 0; i < count_; ++i) {
+    const std::span<const float> v{data_.data() + i * dim_, dim_};
+    for (uint32_t t = 0; t < options_.num_tables; ++t) {
+      tables_[t][HashInto(v, t)].push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+std::vector<Scored> LshIndex::Search(std::span<const float> query, size_t k,
+                                     size_t* candidates) const {
+  assert(query.size() == dim_);
+  if (count_ == 0 || k == 0) {
+    if (candidates != nullptr) *candidates = 0;
+    return {};
+  }
+
+  // Gather candidate ids across tables (dedup via a stamp array).
+  std::vector<uint8_t> seen(count_, 0);
+  std::vector<uint32_t> pool;
+  auto probe = [&](uint32_t t, uint64_t signature) {
+    auto it = tables_[t].find(signature);
+    if (it == tables_[t].end()) return;
+    for (uint32_t id : it->second) {
+      if (!seen[id]) {
+        seen[id] = 1;
+        pool.push_back(id);
+      }
+    }
+  };
+  for (uint32_t t = 0; t < options_.num_tables; ++t) {
+    const uint64_t signature = HashInto(query, t);
+    probe(t, signature);
+    if (options_.multiprobe >= 1) {
+      for (uint32_t bit = 0; bit < options_.num_bits; ++bit) {
+        probe(t, signature ^ (1ull << bit));
+      }
+    }
+  }
+  if (candidates != nullptr) *candidates = pool.size();
+
+  // Exact re-rank of the candidate pool.
+  TopKHeap best(k);
+  for (uint32_t id : pool) {
+    best.Push(L2Sq({data_.data() + static_cast<size_t>(id) * dim_, dim_}, query), id);
+  }
+  return best.TakeSorted();
+}
+
+}  // namespace dhnsw

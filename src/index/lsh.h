@@ -1,0 +1,54 @@
+// Locality-sensitive hashing index (signed random projections) — the second
+// classical baseline of the paper's §2.1 [7].
+//
+// L hash tables, each with K random hyperplanes: a vector's bucket in table
+// t is the K-bit sign pattern of its projections. A query gathers the
+// candidates in its bucket across all tables (optionally multiprobing
+// Hamming-1 neighbor buckets) and re-ranks them exactly. Recall rises with
+// L and probes; cost rises with candidate count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/topk.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+struct LshOptions {
+  uint32_t num_tables = 8;   ///< L
+  uint32_t num_bits = 12;    ///< K (<= 63)
+  uint32_t multiprobe = 0;   ///< also probe buckets at Hamming distance 1..this (0 or 1)
+  uint64_t seed = 0x15489ULL;
+};
+
+class LshIndex {
+ public:
+  LshIndex(uint32_t dim, LshOptions options = {});
+
+  uint32_t dim() const noexcept { return dim_; }
+  size_t size() const noexcept { return count_; }
+
+  /// Builds the tables over row-major `vectors` (replaces previous contents).
+  void Build(std::span<const float> vectors);
+
+  /// Top-k search; results sorted ascending by L2^2 distance. `candidates`
+  /// (if non-null) receives the number of re-ranked candidates.
+  std::vector<Scored> Search(std::span<const float> query, size_t k,
+                             size_t* candidates = nullptr) const;
+
+ private:
+  uint64_t HashInto(std::span<const float> v, uint32_t table) const;
+
+  uint32_t dim_;
+  LshOptions options_;
+  size_t count_ = 0;
+  std::vector<float> data_;                 ///< row-major copy
+  std::vector<float> hyperplanes_;          ///< L * K * dim
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace dhnsw

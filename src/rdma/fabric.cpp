@@ -1,0 +1,65 @@
+#include "rdma/fabric.h"
+
+namespace dhnsw::rdma {
+
+NodeId Fabric::AddNode(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto node = std::make_unique<Node>();
+  node->name = std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+size_t Fabric::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+std::string Fabric::NodeName(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < nodes_.size() ? nodes_[node]->name : std::string("<unknown>");
+}
+
+Result<RKey> Fabric::RegisterMemory(NodeId node, size_t size, size_t alignment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("RegisterMemory: unknown node");
+  }
+  if (size == 0) {
+    return Status::InvalidArgument("RegisterMemory: zero-size region");
+  }
+  const RKey rkey = next_rkey_++;
+  regions_.emplace(rkey, std::make_pair(node, std::make_unique<MemoryRegion>(rkey, size, alignment)));
+  return rkey;
+}
+
+MemoryRegion* Fabric::FindRegion(RKey rkey) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.second.get();
+}
+
+const MemoryRegion* Fabric::FindRegion(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.second.get();
+}
+
+Result<NodeId> Fabric::OwnerOf(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  if (it == regions_.end()) return Status::NotFound("unknown rkey");
+  return it->second.first;
+}
+
+void Fabric::SetNodeReachable(NodeId node, bool reachable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node < nodes_.size()) nodes_[node]->reachable.store(reachable);
+}
+
+bool Fabric::IsNodeReachable(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < nodes_.size() && nodes_[node]->reachable.load();
+}
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,66 @@
+// The simulated RDMA fabric: a set of nodes, each owning registered memory
+// regions, connected by a modeled 100 Gb/s network. Compute instances talk to
+// the fabric through QueuePair objects (see queue_pair.h).
+//
+// Fault injection: tests can arm per-node failures so completions surface
+// kRemoteUnreachable, exercising error paths that real deployments hit when a
+// memory node reboots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdma/memory_region.h"
+#include "rdma/nic_model.h"
+#include "rdma/rdma_types.h"
+
+namespace dhnsw::rdma {
+
+class Fabric {
+ public:
+  explicit Fabric(NicModelConfig nic = NicModelConfig{}) : nic_(nic) {}
+
+  const NicModelConfig& nic_config() const noexcept { return nic_; }
+
+  /// Adds a node (memory or compute instance) to the fabric.
+  NodeId AddNode(std::string name);
+
+  size_t num_nodes() const;
+  std::string NodeName(NodeId node) const;
+
+  /// Registers `size` bytes of zeroed memory on `node`; returns its rkey.
+  Result<RKey> RegisterMemory(NodeId node, size_t size, size_t alignment = 4096);
+
+  /// Host-side (memory-node CPU) access to a region, e.g. for initial layout
+  /// population by the memory node itself. Returns nullptr if unknown.
+  MemoryRegion* FindRegion(RKey rkey);
+  const MemoryRegion* FindRegion(RKey rkey) const;
+
+  /// Node that owns `rkey`, or nullopt.
+  Result<NodeId> OwnerOf(RKey rkey) const;
+
+  /// Marks a node unreachable (true) / reachable (false). One-sided verbs
+  /// against an unreachable node's regions complete with kRemoteUnreachable.
+  void SetNodeReachable(NodeId node, bool reachable);
+  bool IsNodeReachable(NodeId node) const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::atomic<bool> reachable{true};
+  };
+
+  NicModelConfig nic_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<RKey, std::pair<NodeId, std::unique_ptr<MemoryRegion>>> regions_;
+  RKey next_rkey_ = 1;
+};
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,39 @@
+#include "rdma/memory_region.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dhnsw::rdma {
+
+void MemoryRegion::DmaRead(uint64_t offset, std::span<uint8_t> dst) const {
+  assert(offset + dst.size() <= size());
+  std::memcpy(dst.data(), storage_.data() + offset, dst.size());
+}
+
+void MemoryRegion::DmaWrite(uint64_t offset, std::span<const uint8_t> src) {
+  assert(offset + src.size() <= size());
+  std::memcpy(storage_.data() + offset, src.data(), src.size());
+}
+
+uint64_t MemoryRegion::AtomicCompareSwap(uint64_t offset, uint64_t compare, uint64_t swap) {
+  assert(offset % 8 == 0 && offset + 8 <= size());
+  std::lock_guard<std::mutex> lock(atomic_mutex_);
+  uint64_t current;
+  std::memcpy(&current, storage_.data() + offset, 8);
+  if (current == compare) {
+    std::memcpy(storage_.data() + offset, &swap, 8);
+  }
+  return current;
+}
+
+uint64_t MemoryRegion::AtomicFetchAdd(uint64_t offset, uint64_t add) {
+  assert(offset % 8 == 0 && offset + 8 <= size());
+  std::lock_guard<std::mutex> lock(atomic_mutex_);
+  uint64_t current;
+  std::memcpy(&current, storage_.data() + offset, 8);
+  const uint64_t updated = current + add;
+  std::memcpy(storage_.data() + offset, &updated, 8);
+  return current;
+}
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,60 @@
+// Registered memory region living on a fabric node. One-sided verbs address a
+// region by (rkey, offset); the region owns the aligned backing storage.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "rdma/rdma_types.h"
+
+namespace dhnsw::rdma {
+
+class MemoryRegion {
+ public:
+  /// Registers `size` zeroed bytes; `alignment` defaults to a 4 KiB page.
+  MemoryRegion(RKey rkey, size_t size, size_t alignment = 4096)
+      : rkey_(rkey), storage_(size, alignment) {}
+
+  // Not movable (holds a mutex); the fabric owns regions behind unique_ptr.
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  RKey rkey() const noexcept { return rkey_; }
+  size_t size() const noexcept { return storage_.size(); }
+
+  /// Direct host access (the memory node's own CPU touching its DRAM).
+  std::span<uint8_t> host_span() noexcept { return storage_.span(); }
+  std::span<const uint8_t> host_span() const noexcept { return storage_.span(); }
+
+  /// Bounds check for an incoming one-sided access.
+  Status ValidateRange(uint64_t offset, uint64_t length) const {
+    if (offset > size() || length > size() - offset) {
+      return Status::OutOfRange("rdma access outside region bounds");
+    }
+    return Status::Ok();
+  }
+
+  /// DMA read: region -> local buffer. Caller must have validated the range.
+  void DmaRead(uint64_t offset, std::span<uint8_t> dst) const;
+
+  /// DMA write: local buffer -> region. Caller must have validated the range.
+  void DmaWrite(uint64_t offset, std::span<const uint8_t> src);
+
+  /// Atomically executes a 64-bit CAS at `offset` (8-byte aligned);
+  /// returns the original value.
+  uint64_t AtomicCompareSwap(uint64_t offset, uint64_t compare, uint64_t swap);
+
+  /// Atomically executes a 64-bit FAA at `offset`; returns the original value.
+  uint64_t AtomicFetchAdd(uint64_t offset, uint64_t add);
+
+ private:
+  RKey rkey_;
+  AlignedBuffer storage_;
+  /// Serializes remote atomics, mirroring NIC-side atomic execution units.
+  std::mutex atomic_mutex_;
+};
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,26 @@
+#include "rdma/nic_model.h"
+
+namespace dhnsw::rdma {
+
+uint64_t NicModelConfig::PayloadNs(uint64_t bytes) const noexcept {
+  if (bytes == 0 || bandwidth_gbps <= 0.0) return 0;
+  // bits / (Gb/s) = ns.
+  const double ns = static_cast<double>(bytes) * 8.0 / bandwidth_gbps;
+  return static_cast<uint64_t>(ns);
+}
+
+uint64_t CostOfBatch(const NicModelConfig& config, const BatchShape& shape) noexcept {
+  if (shape.num_wrs == 0) return 0;
+  uint64_t cost = config.base_round_trip_ns;
+  cost += config.PayloadNs(shape.payload_bytes);
+  // First WR rides the doorbell write itself; the rest are DMA-fetched.
+  cost += static_cast<uint64_t>(shape.num_wrs - 1) * config.per_wr_dma_ns;
+  if (shape.num_wrs > config.doorbell_linear_limit) {
+    cost += static_cast<uint64_t>(shape.num_wrs - config.doorbell_linear_limit) *
+            config.doorbell_saturated_ns;
+  }
+  cost += static_cast<uint64_t>(shape.num_atomics) * config.atomic_extra_ns;
+  return cost;
+}
+
+}  // namespace dhnsw::rdma

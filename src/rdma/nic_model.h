@@ -1,0 +1,44 @@
+// Deterministic NIC/network cost model.
+//
+// The simulator executes the exact verb sequence the real system would issue;
+// this model converts (round trips, bytes, work requests) into nanoseconds.
+// Constants default to a ConnectX-6-class 100 Gb/s RoCE part, calibrated
+// against the paper's measured numbers (Tables 1-2) and the design guidelines
+// of Kalia et al. [11]:
+//   - ~1.8 us base round-trip for a small READ,
+//   - 100 Gb/s line rate,
+//   - each extra WR in a doorbell batch adds a PCIe DMA fetch (~250 ns) but
+//     no extra network round trip,
+//   - beyond `doorbell_linear_limit` WRs per ring the NIC's WR-processing
+//     pipeline saturates and each extra WR costs `doorbell_saturated_ns`
+//     (the "scalability of the RDMA NIC" tradeoff in paper §3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dhnsw::rdma {
+
+struct NicModelConfig {
+  uint64_t base_round_trip_ns = 1800;   ///< propagation + NIC processing, per ring
+  double bandwidth_gbps = 100.0;        ///< line rate for payload bytes
+  uint64_t per_wr_dma_ns = 250;         ///< PCIe/DMA cost per additional WR in a ring
+  uint32_t doorbell_linear_limit = 16;  ///< WRs per ring before saturation
+  uint64_t doorbell_saturated_ns = 900; ///< per-WR cost beyond the linear limit
+  uint64_t atomic_extra_ns = 400;       ///< extra latency of a remote atomic
+
+  /// Wire time for `bytes` of payload at the configured bandwidth.
+  uint64_t PayloadNs(uint64_t bytes) const noexcept;
+};
+
+/// Summary of one doorbell ring, fed to the model.
+struct BatchShape {
+  uint32_t num_wrs = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t num_atomics = 0;
+};
+
+/// Simulated duration of one doorbell ring (== one network round trip).
+uint64_t CostOfBatch(const NicModelConfig& config, const BatchShape& shape) noexcept;
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,215 @@
+#include "rdma/queue_pair.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dhnsw::rdma {
+
+QueuePair::QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs)
+    : fabric_(fabric), clock_(clock),
+      max_doorbell_wrs_(max_doorbell_wrs == 0 ? 1 : max_doorbell_wrs) {}
+
+void QueuePair::PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst,
+                         uint64_t wr_id) {
+  send_queue_.push_back(WorkRequest{
+      .wr_id = wr_id, .opcode = Opcode::kRead, .rkey = rkey,
+      .remote_offset = remote_offset, .local = dst});
+}
+
+void QueuePair::PostWrite(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src,
+                          uint64_t wr_id) {
+  // WRITE never modifies the local buffer; the non-const span in WorkRequest
+  // is a convenience for sharing the struct with READ.
+  send_queue_.push_back(WorkRequest{
+      .wr_id = wr_id, .opcode = Opcode::kWrite, .rkey = rkey,
+      .remote_offset = remote_offset,
+      .local = {const_cast<uint8_t*>(src.data()), src.size()}});
+}
+
+void QueuePair::PostCompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare,
+                                uint64_t swap, uint64_t wr_id) {
+  send_queue_.push_back(WorkRequest{
+      .wr_id = wr_id, .opcode = Opcode::kCompareSwap, .rkey = rkey,
+      .remote_offset = remote_offset, .local = {},
+      .compare = compare, .swap_or_add = swap});
+}
+
+void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id) {
+  send_queue_.push_back(WorkRequest{
+      .wr_id = wr_id, .opcode = Opcode::kFetchAdd, .rkey = rkey,
+      .remote_offset = remote_offset, .local = {},
+      .swap_or_add = add});
+}
+
+Completion QueuePair::ExecuteOne(const WorkRequest& wr) {
+  Completion c;
+  c.wr_id = wr.wr_id;
+  c.opcode = wr.opcode;
+
+  MemoryRegion* region = fabric_->FindRegion(wr.rkey);
+  if (region == nullptr) {
+    c.status = WcStatus::kRemoteAccessError;
+    return c;
+  }
+  auto owner = fabric_->OwnerOf(wr.rkey);
+  if (!owner.ok() || !fabric_->IsNodeReachable(owner.value())) {
+    c.status = WcStatus::kRemoteUnreachable;
+    return c;
+  }
+
+  switch (wr.opcode) {
+    case Opcode::kRead:
+    case Opcode::kWrite: {
+      if (!region->ValidateRange(wr.remote_offset, wr.local.size()).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      if (wr.opcode == Opcode::kRead) {
+        region->DmaRead(wr.remote_offset, wr.local);
+      } else {
+        region->DmaWrite(wr.remote_offset, {wr.local.data(), wr.local.size()});
+      }
+      c.byte_len = static_cast<uint32_t>(wr.local.size());
+      break;
+    }
+    case Opcode::kCompareSwap: {
+      if (wr.remote_offset % 8 != 0 ||
+          !region->ValidateRange(wr.remote_offset, 8).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      c.atomic_result = region->AtomicCompareSwap(wr.remote_offset, wr.compare, wr.swap_or_add);
+      c.byte_len = 8;
+      break;
+    }
+    case Opcode::kFetchAdd: {
+      if (wr.remote_offset % 8 != 0 ||
+          !region->ValidateRange(wr.remote_offset, 8).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      c.atomic_result = region->AtomicFetchAdd(wr.remote_offset, wr.swap_or_add);
+      c.byte_len = 8;
+      break;
+    }
+  }
+  c.status = WcStatus::kSuccess;
+  return c;
+}
+
+uint32_t QueuePair::RingDoorbell() {
+  if (send_queue_.empty()) return 0;
+
+  uint32_t rings = 0;
+  size_t begin = 0;
+  while (begin < send_queue_.size()) {
+    const size_t end = std::min(send_queue_.size(),
+                                begin + static_cast<size_t>(max_doorbell_wrs_));
+    BatchShape shape;
+    for (size_t i = begin; i < end; ++i) {
+      const WorkRequest& wr = send_queue_[i];
+      Completion c = ExecuteOne(wr);
+      completion_queue_.push_back(c);
+
+      ++shape.num_wrs;
+      ++stats_.work_requests;
+      switch (wr.opcode) {
+        case Opcode::kRead:
+          ++stats_.reads;
+          if (c.status == WcStatus::kSuccess) stats_.bytes_read += c.byte_len;
+          shape.payload_bytes += wr.local.size();
+          break;
+        case Opcode::kWrite:
+          ++stats_.writes;
+          if (c.status == WcStatus::kSuccess) stats_.bytes_written += c.byte_len;
+          shape.payload_bytes += wr.local.size();
+          break;
+        case Opcode::kCompareSwap:
+        case Opcode::kFetchAdd:
+          ++stats_.atomics;
+          ++shape.num_atomics;
+          shape.payload_bytes += 8;
+          break;
+      }
+    }
+    const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape);
+    if (clock_ != nullptr) clock_->Advance(cost_ns);
+    stats_.sim_network_ns += cost_ns;
+    ++stats_.round_trips;
+    ++rings;
+    begin = end;
+  }
+  send_queue_.clear();
+  return rings;
+}
+
+bool QueuePair::PollCompletion(Completion* out) {
+  if (completion_queue_.empty()) return false;
+  *out = completion_queue_.front();
+  completion_queue_.pop_front();
+  return true;
+}
+
+std::vector<Completion> QueuePair::Flush() {
+  RingDoorbell();
+  std::vector<Completion> out(completion_queue_.begin(), completion_queue_.end());
+  completion_queue_.clear();
+  return out;
+}
+
+namespace {
+Status StatusFromCompletion(const Completion& c) {
+  switch (c.status) {
+    case WcStatus::kSuccess:
+      return Status::Ok();
+    case WcStatus::kRemoteAccessError:
+      return Status::OutOfRange("rdma remote access error");
+    case WcStatus::kRemoteUnreachable:
+      return Status::Unavailable("rdma remote node unreachable");
+    case WcStatus::kLocalLengthError:
+      return Status::InvalidArgument("rdma local buffer length error");
+  }
+  return Status::Internal("unknown completion status");
+}
+}  // namespace
+
+Status QueuePair::Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst) {
+  PostRead(rkey, remote_offset, dst);
+  RingDoorbell();
+  Completion c;
+  const bool have = PollCompletion(&c);
+  if (!have) return Status::Internal("missing completion after Read");
+  return StatusFromCompletion(c);
+}
+
+Status QueuePair::Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src) {
+  PostWrite(rkey, remote_offset, src);
+  RingDoorbell();
+  Completion c;
+  const bool have = PollCompletion(&c);
+  if (!have) return Status::Internal("missing completion after Write");
+  return StatusFromCompletion(c);
+}
+
+Result<uint64_t> QueuePair::CompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare,
+                                        uint64_t swap) {
+  PostCompareSwap(rkey, remote_offset, compare, swap);
+  RingDoorbell();
+  Completion c;
+  if (!PollCompletion(&c)) return Status::Internal("missing completion after CAS");
+  Status st = StatusFromCompletion(c);
+  if (!st.ok()) return st;
+  return c.atomic_result;
+}
+
+Result<uint64_t> QueuePair::FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add) {
+  PostFetchAdd(rkey, remote_offset, add);
+  RingDoorbell();
+  Completion c;
+  if (!PollCompletion(&c)) return Status::Internal("missing completion after FAA");
+  Status st = StatusFromCompletion(c);
+  if (!st.ok()) return st;
+  return c.atomic_result;
+}
+
+}  // namespace dhnsw::rdma

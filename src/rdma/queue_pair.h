@@ -1,0 +1,79 @@
+// Queue pair: the compute-instance endpoint for one-sided verbs.
+//
+// Usage mirrors ibverbs: post one or more work requests, then ring the
+// doorbell. All WRs posted before a ring execute in a single network round
+// trip (doorbell batching); completions are polled from the completion queue.
+// A QP charges simulated network time to the SimClock it was created with —
+// that clock is the "network" column of the paper's latency breakdown.
+//
+// Concurrency: one QP belongs to one compute instance thread, as in the
+// paper's per-instance worker design. Different QPs may be used from
+// different threads; remote atomics are serialized by the memory region.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdma/fabric.h"
+#include "rdma/rdma_types.h"
+
+namespace dhnsw::rdma {
+
+class QueuePair {
+ public:
+  /// `clock` may be null (network time is then simply not recorded).
+  /// `max_doorbell_wrs` caps WRs per ring; a ring with more WRs is split into
+  /// ceil(N / max) round trips, modeling a bounded NIC doorbell window.
+  QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs = 64);
+
+  uint32_t max_doorbell_wrs() const noexcept { return max_doorbell_wrs_; }
+  void set_max_doorbell_wrs(uint32_t n) noexcept { max_doorbell_wrs_ = n == 0 ? 1 : n; }
+
+  /// --- posting (no network activity yet) ---
+  void PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst, uint64_t wr_id = 0);
+  void PostWrite(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src, uint64_t wr_id = 0);
+  void PostCompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare, uint64_t swap,
+                       uint64_t wr_id = 0);
+  void PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id = 0);
+
+  size_t pending_wrs() const noexcept { return send_queue_.size(); }
+
+  /// Executes everything posted since the last ring. Returns the number of
+  /// network round trips this ring consumed (>= 1 if anything was posted;
+  /// > 1 when the doorbell window forced a split).
+  uint32_t RingDoorbell();
+
+  /// --- completion queue ---
+  bool PollCompletion(Completion* out);
+  /// Rings if needed, then drains the CQ into `out`. Convenience for callers
+  /// that post a batch and want all results synchronously.
+  std::vector<Completion> Flush();
+
+  /// --- one-shot conveniences (each is one round trip) ---
+  Status Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst);
+  Status Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src);
+  Result<uint64_t> CompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare, uint64_t swap);
+  Result<uint64_t> FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add);
+
+  const QpStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = QpStats{}; }
+
+ private:
+  struct PendingWr {
+    WorkRequest wr;
+  };
+
+  Completion ExecuteOne(const WorkRequest& wr);
+
+  Fabric* fabric_;
+  SimClock* clock_;
+  uint32_t max_doorbell_wrs_;
+  std::vector<WorkRequest> send_queue_;
+  std::deque<Completion> completion_queue_;
+  QpStats stats_;
+};
+
+}  // namespace dhnsw::rdma

@@ -1,0 +1,85 @@
+// Core types of the simulated RDMA fabric.
+//
+// The API mirrors the one-sided ibverbs subset the paper relies on: RDMA_READ
+// and RDMA_WRITE plus the two masked 64-bit atomics (Compare-And-Swap,
+// Fetch-And-Add), posted as work requests to a queue pair and executed when
+// the doorbell rings. Verbs executed in one doorbell ring share a single
+// network round trip (doorbell batching, paper §3.2), which is exactly the
+// behaviour d-HNSW exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dhnsw::rdma {
+
+/// Opaque node identifier inside a Fabric.
+using NodeId = uint32_t;
+
+/// Remote key naming a registered memory region on some node.
+using RKey = uint32_t;
+
+enum class Opcode : uint8_t {
+  kRead,          ///< remote MR -> local buffer
+  kWrite,         ///< local buffer -> remote MR
+  kCompareSwap,   ///< 64-bit CAS on remote MR; original value -> local buffer
+  kFetchAdd,      ///< 64-bit FAA on remote MR; original value -> local buffer
+};
+
+/// One work request. `local` must stay valid until the completion is polled.
+struct WorkRequest {
+  uint64_t wr_id = 0;            ///< caller cookie, echoed in the completion
+  Opcode opcode = Opcode::kRead;
+  RKey rkey = 0;                 ///< target region
+  uint64_t remote_offset = 0;    ///< byte offset inside the region
+  std::span<uint8_t> local;      ///< local buffer (src for WRITE, dst otherwise)
+  uint64_t compare = 0;          ///< CAS: expected value
+  uint64_t swap_or_add = 0;      ///< CAS: new value / FAA: addend
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess = 0,
+  kRemoteAccessError,  ///< bad rkey or offset/length outside the region
+  kRemoteUnreachable,  ///< node down / injected fault
+  kLocalLengthError,   ///< local buffer length mismatch
+};
+
+/// Work completion, one per posted WR.
+struct Completion {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kRead;
+  WcStatus status = WcStatus::kSuccess;
+  uint32_t byte_len = 0;      ///< bytes moved (READ/WRITE), 8 for atomics
+  uint64_t atomic_result = 0; ///< original remote value for CAS/FAA
+};
+
+/// Per-queue-pair counters: the quantities the paper reports (round trips per
+/// query, bytes on the wire) are derived from these.
+struct QpStats {
+  uint64_t round_trips = 0;   ///< doorbell rings that hit the network
+  uint64_t work_requests = 0; ///< WRs executed
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t atomics = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t sim_network_ns = 0;///< simulated time charged to this QP
+
+  QpStats& operator-=(const QpStats& rhs) noexcept {
+    round_trips -= rhs.round_trips;
+    work_requests -= rhs.work_requests;
+    reads -= rhs.reads;
+    writes -= rhs.writes;
+    atomics -= rhs.atomics;
+    bytes_read -= rhs.bytes_read;
+    bytes_written -= rhs.bytes_written;
+    sim_network_ns -= rhs.sim_network_ns;
+    return *this;
+  }
+  friend QpStats operator-(QpStats lhs, const QpStats& rhs) noexcept {
+    lhs -= rhs;
+    return lhs;
+  }
+};
+
+}  // namespace dhnsw::rdma

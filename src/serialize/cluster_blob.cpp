@@ -1,0 +1,166 @@
+#include "serialize/cluster_blob.h"
+
+#include <cassert>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace dhnsw {
+namespace {
+
+constexpr uint32_t kNoMaxLevel = 0xFFFFFFFFu;  // empty-graph sentinel
+
+void EncodeHeader(const ClusterHeader& h, BinaryWriter* w) {
+  const size_t start = w->size();
+  w->PutU32(h.magic);
+  w->PutU16(h.version);
+  w->PutU16(h.flags);
+  w->PutU32(h.partition_id);
+  w->PutU32(h.dim);
+  w->PutU32(h.count);
+  w->PutU32(h.m);
+  w->PutU32(h.entry_point);
+  w->PutU32(h.max_level);
+  w->PutU64(h.payload_size);
+  w->PutU32(h.payload_crc);
+  while (w->size() - start < ClusterHeader::kEncodedSize) w->PutU8(0);
+  assert(w->size() - start == ClusterHeader::kEncodedSize);
+}
+
+Status DecodeHeader(BinaryReader* r, ClusterHeader* h) {
+  const size_t start = r->offset();
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->magic));
+  if (h->magic != ClusterHeader::kMagic) {
+    return Status::Corruption("cluster blob: bad magic");
+  }
+  DHNSW_RETURN_IF_ERROR(r->GetU16(&h->version));
+  if (h->version != ClusterHeader::kVersion) {
+    return Status::Corruption("cluster blob: unsupported version");
+  }
+  DHNSW_RETURN_IF_ERROR(r->GetU16(&h->flags));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->partition_id));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->dim));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->count));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->m));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->entry_point));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->max_level));
+  DHNSW_RETURN_IF_ERROR(r->GetU64(&h->payload_size));
+  DHNSW_RETURN_IF_ERROR(r->GetU32(&h->payload_crc));
+  return r->Skip(ClusterHeader::kEncodedSize - (r->offset() - start));
+}
+
+}  // namespace
+
+size_t EncodedClusterSize(const Cluster& cluster) {
+  const HnswIndex& index = cluster.index;
+  const size_t count = index.size();
+  size_t payload = 0;
+  payload += count * 4;                         // global ids
+  payload += count * 4;                         // levels
+  for (uint32_t id = 0; id < count; ++id) {     // adjacency
+    for (uint32_t layer = 0; layer <= index.level(id); ++layer) {
+      payload += 4 + index.neighbors(id, layer).size() * 4;
+    }
+  }
+  payload += count * index.dim() * 4;           // vectors
+  return ClusterHeader::kEncodedSize + payload;
+}
+
+std::vector<uint8_t> EncodeCluster(const Cluster& cluster) {
+  const HnswIndex& index = cluster.index;
+  assert(cluster.global_ids.size() == index.size());
+
+  // Payload first (header needs its size + CRC).
+  std::vector<uint8_t> payload;
+  payload.reserve(EncodedClusterSize(cluster) - ClusterHeader::kEncodedSize);
+  {
+    BinaryWriter w(&payload);
+    w.PutU32Array(cluster.global_ids);
+    for (uint32_t id = 0; id < index.size(); ++id) w.PutU32(index.level(id));
+    for (uint32_t id = 0; id < index.size(); ++id) {
+      for (uint32_t layer = 0; layer <= index.level(id); ++layer) {
+        const auto nbs = index.neighbors(id, layer);
+        w.PutU32(static_cast<uint32_t>(nbs.size()));
+        w.PutU32Array(nbs);
+      }
+    }
+    w.PutF32Array(index.vectors());
+  }
+
+  ClusterHeader h;
+  // Blobs are self-describing: the metric rides in the flags field so a
+  // decoder (or a compactor on another node) never guesses it.
+  h.flags = static_cast<uint16_t>(index.options().metric);
+  h.partition_id = cluster.partition_id;
+  h.dim = index.dim();
+  h.count = static_cast<uint32_t>(index.size());
+  h.m = index.options().M;
+  h.entry_point = index.empty() ? 0 : index.entry_point();
+  h.max_level = index.empty() ? kNoMaxLevel
+                              : static_cast<uint32_t>(index.max_level_in_graph());
+  h.payload_size = payload.size();
+  h.payload_crc = Crc32c(payload);
+
+  std::vector<uint8_t> out;
+  out.reserve(ClusterHeader::kEncodedSize + payload.size());
+  BinaryWriter w(&out);
+  EncodeHeader(h, &w);
+  w.PutBytes(payload);
+  return out;
+}
+
+Result<ClusterHeader> PeekClusterHeader(std::span<const uint8_t> bytes) {
+  BinaryReader r(bytes);
+  ClusterHeader h;
+  DHNSW_RETURN_IF_ERROR(DecodeHeader(&r, &h));
+  return h;
+}
+
+Result<Cluster> DecodeCluster(std::span<const uint8_t> bytes,
+                              const HnswOptions& options_template) {
+  BinaryReader r(bytes);
+  ClusterHeader h;
+  DHNSW_RETURN_IF_ERROR(DecodeHeader(&r, &h));
+  if (r.remaining() < h.payload_size) {
+    return Status::Corruption("cluster blob: payload truncated");
+  }
+  const std::span<const uint8_t> payload =
+      bytes.subspan(ClusterHeader::kEncodedSize, h.payload_size);
+  if (Crc32c(payload) != h.payload_crc) {
+    return Status::Corruption("cluster blob: payload CRC mismatch");
+  }
+
+  const uint32_t count = h.count;
+  std::vector<uint32_t> global_ids(count);
+  DHNSW_RETURN_IF_ERROR(r.GetU32Array(global_ids));
+  std::vector<uint32_t> levels(count);
+  DHNSW_RETURN_IF_ERROR(r.GetU32Array(levels));
+
+  std::vector<std::vector<std::vector<uint32_t>>> links(count);
+  for (uint32_t id = 0; id < count; ++id) {
+    links[id].resize(levels[id] + 1);
+    for (uint32_t layer = 0; layer <= levels[id]; ++layer) {
+      uint32_t degree = 0;
+      DHNSW_RETURN_IF_ERROR(r.GetU32(&degree));
+      if (degree > 4 * std::max<uint32_t>(h.m, 1)) {
+        return Status::Corruption("cluster blob: implausible degree");
+      }
+      links[id][layer].resize(degree);
+      DHNSW_RETURN_IF_ERROR(r.GetU32Array(links[id][layer]));
+    }
+  }
+
+  std::vector<float> vectors(static_cast<size_t>(count) * h.dim);
+  DHNSW_RETURN_IF_ERROR(r.GetF32Array(vectors));
+
+  HnswOptions options = options_template;
+  options.M = h.m;
+  options.metric = static_cast<Metric>(h.flags & 0x7);
+  DHNSW_ASSIGN_OR_RETURN(
+      HnswIndex index,
+      HnswIndex::FromRaw(h.dim, options, std::move(vectors), std::move(levels),
+                         std::move(links), h.entry_point));
+  return Cluster(h.partition_id, std::move(index), std::move(global_ids));
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,70 @@
+// Compact, versioned, checksummed serialization of one sub-HNSW cluster —
+// the unit that lives in remote memory and crosses the wire on every cluster
+// load (paper Fig. 4: "metadata, neighbor array for HNSW, and the associated
+// floating-point vectors").
+//
+// Layout (little-endian):
+//   [48-byte header][payload]
+//   payload := global_ids u32[count]
+//              levels     u32[count]
+//              adjacency  per node, per layer 0..level: degree u32, u32[degree]
+//              vectors    f32[count*dim]
+// The header carries a CRC-32C of the payload so a torn RDMA read of a
+// concurrently rebuilt cluster is detected instead of silently searched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "index/hnsw.h"
+
+namespace dhnsw {
+
+/// Fixed-size on-wire header of a serialized cluster.
+struct ClusterHeader {
+  static constexpr uint32_t kMagic = 0x44484E57;  // "DHNW"
+  static constexpr uint16_t kVersion = 1;
+  static constexpr size_t kEncodedSize = 48;
+
+  uint32_t magic = kMagic;
+  uint16_t version = kVersion;
+  uint16_t flags = 0;
+  uint32_t partition_id = 0;
+  uint32_t dim = 0;
+  uint32_t count = 0;
+  uint32_t m = 0;            ///< HNSW M the graph was built with
+  uint32_t entry_point = 0;
+  uint32_t max_level = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// A sub-HNSW cluster ready for serialization / freshly decoded: the graph
+/// over partition-local ids plus the mapping back to dataset-global ids.
+struct Cluster {
+  uint32_t partition_id = 0;
+  HnswIndex index;
+  std::vector<uint32_t> global_ids;  ///< local id -> global id
+
+  Cluster(uint32_t pid, HnswIndex idx, std::vector<uint32_t> gids)
+      : partition_id(pid), index(std::move(idx)), global_ids(std::move(gids)) {}
+};
+
+/// Serializes `cluster` into a fresh byte vector.
+std::vector<uint8_t> EncodeCluster(const Cluster& cluster);
+
+/// Exact encoded size without materializing the bytes (layout planning).
+size_t EncodedClusterSize(const Cluster& cluster);
+
+/// Parses and CRC-verifies a blob. `bytes` may be longer than the blob
+/// (e.g. a read that also covered the overflow region); trailing bytes are
+/// ignored. HnswOptions besides M/metric come from `options_template`.
+Result<Cluster> DecodeCluster(std::span<const uint8_t> bytes,
+                              const HnswOptions& options_template);
+
+/// Reads just the header (no CRC check) — used to size follow-up reads.
+Result<ClusterHeader> PeekClusterHeader(std::span<const uint8_t> bytes);
+
+}  // namespace dhnsw

@@ -1,0 +1,123 @@
+// Adaptive cluster pruning (ComputeOptions::adaptive_prune_factor).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+class AdaptivePruneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(MakeSynthetic({.dim = 16, .num_base = 3000, .num_queries = 40,
+                                     .num_clusters = 15, .seed = 181}));
+    ComputeGroundTruth(ds_, 10);
+    DhnswConfig config = DhnswConfig::Defaults();
+    config.meta.num_representatives = 30;
+    config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 60};
+    config.compute.clusters_per_query = 6;
+    config.compute.cache_capacity = 30;
+    auto engine = DhnswEngine::Build(ds_->base, config);
+    ASSERT_TRUE(engine.ok());
+    engine_ = new DhnswEngine(std::move(engine).value());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete ds_;
+  }
+
+  static std::unique_ptr<ComputeNode> Attach(double prune_factor) {
+    ComputeOptions options;
+    options.clusters_per_query = 6;
+    options.cache_capacity = 30;
+    options.adaptive_prune_factor = prune_factor;
+    auto node = std::make_unique<ComputeNode>(&engine_->fabric(),
+                                              engine_->memory_handle(), options);
+    EXPECT_TRUE(node->Connect().ok());
+    return node;
+  }
+
+  static Dataset* ds_;
+  static DhnswEngine* engine_;
+};
+
+Dataset* AdaptivePruneTest::ds_ = nullptr;
+DhnswEngine* AdaptivePruneTest::engine_ = nullptr;
+
+TEST_F(AdaptivePruneTest, DisabledMeansNoPruning) {
+  auto node = Attach(0.0);
+  auto result = node->SearchAll(ds_->queries, 10, 48);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().breakdown.pruned_searches, 0u);
+  EXPECT_EQ(result.value().breakdown.pruned_loads, 0u);
+}
+
+TEST_F(AdaptivePruneTest, HugeFactorChangesNothing) {
+  auto off = Attach(0.0);
+  auto lax = Attach(1e9);
+  auto r_off = off->SearchAll(ds_->queries, 10, 48);
+  auto r_lax = lax->SearchAll(ds_->queries, 10, 48);
+  ASSERT_TRUE(r_off.ok());
+  ASSERT_TRUE(r_lax.ok());
+  for (size_t qi = 0; qi < ds_->queries.size(); ++qi) {
+    const auto& a = r_off.value().results[qi];
+    const auto& b = r_lax.value().results[qi];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j].id, b[j].id);
+  }
+}
+
+TEST_F(AdaptivePruneTest, AggressiveFactorPrunesWork) {
+  // factor << 1: prune clusters whose *lower bound* (rep distance minus the
+  // covering radius) exceeds a fraction of the kth best — aggressive.
+  auto node = Attach(0.2);
+  auto result = node->SearchAll(ds_->queries, 10, 48);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().breakdown.pruned_searches +
+                result.value().breakdown.pruned_loads,
+            0u);
+}
+
+TEST_F(AdaptivePruneTest, SoundFactorLosesNoRecall) {
+  // factor 1.0 under L2 is the sound triangle-inequality criterion: a pruned
+  // cluster provably cannot improve the query's top-k, so recall matches the
+  // unpruned run exactly (up to distance ties).
+  auto off = Attach(0.0);
+  auto sound = Attach(1.0);
+  auto r_off = off->SearchAll(ds_->queries, 10, 48);
+  auto r_sound = sound->SearchAll(ds_->queries, 10, 48);
+  ASSERT_TRUE(r_off.ok());
+  ASSERT_TRUE(r_sound.ok());
+  const double recall_off = MeanRecallAtK(*ds_, r_off.value().results, 10);
+  const double recall_sound = MeanRecallAtK(*ds_, r_sound.value().results, 10);
+  EXPECT_GE(recall_sound, recall_off - 1e-9)
+      << "sound pruning lost recall: " << recall_sound << " vs " << recall_off;
+}
+
+TEST_F(AdaptivePruneTest, PrunedLoadsReduceBytes) {
+  auto off = Attach(0.0);
+  auto tight = Attach(0.2);
+  const auto bytes_off =
+      off->SearchAll(ds_->queries, 10, 48).value().breakdown.bytes_read;
+  const auto bd_tight = tight->SearchAll(ds_->queries, 10, 48).value().breakdown;
+  if (bd_tight.pruned_loads > 0) {
+    EXPECT_LT(bd_tight.bytes_read, bytes_off);
+  }
+  EXPECT_GT(bd_tight.pruned_searches + bd_tight.pruned_loads, 0u);
+}
+
+TEST_F(AdaptivePruneTest, ResultsRemainSortedAndValid) {
+  auto node = Attach(0.5);
+  auto result = node->SearchAll(ds_->queries, 10, 48);
+  ASSERT_TRUE(result.ok());
+  for (const auto& top : result.value().results) {
+    for (size_t j = 1; j < top.size(); ++j) {
+      EXPECT_LE(top[j - 1].distance, top[j].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,70 @@
+#include "common/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dhnsw {
+namespace {
+
+TEST(AlignedBufferTest, DefaultIsEmpty) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, AlignmentHonored) {
+  for (size_t alignment : {64u, 128u, 4096u}) {
+    AlignedBuffer buf(1000, alignment);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % alignment, 0u)
+        << "alignment " << alignment;
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(buf.alignment(), alignment);
+  }
+}
+
+TEST(AlignedBufferTest, ZeroInitialized) {
+  AlignedBuffer buf(4096, 64);
+  for (uint8_t b : buf.span()) ASSERT_EQ(b, 0);
+}
+
+TEST(AlignedBufferTest, SizeNotMultipleOfAlignmentWorks) {
+  AlignedBuffer buf(100, 4096);  // aligned_alloc needs padding internally
+  EXPECT_EQ(buf.size(), 100u);
+  buf.span()[99] = 42;
+  EXPECT_EQ(buf.span()[99], 42);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(256, 64);
+  a.span()[0] = 7;
+  const uint8_t* ptr = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.span()[0], 7);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), ptr);
+  EXPECT_EQ(b.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBufferTest, SubspanViewsData) {
+  AlignedBuffer buf(128, 64);
+  buf.span()[10] = 99;
+  const auto sub = buf.subspan(10, 5);
+  EXPECT_EQ(sub.size(), 5u);
+  EXPECT_EQ(sub[0], 99);
+}
+
+TEST(AlignedBufferTest, ZeroSizeBuffer) {
+  AlignedBuffer buf(0, 64);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_TRUE(buf.span().empty());
+}
+
+}  // namespace
+}  // namespace dhnsw

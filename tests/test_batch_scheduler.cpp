@@ -1,0 +1,141 @@
+#include "core/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace dhnsw {
+namespace {
+
+std::function<bool(uint32_t)> CachedSet(std::unordered_set<uint32_t> cached) {
+  return [cached = std::move(cached)](uint32_t c) { return cached.count(c) != 0; };
+}
+
+TEST(BatchSchedulerTest, EmptyBatchYieldsNoWaves) {
+  const BatchPlan plan = PlanBatch({}, CachedSet({}), 4);
+  EXPECT_TRUE(plan.waves.empty());
+  EXPECT_EQ(plan.unique_clusters, 0u);
+}
+
+TEST(BatchSchedulerTest, EveryClusterLoadedAtMostOnce) {
+  // Paper §3.3: "each sub-HNSW is loaded from the memory pool only once."
+  const std::vector<std::vector<uint32_t>> routes = {
+      {1, 4}, {3, 4}, {4, 5}, {3, 1}, {5, 1}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 8);
+  std::set<uint32_t> loaded;
+  for (const LoadWave& wave : plan.waves) {
+    for (uint32_t c : wave.to_load) {
+      EXPECT_TRUE(loaded.insert(c).second) << "cluster " << c << " loaded twice";
+    }
+  }
+  EXPECT_EQ(loaded, std::set<uint32_t>({1, 3, 4, 5}));
+  EXPECT_EQ(plan.unique_clusters, 4u);
+}
+
+TEST(BatchSchedulerTest, AllWorkItemsCovered) {
+  const std::vector<std::vector<uint32_t>> routes = {{1, 2}, {2, 3}, {1, 3}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 2);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const LoadWave& wave : plan.waves) {
+    for (const WorkItem& item : wave.work) {
+      EXPECT_TRUE(seen.insert({item.query_index, item.cluster}).second);
+    }
+  }
+  std::set<std::pair<uint32_t, uint32_t>> want;
+  for (uint32_t qi = 0; qi < routes.size(); ++qi) {
+    for (uint32_t c : routes[qi]) want.insert({qi, c});
+  }
+  EXPECT_EQ(seen, want);
+}
+
+TEST(BatchSchedulerTest, CachedClustersAreNotLoaded) {
+  const std::vector<std::vector<uint32_t>> routes = {{1, 2}, {2, 3}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({2}), 4);
+  EXPECT_EQ(plan.cache_hits, 1u);
+  for (const LoadWave& wave : plan.waves) {
+    for (uint32_t c : wave.to_load) EXPECT_NE(c, 2u);
+  }
+  // But cluster 2's work still happens.
+  bool work_for_2 = false;
+  for (const LoadWave& wave : plan.waves) {
+    for (const WorkItem& item : wave.work) work_for_2 |= (item.cluster == 2);
+  }
+  EXPECT_TRUE(work_for_2);
+}
+
+TEST(BatchSchedulerTest, WavesRespectCacheCapacity) {
+  std::vector<std::vector<uint32_t>> routes;
+  for (uint32_t c = 0; c < 20; ++c) routes.push_back({c});
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 3);
+  for (const LoadWave& wave : plan.waves) {
+    EXPECT_LE(wave.to_load.size(), 3u);
+  }
+  EXPECT_EQ(plan.waves.size(), 7u);  // ceil(20/3)
+}
+
+TEST(BatchSchedulerTest, ZeroCapacityTreatedAsOne) {
+  const std::vector<std::vector<uint32_t>> routes = {{1, 2}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 0);
+  for (const LoadWave& wave : plan.waves) EXPECT_LE(wave.to_load.size(), 1u);
+}
+
+TEST(BatchSchedulerTest, WaveWorkOnlyReferencesResidentClusters) {
+  const std::vector<std::vector<uint32_t>> routes = {
+      {1, 2}, {3, 4}, {5, 6}, {1, 6}};
+  const std::unordered_set<uint32_t> cached = {5};
+  const BatchPlan plan = PlanBatch(routes, CachedSet(cached), 2);
+  for (const LoadWave& wave : plan.waves) {
+    std::set<uint32_t> resident(wave.to_load.begin(), wave.to_load.end());
+    for (const WorkItem& item : wave.work) {
+      EXPECT_TRUE(resident.count(item.cluster) || cached.count(item.cluster))
+          << "work for non-resident cluster " << item.cluster;
+    }
+  }
+}
+
+TEST(BatchSchedulerTest, DedupSavingsCounted) {
+  // 4 queries all wanting the same 2 clusters: 8 pair-loads naive, 2 actual.
+  const std::vector<std::vector<uint32_t>> routes = {
+      {7, 9}, {7, 9}, {7, 9}, {7, 9}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 8);
+  EXPECT_EQ(plan.unique_clusters, 2u);
+  EXPECT_EQ(plan.dedup_saved_loads, 8u - 2u);
+}
+
+TEST(BatchSchedulerTest, PopularClustersLoadFirst) {
+  // Cluster 9 demanded by 3 queries, cluster 1 by one: 9 must appear in an
+  // earlier-or-equal wave than 1.
+  const std::vector<std::vector<uint32_t>> routes = {{9}, {9}, {9, 1}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 1);
+  size_t wave_of_9 = 99, wave_of_1 = 99;
+  for (size_t w = 0; w < plan.waves.size(); ++w) {
+    for (uint32_t c : plan.waves[w].to_load) {
+      if (c == 9) wave_of_9 = w;
+      if (c == 1) wave_of_1 = w;
+    }
+  }
+  EXPECT_LT(wave_of_9, wave_of_1);
+}
+
+TEST(BatchSchedulerTest, WorkGroupedByQueryWithinWave) {
+  const std::vector<std::vector<uint32_t>> routes = {{1, 2}, {1, 2}, {1, 2}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 8);
+  for (const LoadWave& wave : plan.waves) {
+    for (size_t i = 1; i < wave.work.size(); ++i) {
+      EXPECT_LE(wave.work[i - 1].query_index, wave.work[i].query_index);
+    }
+  }
+}
+
+TEST(BatchSchedulerTest, DuplicateClusterWithinQueryCountedOnce) {
+  const std::vector<std::vector<uint32_t>> routes = {{4, 4, 4}};
+  const BatchPlan plan = PlanBatch(routes, CachedSet({}), 4);
+  EXPECT_EQ(plan.unique_clusters, 1u);
+  size_t items = 0;
+  for (const LoadWave& wave : plan.waves) items += wave.work.size();
+  EXPECT_EQ(items, 1u);
+}
+
+}  // namespace
+}  // namespace dhnsw

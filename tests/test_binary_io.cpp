@@ -1,0 +1,149 @@
+#include "common/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dhnsw {
+namespace {
+
+TEST(BinaryIoTest, PrimitiveRoundTrip) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI32(-12345);
+  w.PutF32(3.25f);
+
+  BinaryReader r(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  float f32;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI32(&i32).ok());
+  ASSERT_TRUE(r.GetF32(&f32).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_FLOAT_EQ(f32, 3.25f);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinaryIoTest, LittleEndianOnWire) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  w.PutU32(0x01020304u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(BinaryIoTest, FloatSpecialValuesSurvive) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  const float values[] = {0.0f, -0.0f, std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity(),
+                          std::numeric_limits<float>::denorm_min(),
+                          std::numeric_limits<float>::max()};
+  for (float v : values) w.PutF32(v);
+  BinaryReader r(buf);
+  for (float expected : values) {
+    float got;
+    ASSERT_TRUE(r.GetF32(&got).ok());
+    EXPECT_EQ(std::memcmp(&got, &expected, 4), 0);  // bit-exact
+  }
+}
+
+TEST(BinaryIoTest, ArraysRoundTrip) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  const std::vector<float> floats = {1.5f, -2.5f, 0.0f};
+  const std::vector<uint32_t> ints = {7, 8, 9, 10};
+  w.PutF32Array(floats);
+  w.PutU32Array(ints);
+
+  BinaryReader r(buf);
+  std::vector<float> floats2(3);
+  std::vector<uint32_t> ints2(4);
+  ASSERT_TRUE(r.GetF32Array(floats2).ok());
+  ASSERT_TRUE(r.GetU32Array(ints2).ok());
+  EXPECT_EQ(floats2, floats);
+  EXPECT_EQ(ints2, ints);
+}
+
+TEST(BinaryIoTest, BytesRoundTrip) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  w.PutBytes(payload);
+  BinaryReader r(buf);
+  std::vector<uint8_t> out(5);
+  ASSERT_TRUE(r.GetBytes(out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailCleanly) {
+  std::vector<uint8_t> buf = {1, 2};
+  BinaryReader r(buf);
+  uint32_t v;
+  const Status st = r.GetU32(&v);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  // Failed read must not consume anything usable afterwards beyond bounds.
+  uint16_t v16;
+  EXPECT_TRUE(r.GetU16(&v16).ok());
+}
+
+TEST(BinaryIoTest, TruncatedArrayFails) {
+  std::vector<uint8_t> buf(7, 0);  // 7 bytes < 2 floats
+  BinaryReader r(buf);
+  std::vector<float> out(2);
+  EXPECT_EQ(r.GetF32Array(out).code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, SkipAndRemaining) {
+  std::vector<uint8_t> buf(10, 0);
+  BinaryReader r(buf);
+  EXPECT_EQ(r.remaining(), 10u);
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(r.offset(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(r.Skip(7).code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, WriterAlignTo) {
+  std::vector<uint8_t> buf;
+  BinaryWriter w(&buf);
+  w.PutU8(1);
+  w.AlignTo(8);
+  EXPECT_EQ(buf.size(), 8u);
+  w.PutU8(2);
+  w.AlignTo(8);
+  EXPECT_EQ(buf.size(), 16u);
+  w.AlignTo(8);  // already aligned: no-op
+  EXPECT_EQ(buf.size(), 16u);
+}
+
+TEST(BinaryIoTest, ReaderAlignTo) {
+  std::vector<uint8_t> buf(16, 0);
+  BinaryReader r(buf);
+  ASSERT_TRUE(r.Skip(3).ok());
+  ASSERT_TRUE(r.AlignTo(8).ok());
+  EXPECT_EQ(r.offset(), 8u);
+  ASSERT_TRUE(r.AlignTo(8).ok());
+  EXPECT_EQ(r.offset(), 8u);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,159 @@
+// In-process tests of the dhnsw_cli tool: build -> info -> query -> insert
+// -> compact round trips over real fvecs/snapshot files.
+#include "cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "dataset/vecs_io.h"
+
+namespace dhnsw {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    ds_ = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 20,
+                         .num_clusters = 5, .seed = 191});
+    ComputeGroundTruth(&ds_, 10);
+    ASSERT_TRUE(WriteFvecs(Path("base.fvecs"), ds_.base).ok());
+    ASSERT_TRUE(WriteFvecs(Path("queries.fvecs"), ds_.queries).ok());
+    IvecsData gt;
+    gt.row_dim = ds_.gt_k;
+    gt.values = ds_.ground_truth;
+    ASSERT_TRUE(WriteIvecs(Path("gt.ivecs"), gt).ok());
+  }
+
+  void TearDown() override {
+    for (const char* f : {"base.fvecs", "queries.fvecs", "gt.ivecs", "region.dsnp",
+                          "updated.dsnp", "compacted.dsnp", "ids.ivecs", "new.fvecs"}) {
+      std::remove(Path(f).c_str());
+    }
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  int Run(std::vector<std::string> args, std::string* out) {
+    return cli::RunCli(args, out);
+  }
+
+  std::string dir_;
+  Dataset ds_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(Run({}, &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(Run({"frobnicate"}, &out), 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedFlagFails) {
+  std::string out;
+  EXPECT_EQ(Run({"build", "--base"}, &out), 2);
+}
+
+TEST_F(CliTest, BuildQueryRoundTripWithRecall) {
+  std::string out;
+  ASSERT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--reps=10", "--m=8", "--efc=50"},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("built 10 partitions"), std::string::npos);
+  EXPECT_NE(out.find("snapshot written"), std::string::npos);
+
+  out.clear();
+  ASSERT_EQ(Run({"query", "--snapshot=" + Path("region.dsnp"),
+                 "--queries=" + Path("queries.fvecs"), "--k=10", "--ef=64", "--b=3",
+                 "--gt=" + Path("gt.ivecs"), "--out=" + Path("ids.ivecs")},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("recall@10"), std::string::npos);
+
+  // recall printed should be decent on clustered data.
+  const auto pos = out.find("recall@10 = ");
+  ASSERT_NE(pos, std::string::npos);
+  const double recall = std::strtod(out.c_str() + pos + 12, nullptr);
+  EXPECT_GT(recall, 0.75) << out;
+
+  // Written ids decode and have the right shape.
+  auto ids = ReadIvecs(Path("ids.ivecs"));
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().row_dim, 10u);
+  EXPECT_EQ(ids.value().rows(), ds_.queries.size());
+}
+
+TEST_F(CliTest, InfoShowsTopology) {
+  std::string out;
+  ASSERT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--reps=10"},
+                &out), 0);
+  out.clear();
+  ASSERT_EQ(Run({"info", "--snapshot=" + Path("region.dsnp")}, &out), 0) << out;
+  EXPECT_NE(out.find("10 partitions"), std::string::npos);
+  EXPECT_NE(out.find("memory shard"), std::string::npos);
+}
+
+TEST_F(CliTest, InsertThenCompactPipeline) {
+  std::string out;
+  ASSERT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--reps=10", "--m=8"},
+                &out), 0);
+
+  // 30 new vectors to insert.
+  VectorSet fresh(8);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> v(ds_.base[i].begin(), ds_.base[i].end());
+    v[0] += 0.5f;
+    fresh.Append(v);
+  }
+  ASSERT_TRUE(WriteFvecs(Path("new.fvecs"), fresh).ok());
+
+  out.clear();
+  ASSERT_EQ(Run({"insert", "--snapshot=" + Path("region.dsnp"),
+                 "--vectors=" + Path("new.fvecs"), "--out=" + Path("updated.dsnp")},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("inserted 30 vectors"), std::string::npos);
+
+  out.clear();
+  ASSERT_EQ(Run({"compact", "--snapshot=" + Path("updated.dsnp"),
+                 "--out=" + Path("compacted.dsnp")},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("folded 30 inserts"), std::string::npos);
+
+  // The compacted snapshot still answers queries.
+  out.clear();
+  ASSERT_EQ(Run({"query", "--snapshot=" + Path("compacted.dsnp"),
+                 "--queries=" + Path("queries.fvecs"), "--k=5"},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("searched 20 queries"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFilesSurfaceErrors) {
+  std::string out;
+  EXPECT_EQ(Run({"build", "--base=/nope.fvecs", "--out=" + Path("region.dsnp")}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(Run({"query", "--snapshot=/nope.dsnp", "--queries=" + Path("queries.fvecs")},
+                &out), 1);
+  out.clear();
+  EXPECT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--metric=hamming"},
+                &out), 1);
+  EXPECT_NE(out.find("unknown metric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhnsw

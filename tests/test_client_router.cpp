@@ -1,0 +1,110 @@
+#include "core/client_router.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+struct Rig {
+  Dataset ds;
+  DhnswEngine engine;
+};
+
+Rig BuildRig(size_t instances) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 1500, .num_queries = 60,
+                              .num_clusters = 8, .seed = 121});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 16;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 5;
+  config.num_compute_nodes = instances;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  EXPECT_TRUE(engine.ok());
+  return Rig{std::move(ds), std::move(engine).value()};
+}
+
+TEST(ClientRouterTest, EmptyPoolRejected) {
+  ClientRouter router({});
+  VectorSet queries(8);
+  queries.Append(std::vector<float>(8, 0.0f));
+  EXPECT_EQ(router.SearchBatch(queries, 5, 32).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClientRouterTest, ShardedMatchesSingleNode) {
+  Rig rig = BuildRig(3);
+  auto single = rig.engine.compute(0).SearchAll(rig.ds.queries, 10, 48);
+  ASSERT_TRUE(single.ok());
+
+  auto sharded = rig.engine.SearchSharded(rig.ds.queries, 10, 48);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded.value().results.size(), rig.ds.queries.size());
+  for (size_t qi = 0; qi < rig.ds.queries.size(); ++qi) {
+    const auto& a = single.value().results[qi];
+    const auto& b = sharded.value().results[qi];
+    ASSERT_EQ(a.size(), b.size()) << "query " << qi;
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id) << "query " << qi;
+    }
+  }
+}
+
+TEST(ClientRouterTest, EveryInstanceDoesWork) {
+  Rig rig = BuildRig(3);
+  auto result = rig.engine.SearchSharded(rig.ds.queries, 5, 32);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().per_instance.size(), 3u);
+  for (const BatchBreakdown& b : result.value().per_instance) {
+    EXPECT_EQ(b.num_queries, 20u);  // 60 queries / 3 instances
+    EXPECT_GT(b.round_trips, 0u);
+  }
+}
+
+TEST(ClientRouterTest, LatencyIsMaxOverInstances) {
+  Rig rig = BuildRig(2);
+  auto result = rig.engine.SearchSharded(rig.ds.queries, 5, 32);
+  ASSERT_TRUE(result.ok());
+  double max_shard = 0;
+  for (const BatchBreakdown& b : result.value().per_instance) {
+    max_shard = std::max(max_shard, b.network_us + b.meta_us + b.sub_us + b.deserialize_us);
+  }
+  EXPECT_DOUBLE_EQ(result.value().batch_latency_us, max_shard);
+  EXPECT_GT(result.value().throughput_qps, 0.0);
+}
+
+TEST(ClientRouterTest, MoreQueriesThanInstancesHandlesRemainder) {
+  Rig rig = BuildRig(7);  // 60 % 7 != 0 -> uneven shards
+  auto result = rig.engine.SearchSharded(rig.ds.queries, 5, 32);
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const BatchBreakdown& b : result.value().per_instance) total += b.num_queries;
+  EXPECT_EQ(total, rig.ds.queries.size());
+  for (const auto& r : result.value().results) EXPECT_FALSE(r.empty());
+}
+
+TEST(ClientRouterTest, FewerQueriesThanInstances) {
+  Rig rig = BuildRig(4);
+  VectorSet two(8);
+  two.Append(rig.ds.queries[0]);
+  two.Append(rig.ds.queries[1]);
+  auto result = rig.engine.SearchSharded(two, 5, 32);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().results.size(), 2u);
+  for (const auto& r : result.value().results) EXPECT_FALSE(r.empty());
+}
+
+TEST(ClientRouterTest, RecallMatchesQuality) {
+  Rig rig = BuildRig(3);
+  ComputeGroundTruth(&rig.ds, 10);
+  auto result = rig.engine.SearchSharded(rig.ds.queries, 10, 64);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(MeanRecallAtK(rig.ds, result.value().results, 10), 0.8);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,148 @@
+#include "serialize/cluster_blob.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+Cluster MakeCluster(uint32_t partition_id, uint32_t count, uint32_t dim, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  HnswIndex index(dim, {.M = 6, .ef_construction = 40, .seed = seed});
+  std::vector<uint32_t> gids;
+  std::vector<float> v(dim);
+  for (uint32_t i = 0; i < count; ++i) {
+    for (auto& x : v) x = rng.NextFloat() * 10.0f;
+    index.Add(v);
+    gids.push_back(1000 + i * 3);  // arbitrary non-dense global ids
+  }
+  return Cluster(partition_id, std::move(index), std::move(gids));
+}
+
+TEST(ClusterBlobTest, RoundTripPreservesEverything) {
+  const Cluster original = MakeCluster(7, 120, 12, 42);
+  const std::vector<uint8_t> blob = EncodeCluster(original);
+
+  auto decoded = DecodeCluster(blob, HnswOptions{});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Cluster& c = decoded.value();
+
+  EXPECT_EQ(c.partition_id, 7u);
+  EXPECT_EQ(c.global_ids, original.global_ids);
+  ASSERT_EQ(c.index.size(), original.index.size());
+  EXPECT_EQ(c.index.dim(), original.index.dim());
+  EXPECT_EQ(c.index.entry_point(), original.index.entry_point());
+  EXPECT_EQ(c.index.max_level_in_graph(), original.index.max_level_in_graph());
+
+  for (uint32_t id = 0; id < c.index.size(); ++id) {
+    ASSERT_EQ(c.index.level(id), original.index.level(id));
+    for (uint32_t layer = 0; layer <= c.index.level(id); ++layer) {
+      const auto a = c.index.neighbors(id, layer);
+      const auto b = original.index.neighbors(id, layer);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+    const auto va = c.index.vector(id);
+    const auto vb = original.index.vector(id);
+    for (uint32_t d = 0; d < c.index.dim(); ++d) ASSERT_FLOAT_EQ(va[d], vb[d]);
+  }
+}
+
+TEST(ClusterBlobTest, DecodedIndexSearchesIdentically) {
+  const Cluster original = MakeCluster(0, 200, 8, 43);
+  const std::vector<uint8_t> blob = EncodeCluster(original);
+  auto decoded = DecodeCluster(blob, HnswOptions{});
+  ASSERT_TRUE(decoded.ok());
+
+  Xoshiro256 rng(44);
+  std::vector<float> q(8);
+  for (int t = 0; t < 10; ++t) {
+    for (auto& x : q) x = rng.NextFloat() * 10.0f;
+    const auto r1 = original.index.Search(q, 5, 30);
+    const auto r2 = decoded.value().index.Search(q, 5, 30);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i].id, r2[i].id);
+  }
+}
+
+TEST(ClusterBlobTest, EncodedSizeMatchesActual) {
+  for (uint32_t count : {1u, 10u, 100u}) {
+    const Cluster c = MakeCluster(1, count, 6, count);
+    EXPECT_EQ(EncodedClusterSize(c), EncodeCluster(c).size()) << "count " << count;
+  }
+}
+
+TEST(ClusterBlobTest, PeekHeaderWithoutFullDecode) {
+  const Cluster c = MakeCluster(9, 50, 4, 45);
+  const std::vector<uint8_t> blob = EncodeCluster(c);
+  auto header = PeekClusterHeader(blob);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().partition_id, 9u);
+  EXPECT_EQ(header.value().count, 50u);
+  EXPECT_EQ(header.value().dim, 4u);
+  EXPECT_EQ(header.value().payload_size + ClusterHeader::kEncodedSize, blob.size());
+}
+
+TEST(ClusterBlobTest, TrailingBytesAreIgnored) {
+  const Cluster c = MakeCluster(2, 30, 4, 46);
+  std::vector<uint8_t> blob = EncodeCluster(c);
+  blob.resize(blob.size() + 1024, 0xCC);  // e.g. overflow area read along
+  auto decoded = DecodeCluster(blob, HnswOptions{});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().index.size(), 30u);
+}
+
+TEST(ClusterBlobTest, CorruptPayloadDetectedByCrc) {
+  const Cluster c = MakeCluster(3, 40, 4, 47);
+  std::vector<uint8_t> blob = EncodeCluster(c);
+  blob[ClusterHeader::kEncodedSize + 10] ^= 0xFF;
+  EXPECT_EQ(DecodeCluster(blob, HnswOptions{}).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ClusterBlobTest, BadMagicRejected) {
+  const Cluster c = MakeCluster(3, 10, 4, 48);
+  std::vector<uint8_t> blob = EncodeCluster(c);
+  blob[0] ^= 0x01;
+  EXPECT_EQ(DecodeCluster(blob, HnswOptions{}).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ClusterBlobTest, TruncatedBlobRejected) {
+  const Cluster c = MakeCluster(3, 10, 4, 49);
+  std::vector<uint8_t> blob = EncodeCluster(c);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DecodeCluster(blob, HnswOptions{}).ok());
+}
+
+TEST(ClusterBlobTest, TinyBufferRejected) {
+  std::vector<uint8_t> blob(10, 0);
+  EXPECT_FALSE(DecodeCluster(blob, HnswOptions{}).ok());
+  EXPECT_FALSE(PeekClusterHeader(blob).ok());
+}
+
+TEST(ClusterBlobTest, SingleVectorCluster) {
+  const Cluster c = MakeCluster(5, 1, 16, 50);
+  auto decoded = DecodeCluster(EncodeCluster(c), HnswOptions{});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().index.size(), 1u);
+  const auto top = decoded.value().index.Search(decoded.value().index.vector(0), 1, 4);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+TEST(ClusterBlobTest, PreservesMOption) {
+  Xoshiro256 rng(51);
+  HnswIndex index(4, {.M = 24, .ef_construction = 40});
+  std::vector<float> v(4);
+  for (int i = 0; i < 20; ++i) {
+    for (auto& x : v) x = rng.NextFloat();
+    index.Add(v);
+  }
+  Cluster c(0, std::move(index), std::vector<uint32_t>(20, 0));
+  for (uint32_t i = 0; i < 20; ++i) c.global_ids[i] = i;
+  auto decoded = DecodeCluster(EncodeCluster(c), HnswOptions{});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().index.options().M, 24u);
+}
+
+}  // namespace
+}  // namespace dhnsw

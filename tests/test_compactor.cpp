@@ -1,0 +1,174 @@
+#include "core/compactor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig SmallConfig(uint64_t overflow_per_group = 1 << 14) {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 10;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  config.layout.overflow_bytes_per_group = overflow_per_group;
+  return config;
+}
+
+Dataset SmallData() {
+  return MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 15,
+                        .num_clusters = 6, .seed = 101});
+}
+
+TEST(CompactorTest, FoldsInsertsIntoBlobs) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<std::vector<float>> inserted;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<float> v(ds.base[i].begin(), ds.base[i].end());
+    v[0] += 0.5f;
+    ASSERT_TRUE(engine.value().Insert(v).ok());
+    inserted.push_back(std::move(v));
+  }
+
+  auto stats = engine.value().Compact();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().live_records_folded, 40u);
+  EXPECT_EQ(stats.value().tombstones_applied, 0u);
+  EXPECT_EQ(stats.value().clusters, 10u);
+  EXPECT_GT(stats.value().bytes_read, 0u);
+
+  // After compaction the overflow counters are zero again...
+  for (uint32_t c = 0; c < 10; ++c) {
+    auto meta = engine.value().memory_node()->InspectClusterMeta(c);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_EQ(meta.value().overflow_used, 0u);
+  }
+  // ...and every folded vector is still retrievable (now via the graph).
+  VectorSet probes(8);
+  for (const auto& v : inserted) probes.Append(v);
+  auto result = engine.value().SearchAll(probes, 1, 48);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    ASSERT_FALSE(result.value().results[i].empty());
+    EXPECT_GE(result.value().results[i][0].id, ds.base.size()) << "probe " << i;
+    EXPECT_LT(result.value().results[i][0].distance, 1e-3f);
+  }
+}
+
+TEST(CompactorTest, AppliesTombstones) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+
+  for (uint32_t gid = 0; gid < 10; ++gid) {
+    ASSERT_TRUE(engine.value().Remove(ds.base[gid], gid).ok());
+  }
+  auto stats = engine.value().Compact();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().tombstones_applied, 10u);
+
+  // Deleted ids stay gone post-compaction (now physically absent).
+  for (uint32_t gid = 0; gid < 10; ++gid) {
+    VectorSet probe(8);
+    probe.Append(ds.base[gid]);
+    auto result = engine.value().SearchAll(probe, 5, 48);
+    ASSERT_TRUE(result.ok());
+    for (const Scored& s : result.value().results[0]) EXPECT_NE(s.id, gid);
+  }
+}
+
+TEST(CompactorTest, FreesCapacityForNewInserts) {
+  Dataset ds = SmallData();
+  // Tiny overflow: a few records per group.
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig(/*overflow=*/120));
+  ASSERT_TRUE(engine.ok());
+
+  // Fill until Capacity.
+  std::vector<float> v(ds.base[0].begin(), ds.base[0].end());
+  Status last = Status::Ok();
+  int ok_before = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto id = engine.value().Insert(v);
+    if (!id.ok()) {
+      last = id.status();
+      break;
+    }
+    ++ok_before;
+  }
+  ASSERT_EQ(last.code(), StatusCode::kCapacity);
+
+  auto stats = engine.value().Compact();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().live_records_folded, static_cast<uint32_t>(ok_before));
+
+  // Inserts work again.
+  EXPECT_TRUE(engine.value().Insert(v).ok());
+}
+
+TEST(CompactorTest, BumpsLayoutVersion) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value().Compact().ok());
+  EXPECT_EQ(engine.value().memory_node()->plan().header.layout_version, 1u);
+  ASSERT_TRUE(engine.value().Compact().ok());
+  EXPECT_EQ(engine.value().memory_node()->plan().header.layout_version, 2u);
+}
+
+TEST(CompactorTest, RecallPreservedAcrossCompaction) {
+  Dataset ds = SmallData();
+  ComputeGroundTruth(&ds, 5);
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+
+  auto before = engine.value().SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(before.ok());
+  const double recall_before = MeanRecallAtK(ds, before.value().results, 5);
+
+  ASSERT_TRUE(engine.value().Compact().ok());
+  auto after = engine.value().SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(after.ok());
+  const double recall_after = MeanRecallAtK(ds, after.value().results, 5);
+  EXPECT_NEAR(recall_after, recall_before, 0.05);
+}
+
+TEST(CompactorTest, CosineMetricSurvivesCompaction) {
+  Dataset ds = SmallData();
+  DhnswConfig config = DhnswConfig::Defaults(Metric::kCosine);
+  config.meta.num_representatives = 8;
+  config.sub_hnsw.M = 8;
+  config.compute.clusters_per_query = 3;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+  ComputeGroundTruth(&ds, 5, Metric::kCosine);
+
+  ASSERT_TRUE(engine.value().Compact().ok());
+  auto result = engine.value().SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(MeanRecallAtK(ds, result.value().results, 5), 0.65);
+}
+
+TEST(CompactorTest, ComputeNodesKeepWorkingAfterReconnect) {
+  Dataset ds = SmallData();
+  DhnswConfig config = SmallConfig();
+  config.num_compute_nodes = 2;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  ASSERT_TRUE(engine.value().Compact().ok());
+  // Both instances must be live on the new region.
+  for (size_t i = 0; i < 2; ++i) {
+    auto result = engine.value().compute(i).SearchAll(ds.queries, 5, 32);
+    EXPECT_TRUE(result.ok()) << "instance " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,155 @@
+// Concurrency test for the lock-free insert protocol: multiple compute
+// instances (one per thread, as in the paper's deployment) insert into the
+// same memory pool simultaneously. The FAA-based slot allocation must hand
+// out non-overlapping record slots, and every successful insert must be
+// retrievable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(ConcurrentInsertTest, ParallelInsertsNeverCollideOrVanish) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 1000, .num_queries = 2,
+                              .num_clusters = 6, .seed = 201});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 12;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 5;
+  config.num_compute_nodes = 4;
+  config.layout.overflow_bytes_per_group = 1 << 18;
+  auto built = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(built.ok());
+  DhnswEngine& engine = built.value();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+
+  struct PerThread {
+    std::vector<std::pair<uint32_t, std::vector<float>>> inserted;
+    std::vector<uint64_t> slots;  // remote offsets claimed
+    int capacity_errors = 0;
+  };
+  std::vector<PerThread> results(kThreads);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(300 + t);
+      ComputeNode& node = engine.compute(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint32_t gid = 1'000'000 + t * kPerThread + i;
+        // Perturbed copy of a random base row.
+        const size_t src = rng.NextBounded(ds.base.size());
+        std::vector<float> v(ds.base[src].begin(), ds.base[src].end());
+        v[0] += 0.01f * static_cast<float>(t + 1);
+        auto receipt = node.Insert(v, gid);
+        if (receipt.ok()) {
+          results[t].inserted.emplace_back(gid, std::move(v));
+          results[t].slots.push_back(receipt.value().remote_offset);
+        } else if (receipt.status().code() == StatusCode::kCapacity) {
+          ++results[t].capacity_errors;
+        } else {
+          ADD_FAILURE() << "unexpected insert error: "
+                        << receipt.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // 1. No two successful inserts claimed the same remote slot.
+  std::set<uint64_t> slots;
+  size_t total_ok = 0;
+  for (const PerThread& r : results) {
+    total_ok += r.inserted.size();
+    for (uint64_t slot : r.slots) {
+      EXPECT_TRUE(slots.insert(slot).second) << "slot collision at " << slot;
+    }
+  }
+  EXPECT_GT(total_ok, 0u);
+
+  // 2. Every successful insert is retrievable from a fresh instance.
+  ComputeOptions probe_options;
+  probe_options.clusters_per_query = 3;
+  probe_options.cache_capacity = 12;
+  ComputeNode probe(&engine.fabric(), engine.memory_handle(), probe_options);
+  ASSERT_TRUE(probe.Connect().ok());
+  for (const PerThread& r : results) {
+    for (const auto& [gid, v] : r.inserted) {
+      VectorSet q(8);
+      q.Append(v);
+      auto result = probe.SearchAll(q, 5, 64);
+      ASSERT_TRUE(result.ok());
+      bool found = false;
+      for (const Scored& s : result.value().results[0]) found |= (s.id == gid);
+      EXPECT_TRUE(found) << "inserted gid " << gid << " not retrievable";
+    }
+  }
+}
+
+TEST(ConcurrentInsertTest, MixedReadersAndWritersStayConsistent) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 1500, .num_queries = 50,
+                              .num_clusters = 8, .seed = 202});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 16;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 6;
+  config.num_compute_nodes = 3;
+  config.layout.overflow_bytes_per_group = 1 << 17;
+  auto built = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(built.ok());
+  DhnswEngine& engine = built.value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<int> reader_batches{0};
+
+  // Two reader instances hammer queries while one writer inserts.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load()) {
+        auto result = engine.compute(t).SearchAll(ds.queries, 5, 32);
+        if (!result.ok()) {
+          reader_errors.fetch_add(1);
+        } else {
+          reader_batches.fetch_add(1);
+          // Answers must always be well-formed.
+          for (const auto& top : result.value().results) {
+            if (top.size() > 5) reader_errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  Xoshiro256 rng(203);
+  int inserted = 0;
+  for (int i = 0; i < 150; ++i) {
+    const size_t src = rng.NextBounded(ds.base.size());
+    std::vector<float> v(ds.base[src].begin(), ds.base[src].end());
+    v[3] += 0.25f;
+    auto id = engine.compute(2).Insert(v, 2'000'000 + i);
+    if (id.ok()) ++inserted;
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_GT(reader_batches.load(), 0);
+  EXPECT_GT(inserted, 0);
+}
+
+}  // namespace
+}  // namespace dhnsw

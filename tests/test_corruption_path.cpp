@@ -1,0 +1,115 @@
+// End-to-end corruption handling: when bytes in remote memory are damaged
+// (bit rot, torn concurrent rewrite), compute nodes must surface CORRUPTION
+// from the CRC check instead of serving wrong answers — and recover once the
+// damage is repaired.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include <cstring>
+
+#include "rdma/memory_region.h"
+
+namespace dhnsw {
+namespace {
+
+struct Rig {
+  Dataset ds;
+  DhnswEngine engine;
+};
+
+Rig BuildRig() {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 10,
+                              .num_clusters = 5, .seed = 161});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 8;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 3;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  EXPECT_TRUE(engine.ok());
+  return Rig{std::move(ds), std::move(engine).value()};
+}
+
+TEST(CorruptionPathTest, DamagedClusterPayloadSurfacesCorruption) {
+  Rig rig = BuildRig();
+  const MemoryNodeHandle& handle = rig.engine.memory_handle();
+  const LayoutPlan& plan = rig.engine.memory_node()->plan();
+
+  // Flip a byte inside cluster 0's blob payload (past its 48-byte header).
+  rdma::MemoryRegion* region = rig.engine.fabric().FindRegion(handle.rkey);
+  ASSERT_NE(region, nullptr);
+  const uint64_t victim = plan.entries[0].blob_offset + 100;
+  region->host_span()[victim] ^= 0xFF;
+
+  rig.engine.compute(0).InvalidateCache();
+  const auto result = rig.engine.SearchAll(rig.ds.queries, 5, 32);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+
+  // Repair and retry: the system recovers without rebuilding.
+  region->host_span()[victim] ^= 0xFF;
+  rig.engine.compute(0).InvalidateCache();
+  EXPECT_TRUE(rig.engine.SearchAll(rig.ds.queries, 5, 32).ok());
+}
+
+TEST(CorruptionPathTest, DamagedMetaBlobFailsConnect) {
+  Rig rig = BuildRig();
+  const MemoryNodeHandle& handle = rig.engine.memory_handle();
+  const LayoutPlan& plan = rig.engine.memory_node()->plan();
+
+  rdma::MemoryRegion* region = rig.engine.fabric().FindRegion(handle.rkey);
+  ASSERT_NE(region, nullptr);
+  region->host_span()[plan.header.meta_blob_offset + 200] ^= 0xFF;
+
+  ComputeOptions options;
+  options.clusters_per_query = 3;
+  ComputeNode fresh(&rig.engine.fabric(), handle, options);
+  const Status st = fresh.Connect();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(CorruptionPathTest, DamagedRegionHeaderFailsConnect) {
+  Rig rig = BuildRig();
+  rdma::MemoryRegion* region =
+      rig.engine.fabric().FindRegion(rig.engine.memory_handle().rkey);
+  ASSERT_NE(region, nullptr);
+  region->host_span()[0] ^= 0xFF;  // magic
+
+  ComputeOptions options;
+  ComputeNode fresh(&rig.engine.fabric(), rig.engine.memory_handle(), options);
+  EXPECT_EQ(fresh.Connect().code(), StatusCode::kCorruption);
+}
+
+TEST(CorruptionPathTest, WrongBlobAtOffsetDetectedByPartitionCheck) {
+  // Simulate a misdirected write: cluster 1's metadata points at cluster 0's
+  // blob bytes. The partition-id check must catch the mismatch even though
+  // the blob itself is internally consistent.
+  Rig rig = BuildRig();
+  const LayoutPlan& plan = rig.engine.memory_node()->plan();
+  rdma::MemoryRegion* region =
+      rig.engine.fabric().FindRegion(rig.engine.memory_handle().rkey);
+  ASSERT_NE(region, nullptr);
+
+  // Copy blob 0 over blob 1's location (both fit: copy min of sizes — only
+  // the header + payload prefix matter for the check).
+  const ClusterMeta& m0 = plan.entries[0];
+  const ClusterMeta& m1 = plan.entries[1];
+  const uint64_t n = std::min(m0.blob_size, m1.blob_size);
+  auto mem = region->host_span();
+  std::memmove(mem.data() + m1.blob_offset, mem.data() + m0.blob_offset, n);
+
+  // A node that fans out to every partition is guaranteed to touch the
+  // damaged cluster.
+  ComputeOptions options;
+  options.clusters_per_query = rig.engine.num_partitions();
+  options.cache_capacity = rig.engine.num_partitions();
+  ComputeNode wide(&rig.engine.fabric(), rig.engine.memory_handle(), options);
+  ASSERT_TRUE(wide.Connect().ok());
+  const auto result = wide.SearchAll(rig.ds.queries, 5, 32);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dhnsw

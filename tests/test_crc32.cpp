@@ -1,0 +1,58 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace dhnsw {
+namespace {
+
+std::span<const uint8_t> Bytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC-32C check value: crc32c("123456789") == 0xE3069283.
+  EXPECT_EQ(Crc32c(Bytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) {
+  EXPECT_EQ(Crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, RfcTestVectors) {
+  // From RFC 3720 (iSCSI) appendix: 32 zero bytes and 32 0xFF bytes.
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::vector<uint8_t> data(100, 0x5A);
+  const uint32_t base = Crc32c(data);
+  for (size_t byte : {0u, 50u, 99u}) {
+    data[byte] ^= 0x01;
+    EXPECT_NE(Crc32c(data), base) << "flip at byte " << byte;
+    data[byte] ^= 0x01;
+  }
+  EXPECT_EQ(Crc32c(data), base);
+}
+
+TEST(Crc32cTest, SensitiveToReordering) {
+  const uint32_t ab = Crc32c(Bytes("ab"));
+  const uint32_t ba = Crc32c(Bytes("ba"));
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Crc32cTest, ChainingViaSeedEqualsOneShot) {
+  const auto all = Bytes("hello, disaggregated world");
+  const uint32_t one_shot = Crc32c(all);
+  const uint32_t first = Crc32c(all.subspan(0, 10));
+  const uint32_t chained = Crc32c(all.subspan(10), first);
+  EXPECT_EQ(chained, one_shot);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,227 @@
+#include "dataset/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "dataset/vecs_io.h"
+#include "index/flat_index.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(VectorSetTest, AppendAndAccess) {
+  VectorSet vs(3);
+  vs.Append(std::vector<float>{1, 2, 3});
+  vs.Append(std::vector<float>{4, 5, 6});
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_FLOAT_EQ(vs[1][2], 6.0f);
+  EXPECT_EQ(vs.flat().size(), 6u);
+}
+
+TEST(VectorSetTest, ConstructFromFlatData) {
+  VectorSet vs(2, {1, 2, 3, 4});
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_FLOAT_EQ(vs[0][1], 2.0f);
+}
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  const Dataset ds = MakeSynthetic({.dim = 10, .num_base = 500, .num_queries = 20,
+                                    .num_clusters = 5, .seed = 1});
+  EXPECT_EQ(ds.base.dim(), 10u);
+  EXPECT_EQ(ds.base.size(), 500u);
+  EXPECT_EQ(ds.queries.size(), 20u);
+  EXPECT_TRUE(ds.ground_truth.empty());
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  const SyntheticSpec spec{.dim = 8, .num_base = 100, .num_queries = 10,
+                           .num_clusters = 4, .seed = 99};
+  const Dataset a = MakeSynthetic(spec);
+  const Dataset b = MakeSynthetic(spec);
+  for (size_t i = 0; i < a.base.size(); ++i) {
+    for (uint32_t d = 0; d < a.base.dim(); ++d) {
+      ASSERT_FLOAT_EQ(a.base[i][d], b.base[i][d]);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec{.dim = 8, .num_base = 50, .num_queries = 5, .num_clusters = 4};
+  spec.seed = 1;
+  const Dataset a = MakeSynthetic(spec);
+  spec.seed = 2;
+  const Dataset b = MakeSynthetic(spec);
+  bool any_diff = false;
+  for (uint32_t d = 0; d < 8; ++d) any_diff |= (a.base[0][d] != b.base[0][d]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, SiftLikeIs128d) {
+  const Dataset ds = MakeSiftLike(200, 10);
+  EXPECT_EQ(ds.base.dim(), 128u);
+  EXPECT_EQ(ds.name, "sift-like");
+}
+
+TEST(SyntheticTest, GistLikeIs960d) {
+  const Dataset ds = MakeGistLike(50, 5);
+  EXPECT_EQ(ds.base.dim(), 960u);
+  EXPECT_EQ(ds.name, "gist-like");
+}
+
+TEST(SyntheticTest, ClusteredDataIsActuallyClustered) {
+  // With tight clusters, a point's nearest neighbors should overwhelmingly
+  // come from its own cluster: mean NN distance << typical inter-center gap.
+  const Dataset ds = MakeSynthetic({.dim = 16, .num_base = 1000, .num_queries = 1,
+                                    .num_clusters = 10, .box_half_width = 100.0f,
+                                    .cluster_stddev = 1.0f, .seed = 3});
+  FlatIndex flat(16);
+  flat.AddBatch(ds.base.flat());
+  double nn_sum = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    const auto top = flat.Search(ds.base[i], 2);  // [0] = itself
+    nn_sum += std::sqrt(top[1].distance);
+  }
+  // Intra-cluster NN distance ~ stddev * sqrt(dim) ~ 4; inter-center ~ 100s.
+  EXPECT_LT(nn_sum / 50.0, 20.0);
+}
+
+TEST(GroundTruthTest, MatchesFlatIndex) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 300, .num_queries = 10,
+                              .num_clusters = 3, .seed = 4});
+  ComputeGroundTruth(&ds, 5);
+  ASSERT_EQ(ds.gt_k, 5u);
+  ASSERT_EQ(ds.ground_truth.size(), 50u);
+
+  FlatIndex flat(8);
+  flat.AddBatch(ds.base.flat());
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    const auto want = flat.Search(ds.queries[qi], 5);
+    const auto got = ds.GroundTruthFor(qi);
+    for (size_t j = 0; j < 5; ++j) EXPECT_EQ(got[j], want[j].id);
+  }
+}
+
+TEST(GroundTruthTest, ParallelMatchesSerial) {
+  Dataset a = MakeSynthetic({.dim = 8, .num_base = 200, .num_queries = 8,
+                             .num_clusters = 3, .seed = 5});
+  Dataset b = a;
+  ComputeGroundTruth(&a, 4, Metric::kL2, 1);
+  ComputeGroundTruth(&b, 4, Metric::kL2, 4);
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(RecallTest, PerfectRecallIsOne) {
+  std::vector<Scored> found = {{0.1f, 1}, {0.2f, 2}, {0.3f, 3}};
+  std::vector<uint32_t> exact = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RecallAtK(found, exact, 3), 1.0);
+}
+
+TEST(RecallTest, OrderInsensitiveWithinTopK) {
+  std::vector<Scored> found = {{0.1f, 3}, {0.2f, 1}, {0.3f, 2}};
+  std::vector<uint32_t> exact = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RecallAtK(found, exact, 3), 1.0);
+}
+
+TEST(RecallTest, PartialRecall) {
+  std::vector<Scored> found = {{0.1f, 1}, {0.2f, 9}, {0.3f, 8}};
+  std::vector<uint32_t> exact = {1, 2, 3};
+  EXPECT_NEAR(RecallAtK(found, exact, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RecallTest, ShortResultListCountsMissing) {
+  std::vector<Scored> found = {{0.1f, 1}};
+  std::vector<uint32_t> exact = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK(found, exact, 2), 0.5);
+}
+
+TEST(VecsIoTest, FvecsRoundTrip) {
+  VectorSet vs(4);
+  vs.Append(std::vector<float>{1.5f, -2.0f, 3.25f, 0.0f});
+  vs.Append(std::vector<float>{9.0f, 8.0f, 7.0f, 6.0f});
+  const std::string path = ::testing::TempDir() + "/roundtrip.fvecs";
+  ASSERT_TRUE(WriteFvecs(path, vs).ok());
+
+  auto back = ReadFvecs(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().dim(), 4u);
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_FLOAT_EQ(back.value()[0][2], 3.25f);
+  EXPECT_FLOAT_EQ(back.value()[1][3], 6.0f);
+  std::remove(path.c_str());
+}
+
+TEST(VecsIoTest, FvecsMaxRowsLimits) {
+  VectorSet vs(2);
+  for (int i = 0; i < 5; ++i) vs.Append(std::vector<float>{float(i), float(i)});
+  const std::string path = ::testing::TempDir() + "/limit.fvecs";
+  ASSERT_TRUE(WriteFvecs(path, vs).ok());
+  auto back = ReadFvecs(path, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(VecsIoTest, IvecsRoundTrip) {
+  IvecsData data;
+  data.row_dim = 3;
+  data.values = {1, 2, 3, 10, 20, 30};
+  const std::string path = ::testing::TempDir() + "/gt.ivecs";
+  ASSERT_TRUE(WriteIvecs(path, data).ok());
+  auto back = ReadIvecs(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().row_dim, 3u);
+  EXPECT_EQ(back.value().values, data.values);
+  std::remove(path.c_str());
+}
+
+TEST(VecsIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadFvecs("/nonexistent/nope.fvecs").status().code(), StatusCode::kIoError);
+}
+
+TEST(VecsIoTest, TruncatedFileIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/trunc.fvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 8;
+  std::fwrite(&dim, sizeof dim, 1, f);
+  const float partial[3] = {1, 2, 3};  // claims 8, writes 3
+  std::fwrite(partial, sizeof(float), 3, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadFvecs(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(VecsIoTest, ImplausibleDimensionIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/baddim.fvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = -5;
+  std::fwrite(&dim, sizeof dim, 1, f);
+  std::fclose(f);
+  EXPECT_EQ(ReadFvecs(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(VecsIoTest, BvecsWidensToFloat) {
+  const std::string path = ::testing::TempDir() + "/bytes.bvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 4;
+  const uint8_t row[4] = {0, 1, 128, 255};
+  std::fwrite(&dim, sizeof dim, 1, f);
+  std::fwrite(row, 1, 4, f);
+  std::fclose(f);
+  auto back = ReadBvecs(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(back.value()[0][0], 0.0f);
+  EXPECT_FLOAT_EQ(back.value()[0][3], 255.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dhnsw

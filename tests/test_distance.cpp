@@ -1,0 +1,108 @@
+#include "index/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(DistanceTest, L2SqHandComputed) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, 6.0f, 3.0f};
+  EXPECT_FLOAT_EQ(L2Sq(a, b), 9.0f + 16.0f);
+}
+
+TEST(DistanceTest, L2SqIdentityIsZero) {
+  const std::vector<float> a = {0.5f, -1.5f, 2.5f, 7.0f};
+  EXPECT_FLOAT_EQ(L2Sq(a, a), 0.0f);
+}
+
+TEST(DistanceTest, L2SqSymmetric) {
+  Xoshiro256 rng(1);
+  std::vector<float> a(64), b(64);
+  for (auto& x : a) x = rng.NextFloat();
+  for (auto& x : b) x = rng.NextFloat();
+  EXPECT_FLOAT_EQ(L2Sq(a, b), L2Sq(b, a));
+}
+
+TEST(DistanceTest, InnerProductIsNegatedDot) {
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(InnerProduct(a, b), -11.0f);
+}
+
+TEST(DistanceTest, InnerProductOrdersByLargerDot) {
+  // Bigger dot product == closer (smaller "distance").
+  const std::vector<float> q = {1.0f, 0.0f};
+  const std::vector<float> close = {5.0f, 0.0f};
+  const std::vector<float> far = {1.0f, 0.0f};
+  EXPECT_LT(InnerProduct(q, close), InnerProduct(q, far));
+}
+
+TEST(DistanceTest, CosineOfParallelVectorsIsZero) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {2.0f, 4.0f, 6.0f};
+  EXPECT_NEAR(CosineDistance(a, b), 0.0f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineOfOrthogonalVectorsIsOne) {
+  const std::vector<float> a = {1.0f, 0.0f};
+  const std::vector<float> b = {0.0f, 1.0f};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineOfOppositeVectorsIsTwo) {
+  const std::vector<float> a = {1.0f, 1.0f};
+  const std::vector<float> b = {-1.0f, -1.0f};
+  EXPECT_NEAR(CosineDistance(a, b), 2.0f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineZeroVectorConvention) {
+  const std::vector<float> zero = {0.0f, 0.0f};
+  const std::vector<float> a = {1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(CosineDistance(zero, a), 1.0f);
+}
+
+TEST(DistanceTest, DispatcherMatchesKernels) {
+  Xoshiro256 rng(2);
+  std::vector<float> a(32), b(32);
+  for (auto& x : a) x = rng.NextFloat() - 0.5f;
+  for (auto& x : b) x = rng.NextFloat() - 0.5f;
+  EXPECT_FLOAT_EQ(Distance(Metric::kL2, a, b), L2Sq(a, b));
+  EXPECT_FLOAT_EQ(Distance(Metric::kInnerProduct, a, b), InnerProduct(a, b));
+  EXPECT_FLOAT_EQ(Distance(Metric::kCosine, a, b), CosineDistance(a, b));
+}
+
+TEST(DistanceTest, FunctionPointerMatchesDispatch) {
+  std::vector<float> a = {1.0f, 2.0f}, b = {3.0f, 5.0f};
+  for (Metric m : {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    EXPECT_FLOAT_EQ(DistanceFunction(m)(a, b), Distance(m, a, b));
+  }
+}
+
+TEST(DistanceTest, MetricNamesDistinct) {
+  EXPECT_EQ(MetricName(Metric::kL2), "l2");
+  EXPECT_EQ(MetricName(Metric::kInnerProduct), "ip");
+  EXPECT_EQ(MetricName(Metric::kCosine), "cosine");
+}
+
+TEST(DistanceTest, L2TriangleInequalityOnSqrt) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> a(16), b(16), c(16);
+    for (auto& x : a) x = rng.NextFloat();
+    for (auto& x : b) x = rng.NextFloat();
+    for (auto& x : c) x = rng.NextFloat();
+    const double ab = std::sqrt(static_cast<double>(L2Sq(a, b)));
+    const double bc = std::sqrt(static_cast<double>(L2Sq(b, c)));
+    const double ac = std::sqrt(static_cast<double>(L2Sq(a, c)));
+    EXPECT_LE(ac, ab + bc + 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,158 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig SmallConfig() {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 20;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 5;
+  return config;
+}
+
+TEST(EngineTest, BuildOnEmptyBaseFails) {
+  VectorSet empty(8);
+  EXPECT_FALSE(DhnswEngine::Build(empty, SmallConfig()).ok());
+}
+
+TEST(EngineTest, BuildExposesTopology) {
+  const Dataset ds = MakeSynthetic({.dim = 8, .num_base = 1000, .num_queries = 10,
+                                    .num_clusters = 8, .seed = 71});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value().num_partitions(), 20u);
+  EXPECT_EQ(engine.value().dim(), 8u);
+  EXPECT_EQ(engine.value().num_compute_nodes(), 1u);
+  EXPECT_GT(engine.value().meta_blob_bytes(), 0u);
+
+  const auto& sizes = engine.value().partition_sizes();
+  EXPECT_EQ(sizes.size(), 20u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), 1000u);
+}
+
+TEST(EngineTest, MultipleComputeNodesAllServeQueries) {
+  const Dataset ds = MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 10,
+                                    .num_clusters = 6, .seed = 72});
+  DhnswConfig config = SmallConfig();
+  config.num_compute_nodes = 3;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_EQ(engine.value().num_compute_nodes(), 3u);
+
+  std::vector<std::vector<std::vector<Scored>>> per_node;
+  for (size_t i = 0; i < 3; ++i) {
+    auto r = engine.value().compute(i).SearchAll(ds.queries, 5, 32);
+    ASSERT_TRUE(r.ok());
+    per_node.push_back(r.value().results);
+  }
+  // Instances are replicas of the same logic — identical answers.
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    for (size_t i = 1; i < 3; ++i) {
+      ASSERT_EQ(per_node[0][qi].size(), per_node[i][qi].size());
+      for (size_t j = 0; j < per_node[0][qi].size(); ++j) {
+        EXPECT_EQ(per_node[0][qi][j].id, per_node[i][qi][j].id);
+      }
+    }
+  }
+}
+
+TEST(EngineTest, EndToEndRecallAtTen) {
+  Dataset ds = MakeSynthetic({.dim = 16, .num_base = 4000, .num_queries = 50,
+                              .num_clusters = 15, .seed = 73});
+  ComputeGroundTruth(&ds, 10);
+
+  DhnswConfig config = SmallConfig();
+  config.meta.num_representatives = 40;
+  config.compute.clusters_per_query = 4;
+  config.compute.cache_capacity = 10;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  auto result = engine.value().SearchAll(ds.queries, 10, 64);
+  ASSERT_TRUE(result.ok());
+  const double recall = MeanRecallAtK(ds, result.value().results, 10);
+  EXPECT_GT(recall, 0.8) << "engine recall@10 = " << recall;
+}
+
+TEST(EngineTest, InsertAssignsMonotonicGlobalIds) {
+  const Dataset ds = MakeSynthetic({.dim = 8, .num_base = 500, .num_queries = 2,
+                                    .num_clusters = 4, .seed = 74});
+  DhnswConfig config = SmallConfig();
+  config.layout.overflow_bytes_per_group = 1 << 16;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<float> v(8, 3.0f);
+  auto id1 = engine.value().Insert(v);
+  auto id2 = engine.value().Insert(v);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id1.value(), 500u);
+  EXPECT_EQ(id2.value(), 501u);
+  EXPECT_FALSE(engine.value().Insert(v, /*via_instance=*/9).ok());
+}
+
+TEST(EngineTest, ManyInsertsThenSearchFindsThem) {
+  const Dataset ds = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 2,
+                                    .num_clusters = 5, .seed = 75});
+  DhnswConfig config = SmallConfig();
+  config.layout.overflow_bytes_per_group = 1 << 18;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  // Insert a tight far-away cluster of 20 vectors, then query its center.
+  VectorSet probe(8);
+  std::vector<float> center(8, 300.0f);
+  probe.Append(center);
+  std::vector<uint32_t> new_ids;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<float> v(center);
+    v[0] += static_cast<float>(i) * 0.01f;
+    auto id = engine.value().Insert(v);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    new_ids.push_back(id.value());
+  }
+
+  auto result = engine.value().SearchAll(probe, 10, 64);
+  ASSERT_TRUE(result.ok());
+  const auto& top = result.value().results[0];
+  ASSERT_EQ(top.size(), 10u);
+  for (const Scored& s : top) {
+    EXPECT_GE(s.id, 600u) << "expected only inserted vectors in the top-10";
+  }
+}
+
+TEST(EngineTest, DefaultsCarryMetric) {
+  const DhnswConfig config = DhnswConfig::Defaults(Metric::kCosine);
+  EXPECT_EQ(config.meta.metric, Metric::kCosine);
+  EXPECT_EQ(config.sub_hnsw.metric, Metric::kCosine);
+  EXPECT_EQ(config.compute.sub_hnsw_template.metric, Metric::kCosine);
+}
+
+TEST(EngineTest, CosineMetricEndToEnd) {
+  Dataset ds = MakeSynthetic({.dim = 12, .num_base = 1500, .num_queries = 20,
+                              .num_clusters = 8, .seed = 76});
+  ComputeGroundTruth(&ds, 5, Metric::kCosine);
+
+  DhnswConfig config = DhnswConfig::Defaults(Metric::kCosine);
+  config.meta.num_representatives = 20;
+  config.sub_hnsw.M = 8;
+  config.compute.clusters_per_query = 4;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine.value().SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(MeanRecallAtK(ds, result.value().results, 5), 0.7);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig SmallConfig() {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 8;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 3;
+  return config;
+}
+
+TEST(EngineMetricsTest, TopologyCountsAreRight) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 500, .num_queries = 5,
+                              .num_clusters = 4, .seed = 171});
+  DhnswConfig config = SmallConfig();
+  config.num_compute_nodes = 2;
+  config.num_memory_nodes = 2;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  const auto m = engine.value().CollectMetrics();
+  EXPECT_EQ(m.partitions, 8u);
+  EXPECT_EQ(m.compute_nodes, 2u);
+  EXPECT_EQ(m.memory_shards, 2u);
+  EXPECT_GT(m.region_bytes_total, 0u);
+}
+
+TEST(EngineMetricsTest, CountersAdvanceWithTraffic) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 500, .num_queries = 10,
+                              .num_clusters = 4, .seed = 172});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+
+  const auto before = engine.value().CollectMetrics();
+  ASSERT_TRUE(engine.value().SearchAll(ds.queries, 5, 32).ok());
+  const auto after = engine.value().CollectMetrics();
+
+  EXPECT_GT(after.qp_total.round_trips, before.qp_total.round_trips);
+  EXPECT_GT(after.qp_total.bytes_read, before.qp_total.bytes_read);
+  EXPECT_GT(after.cache_entries, 0u);
+
+  std::vector<float> v(8, 1.0f);
+  ASSERT_TRUE(engine.value().Insert(v).ok());
+  const auto with_write = engine.value().CollectMetrics();
+  EXPECT_GT(with_write.qp_total.writes, after.qp_total.writes);
+  EXPECT_GT(with_write.qp_total.atomics, after.qp_total.atomics);
+  EXPECT_GT(with_write.qp_total.bytes_written, after.qp_total.bytes_written);
+}
+
+TEST(EngineMetricsTest, DebugStringMentionsKeyFacts) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 400, .num_queries = 3,
+                              .num_clusters = 3, .seed = 173});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value().SearchAll(ds.queries, 3, 16).ok());
+
+  const std::string s = engine.value().DebugString();
+  EXPECT_NE(s.find("8 partitions"), std::string::npos) << s;
+  EXPECT_NE(s.find("round trips"), std::string::npos);
+  EXPECT_NE(s.find("cluster cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,75 @@
+#include "rdma/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace dhnsw::rdma {
+namespace {
+
+TEST(FabricTest, AddNodesAssignsSequentialIds) {
+  Fabric fabric;
+  const NodeId a = fabric.AddNode("mem");
+  const NodeId b = fabric.AddNode("compute-0");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(fabric.num_nodes(), 2u);
+  EXPECT_EQ(fabric.NodeName(a), "mem");
+  EXPECT_EQ(fabric.NodeName(b), "compute-0");
+  EXPECT_EQ(fabric.NodeName(99), "<unknown>");
+}
+
+TEST(FabricTest, RegisterMemoryReturnsDistinctRkeys) {
+  Fabric fabric;
+  const NodeId node = fabric.AddNode("mem");
+  auto r1 = fabric.RegisterMemory(node, 4096);
+  auto r2 = fabric.RegisterMemory(node, 4096);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1.value(), r2.value());
+}
+
+TEST(FabricTest, RegisterOnUnknownNodeFails) {
+  Fabric fabric;
+  EXPECT_EQ(fabric.RegisterMemory(5, 4096).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FabricTest, RegisterZeroSizeFails) {
+  Fabric fabric;
+  const NodeId node = fabric.AddNode("mem");
+  EXPECT_FALSE(fabric.RegisterMemory(node, 0).ok());
+}
+
+TEST(FabricTest, FindRegionAndOwner) {
+  Fabric fabric;
+  const NodeId node = fabric.AddNode("mem");
+  auto rkey = fabric.RegisterMemory(node, 1024);
+  ASSERT_TRUE(rkey.ok());
+  MemoryRegion* region = fabric.FindRegion(rkey.value());
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->size(), 1024u);
+  auto owner = fabric.OwnerOf(rkey.value());
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(owner.value(), node);
+  EXPECT_EQ(fabric.FindRegion(999), nullptr);
+  EXPECT_EQ(fabric.OwnerOf(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FabricTest, ReachabilityToggle) {
+  Fabric fabric;
+  const NodeId node = fabric.AddNode("mem");
+  EXPECT_TRUE(fabric.IsNodeReachable(node));
+  fabric.SetNodeReachable(node, false);
+  EXPECT_FALSE(fabric.IsNodeReachable(node));
+  fabric.SetNodeReachable(node, true);
+  EXPECT_TRUE(fabric.IsNodeReachable(node));
+  EXPECT_FALSE(fabric.IsNodeReachable(42));  // unknown node is unreachable
+}
+
+TEST(FabricTest, NicConfigIsCarried) {
+  NicModelConfig nic;
+  nic.base_round_trip_ns = 4242;
+  Fabric fabric(nic);
+  EXPECT_EQ(fabric.nic_config().base_round_trip_ns, 4242u);
+}
+
+}  // namespace
+}  // namespace dhnsw::rdma

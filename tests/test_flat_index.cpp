@@ -1,0 +1,100 @@
+#include "index/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(FlatIndexTest, EmptySearchReturnsNothing) {
+  FlatIndex index(4);
+  EXPECT_TRUE(index.Search(std::vector<float>{0, 0, 0, 0}, 5).empty());
+}
+
+TEST(FlatIndexTest, AddAssignsDenseIds) {
+  FlatIndex index(2);
+  EXPECT_EQ(index.Add(std::vector<float>{0, 0}), 0u);
+  EXPECT_EQ(index.Add(std::vector<float>{1, 1}), 1u);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_FLOAT_EQ(index.vector(1)[0], 1.0f);
+}
+
+TEST(FlatIndexTest, FindsExactNearest) {
+  FlatIndex index(1);
+  for (float v : {10.0f, 20.0f, 30.0f, 40.0f}) index.Add({&v, 1});
+  const auto top = index.Search(std::vector<float>{22.0f}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);  // 20 is closest to 22
+  EXPECT_EQ(top[1].id, 2u);  // then 30
+  EXPECT_FLOAT_EQ(top[0].distance, 4.0f);
+}
+
+TEST(FlatIndexTest, ResultsSortedAscending) {
+  FlatIndex index(2);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> v = {rng.NextFloat(), rng.NextFloat()};
+    index.Add(v);
+  }
+  const auto top = index.Search(std::vector<float>{0.5f, 0.5f}, 20);
+  ASSERT_EQ(top.size(), 20u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].distance, top[i].distance);
+  }
+}
+
+TEST(FlatIndexTest, KLargerThanSizeReturnsAll) {
+  FlatIndex index(1);
+  for (float v : {1.0f, 2.0f}) index.Add({&v, 1});
+  EXPECT_EQ(index.Search(std::vector<float>{0.0f}, 10).size(), 2u);
+}
+
+TEST(FlatIndexTest, AddBatch) {
+  FlatIndex index(3);
+  const std::vector<float> batch = {1, 2, 3, 4, 5, 6};
+  index.AddBatch(batch);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_FLOAT_EQ(index.vector(1)[2], 6.0f);
+}
+
+TEST(FlatIndexTest, InnerProductMetricPrefersLargeDot) {
+  FlatIndex index(2, Metric::kInnerProduct);
+  index.Add(std::vector<float>{1.0f, 0.0f});
+  index.Add(std::vector<float>{10.0f, 0.0f});
+  const auto top = index.Search(std::vector<float>{1.0f, 0.0f}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);  // larger dot wins under IP
+}
+
+TEST(FlatIndexTest, MatchesNaiveScanOnRandomData) {
+  FlatIndex index(8);
+  Xoshiro256 rng(5);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> v(8);
+    for (auto& x : v) x = rng.NextFloat();
+    rows.push_back(v);
+    index.Add(v);
+  }
+  std::vector<float> q(8);
+  for (auto& x : q) x = rng.NextFloat();
+
+  // Naive reference.
+  uint32_t best = 0;
+  float best_d = 1e30f;
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    const float d = L2Sq(rows[i], q);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  const auto top = index.Search(q, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, best);
+  EXPECT_FLOAT_EQ(top[0].distance, best_d);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,170 @@
+// Batched insertion (coalesced FAA + doorbell-batched WRITEs).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig SmallConfig(uint64_t overflow = 1 << 16) {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 10;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  config.layout.overflow_bytes_per_group = overflow;
+  return config;
+}
+
+Dataset SmallData() {
+  return MakeSynthetic({.dim = 8, .num_base = 900, .num_queries = 10,
+                        .num_clusters = 6, .seed = 141});
+}
+
+VectorSet MakeBatch(const Dataset& ds, size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  VectorSet batch(8);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = rng.NextBounded(ds.base.size());
+    std::vector<float> v(ds.base[src].begin(), ds.base[src].end());
+    v[0] += 0.1f;
+    batch.Append(v);
+  }
+  return batch;
+}
+
+TEST(InsertBatchTest, AllVectorsRetrievable) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+
+  const VectorSet batch = MakeBatch(ds, 50, 1);
+  std::vector<size_t> rejected;
+  auto first_id = engine.value().InsertBatch(batch, &rejected);
+  ASSERT_TRUE(first_id.ok()) << first_id.status().ToString();
+  EXPECT_EQ(first_id.value(), ds.base.size());
+  EXPECT_TRUE(rejected.empty());
+
+  auto result = engine.value().SearchAll(batch, 1, 48);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_FALSE(result.value().results[i].empty());
+    EXPECT_LT(result.value().results[i][0].distance, 1e-3f) << "row " << i;
+  }
+}
+
+TEST(InsertBatchTest, FewerRoundTripsThanSingleInserts) {
+  Dataset ds = SmallData();
+  auto batch_engine = DhnswEngine::Build(ds.base, SmallConfig());
+  auto single_engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(batch_engine.ok());
+  ASSERT_TRUE(single_engine.ok());
+
+  const VectorSet batch = MakeBatch(ds, 60, 2);
+
+  const auto before_batch = batch_engine.value().compute(0).qp_stats();
+  ASSERT_TRUE(batch_engine.value().InsertBatch(batch).ok());
+  const auto rt_batch =
+      (batch_engine.value().compute(0).qp_stats() - before_batch).round_trips;
+
+  const auto before_single = single_engine.value().compute(0).qp_stats();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(single_engine.value().Insert(batch[i]).ok());
+  }
+  const auto rt_single =
+      (single_engine.value().compute(0).qp_stats() - before_single).round_trips;
+
+  EXPECT_EQ(rt_single, 2 * batch.size());  // 2 rings per vector
+  EXPECT_LT(rt_batch, rt_single / 2);      // ~2 rings per touched partition
+}
+
+TEST(InsertBatchTest, MatchesSingleInsertResults) {
+  Dataset ds = SmallData();
+  auto a = DhnswEngine::Build(ds.base, SmallConfig());
+  auto b = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  const VectorSet batch = MakeBatch(ds, 40, 3);
+  ASSERT_TRUE(a.value().InsertBatch(batch).ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(b.value().Insert(batch[i]).ok());
+  }
+
+  auto ra = a.value().SearchAll(ds.queries, 10, 48);
+  auto rb = b.value().SearchAll(ds.queries, 10, 48);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    ASSERT_EQ(ra.value().results[qi].size(), rb.value().results[qi].size());
+    for (size_t j = 0; j < ra.value().results[qi].size(); ++j) {
+      EXPECT_EQ(ra.value().results[qi][j].id, rb.value().results[qi][j].id);
+    }
+  }
+}
+
+TEST(InsertBatchTest, PartitionOverflowRejectsOnlyThatGroup) {
+  Dataset ds = SmallData();
+  // Room for ~4 records per group (8-dim record = 40 B).
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig(/*overflow=*/160));
+  ASSERT_TRUE(engine.ok());
+
+  // 30 copies of one vector all route to one partition: group too large.
+  VectorSet same(8);
+  for (int i = 0; i < 30; ++i) same.Append(ds.base[0]);
+  std::vector<size_t> rejected;
+  auto first_id = engine.value().InsertBatch(same, &rejected);
+  ASSERT_TRUE(first_id.ok());
+  EXPECT_EQ(rejected.size(), 30u);  // whole group rejected atomically
+
+  // A small group still fits afterwards (rollback restored the budget).
+  VectorSet few(8);
+  few.Append(ds.base[0]);
+  few.Append(ds.base[0]);
+  std::vector<size_t> rejected2;
+  ASSERT_TRUE(engine.value().InsertBatch(few, &rejected2).ok());
+  EXPECT_TRUE(rejected2.empty());
+}
+
+TEST(InsertBatchTest, SizeMismatchRejected) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  VectorSet batch(8);
+  batch.Append(std::vector<float>(8, 1.0f));
+  const uint32_t ids[2] = {1, 2};
+  EXPECT_FALSE(engine.value().compute(0).InsertBatch(batch, ids).ok());
+}
+
+TEST(InsertBatchTest, EmptyBatchIsNoop) {
+  Dataset ds = SmallData();
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  VectorSet empty(8);
+  auto result = engine.value().InsertBatch(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(engine.value().next_global_id(), ds.base.size());
+}
+
+TEST(InsertBatchTest, WorksOnShardedPool) {
+  Dataset ds = SmallData();
+  DhnswConfig config = SmallConfig();
+  config.num_memory_nodes = 3;
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  const VectorSet batch = MakeBatch(ds, 30, 4);
+  std::vector<size_t> rejected;
+  ASSERT_TRUE(engine.value().InsertBatch(batch, &rejected).ok());
+  EXPECT_TRUE(rejected.empty());
+
+  auto result = engine.value().SearchAll(batch, 1, 48);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_LT(result.value().results[i][0].distance, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

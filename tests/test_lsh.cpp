@@ -1,0 +1,136 @@
+#include "index/lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "index/flat_index.h"
+
+namespace dhnsw {
+namespace {
+
+std::vector<float> RandomData(Xoshiro256& rng, size_t n, uint32_t dim, float scale) {
+  std::vector<float> data(n * dim);
+  for (auto& x : data) x = (rng.NextFloat() - 0.5f) * scale;
+  return data;
+}
+
+TEST(LshTest, EmptySearchIsEmpty) {
+  LshIndex index(8);
+  index.Build({});
+  size_t candidates = 99;
+  EXPECT_TRUE(index.Search(std::vector<float>(8, 0.0f), 5, &candidates).empty());
+  EXPECT_EQ(candidates, 0u);
+}
+
+TEST(LshTest, ExactDuplicateAlwaysFound) {
+  // A query identical to an indexed vector hashes to the same bucket in
+  // every table — it must always be candidate #1.
+  Xoshiro256 rng(11);
+  const auto data = RandomData(rng, 1000, 16, 10.0f);
+  LshIndex index(16, {.num_tables = 4, .num_bits = 10});
+  index.Build(data);
+  for (uint32_t probe : {0u, 100u, 500u}) {
+    const std::span<const float> q{data.data() + probe * 16, 16};
+    const auto top = index.Search(q, 1);
+    ASSERT_FALSE(top.empty());
+    EXPECT_FLOAT_EQ(top[0].distance, 0.0f);
+  }
+}
+
+TEST(LshTest, MoreTablesImproveRecall) {
+  Xoshiro256 rng(12);
+  const uint32_t dim = 32;
+  const auto data = RandomData(rng, 4000, dim, 10.0f);
+  FlatIndex flat(dim);
+  flat.AddBatch(data);
+
+  auto recall_with = [&](uint32_t tables) {
+    LshIndex index(dim, {.num_tables = tables, .num_bits = 12, .seed = 99});
+    index.Build(data);
+    int hits = 0;
+    Xoshiro256 qrng(13);
+    for (int t = 0; t < 30; ++t) {
+      const auto q = RandomData(qrng, 1, dim, 10.0f);
+      const auto got = index.Search(q, 10);
+      const auto want = flat.Search(q, 10);
+      std::set<uint32_t> want_ids;
+      for (const auto& s : want) want_ids.insert(s.id);
+      for (const auto& s : got) hits += want_ids.count(s.id);
+    }
+    return hits;
+  };
+
+  const int r1 = recall_with(1);
+  const int r16 = recall_with(16);
+  EXPECT_GT(r16, r1);
+}
+
+TEST(LshTest, MultiprobeExpandsCandidates) {
+  Xoshiro256 rng(14);
+  const uint32_t dim = 24;
+  const auto data = RandomData(rng, 3000, dim, 10.0f);
+
+  LshIndex plain(dim, {.num_tables = 4, .num_bits = 14, .multiprobe = 0, .seed = 7});
+  LshIndex multi(dim, {.num_tables = 4, .num_bits = 14, .multiprobe = 1, .seed = 7});
+  plain.Build(data);
+  multi.Build(data);
+
+  size_t plain_total = 0, multi_total = 0;
+  Xoshiro256 qrng(15);
+  for (int t = 0; t < 20; ++t) {
+    const auto q = RandomData(qrng, 1, dim, 10.0f);
+    size_t c1 = 0, c2 = 0;
+    plain.Search(q, 10, &c1);
+    multi.Search(q, 10, &c2);
+    plain_total += c1;
+    multi_total += c2;
+    EXPECT_GE(c2, c1);
+  }
+  EXPECT_GT(multi_total, plain_total);
+}
+
+TEST(LshTest, CandidatesAreSubsetReRankedExactly) {
+  // Whatever LSH returns must be in exact ascending distance order and a
+  // subset of the true ranking restricted to its candidate pool.
+  Xoshiro256 rng(16);
+  const uint32_t dim = 16;
+  const auto data = RandomData(rng, 1000, dim, 10.0f);
+  LshIndex index(dim, {.num_tables = 6, .num_bits = 10});
+  index.Build(data);
+  const auto q = RandomData(rng, 1, dim, 10.0f);
+  const auto got = index.Search(q, 10);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].distance, got[i].distance);
+  }
+  for (const auto& s : got) {
+    EXPECT_FLOAT_EQ(s.distance, L2Sq({data.data() + s.id * dim, dim}, q));
+  }
+}
+
+TEST(LshTest, DeterministicForSeed) {
+  Xoshiro256 rng(17);
+  const auto data = RandomData(rng, 500, 8, 10.0f);
+  LshIndex a(8, {.num_tables = 3, .num_bits = 8, .seed = 42});
+  LshIndex b(8, {.num_tables = 3, .num_bits = 8, .seed = 42});
+  a.Build(data);
+  b.Build(data);
+  const auto q = RandomData(rng, 1, 8, 10.0f);
+  const auto r1 = a.Search(q, 5);
+  const auto r2 = b.Search(q, 5);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i].id, r2[i].id);
+}
+
+TEST(LshTest, BitsClampedToValidRange) {
+  LshIndex index(4, {.num_tables = 1, .num_bits = 200});  // clamped to 63
+  index.Build(std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(index.size(), 1u);
+  const auto top = index.Search(std::vector<float>{1, 2, 3, 4}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,244 @@
+#include "core/memory_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace dhnsw {
+namespace {
+
+LayoutConfig SmallConfig(uint64_t overflow = 4096) {
+  LayoutConfig config;
+  config.overflow_bytes_per_group = overflow;
+  config.alignment = 64;
+  return config;
+}
+
+TEST(MemoryLayoutTest, PlanBasicInvariants) {
+  const std::vector<uint64_t> blobs = {1000, 2000, 1500, 800, 3000};
+  auto plan = PlanLayout(16, Metric::kL2, 72, 5000, blobs, SmallConfig());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LayoutPlan& p = plan.value();
+
+  EXPECT_EQ(p.header.num_clusters, 5u);
+  EXPECT_EQ(p.header.dim, 16u);
+  EXPECT_EQ(p.header.record_size, 72u);
+  EXPECT_EQ(p.header.table_offset, RegionHeader::kEncodedSize);
+  EXPECT_GE(p.header.meta_blob_offset,
+            p.header.table_offset + 5 * ClusterMeta::kEncodedSize);
+  EXPECT_EQ(p.header.meta_blob_size, 5000u);
+  EXPECT_GT(p.total_size, p.header.meta_blob_offset + 5000);
+}
+
+TEST(MemoryLayoutTest, NoRangesOverlap) {
+  const std::vector<uint64_t> blobs = {1000, 2000, 1500, 800, 3000, 400, 10000};
+  auto plan = PlanLayout(8, Metric::kL2, 40, 2048, blobs, SmallConfig(2048));
+  ASSERT_TRUE(plan.ok());
+  const LayoutPlan& p = plan.value();
+
+  // Collect every byte range: header, table, meta blob, each cluster's
+  // blob + full overflow reach.
+  struct R {
+    uint64_t begin, end;
+    const char* what;
+  };
+  std::vector<R> ranges;
+  ranges.push_back({0, RegionHeader::kEncodedSize, "header"});
+  ranges.push_back({p.header.table_offset,
+                    p.header.table_offset + blobs.size() * ClusterMeta::kEncodedSize,
+                    "table"});
+  ranges.push_back({p.header.meta_blob_offset,
+                    p.header.meta_blob_offset + p.header.meta_blob_size, "meta"});
+  for (size_t c = 0; c < p.entries.size(); ++c) {
+    const ClusterMeta& m = p.entries[c];
+    ranges.push_back({m.blob_offset, m.blob_offset + m.blob_size, "blob"});
+    // A cluster's records can reach at most `overflow_capacity` bytes from
+    // its base (forward or backward) — but the capacity is SHARED with the
+    // partner, so only check blob ranges + the group's single overflow span.
+  }
+  std::sort(ranges.begin(), ranges.end(), [](const R& a, const R& b) {
+    return a.begin < b.begin;
+  });
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].end, ranges[i].begin)
+        << ranges[i - 1].what << " overlaps " << ranges[i].what;
+  }
+  for (const R& r : ranges) EXPECT_LE(r.end, p.total_size);
+}
+
+TEST(MemoryLayoutTest, PairsShareOverflowBetweenThem) {
+  const std::vector<uint64_t> blobs = {1000, 2000};
+  auto plan = PlanLayout(8, Metric::kL2, 40, 128, blobs, SmallConfig(4096));
+  ASSERT_TRUE(plan.ok());
+  const ClusterMeta& a = plan.value().entries[0];
+  const ClusterMeta& b = plan.value().entries[1];
+
+  EXPECT_EQ(a.direction, OverflowDirection::kForward);
+  EXPECT_EQ(b.direction, OverflowDirection::kBackward);
+  EXPECT_EQ(a.partner, 1u);
+  EXPECT_EQ(b.partner, 0u);
+  EXPECT_EQ(a.overflow_capacity, b.overflow_capacity);
+  // The shared area lies exactly between blob A's end and blob B's start.
+  EXPECT_GE(a.overflow_base, a.blob_offset + a.blob_size);
+  EXPECT_EQ(b.overflow_base, b.blob_offset);
+  EXPECT_EQ(b.blob_offset - a.overflow_base, a.overflow_capacity);
+}
+
+TEST(MemoryLayoutTest, OddClusterCountGetsSoloGroup) {
+  const std::vector<uint64_t> blobs = {1000, 2000, 3000};
+  auto plan = PlanLayout(8, Metric::kL2, 40, 128, blobs, SmallConfig());
+  ASSERT_TRUE(plan.ok());
+  const ClusterMeta& last = plan.value().entries[2];
+  EXPECT_EQ(last.partner, ClusterMeta::kNoPartner);
+  EXPECT_EQ(last.direction, OverflowDirection::kForward);
+}
+
+TEST(MemoryLayoutTest, ReadRangeForwardCoversBlobPlusOverflow) {
+  ClusterMeta m;
+  m.blob_offset = 1000;
+  m.blob_size = 500;
+  m.overflow_base = 1504;  // aligned past blob end
+  m.direction = OverflowDirection::kForward;
+  m.record_size = 40;
+  const auto range = m.ReadRange(120);
+  EXPECT_EQ(range.offset, 1000u);
+  // Covers blob (500) + 4 bytes alignment gap + 120 used overflow bytes.
+  EXPECT_EQ(range.length, 624u);
+  EXPECT_EQ(m.OverflowOffsetInRead(), 504u);
+  EXPECT_EQ(m.BlobOffsetInRead(120), 0u);
+}
+
+TEST(MemoryLayoutTest, ReadRangeBackwardCoversOverflowPlusBlob) {
+  ClusterMeta m;
+  m.blob_offset = 8000;
+  m.blob_size = 500;
+  m.overflow_base = 8000;  // records end where blob starts
+  m.direction = OverflowDirection::kBackward;
+  m.record_size = 40;
+  const auto range = m.ReadRange(80);
+  EXPECT_EQ(range.offset, 7920u);
+  EXPECT_EQ(range.length, 580u);
+  EXPECT_EQ(m.OverflowOffsetInRead(), 0u);
+  EXPECT_EQ(m.BlobOffsetInRead(80), 80u);
+}
+
+TEST(MemoryLayoutTest, RecordOffsetsAreContiguousForward) {
+  ClusterMeta m;
+  m.overflow_base = 2000;
+  m.direction = OverflowDirection::kForward;
+  m.record_size = 48;
+  EXPECT_EQ(m.RecordOffset(0), 2000u);
+  EXPECT_EQ(m.RecordOffset(48), 2048u);
+}
+
+TEST(MemoryLayoutTest, RecordOffsetsAreContiguousBackward) {
+  ClusterMeta m;
+  m.overflow_base = 2000;
+  m.direction = OverflowDirection::kBackward;
+  m.record_size = 48;
+  EXPECT_EQ(m.RecordOffset(0), 2000u - 48u);
+  EXPECT_EQ(m.RecordOffset(48), 2000u - 96u);
+  // With used = 96, ReadRange must start exactly at the oldest record.
+  m.blob_offset = 2000;
+  m.blob_size = 100;
+  EXPECT_EQ(m.ReadRange(96).offset, m.RecordOffset(48));
+}
+
+TEST(MemoryLayoutTest, UsedCounterOffsetIsEightAligned) {
+  const std::vector<uint64_t> blobs = {100, 100, 100};
+  auto plan = PlanLayout(8, Metric::kL2, 40, 64, blobs, SmallConfig());
+  ASSERT_TRUE(plan.ok());
+  for (uint32_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(plan.value().UsedCounterOffset(c) % 8, 0u);
+  }
+}
+
+TEST(MemoryLayoutTest, OverflowAtLeastOneRecord) {
+  LayoutConfig tiny;
+  tiny.overflow_bytes_per_group = 1;  // pathological
+  const std::vector<uint64_t> blobs = {100, 100};
+  auto plan = PlanLayout(8, Metric::kL2, 40, 64, blobs, tiny);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan.value().entries[0].overflow_capacity, 40u);
+}
+
+TEST(MemoryLayoutTest, RejectsBadArguments) {
+  const std::vector<uint64_t> blobs = {100};
+  EXPECT_FALSE(PlanLayout(8, Metric::kL2, 40, 0, {}, SmallConfig()).ok());
+  EXPECT_FALSE(PlanLayout(8, Metric::kL2, 0, 0, blobs, SmallConfig()).ok());
+  EXPECT_FALSE(PlanLayout(8, Metric::kL2, 42, 0, blobs, SmallConfig()).ok());  // not %8
+  LayoutConfig bad;
+  bad.alignment = 48;  // not a power of two
+  EXPECT_FALSE(PlanLayout(8, Metric::kL2, 40, 0, blobs, bad).ok());
+}
+
+TEST(MemoryLayoutTest, RegionHeaderCodecRoundTrip) {
+  RegionHeader h;
+  h.num_clusters = 12;
+  h.dim = 128;
+  h.metric = static_cast<uint32_t>(Metric::kCosine);
+  h.record_size = 520;
+  h.table_offset = 64;
+  h.meta_blob_offset = 832;
+  h.meta_blob_size = 99999;
+  h.layout_version = 7;
+
+  std::vector<uint8_t> buf(RegionHeader::kEncodedSize);
+  EncodeRegionHeader(h, buf);
+  auto back = DecodeRegionHeader(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_clusters, 12u);
+  EXPECT_EQ(back.value().dim, 128u);
+  EXPECT_EQ(back.value().metric, static_cast<uint32_t>(Metric::kCosine));
+  EXPECT_EQ(back.value().record_size, 520u);
+  EXPECT_EQ(back.value().meta_blob_size, 99999u);
+  EXPECT_EQ(back.value().layout_version, 7u);
+}
+
+TEST(MemoryLayoutTest, RegionHeaderRejectsBadMagic) {
+  RegionHeader h;
+  std::vector<uint8_t> buf(RegionHeader::kEncodedSize);
+  EncodeRegionHeader(h, buf);
+  buf[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeRegionHeader(buf).ok());
+}
+
+TEST(MemoryLayoutTest, ClusterMetaCodecRoundTrip) {
+  ClusterMeta m;
+  m.blob_offset = 123456;
+  m.blob_size = 7890;
+  m.overflow_base = 131346;
+  m.overflow_capacity = 1 << 20;
+  m.overflow_used = 520 * 3;
+  m.direction = OverflowDirection::kBackward;
+  m.partner = 42;
+  m.record_size = 520;
+
+  std::vector<uint8_t> buf(ClusterMeta::kEncodedSize);
+  EncodeClusterMeta(m, buf);
+  auto back = DecodeClusterMeta(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().blob_offset, m.blob_offset);
+  EXPECT_EQ(back.value().blob_size, m.blob_size);
+  EXPECT_EQ(back.value().overflow_base, m.overflow_base);
+  EXPECT_EQ(back.value().overflow_capacity, m.overflow_capacity);
+  EXPECT_EQ(back.value().overflow_used, m.overflow_used);
+  EXPECT_EQ(back.value().direction, OverflowDirection::kBackward);
+  EXPECT_EQ(back.value().partner, 42u);
+  EXPECT_EQ(back.value().record_size, 520u);
+}
+
+TEST(MemoryLayoutTest, UsedFieldLandsAtDocumentedOffset) {
+  ClusterMeta m;
+  m.overflow_used = 0x1122334455667788ull;
+  std::vector<uint8_t> buf(ClusterMeta::kEncodedSize);
+  EncodeClusterMeta(m, buf);
+  uint64_t raw = 0;
+  std::memcpy(&raw, buf.data() + ClusterMeta::kUsedFieldOffset, 8);
+  EXPECT_EQ(raw, m.overflow_used);  // little-endian host assumption of tests
+}
+
+}  // namespace
+}  // namespace dhnsw

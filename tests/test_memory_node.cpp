@@ -1,0 +1,115 @@
+#include "core/memory_node.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "dataset/synthetic.h"
+#include "rdma/queue_pair.h"
+
+namespace dhnsw {
+namespace {
+
+struct Provisioned {
+  Dataset ds;
+  rdma::Fabric fabric;
+  std::unique_ptr<MemoryNode> node;
+  std::unique_ptr<MetaHnsw> meta;
+  Partitioning parts;
+};
+
+std::unique_ptr<Provisioned> BuildProvisioned() {
+  auto out = std::make_unique<Provisioned>();
+  out->ds = MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 5,
+                           .num_clusters = 6, .seed = 31});
+  MetaHnswOptions mopts;
+  mopts.num_representatives = 16;
+  auto meta = MetaHnsw::Build(out->ds.base, mopts);
+  EXPECT_TRUE(meta.ok());
+  out->meta = std::make_unique<MetaHnsw>(std::move(meta).value());
+
+  PartitionerOptions popts;
+  popts.sub_hnsw = HnswOptions{.M = 6, .ef_construction = 30};
+  auto parts = PartitionDataset(out->ds.base, *out->meta, popts);
+  EXPECT_TRUE(parts.ok());
+  out->parts = std::move(parts).value();
+
+  out->node = std::make_unique<MemoryNode>(&out->fabric);
+  LayoutConfig layout;
+  layout.overflow_bytes_per_group = 4096;
+  EXPECT_TRUE(out->node->Provision(*out->meta, out->parts.clusters, layout).ok());
+  return out;
+}
+
+TEST(MemoryNodeTest, ProvisionPublishesHandle) {
+  auto p = BuildProvisioned();
+  EXPECT_TRUE(p->node->provisioned());
+  EXPECT_NE(p->node->handle().rkey, 0u);
+  EXPECT_EQ(p->node->handle().region_size, p->node->plan().total_size);
+}
+
+TEST(MemoryNodeTest, DoubleProvisionFails) {
+  auto p = BuildProvisioned();
+  LayoutConfig layout;
+  EXPECT_FALSE(p->node->Provision(*p->meta, p->parts.clusters, layout).ok());
+}
+
+TEST(MemoryNodeTest, RegionHeaderIsDecodableViaRdma) {
+  auto p = BuildProvisioned();
+  SimClock clock;
+  rdma::QueuePair qp(&p->fabric, &clock);
+  AlignedBuffer buf(RegionHeader::kEncodedSize, 64);
+  ASSERT_TRUE(qp.Read(p->node->handle().rkey, 0, buf.span()).ok());
+  auto header = DecodeRegionHeader(buf.span());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().num_clusters, 16u);
+  EXPECT_EQ(header.value().dim, 8u);
+}
+
+TEST(MemoryNodeTest, MetaBlobIsDecodableViaRdma) {
+  auto p = BuildProvisioned();
+  SimClock clock;
+  rdma::QueuePair qp(&p->fabric, &clock);
+  const RegionHeader& h = p->node->plan().header;
+  AlignedBuffer buf(h.meta_blob_size, 64);
+  ASSERT_TRUE(qp.Read(p->node->handle().rkey, h.meta_blob_offset, buf.span()).ok());
+  auto meta = MetaHnsw::FromBlob(buf.span());
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta.value().num_partitions(), 16u);
+}
+
+TEST(MemoryNodeTest, EveryClusterBlobIsDecodableViaRdma) {
+  auto p = BuildProvisioned();
+  SimClock clock;
+  rdma::QueuePair qp(&p->fabric, &clock);
+  for (uint32_t c = 0; c < p->node->plan().entries.size(); ++c) {
+    const ClusterMeta& m = p->node->plan().entries[c];
+    AlignedBuffer buf(m.blob_size, 64);
+    ASSERT_TRUE(qp.Read(p->node->handle().rkey, m.blob_offset, buf.span()).ok());
+    auto cluster = DecodeCluster(buf.span(), HnswOptions{});
+    ASSERT_TRUE(cluster.ok()) << "cluster " << c << ": " << cluster.status().ToString();
+    EXPECT_EQ(cluster.value().partition_id, c);
+    EXPECT_EQ(cluster.value().index.size(), p->parts.clusters[c].index.size());
+  }
+}
+
+TEST(MemoryNodeTest, MetadataTableMatchesPlan) {
+  auto p = BuildProvisioned();
+  for (uint32_t c = 0; c < p->node->plan().entries.size(); ++c) {
+    auto meta = p->node->InspectClusterMeta(c);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_EQ(meta.value().blob_offset, p->node->plan().entries[c].blob_offset);
+    EXPECT_EQ(meta.value().overflow_used, 0u);
+  }
+  EXPECT_FALSE(p->node->InspectClusterMeta(999).ok());
+}
+
+TEST(MemoryNodeTest, ProvisionWithoutClustersFails) {
+  auto p = BuildProvisioned();
+  rdma::Fabric fabric2;
+  MemoryNode node2(&fabric2);
+  EXPECT_FALSE(node2.Provision(*p->meta, {}, LayoutConfig{}).ok());
+  EXPECT_FALSE(node2.provisioned());
+}
+
+}  // namespace
+}  // namespace dhnsw

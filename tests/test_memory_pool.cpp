@@ -1,0 +1,194 @@
+// Multi-instance memory pool (paper Fig. 2 shows a memory *pool*; the
+// testbed used one instance). Cluster groups shard round-robin across
+// memory instances; the metadata table and meta-HNSW stay on the primary.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig PoolConfig(size_t memory_nodes) {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 12;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  config.num_memory_nodes = memory_nodes;
+  config.layout.overflow_bytes_per_group = 1 << 14;
+  return config;
+}
+
+Dataset PoolData() {
+  return MakeSynthetic({.dim = 8, .num_base = 1500, .num_queries = 25,
+                        .num_clusters = 8, .seed = 131});
+}
+
+TEST(MemoryPoolTest, LayoutDistributesGroupsRoundRobin) {
+  const std::vector<uint64_t> blobs = {100, 100, 100, 100, 100, 100, 100, 100};
+  LayoutConfig config;
+  config.overflow_bytes_per_group = 1024;
+  auto plan = PlanLayout(8, Metric::kL2, 40, 64, blobs, config, /*num_shards=*/3);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().num_shards(), 3u);
+  // 4 groups of 2 clusters -> slots 0,1,2,0.
+  EXPECT_EQ(plan.value().entries[0].node_slot, 0u);
+  EXPECT_EQ(plan.value().entries[1].node_slot, 0u);
+  EXPECT_EQ(plan.value().entries[2].node_slot, 1u);
+  EXPECT_EQ(plan.value().entries[3].node_slot, 1u);
+  EXPECT_EQ(plan.value().entries[4].node_slot, 2u);
+  EXPECT_EQ(plan.value().entries[6].node_slot, 0u);
+  for (uint64_t size : plan.value().shard_sizes) EXPECT_GT(size, 0u);
+}
+
+TEST(MemoryPoolTest, SingleShardPlanMatchesLegacyBehaviour) {
+  const std::vector<uint64_t> blobs = {500, 700};
+  LayoutConfig config;
+  auto plan = PlanLayout(8, Metric::kL2, 40, 64, blobs, config, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().num_shards(), 1u);
+  EXPECT_EQ(plan.value().shard_sizes[0], plan.value().total_size);
+  for (const ClusterMeta& m : plan.value().entries) EXPECT_EQ(m.node_slot, 0u);
+}
+
+TEST(MemoryPoolTest, ZeroShardsRejected) {
+  const std::vector<uint64_t> blobs = {100};
+  EXPECT_FALSE(PlanLayout(8, Metric::kL2, 40, 64, blobs, LayoutConfig{}, 0).ok());
+}
+
+TEST(MemoryPoolTest, HandleExposesAllShards) {
+  Dataset ds = PoolData();
+  auto engine = DhnswEngine::Build(ds.base, PoolConfig(3));
+  ASSERT_TRUE(engine.ok());
+  const MemoryNodeHandle& handle = engine.value().memory_handle();
+  EXPECT_EQ(handle.num_shards(), 3u);
+  EXPECT_EQ(handle.rkey_for_slot(0), handle.rkey);
+  std::set<rdma::RKey> rkeys(handle.shard_rkeys.begin(), handle.shard_rkeys.end());
+  EXPECT_EQ(rkeys.size(), 3u);  // distinct regions
+  std::set<rdma::NodeId> nodes(handle.shard_nodes.begin(), handle.shard_nodes.end());
+  EXPECT_EQ(nodes.size(), 3u);  // distinct memory instances
+}
+
+TEST(MemoryPoolTest, ShardedAnswersMatchSingleInstance) {
+  Dataset ds = PoolData();
+  auto single = DhnswEngine::Build(ds.base, PoolConfig(1));
+  auto pooled = DhnswEngine::Build(ds.base, PoolConfig(3));
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(pooled.ok());
+
+  auto r1 = single.value().SearchAll(ds.queries, 10, 48);
+  auto r2 = pooled.value().SearchAll(ds.queries, 10, 48);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    ASSERT_EQ(r1.value().results[qi].size(), r2.value().results[qi].size());
+    for (size_t j = 0; j < r1.value().results[qi].size(); ++j) {
+      EXPECT_EQ(r1.value().results[qi][j].id, r2.value().results[qi][j].id) << qi;
+    }
+  }
+}
+
+TEST(MemoryPoolTest, DoorbellRingsNeverSpanShards) {
+  // With 3 shards and a doorbell window of 16, a batch that loads every
+  // cluster needs at least one ring per shard touched.
+  Dataset ds = PoolData();
+  DhnswConfig config = PoolConfig(3);
+  config.compute.doorbell_batch = 16;
+  config.compute.clusters_per_query = 12;  // touch all partitions
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine.value().SearchAll(ds.queries, 5, 32);
+  ASSERT_TRUE(result.ok());
+  // 12 clusters over 3 shards = 4 per shard; window 16 would fit them all in
+  // one ring if destinations didn't matter. Expect >= 3 load rings (+1
+  // metadata refresh).
+  EXPECT_GE(result.value().breakdown.round_trips, 4u);
+}
+
+TEST(MemoryPoolTest, InsertsLandOnTheOwningShard) {
+  Dataset ds = PoolData();
+  auto engine = DhnswEngine::Build(ds.base, PoolConfig(3));
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<float> outlier(8, 640.0f);
+  auto id = engine.value().Insert(outlier);
+  ASSERT_TRUE(id.ok());
+
+  VectorSet probe(8);
+  probe.Append(outlier);
+  auto result = engine.value().SearchAll(probe, 1, 32);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().results[0].empty());
+  EXPECT_EQ(result.value().results[0][0].id, id.value());
+}
+
+TEST(MemoryPoolTest, CompactionPreservesShardCount) {
+  Dataset ds = PoolData();
+  auto engine = DhnswEngine::Build(ds.base, PoolConfig(3));
+  ASSERT_TRUE(engine.ok());
+  std::vector<float> v(8, 2.0f);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(engine.value().Insert(v).ok());
+
+  auto stats = engine.value().Compact();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(engine.value().memory_handle().num_shards(), 3u);
+  EXPECT_TRUE(engine.value().SearchAll(ds.queries, 5, 32).ok());
+}
+
+TEST(MemoryPoolTest, SnapshotRoundTripsThePool) {
+  Dataset ds = PoolData();
+  auto engine = DhnswEngine::Build(ds.base, PoolConfig(3));
+  ASSERT_TRUE(engine.ok());
+
+  const std::string path = ::testing::TempDir() + "/pool.dsnp";
+  ASSERT_TRUE(engine.value().SaveSnapshot(path).ok());
+
+  auto restored = DhnswEngine::BuildFromSnapshot(
+      path, PoolConfig(3), static_cast<uint32_t>(ds.base.size()));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().memory_handle().num_shards(), 3u);
+
+  auto r1 = engine.value().SearchAll(ds.queries, 5, 48);
+  auto r2 = restored.value().SearchAll(ds.queries, 5, 48);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    for (size_t j = 0; j < r1.value().results[qi].size(); ++j) {
+      EXPECT_EQ(r1.value().results[qi][j].id, r2.value().results[qi][j].id);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MemoryPoolTest, OneShardDownFailsLoudly) {
+  Dataset ds = PoolData();
+  auto engine = DhnswEngine::Build(ds.base, PoolConfig(2));
+  ASSERT_TRUE(engine.ok());
+  const MemoryNodeHandle& handle = engine.value().memory_handle();
+
+  // Kill the secondary shard; clusters there become unreachable.
+  engine.value().fabric().SetNodeReachable(handle.shard_nodes[1], false);
+  engine.value().compute(0).InvalidateCache();
+  auto result = engine.value().SearchAll(ds.queries, 5, 32);
+  EXPECT_FALSE(result.ok());
+
+  engine.value().fabric().SetNodeReachable(handle.shard_nodes[1], true);
+  EXPECT_TRUE(engine.value().SearchAll(ds.queries, 5, 32).ok());
+}
+
+TEST(MemoryPoolTest, MoreShardsThanGroupsIsFine) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 300, .num_queries = 5,
+                              .num_clusters = 2, .seed = 132});
+  DhnswConfig config = PoolConfig(8);
+  config.meta.num_representatives = 4;  // 2 groups < 8 shards
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine.value().SearchAll(ds.queries, 3, 32).ok());
+}
+
+}  // namespace
+}  // namespace dhnsw

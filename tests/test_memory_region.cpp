@@ -1,0 +1,121 @@
+#include "rdma/memory_region.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace dhnsw::rdma {
+namespace {
+
+TEST(MemoryRegionTest, ZeroInitialized) {
+  MemoryRegion region(1, 4096);
+  for (uint8_t b : region.host_span()) EXPECT_EQ(b, 0);
+}
+
+TEST(MemoryRegionTest, DmaWriteThenReadRoundTrip) {
+  MemoryRegion region(1, 1024);
+  const std::vector<uint8_t> payload = {10, 20, 30, 40};
+  region.DmaWrite(100, payload);
+  std::vector<uint8_t> out(4);
+  region.DmaRead(100, out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(MemoryRegionTest, ValidateRange) {
+  MemoryRegion region(1, 128);
+  EXPECT_TRUE(region.ValidateRange(0, 128).ok());
+  EXPECT_TRUE(region.ValidateRange(128, 0).ok());
+  EXPECT_FALSE(region.ValidateRange(0, 129).ok());
+  EXPECT_FALSE(region.ValidateRange(129, 0).ok());
+  EXPECT_FALSE(region.ValidateRange(64, 65).ok());
+  // Overflow-resistant: offset + length wrapping must not pass.
+  EXPECT_FALSE(region.ValidateRange(UINT64_MAX, 2).ok());
+}
+
+TEST(MemoryRegionTest, CompareSwapSucceedsOnMatch) {
+  MemoryRegion region(1, 64);
+  const uint64_t old = region.AtomicCompareSwap(0, 0, 777);
+  EXPECT_EQ(old, 0u);
+  uint64_t now;
+  region.DmaRead(0, {reinterpret_cast<uint8_t*>(&now), 8});
+  EXPECT_EQ(now, 777u);
+}
+
+TEST(MemoryRegionTest, CompareSwapFailsOnMismatch) {
+  MemoryRegion region(1, 64);
+  region.AtomicCompareSwap(8, 0, 5);
+  const uint64_t old = region.AtomicCompareSwap(8, 99, 123);  // expect mismatch
+  EXPECT_EQ(old, 5u);
+  uint64_t now;
+  region.DmaRead(8, {reinterpret_cast<uint8_t*>(&now), 8});
+  EXPECT_EQ(now, 5u);  // unchanged
+}
+
+TEST(MemoryRegionTest, FetchAddReturnsOldAndAdds) {
+  MemoryRegion region(1, 64);
+  EXPECT_EQ(region.AtomicFetchAdd(16, 10), 0u);
+  EXPECT_EQ(region.AtomicFetchAdd(16, 5), 10u);
+  uint64_t now;
+  region.DmaRead(16, {reinterpret_cast<uint8_t*>(&now), 8});
+  EXPECT_EQ(now, 15u);
+}
+
+TEST(MemoryRegionTest, FetchAddWithNegativeTwosComplement) {
+  MemoryRegion region(1, 64);
+  region.AtomicFetchAdd(0, 100);
+  region.AtomicFetchAdd(0, static_cast<uint64_t>(-40LL));
+  uint64_t now;
+  region.DmaRead(0, {reinterpret_cast<uint8_t*>(&now), 8});
+  EXPECT_EQ(now, 60u);
+}
+
+TEST(MemoryRegionTest, ConcurrentFetchAddIsLossless) {
+  MemoryRegion region(1, 64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) region.AtomicFetchAdd(0, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t now;
+  region.DmaRead(0, {reinterpret_cast<uint8_t*>(&now), 8});
+  EXPECT_EQ(now, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MemoryRegionTest, ConcurrentCasAllocatesDistinctSlots) {
+  // CAS-based slot claim: each thread claims slot values until success;
+  // every claimed value must be unique.
+  MemoryRegion region(1, 64);
+  constexpr int kThreads = 4;
+  constexpr int kClaims = 200;
+  std::vector<std::vector<uint64_t>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kClaims; ++i) {
+        for (;;) {
+          uint64_t current;
+          region.DmaRead(0, {reinterpret_cast<uint8_t*>(&current), 8});
+          if (region.AtomicCompareSwap(0, current, current + 1) == current) {
+            claimed[t].push_back(current);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<uint64_t> all;
+  for (auto& v : claimed) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+}  // namespace
+}  // namespace dhnsw::rdma

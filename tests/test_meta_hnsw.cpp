@@ -1,0 +1,179 @@
+#include "core/meta_hnsw.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/synthetic.h"
+#include "index/flat_index.h"
+#include "serialize/cluster_blob.h"
+
+namespace dhnsw {
+namespace {
+
+Dataset SmallClustered() {
+  return MakeSynthetic({.dim = 8, .num_base = 2000, .num_queries = 30,
+                        .num_clusters = 12, .seed = 77});
+}
+
+TEST(MetaHnswTest, BuildSamplesRequestedRepresentatives) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 50;
+  auto meta = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().num_partitions(), 50u);
+  EXPECT_EQ(meta.value().dim(), 8u);
+}
+
+TEST(MetaHnswTest, RepresentativesClampedToBaseSize) {
+  const Dataset ds = MakeSynthetic({.dim = 4, .num_base = 20, .num_queries = 1,
+                                    .num_clusters = 2, .seed = 1});
+  MetaHnswOptions options;
+  options.num_representatives = 500;
+  auto meta = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().num_partitions(), 20u);
+}
+
+TEST(MetaHnswTest, EmptyBaseFails) {
+  VectorSet empty(4);
+  EXPECT_FALSE(MetaHnsw::Build(empty, MetaHnswOptions{}).ok());
+}
+
+TEST(MetaHnswTest, AtMostThreeLayers) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 500;
+  auto meta = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(meta.ok());
+  // Paper §3.1: meta-HNSW is a three-layer HNSW (levels 0..2).
+  EXPECT_LE(meta.value().index().max_level_in_graph(), 2);
+}
+
+TEST(MetaHnswTest, RepresentativeIdsAreDistinctBaseRows) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 100;
+  auto meta = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(meta.ok());
+  std::set<uint32_t> ids;
+  for (uint32_t p = 0; p < meta.value().num_partitions(); ++p) {
+    const uint32_t gid = meta.value().representative_global_id(p);
+    EXPECT_LT(gid, ds.base.size());
+    ids.insert(gid);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(MetaHnswTest, RepresentativeVectorMatchesBaseRow) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 40;
+  auto meta = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(meta.ok());
+  for (uint32_t p = 0; p < 40; ++p) {
+    const uint32_t gid = meta.value().representative_global_id(p);
+    const auto stored = meta.value().index().vector(p);
+    const auto base_row = ds.base[gid];
+    for (uint32_t d = 0; d < 8; ++d) ASSERT_FLOAT_EQ(stored[d], base_row[d]);
+  }
+}
+
+TEST(MetaHnswTest, RouteOneFindsNearestRepresentativeMostly) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 60;
+  options.ef_route = 40;
+  auto built = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(built.ok());
+  const MetaHnsw& meta = built.value();
+
+  // Exact nearest representative via brute force.
+  FlatIndex flat(8);
+  for (uint32_t p = 0; p < meta.num_partitions(); ++p) {
+    flat.Add(meta.index().vector(p));
+  }
+  int agree = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t routed = meta.RouteOne(ds.base[i]);
+    const uint32_t exact = flat.Search(ds.base[i], 1)[0].id;
+    agree += (routed == exact);
+  }
+  EXPECT_GT(agree, 90);  // HNSW routing on 60 nodes is near-exact
+}
+
+TEST(MetaHnswTest, RouteManyReturnsDistinctOrderedPartitions) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 60;
+  auto built = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(built.ok());
+
+  const auto routed = built.value().RouteMany(ds.queries[0], 5);
+  ASSERT_EQ(routed.size(), 5u);
+  std::set<uint32_t> distinct(routed.begin(), routed.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  // Best-first: distances to representatives must be non-decreasing.
+  const auto& index = built.value().index();
+  float prev = -1.0f;
+  for (uint32_t p : routed) {
+    const float d = L2Sq(index.vector(p), ds.queries[0]);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(MetaHnswTest, RouteManyClampsToPartitionCount) {
+  const Dataset ds = MakeSynthetic({.dim = 4, .num_base = 30, .num_queries = 2,
+                                    .num_clusters = 2, .seed = 9});
+  MetaHnswOptions options;
+  options.num_representatives = 10;
+  auto built = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RouteMany(ds.queries[0], 50).size(), 10u);
+}
+
+TEST(MetaHnswTest, BlobRoundTripRoutesIdentically) {
+  const Dataset ds = SmallClustered();
+  MetaHnswOptions options;
+  options.num_representatives = 80;
+  auto built = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::vector<uint8_t> blob = built.value().ToBlob();
+  auto restored = MetaHnsw::FromBlob(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  restored.value().set_ef_route(built.value().ef_route());
+
+  EXPECT_EQ(restored.value().num_partitions(), 80u);
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    EXPECT_EQ(built.value().RouteMany(ds.queries[qi], 3),
+              restored.value().RouteMany(ds.queries[qi], 3));
+  }
+}
+
+TEST(MetaHnswTest, FromBlobRejectsSubHnswBlob) {
+  // A regular cluster blob (partition id != sentinel) must be rejected.
+  HnswIndex index(4, {.M = 4, .ef_construction = 20});
+  index.Add(std::vector<float>{1, 2, 3, 4});
+  Cluster c(3, std::move(index), {0});
+  EXPECT_FALSE(MetaHnsw::FromBlob(EncodeCluster(c)).ok());
+}
+
+TEST(MetaHnswTest, FootprintIsLightweight) {
+  // Paper: meta-HNSW costs 0.373 MB on SIFT1M (500 reps x 128-d). Our blob
+  // for the same shape should be the same order of magnitude.
+  const Dataset ds = MakeSiftLike(5000, 1);
+  MetaHnswOptions options;
+  options.num_representatives = 500;
+  auto built = MetaHnsw::Build(ds.base, options);
+  ASSERT_TRUE(built.ok());
+  const size_t bytes = built.value().ToBlob().size();
+  EXPECT_GT(bytes, 250u * 1024);   // vectors alone are 500*128*4 = 256 KB
+  EXPECT_LT(bytes, 1024u * 1024);  // well under 1 MB
+}
+
+}  // namespace
+}  // namespace dhnsw

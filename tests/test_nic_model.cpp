@@ -1,0 +1,99 @@
+#include "rdma/nic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dhnsw::rdma {
+namespace {
+
+NicModelConfig Default() { return NicModelConfig{}; }
+
+TEST(NicModelTest, EmptyBatchCostsNothing) {
+  EXPECT_EQ(CostOfBatch(Default(), {}), 0u);
+}
+
+TEST(NicModelTest, SingleSmallReadIsBaseRoundTrip) {
+  const NicModelConfig config = Default();
+  BatchShape shape{.num_wrs = 1, .payload_bytes = 0, .num_atomics = 0};
+  EXPECT_EQ(CostOfBatch(config, shape), config.base_round_trip_ns);
+}
+
+TEST(NicModelTest, PayloadTimeMatchesBandwidth) {
+  NicModelConfig config = Default();
+  config.bandwidth_gbps = 100.0;
+  // 100 Gb/s == 12.5 GB/s -> 1 MiB takes ~83.886 us.
+  const uint64_t one_mib = 1 << 20;
+  EXPECT_EQ(config.PayloadNs(one_mib), static_cast<uint64_t>(one_mib * 8.0 / 100.0));
+}
+
+TEST(NicModelTest, CostMonotonicInBytes) {
+  const NicModelConfig config = Default();
+  uint64_t prev = 0;
+  for (uint64_t bytes : {0ull, 64ull, 4096ull, 1ull << 20, 16ull << 20}) {
+    const uint64_t cost = CostOfBatch(config, {1, bytes, 0});
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(NicModelTest, CostMonotonicInWrs) {
+  const NicModelConfig config = Default();
+  uint64_t prev = 0;
+  for (uint32_t wrs = 1; wrs <= 64; wrs *= 2) {
+    const uint64_t cost = CostOfBatch(config, {wrs, 4096, 0});
+    EXPECT_GT(cost, prev) << wrs;
+    prev = cost;
+  }
+}
+
+TEST(NicModelTest, DoorbellBatchBeatsIndividualRoundTrips) {
+  // The whole point of doorbell batching (paper §3.2): N WRs in one ring are
+  // much cheaper than N separate rings, because the base round trip is paid
+  // once instead of N times.
+  const NicModelConfig config = Default();
+  const uint32_t n = 8;
+  const uint64_t per_wr_bytes = 64 * 1024;
+  const uint64_t batched = CostOfBatch(config, {n, n * per_wr_bytes, 0});
+  uint64_t individual = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    individual += CostOfBatch(config, {1, per_wr_bytes, 0});
+  }
+  EXPECT_LT(batched, individual);
+  // The saving is (n-1) base round trips minus (n-1) DMA fetches, up to
+  // integer truncation of the per-ring payload term (< 1 ns per ring).
+  const double expected =
+      static_cast<double>((n - 1) * (config.base_round_trip_ns - config.per_wr_dma_ns));
+  EXPECT_NEAR(static_cast<double>(individual - batched), expected, static_cast<double>(n));
+}
+
+TEST(NicModelTest, SaturationPenaltyBeyondLinearLimit) {
+  NicModelConfig config = Default();
+  config.doorbell_linear_limit = 4;
+  const uint64_t at_limit = CostOfBatch(config, {4, 0, 0});
+  const uint64_t above = CostOfBatch(config, {5, 0, 0});
+  EXPECT_EQ(above - at_limit, config.per_wr_dma_ns + config.doorbell_saturated_ns);
+}
+
+TEST(NicModelTest, AtomicsCostExtra) {
+  const NicModelConfig config = Default();
+  const uint64_t plain = CostOfBatch(config, {1, 8, 0});
+  const uint64_t atomic = CostOfBatch(config, {1, 8, 1});
+  EXPECT_EQ(atomic - plain, config.atomic_extra_ns);
+}
+
+TEST(NicModelTest, ZeroBandwidthMeansNoPayloadTerm) {
+  NicModelConfig config = Default();
+  config.bandwidth_gbps = 0.0;
+  EXPECT_EQ(config.PayloadNs(1 << 20), 0u);
+}
+
+TEST(NicModelTest, HigherBandwidthNeverSlower) {
+  NicModelConfig slow = Default();
+  slow.bandwidth_gbps = 25.0;
+  NicModelConfig fast = Default();
+  fast.bandwidth_gbps = 200.0;
+  const BatchShape shape{4, 1 << 22, 0};
+  EXPECT_GE(CostOfBatch(slow, shape), CostOfBatch(fast, shape));
+}
+
+}  // namespace
+}  // namespace dhnsw::rdma

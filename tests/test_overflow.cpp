@@ -1,0 +1,109 @@
+#include "serialize/overflow.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dhnsw {
+namespace {
+
+TEST(OverflowTest, RecordSizeIsEightAligned) {
+  for (uint32_t dim : {1u, 2u, 3u, 4u, 127u, 128u, 960u}) {
+    EXPECT_EQ(OverflowRecordSize(dim) % 8, 0u) << "dim " << dim;
+    EXPECT_GE(OverflowRecordSize(dim), 8 + dim * 4) << "dim " << dim;
+  }
+}
+
+TEST(OverflowTest, RecordRoundTrip) {
+  const std::vector<float> v = {1.5f, -2.5f, 3.0f};
+  std::vector<uint8_t> buf(OverflowRecordSize(3));
+  EncodeOverflowRecord(4242, v, buf);
+  auto rec = DecodeOverflowRecord(buf, 3);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().global_id, 4242u);
+  EXPECT_EQ(rec.value().vector, v);
+}
+
+TEST(OverflowTest, TruncatedRecordFails) {
+  std::vector<uint8_t> buf(OverflowRecordSize(4) - 1);
+  EXPECT_EQ(DecodeOverflowRecord(buf, 4).status().code(), StatusCode::kCorruption);
+}
+
+TEST(OverflowTest, AreaDecodesMultipleRecords) {
+  const uint32_t dim = 5;
+  const size_t rec = OverflowRecordSize(dim);
+  std::vector<uint8_t> area(rec * 3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::vector<float> v(dim, static_cast<float>(i));
+    EncodeOverflowRecord(100 + i, v, std::span<uint8_t>(area).subspan(i * rec, rec));
+  }
+  auto records = DecodeOverflowArea(area, rec * 3, dim);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records.value()[i].global_id, 100 + i);
+    EXPECT_FLOAT_EQ(records.value()[i].vector[dim - 1], static_cast<float>(i));
+  }
+}
+
+TEST(OverflowTest, EmptyAreaDecodesToNothing) {
+  std::vector<uint8_t> area(1024);
+  auto records = DecodeOverflowArea(area, 0, 8);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST(OverflowTest, UsedBeyondAreaFails) {
+  std::vector<uint8_t> area(64);
+  EXPECT_FALSE(DecodeOverflowArea(area, 128, 4).ok());
+}
+
+TEST(OverflowTest, NonMultipleUsedFails) {
+  const uint32_t dim = 4;
+  std::vector<uint8_t> area(OverflowRecordSize(dim) * 2);
+  EXPECT_FALSE(DecodeOverflowArea(area, OverflowRecordSize(dim) + 1, dim).ok());
+}
+
+TEST(OverflowTest, EncodedRecordsCarryCommitBit) {
+  std::vector<uint8_t> buf(OverflowRecordSize(2));
+  EncodeOverflowRecord(5, std::vector<float>{1, 2}, buf);
+  auto rec = DecodeOverflowRecord(buf, 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().is_committed());
+  EXPECT_FALSE(rec.value().is_tombstone());
+
+  EncodeOverflowTombstone(5, 2, buf);
+  rec = DecodeOverflowRecord(buf, 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().is_committed());
+  EXPECT_TRUE(rec.value().is_tombstone());
+}
+
+TEST(OverflowTest, UncommittedSlotsAreSkippedByAreaDecode) {
+  // Simulates a reader racing an insert: the slot is claimed (used counter
+  // advanced) but still zero-filled — it must not surface as a record.
+  const uint32_t dim = 3;
+  const size_t rec = OverflowRecordSize(dim);
+  std::vector<uint8_t> area(rec * 3, 0);  // all three slots claimed
+  EncodeOverflowRecord(7, std::vector<float>{1, 2, 3},
+                       std::span<uint8_t>(area).subspan(0, rec));
+  // slot 1 left zero-filled (in flight); slot 2 written.
+  EncodeOverflowRecord(9, std::vector<float>{4, 5, 6},
+                       std::span<uint8_t>(area).subspan(2 * rec, rec));
+  auto records = DecodeOverflowArea(area, rec * 3, dim);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].global_id, 7u);
+  EXPECT_EQ(records.value()[1].global_id, 9u);
+}
+
+TEST(OverflowTest, PaddingBytesDoNotLeak) {
+  // dim=1: record is 8 + 4 = 12 -> padded to 16; the pad must be zeroed.
+  std::vector<uint8_t> buf(OverflowRecordSize(1), 0xAB);
+  const std::vector<float> v = {7.0f};
+  EncodeOverflowRecord(1, v, buf);
+  for (size_t i = 12; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,141 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+struct Built {
+  Dataset ds;
+  MetaHnsw meta;
+  Partitioning parts;
+};
+
+Built BuildSmall(uint32_t reps = 30, size_t threads = 1) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 1500, .num_queries = 10,
+                              .num_clusters = 10, .seed = 21});
+  MetaHnswOptions mopts;
+  mopts.num_representatives = reps;
+  auto meta = MetaHnsw::Build(ds.base, mopts);
+  EXPECT_TRUE(meta.ok());
+  PartitionerOptions popts;
+  popts.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  popts.num_threads = threads;
+  auto parts = PartitionDataset(ds.base, meta.value(), popts);
+  EXPECT_TRUE(parts.ok());
+  return Built{std::move(ds), std::move(meta).value(), std::move(parts).value()};
+}
+
+TEST(PartitionerTest, EveryVectorAssignedExactlyOnce) {
+  Built b = BuildSmall();
+  EXPECT_EQ(b.parts.assignment.size(), b.ds.base.size());
+
+  // Sum of cluster sizes == base size, and global ids partition the range.
+  size_t total = 0;
+  std::set<uint32_t> seen;
+  for (const Cluster& c : b.parts.clusters) {
+    total += c.global_ids.size();
+    for (uint32_t gid : c.global_ids) {
+      EXPECT_TRUE(seen.insert(gid).second) << "duplicate gid " << gid;
+      EXPECT_LT(gid, b.ds.base.size());
+    }
+  }
+  EXPECT_EQ(total, b.ds.base.size());
+}
+
+TEST(PartitionerTest, ClusterIdsAlignWithMetaPartitions) {
+  Built b = BuildSmall();
+  ASSERT_EQ(b.parts.clusters.size(), b.meta.num_partitions());
+  for (uint32_t p = 0; p < b.parts.clusters.size(); ++p) {
+    EXPECT_EQ(b.parts.clusters[p].partition_id, p);
+  }
+}
+
+TEST(PartitionerTest, MembersMatchAssignment) {
+  Built b = BuildSmall();
+  for (const Cluster& c : b.parts.clusters) {
+    for (uint32_t gid : c.global_ids) {
+      EXPECT_EQ(b.parts.assignment[gid], c.partition_id);
+    }
+  }
+}
+
+TEST(PartitionerTest, RepresentativeLandsInOwnPartition) {
+  Built b = BuildSmall();
+  for (uint32_t p = 0; p < b.meta.num_partitions(); ++p) {
+    const uint32_t rep_gid = b.meta.representative_global_id(p);
+    EXPECT_EQ(b.parts.assignment[rep_gid], p)
+        << "representative of partition " << p << " strayed";
+  }
+}
+
+TEST(PartitionerTest, ClusterVectorsMatchBaseRows) {
+  Built b = BuildSmall();
+  const Cluster& c = b.parts.clusters[0];
+  for (uint32_t local = 0; local < c.index.size(); ++local) {
+    const auto stored = c.index.vector(local);
+    const auto base_row = b.ds.base[c.global_ids[local]];
+    for (uint32_t d = 0; d < 8; ++d) ASSERT_FLOAT_EQ(stored[d], base_row[d]);
+  }
+}
+
+TEST(PartitionerTest, SubHnswsAreValid) {
+  Built b = BuildSmall();
+  for (const Cluster& c : b.parts.clusters) {
+    EXPECT_TRUE(c.index.Validate().ok()) << "partition " << c.partition_id;
+  }
+}
+
+TEST(PartitionerTest, ParallelBuildMatchesSerial) {
+  Built serial = BuildSmall(30, 1);
+  Built parallel = BuildSmall(30, 4);
+  EXPECT_EQ(serial.parts.assignment, parallel.parts.assignment);
+  ASSERT_EQ(serial.parts.clusters.size(), parallel.parts.clusters.size());
+  for (size_t p = 0; p < serial.parts.clusters.size(); ++p) {
+    EXPECT_EQ(serial.parts.clusters[p].global_ids, parallel.parts.clusters[p].global_ids);
+    EXPECT_EQ(serial.parts.clusters[p].index.size(), parallel.parts.clusters[p].index.size());
+  }
+}
+
+TEST(PartitionerTest, DimMismatchFails) {
+  Built b = BuildSmall();
+  VectorSet wrong(16);
+  wrong.Append(std::vector<float>(16, 0.0f));
+  PartitionerOptions popts;
+  EXPECT_FALSE(PartitionDataset(wrong, b.meta, popts).ok());
+}
+
+TEST(PartitionerTest, EmptyBaseFails) {
+  Built b = BuildSmall();
+  VectorSet empty(8);
+  PartitionerOptions popts;
+  EXPECT_FALSE(PartitionDataset(empty, b.meta, popts).ok());
+}
+
+TEST(PartitionerTest, AssignmentIsNearestRepresentativeMostly) {
+  Built b = BuildSmall(40);
+  // Compare against exact nearest representative for a sample.
+  int agree = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    float best_d = 1e30f;
+    uint32_t best_p = 0;
+    for (uint32_t p = 0; p < b.meta.num_partitions(); ++p) {
+      const float d = L2Sq(b.meta.index().vector(p), b.ds.base[i]);
+      if (d < best_d) {
+        best_d = d;
+        best_p = p;
+      }
+    }
+    agree += (b.parts.assignment[i] == best_p);
+  }
+  EXPECT_GT(agree, n * 9 / 10);
+}
+
+}  // namespace
+}  // namespace dhnsw

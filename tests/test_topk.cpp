@@ -1,0 +1,113 @@
+#include "common/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+TEST(TopKHeapTest, EmptyBehaviour) {
+  TopKHeap heap(3);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.full());
+  EXPECT_TRUE(heap.WouldAccept(1e30f));
+  EXPECT_TRUE(heap.TakeSorted().empty());
+}
+
+TEST(TopKHeapTest, ZeroKRejectsEverything) {
+  TopKHeap heap(0);
+  EXPECT_FALSE(heap.Push(0.0f, 1));
+  EXPECT_TRUE(heap.TakeSorted().empty());
+}
+
+TEST(TopKHeapTest, KeepsKSmallest) {
+  TopKHeap heap(3);
+  for (uint32_t i = 0; i < 10; ++i) {
+    heap.Push(static_cast<float>(10 - i), i);  // distances 10..1
+  }
+  const std::vector<Scored> out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0].distance, 1.0f);
+  EXPECT_FLOAT_EQ(out[1].distance, 2.0f);
+  EXPECT_FLOAT_EQ(out[2].distance, 3.0f);
+  EXPECT_EQ(out[0].id, 9u);
+}
+
+TEST(TopKHeapTest, RejectsWorseThanRootWhenFull) {
+  TopKHeap heap(2);
+  EXPECT_TRUE(heap.Push(1.0f, 1));
+  EXPECT_TRUE(heap.Push(2.0f, 2));
+  EXPECT_TRUE(heap.full());
+  EXPECT_FALSE(heap.Push(3.0f, 3));
+  EXPECT_FALSE(heap.WouldAccept(2.5f));
+  EXPECT_TRUE(heap.WouldAccept(1.5f));
+  EXPECT_TRUE(heap.Push(0.5f, 4));
+  const std::vector<Scored> out = heap.TakeSorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 4u);
+  EXPECT_EQ(out[1].id, 1u);
+}
+
+TEST(TopKHeapTest, SortedIsNonDestructive) {
+  TopKHeap heap(4);
+  heap.Push(3.0f, 3);
+  heap.Push(1.0f, 1);
+  heap.Push(2.0f, 2);
+  const std::vector<Scored> snap = heap.Sorted();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].id, 1u);
+  EXPECT_EQ(heap.size(), 3u);  // untouched
+}
+
+TEST(TopKHeapTest, WorstTracksKthBest) {
+  TopKHeap heap(2);
+  heap.Push(5.0f, 1);
+  EXPECT_FLOAT_EQ(heap.worst(), 5.0f);
+  heap.Push(3.0f, 2);
+  EXPECT_FLOAT_EQ(heap.worst(), 5.0f);
+  heap.Push(1.0f, 3);
+  EXPECT_FLOAT_EQ(heap.worst(), 3.0f);
+}
+
+/// Property sweep: for random inputs and many k, the heap must agree with
+/// a full sort.
+class TopKHeapPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKHeapPropertyTest, MatchesFullSort) {
+  const size_t k = GetParam();
+  Xoshiro256 rng(k * 977 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(500);
+    std::vector<Scored> all;
+    TopKHeap heap(k);
+    for (size_t i = 0; i < n; ++i) {
+      const float d = rng.NextFloat() * 100.0f;
+      all.push_back({d, static_cast<uint32_t>(i)});
+      heap.Push(d, static_cast<uint32_t>(i));
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(std::min(all.size(), k));
+    const std::vector<Scored> got = heap.TakeSorted();
+    ASSERT_EQ(got.size(), all.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i].distance, all[i].distance) << "k=" << k << " i=" << i;
+      EXPECT_EQ(got[i].id, all[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKHeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 100, 1000));
+
+TEST(ScoredTest, OrderingTiesBreakOnId) {
+  const Scored a{1.0f, 3}, b{1.0f, 5};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+}  // namespace
+}  // namespace dhnsw

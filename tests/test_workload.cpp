@@ -1,0 +1,135 @@
+#include "dataset/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include "index/flat_index.h"
+
+namespace dhnsw {
+namespace {
+
+Dataset Base() {
+  return MakeSynthetic({.dim = 8, .num_base = 2000, .num_queries = 1,
+                        .num_clusters = 10, .seed = 151});
+}
+
+TEST(QueryStreamTest, BatchShape) {
+  Dataset ds = Base();
+  QueryStream stream(ds.base, {.shape = WorkloadShape::kUniform, .seed = 1});
+  const VectorSet batch = stream.NextBatch(50);
+  EXPECT_EQ(batch.size(), 50u);
+  EXPECT_EQ(batch.dim(), 8u);
+}
+
+TEST(QueryStreamTest, DeterministicForSeed) {
+  Dataset ds = Base();
+  WorkloadSpec spec{.shape = WorkloadShape::kZipfian, .seed = 7};
+  QueryStream a(ds.base, spec), b(ds.base, spec);
+  const VectorSet ba = a.NextBatch(20), bb = b.NextBatch(20);
+  for (size_t i = 0; i < 20; ++i) {
+    for (uint32_t d = 0; d < 8; ++d) ASSERT_FLOAT_EQ(ba[i][d], bb[i][d]);
+  }
+}
+
+TEST(QueryStreamTest, QueriesStayNearTheData) {
+  Dataset ds = Base();
+  QueryStream stream(ds.base, {.shape = WorkloadShape::kUniform,
+                               .noise_stddev = 0.05f, .seed = 2});
+  const VectorSet batch = stream.NextBatch(30);
+  // Each query is base row + small noise: its nearest base vector should be
+  // very close relative to the data spread.
+  FlatIndex flat(8);
+  flat.AddBatch(ds.base.flat());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto top = flat.Search(batch[i], 1);
+    EXPECT_LT(std::sqrt(top[0].distance), 20.0f);
+  }
+}
+
+TEST(QueryStreamTest, ZipfianIsSkewedTowardHeadTopics) {
+  Dataset ds = Base();
+  WorkloadSpec spec{.shape = WorkloadShape::kZipfian, .zipf_s = 1.2,
+                    .num_topics = 20, .noise_stddev = 0.0f, .seed = 3};
+  QueryStream stream(ds.base, spec);
+  FlatIndex flat(8);
+  flat.AddBatch(ds.base.flat());
+
+  std::map<uint32_t, int> topic_counts;
+  const VectorSet batch = stream.NextBatch(2000);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const uint32_t row = flat.Search(batch[i], 1)[0].id;  // noise==0: exact row
+    ++topic_counts[stream.TopicOf(row)];
+  }
+  // Head topic should dominate the tail topic by a wide margin.
+  EXPECT_GT(topic_counts[0], 10 * std::max(1, topic_counts[19]));
+}
+
+TEST(QueryStreamTest, DriftingHotSetMoves) {
+  Dataset ds = Base();
+  WorkloadSpec spec{.shape = WorkloadShape::kDrifting, .num_topics = 10,
+                    .hot_topics = 2, .noise_stddev = 0.0f, .seed = 4};
+  QueryStream stream(ds.base, spec);
+  FlatIndex flat(8);
+  flat.AddBatch(ds.base.flat());
+
+  auto hot_topics_of = [&](const VectorSet& batch) {
+    std::set<uint32_t> topics;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      topics.insert(stream.TopicOf(flat.Search(batch[i], 1)[0].id));
+    }
+    return topics;
+  };
+  const auto first = hot_topics_of(stream.NextBatch(100));
+  EXPECT_LE(first.size(), 2u);
+  // After 5 more batches the hot window has moved past the original topics.
+  VectorSet later;
+  for (int i = 0; i < 5; ++i) later = stream.NextBatch(100);
+  const auto moved = hot_topics_of(later);
+  EXPECT_NE(first, moved);
+}
+
+TEST(QueryStreamTest, SkewedTrafficImprovesCacheHitRate) {
+  // The systems-level consequence: a Zipfian stream concentrates cluster
+  // demand, so the LRU carries more across batches than under uniform.
+  Dataset ds = Base();
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 20;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;  // 20% of clusters
+  auto engine = DhnswEngine::Build(ds.base, config);
+  ASSERT_TRUE(engine.ok());
+
+  auto loads_over_batches = [&](WorkloadShape shape, uint32_t zipf_topics) {
+    WorkloadSpec spec;
+    spec.shape = shape;
+    spec.num_topics = zipf_topics;
+    spec.zipf_s = 1.4;
+    spec.seed = 5;
+    QueryStream stream(ds.base, spec);
+    ComputeNode& node = engine.value().compute(0);
+    node.InvalidateCache();
+    uint64_t loads = 0;
+    for (int b = 0; b < 6; ++b) {
+      const VectorSet batch = stream.NextBatch(60);
+      auto result = node.SearchAll(batch, 5, 32);
+      EXPECT_TRUE(result.ok());
+      loads += result.value().breakdown.clusters_loaded;
+    }
+    return loads;
+  };
+
+  // Skew concentrates demand on few clusters, so the zipf stream needs
+  // fewer network loads to serve the same number of queries.
+  const uint64_t uniform_loads = loads_over_batches(WorkloadShape::kUniform, 20);
+  const uint64_t zipf_loads = loads_over_batches(WorkloadShape::kZipfian, 20);
+  EXPECT_LT(zipf_loads, uniform_loads);
+}
+
+}  // namespace
+}  // namespace dhnsw

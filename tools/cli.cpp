@@ -1,0 +1,249 @@
+#include "cli.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "common/timer.h"
+#include "core/engine.h"
+#include "dataset/ground_truth.h"
+#include "dataset/vecs_io.h"
+
+namespace dhnsw::cli {
+namespace {
+
+/// printf-append onto the output string.
+void Emit(std::string* out, const char* fmt, ...) {
+  char line[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof line, fmt, args);
+  va_end(args);
+  *out += line;
+  *out += '\n';
+}
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+};
+
+Result<Flags> ParseFlags(const std::vector<std::string>& args, size_t first) {
+  Flags flags;
+  for (size_t i = first; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("expected --key=value, got: " + arg);
+    }
+    flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+  }
+  return flags;
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "l2") return Metric::kL2;
+  if (name == "ip") return Metric::kInnerProduct;
+  if (name == "cosine") return Metric::kCosine;
+  return Status::InvalidArgument("unknown metric: " + name + " (l2|ip|cosine)");
+}
+
+DhnswConfig ConfigFromFlags(const Flags& flags, Metric metric) {
+  DhnswConfig config = DhnswConfig::Defaults(metric);
+  config.meta.num_representatives =
+      static_cast<uint32_t>(flags.GetU64("reps", 500));
+  config.sub_hnsw.M = static_cast<uint32_t>(flags.GetU64("m", 16));
+  config.sub_hnsw.ef_construction = static_cast<uint32_t>(flags.GetU64("efc", 100));
+  config.compute.clusters_per_query = static_cast<uint32_t>(flags.GetU64("b", 4));
+  config.compute.cache_capacity = static_cast<uint32_t>(flags.GetU64(
+      "cache", std::max<uint64_t>(1, config.meta.num_representatives / 10)));
+  config.num_memory_nodes = flags.GetU64("shards", 1);
+  return config;
+}
+
+Status CmdBuild(const Flags& flags, std::string* out) {
+  const std::string base_path = flags.Get("base");
+  const std::string out_path = flags.Get("out");
+  if (base_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("build requires --base=<fvecs> and --out=<snapshot>");
+  }
+  DHNSW_ASSIGN_OR_RETURN(VectorSet base,
+                         ReadFvecs(base_path, flags.GetU64("max_rows", 0)));
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  Emit(out, "loaded %zu vectors (dim %u) from %s", base.size(), base.dim(),
+       base_path.c_str());
+
+  WallTimer timer;
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine,
+                         DhnswEngine::Build(base, ConfigFromFlags(flags, metric)));
+  Emit(out, "built %u partitions in %.1f ms (meta-HNSW %.1f KB)",
+       engine.num_partitions(), timer.elapsed_ms(),
+       static_cast<double>(engine.meta_blob_bytes()) / 1024.0);
+  DHNSW_RETURN_IF_ERROR(engine.SaveSnapshot(out_path));
+  Emit(out, "snapshot written to %s", out_path.c_str());
+  return Status::Ok();
+}
+
+/// Shared open-from-snapshot helper. `next_global_id` conservatively starts
+/// beyond any id a snapshot may hold (exact id continuity is persisted data
+/// the CLI does not track across runs).
+Result<DhnswEngine> OpenSnapshot(const Flags& flags, Metric metric) {
+  const std::string path = flags.Get("snapshot");
+  if (path.empty()) return Status::InvalidArgument("missing --snapshot=<file>");
+  DhnswConfig config = ConfigFromFlags(flags, metric);
+  return DhnswEngine::BuildFromSnapshot(
+      path, config, static_cast<uint32_t>(flags.GetU64("next_id", 1u << 30)));
+}
+
+Status CmdQuery(const Flags& flags, std::string* out) {
+  const std::string query_path = flags.Get("queries");
+  if (query_path.empty()) return Status::InvalidArgument("missing --queries=<fvecs>");
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+  DHNSW_ASSIGN_OR_RETURN(VectorSet queries,
+                         ReadFvecs(query_path, flags.GetU64("max_rows", 0)));
+
+  const size_t k = flags.GetU64("k", 10);
+  const uint32_t ef = static_cast<uint32_t>(flags.GetU64("ef", 48));
+  DHNSW_ASSIGN_OR_RETURN(BatchResult result, engine.SearchAll(queries, k, ef));
+
+  const BatchBreakdown& b = result.breakdown;
+  Emit(out, "searched %zu queries, k=%zu, efSearch=%u over %u partitions",
+       queries.size(), k, ef, engine.num_partitions());
+  Emit(out, "network %.1f us (%.4f RT/query), meta %.1f us, sub %.1f us, %lu loads",
+       b.network_us, b.per_query_round_trips(), b.meta_us, b.sub_us,
+       static_cast<unsigned long>(b.clusters_loaded));
+
+  if (flags.Has("gt")) {
+    DHNSW_ASSIGN_OR_RETURN(IvecsData gt, ReadIvecs(flags.Get("gt"), queries.size()));
+    if (gt.rows() < queries.size() || gt.row_dim < k) {
+      return Status::InvalidArgument("ground truth too small for this query set / k");
+    }
+    double total = 0.0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      total += RecallAtK(result.results[qi],
+                         {gt.values.data() + qi * gt.row_dim, gt.row_dim}, k);
+    }
+    Emit(out, "recall@%zu = %.4f", k, total / static_cast<double>(queries.size()));
+  }
+
+  if (flags.Has("out")) {
+    IvecsData ids;
+    ids.row_dim = static_cast<uint32_t>(k);
+    for (const auto& top : result.results) {
+      for (size_t j = 0; j < k; ++j) {
+        ids.values.push_back(j < top.size() ? top[j].id : 0xFFFFFFFFu);
+      }
+    }
+    DHNSW_RETURN_IF_ERROR(WriteIvecs(flags.Get("out"), ids));
+    Emit(out, "result ids written to %s", flags.Get("out").c_str());
+  }
+  return Status::Ok();
+}
+
+Status CmdInsert(const Flags& flags, std::string* out) {
+  const std::string vec_path = flags.Get("vectors");
+  const std::string out_path = flags.Get("out");
+  if (vec_path.empty() || out_path.empty()) {
+    return Status::InvalidArgument("insert requires --vectors=<fvecs> and --out=<snapshot>");
+  }
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+  DHNSW_ASSIGN_OR_RETURN(VectorSet vectors,
+                         ReadFvecs(vec_path, flags.GetU64("max_rows", 0)));
+
+  std::vector<size_t> rejected;
+  DHNSW_ASSIGN_OR_RETURN(const uint32_t first_id, engine.InsertBatch(vectors, &rejected));
+  Emit(out, "inserted %zu vectors (ids from %u), %zu rejected (overflow full)",
+       vectors.size() - rejected.size(), first_id, rejected.size());
+  if (!rejected.empty()) {
+    Emit(out, "hint: run `compact` to fold overflow into the base blobs");
+  }
+  DHNSW_RETURN_IF_ERROR(engine.SaveSnapshot(out_path));
+  Emit(out, "snapshot written to %s", out_path.c_str());
+  return Status::Ok();
+}
+
+Status CmdCompact(const Flags& flags, std::string* out) {
+  const std::string out_path = flags.Get("out");
+  if (out_path.empty()) return Status::InvalidArgument("compact requires --out=<snapshot>");
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+
+  DHNSW_ASSIGN_OR_RETURN(CompactionStats stats, engine.Compact());
+  Emit(out, "compacted %u clusters: folded %u inserts, applied %u tombstones",
+       stats.clusters, stats.live_records_folded, stats.tombstones_applied);
+  DHNSW_RETURN_IF_ERROR(engine.SaveSnapshot(out_path));
+  Emit(out, "snapshot written to %s", out_path.c_str());
+  return Status::Ok();
+}
+
+Status CmdInfo(const Flags& flags, std::string* out) {
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+  *out += engine.DebugString();
+  *out += '\n';
+  const auto& sizes = engine.partition_sizes();
+  if (!sizes.empty()) {
+    Emit(out, "partition sizes: %zu entries", sizes.size());
+  } else {
+    Emit(out, "dim %u, %u partitions (sizes live in the blobs)", engine.dim(),
+         engine.num_partitions());
+  }
+  return Status::Ok();
+}
+
+const char kUsage[] =
+    "usage: dhnsw_cli <build|query|insert|compact|info> --key=value ...\n"
+    "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
+    "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
+    "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
+    "  compact --snapshot=region.dsnp --out=compacted.dsnp\n"
+    "  info    --snapshot=region.dsnp";
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::string* out) {
+  if (args.empty()) {
+    Emit(out, "%s", kUsage);
+    return 2;
+  }
+  auto flags = ParseFlags(args, 1);
+  if (!flags.ok()) {
+    Emit(out, "error: %s", flags.status().ToString().c_str());
+    return 2;
+  }
+
+  Status st;
+  const std::string& command = args[0];
+  if (command == "build") {
+    st = CmdBuild(flags.value(), out);
+  } else if (command == "query") {
+    st = CmdQuery(flags.value(), out);
+  } else if (command == "insert") {
+    st = CmdInsert(flags.value(), out);
+  } else if (command == "compact") {
+    st = CmdCompact(flags.value(), out);
+  } else if (command == "info") {
+    st = CmdInfo(flags.value(), out);
+  } else {
+    Emit(out, "unknown command: %s\n%s", command.c_str(), kUsage);
+    return 2;
+  }
+  if (!st.ok()) {
+    Emit(out, "error: %s", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dhnsw::cli

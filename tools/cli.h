@@ -1,0 +1,30 @@
+// d-HNSW command-line tool, as a library so tests drive it in-process.
+//
+// Subcommands:
+//   build    --base=<fvecs> --out=<snapshot> [--reps=N] [--m=N] [--efc=N]
+//            [--metric=l2|ip|cosine] [--max_rows=N] [--shards=N]
+//            Build the full system from a vector file and persist the
+//            provisioned region as a snapshot.
+//   query    --snapshot=<file> --queries=<fvecs> [--k=N] [--ef=N] [--b=N]
+//            [--gt=<ivecs>] [--max_rows=N] [--out=<ivecs>]
+//            Batched top-k search; prints latency/traffic stats, recall when
+//            ground truth is given, and optionally writes result ids.
+//   insert   --snapshot=<file> --vectors=<fvecs> --out=<snapshot>
+//            [--max_rows=N]  Batch-insert vectors, persist the result.
+//   compact  --snapshot=<file> --out=<snapshot>
+//            Fold overflow + tombstones into fresh blobs.
+//   info     --snapshot=<file>
+//            Print the region topology (partitions, shards, sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dhnsw::cli {
+
+/// Runs one CLI invocation. `args` excludes the program name. Output goes to
+/// `out` (one string, newline separated) so tests can assert on it.
+/// Returns a process exit code (0 = success).
+int RunCli(const std::vector<std::string>& args, std::string* out);
+
+}  // namespace dhnsw::cli

@@ -1,0 +1,15 @@
+// Thin main for the d-HNSW CLI; the logic lives in cli.{h,cpp} so tests can
+// drive every subcommand in-process.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  const int code = dhnsw::cli::RunCli(args, &out);
+  std::fputs(out.c_str(), code == 0 ? stdout : stderr);
+  return code;
+}
