@@ -1,0 +1,96 @@
+// Retry with exponential backoff for transient fabric failures.
+//
+// The compute path treats three status codes as retryable:
+//   kUnavailable       — remote node unreachable (possibly transient)
+//   kDeadlineExceeded  — an op timed out (response lost; safe to re-issue
+//                        because all verbs here are idempotent reads or the
+//                        caller re-validates, see compute_node.cpp)
+//   kCorruption        — a CRC mismatch on decoded bytes; re-reading fetches
+//                        a fresh, hopefully undamaged copy
+//
+// Backoff is charged to the instance's SimClock, so recovery cost shows up in
+// the same simulated-latency accounting as the verbs themselves, and results
+// stay deterministic: no wall-clock sleeping, no timers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace dhnsw {
+
+/// Knobs for the retry loop around fabric operations. The default policy is
+/// disabled (one attempt, no backoff) so fault-free workloads and existing
+/// tests keep byte-identical behaviour and timing.
+struct RetryPolicy {
+  /// Total attempts including the first one. 1 = no retries.
+  uint32_t max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  /// min(initial_backoff_ns * multiplier^(k-1), max_backoff_ns).
+  uint64_t initial_backoff_ns = 20'000;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_ns = 5'000'000;
+  /// Simulated-ns budget for one logical operation (e.g. one batch's cluster
+  /// loads), measured from RetryBudget construction. 0 = unbounded. When the
+  /// budget is exhausted, AllowRetry refuses and the last error stands.
+  uint64_t deadline_ns = 0;
+
+  bool enabled() const noexcept { return max_attempts > 1; }
+
+  /// Backoff charged before the retry following `failures` failed attempts.
+  uint64_t BackoffNs(uint32_t failures) const noexcept {
+    if (failures == 0) return 0;
+    double ns = static_cast<double>(initial_backoff_ns);
+    for (uint32_t i = 1; i < failures; ++i) ns *= backoff_multiplier;
+    return std::min(static_cast<uint64_t>(ns), max_backoff_ns);
+  }
+
+  static RetryPolicy Disabled() noexcept { return RetryPolicy{}; }
+  static RetryPolicy Default() noexcept {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    return p;
+  }
+};
+
+/// True for errors that a retry can plausibly cure.
+inline bool IsRetryable(StatusCode code) noexcept {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCorruption;
+}
+inline bool IsRetryable(const Status& st) noexcept { return IsRetryable(st.code()); }
+
+/// Tracks attempts + deadline for one logical operation. Charges backoff to
+/// the clock (nullptr clock = accounting skipped, decisions unchanged).
+class RetryBudget {
+ public:
+  RetryBudget(const RetryPolicy& policy, SimClock* clock) noexcept
+      : policy_(policy), clock_(clock),
+        start_ns_(clock != nullptr ? clock->now_ns() : 0) {}
+
+  /// Decides whether a retry is allowed after `failures` failed attempts
+  /// (1-based: pass 1 after the first failure). On true, the backoff has been
+  /// charged to the clock; `backoff_out` (optional) reports the charged ns.
+  bool AllowRetry(uint32_t failures, uint64_t* backoff_out = nullptr) noexcept {
+    if (backoff_out != nullptr) *backoff_out = 0;
+    if (failures + 1 > policy_.max_attempts) return false;
+    const uint64_t backoff = policy_.BackoffNs(failures);
+    if (policy_.deadline_ns > 0 && clock_ != nullptr &&
+        clock_->now_ns() - start_ns_ + backoff > policy_.deadline_ns) {
+      return false;
+    }
+    if (clock_ != nullptr) clock_->Advance(backoff);
+    if (backoff_out != nullptr) *backoff_out = backoff;
+    return true;
+  }
+
+ private:
+  RetryPolicy policy_;
+  SimClock* clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace dhnsw

@@ -11,6 +11,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kCapacity: return "CAPACITY";
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kIoError: return "IO_ERROR";

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCapacity,          ///< fixed-size region/queue is full
   kCorruption,        ///< checksum/format mismatch while decoding
   kUnavailable,       ///< transient: remote node down, QP disconnected
+  kDeadlineExceeded,  ///< op or batch ran past its deadline / timed out
   kInternal,          ///< invariant violation; a bug if it ever fires
   kUnimplemented,     ///< feature intentionally not built
   kIoError,           ///< filesystem-level failure
@@ -47,6 +48,7 @@ class [[nodiscard]] Status {
   static Status Capacity(std::string m) { return {StatusCode::kCapacity, std::move(m)}; }
   static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
   static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
   static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }

@@ -6,7 +6,8 @@
 namespace dhnsw {
 
 Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t k,
-                                               uint32_t ef_search) {
+                                               uint32_t ef_search,
+                                               const RouterOptions& router_options) {
   if (pool_.empty()) return Status::InvalidArgument("router: empty compute pool");
   for (ComputeNode* node : pool_) {
     if (node == nullptr || !node->connected()) {
@@ -53,11 +54,25 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
 
   RouterResult out;
   out.results.resize(n);
+  out.statuses.assign(n, Status::Ok());
   for (size_t s = 0; s < shards; ++s) {
-    if (!work[s].result.ok()) return work[s].result.status();
+    if (!work[s].result.ok()) {
+      // A shard-level failure (its instance could not serve the batch at
+      // all). With allow_partial its queries degrade to empty results that
+      // carry the error; the other shards' answers survive untouched.
+      if (!router_options.allow_partial) return work[s].result.status();
+      for (size_t i = 0; i < work[s].count; ++i) {
+        out.statuses[work[s].begin + i] = work[s].result.status();
+      }
+      out.per_instance.emplace_back();
+      continue;
+    }
     BatchResult& shard_result = work[s].result.value();
     for (size_t i = 0; i < work[s].count; ++i) {
       out.results[work[s].begin + i] = std::move(shard_result.results[i]);
+      if (i < shard_result.statuses.size()) {
+        out.statuses[work[s].begin + i] = std::move(shard_result.statuses[i]);
+      }
     }
     const BatchBreakdown& b = shard_result.breakdown;
     out.per_instance.push_back(b);

@@ -17,9 +17,21 @@
 
 namespace dhnsw {
 
+/// Router-level failure handling.
+struct RouterOptions {
+  /// When true, a shard whose instance fails outright (e.g. its memory node
+  /// is unreachable past the retry budget) degrades to empty results with
+  /// that error in `statuses` for its queries, instead of failing the whole
+  /// request. Per-query degradation inside a healthy shard is governed by
+  /// ComputeOptions::partial_results.
+  bool allow_partial = false;
+};
+
 struct RouterResult {
   /// results[i] = top-k for queries[i], merged back into request order.
   std::vector<std::vector<Scored>> results;
+  /// statuses[i]: OK, or why query i's results are partial/empty.
+  std::vector<Status> statuses;
   /// Per-instance breakdowns, index-aligned with the pool.
   std::vector<BatchBreakdown> per_instance;
   /// Max over instances of (network + meta + sub + deserialize): the batch's
@@ -53,7 +65,8 @@ class ClientRouter {
   /// Shards `queries` across the pool in contiguous chunks; the batch's
   /// latency is the slowest shard's latency (instances run in parallel in a
   /// real pool regardless of the local execution policy).
-  Result<RouterResult> SearchBatch(const VectorSet& queries, size_t k, uint32_t ef_search);
+  Result<RouterResult> SearchBatch(const VectorSet& queries, size_t k, uint32_t ef_search,
+                                   const RouterOptions& router_options = {});
 
  private:
   std::vector<ComputeNode*> pool_;

@@ -32,6 +32,9 @@ BatchBreakdown& BatchBreakdown::operator+=(const BatchBreakdown& rhs) noexcept {
   cache_hits += rhs.cache_hits;
   pruned_searches += rhs.pruned_searches;
   pruned_loads += rhs.pruned_loads;
+  retries += rhs.retries;
+  failed_loads += rhs.failed_loads;
+  backoff_ns += rhs.backoff_ns;
   num_queries += rhs.num_queries;
   return *this;
 }
@@ -48,22 +51,30 @@ ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
 }
 
 Status ComputeNode::Connect() {
+  // Each bootstrap step is retried under options_.retry: read + decode as a
+  // unit, so a CRC mismatch on damaged bytes triggers a fresh read.
   // 1. Region header.
-  AlignedBuffer header_buf(RegionHeader::kEncodedSize, 64);
-  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, 0, header_buf.span()));
-  DHNSW_ASSIGN_OR_RETURN(header_, DecodeRegionHeader(header_buf.span()));
+  DHNSW_RETURN_IF_ERROR(WithRetry([this] {
+    AlignedBuffer header_buf(RegionHeader::kEncodedSize, 64);
+    DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, 0, header_buf.span()));
+    DHNSW_ASSIGN_OR_RETURN(header_, DecodeRegionHeader(header_buf.span()));
+    return Status::Ok();
+  }));
 
   // 2. meta-HNSW blob — cached in this instance for the engine's lifetime
   //    (paper §3.1: "we cache the lightweight meta-HNSW in the compute pool").
-  AlignedBuffer meta_buf(header_.meta_blob_size, 64);
-  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.meta_blob_offset, meta_buf.span()));
-  DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::FromBlob(meta_buf.span()));
-  meta.set_ef_route(options_.ef_meta);
-  meta_.emplace(std::move(meta));
+  DHNSW_RETURN_IF_ERROR(WithRetry([this] {
+    AlignedBuffer meta_buf(header_.meta_blob_size, 64);
+    DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.meta_blob_offset, meta_buf.span()));
+    DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::FromBlob(meta_buf.span()));
+    meta.set_ef_route(options_.ef_meta);
+    meta_.emplace(std::move(meta));
+    return Status::Ok();
+  }));
 
   // 3. Cluster offset table (paper §3.2: offsets "are cached in all compute
   //    instances after the sub-HNSW clusters are written to the memory pool").
-  DHNSW_RETURN_IF_ERROR(RefreshMetadata());
+  DHNSW_RETURN_IF_ERROR(WithRetry([this] { return RefreshMetadata(); }));
 
   qp_.ResetStats();
   clock_.Reset();
@@ -181,69 +192,128 @@ Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
 
 Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
                                  std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
-                                 BatchBreakdown* breakdown) {
+                                 BatchBreakdown* breakdown,
+                                 std::vector<FailedLoad>* failed) {
   if (ids.empty()) return Status::Ok();
 
-  // Stage buffers and post READs; ring per cluster (kNoDoorbell) or per
-  // doorbell chunk (kFull). A doorbell ring is a per-destination-QP batch,
-  // so loads are grouped by owning memory instance (node_slot) before
-  // chunking. The QP itself also enforces the doorbell window.
   std::vector<uint32_t> ordered(ids.begin(), ids.end());
   for (uint32_t cluster : ordered) {
     if (cluster >= table_.size()) return Status::InvalidArgument("LoadClusters: bad id");
   }
-  std::stable_sort(ordered.begin(), ordered.end(), [this](uint32_t a, uint32_t b) {
-    return table_[a].node_slot < table_[b].node_slot;
-  });
 
-  std::vector<PendingLoad> pending;
-  pending.reserve(ordered.size());
   const uint32_t doorbell =
       options_.mode == EngineMode::kFull ? std::max<uint32_t>(options_.doorbell_batch, 1) : 1;
   qp_.set_max_doorbell_wrs(doorbell);
 
-  uint32_t in_ring = 0;
-  uint32_t ring_slot = 0;
-  for (uint32_t cluster : ordered) {
-    const ClusterMeta& meta = table_[cluster];
-    if (in_ring > 0 && meta.node_slot != ring_slot) {
-      qp_.RingDoorbell();  // destination changed: close the previous batch
-      in_ring = 0;
-    }
-    ring_slot = meta.node_slot;
-    const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
-    pending.push_back(PendingLoad{cluster, AlignedBuffer(range.length, 64)});
-    qp_.PostRead(memory_.rkey_for_slot(meta.node_slot), range.offset,
-                 pending.back().buffer.span(), cluster);
-    if (++in_ring == doorbell) {
-      qp_.RingDoorbell();
-      in_ring = 0;
-    }
-  }
-  if (in_ring > 0) qp_.RingDoorbell();
+  // One round loads `remaining` and reports per-cluster outcomes; transient
+  // failures (unreachable, timeout, CRC-detected corruption) go back into
+  // `remaining` with FRESH buffers and are retried under the retry budget.
+  RetryBudget budget(options_.retry, &clock_);
+  uint32_t round_failures = 0;
+  std::vector<uint32_t> remaining = std::move(ordered);
+  // Sticky per-cluster last error, kept across rounds for final reporting.
+  std::vector<std::pair<uint32_t, Status>> last_error;
 
-  // Drain the whole CQ before acting on errors — leaving stale completions
-  // behind would poison the next batch.
-  bool any_error = false;
-  rdma::Completion c;
-  while (qp_.PollCompletion(&c)) {
-    any_error |= (c.status != rdma::WcStatus::kSuccess);
-  }
-  if (any_error) {
-    return Status::Unavailable("cluster load failed: rdma completion error");
+  auto record_error = [&last_error](uint32_t cluster, Status st) {
+    for (auto& [id, s] : last_error) {
+      if (id == cluster) {
+        s = std::move(st);
+        return;
+      }
+    }
+    last_error.emplace_back(cluster, std::move(st));
+  };
+
+  while (!remaining.empty()) {
+    // Stage buffers and post READs; ring per cluster (kNoDoorbell) or per
+    // doorbell chunk (kFull). A doorbell ring is a per-destination-QP batch,
+    // so loads are grouped by owning memory instance (node_slot) before
+    // chunking. The QP itself also enforces the doorbell window.
+    std::stable_sort(remaining.begin(), remaining.end(), [this](uint32_t a, uint32_t b) {
+      return table_[a].node_slot < table_[b].node_slot;
+    });
+
+    std::vector<PendingLoad> pending;
+    pending.reserve(remaining.size());
+    uint32_t in_ring = 0;
+    uint32_t ring_slot = 0;
+    for (uint32_t cluster : remaining) {
+      const ClusterMeta& meta = table_[cluster];
+      if (in_ring > 0 && meta.node_slot != ring_slot) {
+        qp_.RingDoorbell();  // destination changed: close the previous batch
+        in_ring = 0;
+      }
+      ring_slot = meta.node_slot;
+      const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
+      pending.push_back(PendingLoad{cluster, AlignedBuffer(range.length, 64)});
+      qp_.PostRead(memory_.rkey_for_slot(meta.node_slot), range.offset,
+                   pending.back().buffer.span(), cluster);
+      if (++in_ring == doorbell) {
+        qp_.RingDoorbell();
+        in_ring = 0;
+      }
+    }
+    if (in_ring > 0) qp_.RingDoorbell();
+
+    // Drain the whole CQ before acting on errors — leaving stale completions
+    // behind would poison the next batch. Each WR carries its cluster id, so
+    // one failed READ never hides its siblings' outcomes.
+    std::vector<std::pair<uint32_t, Status>> read_errors;
+    rdma::Completion c;
+    while (qp_.PollCompletion(&c)) {
+      if (c.status != rdma::WcStatus::kSuccess) {
+        read_errors.emplace_back(static_cast<uint32_t>(c.wr_id),
+                                 rdma::QueuePair::ToStatus(c));
+      }
+    }
+
+    std::vector<uint32_t> next_round;
+    auto fail_one = [&](uint32_t cluster, Status st) {
+      if (IsRetryable(st)) next_round.push_back(cluster);
+      record_error(cluster, std::move(st));
+    };
+
+    for (PendingLoad& load : pending) {
+      const auto err = std::find_if(
+          read_errors.begin(), read_errors.end(),
+          [&load](const auto& e) { return e.first == load.cluster; });
+      if (err != read_errors.end()) {
+        fail_one(load.cluster, err->second);
+        continue;
+      }
+      const uint64_t used = table_[load.cluster].overflow_used;
+      Result<LoadedClusterPtr> loaded = DecodeLoaded(
+          load.cluster, load.buffer.span(), used, &breakdown->deserialize_us);
+      if (!loaded.ok()) {
+        // A CRC/format mismatch on freshly read bytes is wire damage; a
+        // re-read fetches a clean copy. The damaged copy is NEVER cached.
+        fail_one(load.cluster, loaded.status());
+        continue;
+      }
+      breakdown->clusters_loaded += 1;
+      breakdown->bytes_read += load.buffer.size();
+      if (options_.mode != EngineMode::kNaive) {
+        cache_.Put(load.cluster, loaded.value());
+      }
+      out->emplace_back(load.cluster, std::move(loaded).value());
+    }
+
+    if (next_round.empty()) break;
+    uint64_t backoff = 0;
+    if (!budget.AllowRetry(++round_failures, &backoff)) break;
+    breakdown->retries += next_round.size();
+    breakdown->backoff_ns += backoff;
+    remaining = std::move(next_round);
   }
 
-  for (PendingLoad& load : pending) {
-    const uint64_t used = table_[load.cluster].overflow_used;
-    DHNSW_ASSIGN_OR_RETURN(
-        LoadedClusterPtr loaded,
-        DecodeLoaded(load.cluster, load.buffer.span(), used, &breakdown->deserialize_us));
-    breakdown->clusters_loaded += 1;
-    breakdown->bytes_read += load.buffer.size();
-    if (options_.mode != EngineMode::kNaive) {
-      cache_.Put(load.cluster, loaded);
-    }
-    out->emplace_back(load.cluster, std::move(loaded));
+  // Whatever still carries an error and is not resident was abandoned.
+  for (auto& [cluster, st] : last_error) {
+    const bool resident = std::any_of(out->begin(), out->end(),
+                                      [c = cluster](const auto& p) { return p.first == c; });
+    if (resident) continue;
+    breakdown->failed_loads += 1;
+    if (failed == nullptr) return std::move(st);  // strict: first error fails the call
+    failed->push_back(FailedLoad{cluster, std::move(st)});
   }
   return Status::Ok();
 }
@@ -259,8 +329,17 @@ Status ComputeNode::NaiveSearch(const VectorSet& queries, size_t begin, size_t c
     TopKHeap heap(k);
     for (uint32_t cluster : routes[i]) {
       std::vector<std::pair<uint32_t, LoadedClusterPtr>> loaded;
+      std::vector<FailedLoad> failures;
       const uint32_t id[1] = {cluster};
-      DHNSW_RETURN_IF_ERROR(LoadClusters(id, &loaded, &result->breakdown));
+      DHNSW_RETURN_IF_ERROR(LoadClusters(
+          id, &loaded, &result->breakdown,
+          options_.partial_results ? &failures : nullptr));
+      if (!failures.empty()) {
+        // Degrade this query only: it keeps candidates from its other
+        // clusters; siblings in the batch are unaffected.
+        if (result->statuses[i].ok()) result->statuses[i] = failures.front().status;
+        continue;
+      }
       WallTimer sub_timer;
       loaded.front().second->Search(queries[begin + i], k, ef_search, metric,
                                     options_.sub_search, &heap);
@@ -283,14 +362,19 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
 
   BatchResult result;
   result.results.resize(count);
+  result.statuses.assign(count, Status::Ok());
   result.breakdown.num_queries = count;
 
   const rdma::QpStats stats_before = qp_.stats();
 
   // Offset-table refresh: one small READ per batch keeps the cached offsets
   // and overflow counters current (paper §3.2, "latest version stored at the
-  // beginning of the memory space").
-  DHNSW_RETURN_IF_ERROR(RefreshMetadata());
+  // beginning of the memory space"). Retried: a transiently missed refresh
+  // should not fail a whole batch.
+  Status refresh = WithRetry([this] { return RefreshMetadata(); },
+                             &result.breakdown.retries,
+                             &result.breakdown.backoff_ns);
+  DHNSW_RETURN_IF_ERROR(std::move(refresh));
 
   // --- meta-HNSW routing (the "cache computation" column of Tables 1-2) ---
   WallTimer meta_timer;
@@ -369,8 +453,27 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
         }
         if (!cache_.Contains(cluster)) to_load.push_back(cluster);
       }
-      DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown));
+      std::vector<FailedLoad> failures;
+      DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown,
+                                         options_.partial_results ? &failures : nullptr));
+      // Graceful degradation: a permanently failed cluster poisons only the
+      // queries routed to it — they keep candidates from their other
+      // clusters and carry the failure in their per-query status.
+      if (!failures.empty()) {
+        for (const WorkItem& item : wave.work) {
+          const auto f = std::find_if(
+              failures.begin(), failures.end(),
+              [&item](const FailedLoad& fl) { return fl.cluster == item.cluster; });
+          if (f != failures.end() && result.statuses[item.query_index].ok()) {
+            result.statuses[item.query_index] = f->status;
+          }
+        }
+      }
 
+      auto failed_cluster = [&failures](uint32_t cluster) {
+        return std::any_of(failures.begin(), failures.end(),
+                           [cluster](const FailedLoad& fl) { return fl.cluster == cluster; });
+      };
       auto resident = [&](uint32_t cluster) -> const LoadedCluster* {
         for (const auto& [id, ptr] : fresh) {
           if (id == cluster) return ptr.get();
@@ -400,6 +503,7 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
               pruned_searches.fetch_add(1, std::memory_order_relaxed);
               continue;
             }
+            if (failed_cluster(item.cluster)) continue;  // degraded, status set above
             const LoadedCluster* cluster = resident(item.cluster);
             if (cluster != nullptr) {
               cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
@@ -413,6 +517,7 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
             pruned_searches.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
+          if (failed_cluster(item.cluster)) continue;  // degraded, status set above
           const LoadedCluster* cluster = resident(item.cluster);
           if (cluster == nullptr) return Status::Internal("wave cluster not resident");
           cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
@@ -441,27 +546,68 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   // Ring 1: FAA-allocate `rec` bytes from this cluster's side of the shared
   // overflow area, and read the partner's counter in the SAME round trip to
   // validate the shared budget (used_A + used_B <= capacity).
+  //
+  // Retry semantics: a failed FAA did not execute (unreachable/timeout model
+  // drops the op), so the whole ring is safely re-issued. Once the FAA has
+  // landed, only the partner READ is re-issued — re-running the FAA would
+  // double-allocate — and if that read permanently fails the allocation is
+  // rolled back before reporting the error.
   auto used_counter_offset = [this](uint32_t cluster) {
     return header_.table_offset +
            static_cast<uint64_t>(cluster) * ClusterMeta::kEncodedSize +
            ClusterMeta::kUsedFieldOffset;
   };
-  uint64_t partner_used = 0;
-  AlignedBuffer partner_buf(8, 64);
-  qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), rec, /*wr_id=*/1);
   const bool has_partner = meta.partner != ClusterMeta::kNoPartner;
-  if (has_partner) {
-    qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
-  }
-  qp_.RingDoorbell();
+  uint64_t partner_used = 0;
   uint64_t old_used = 0;
-  bool any_error = false;
-  rdma::Completion c;
-  while (qp_.PollCompletion(&c)) {
-    any_error |= (c.status != rdma::WcStatus::kSuccess);
-    if (c.wr_id == 1) old_used = c.atomic_result;
+  AlignedBuffer partner_buf(8, 64);
+  {
+    RetryBudget budget(options_.retry, &clock_);
+    uint32_t failures = 0;
+    bool faa_done = false;
+    for (;;) {
+      Status ring_status;
+      if (!faa_done) {
+        qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), rec, /*wr_id=*/1);
+        if (has_partner) {
+          qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+        }
+        qp_.RingDoorbell();
+        Status faa_status, partner_status;
+        rdma::Completion c;
+        while (qp_.PollCompletion(&c)) {
+          Status st = rdma::QueuePair::ToStatus(c);
+          if (c.wr_id == 1) {
+            if (st.ok()) old_used = c.atomic_result;
+            faa_status = std::move(st);
+          } else {
+            partner_status = std::move(st);
+          }
+        }
+        if (faa_status.ok()) {
+          faa_done = true;
+          if (partner_status.ok()) break;
+          ring_status = std::move(partner_status);
+        } else {
+          ring_status = std::move(faa_status);
+        }
+      } else {
+        Status st = qp_.Read(memory_.rkey, used_counter_offset(meta.partner),
+                             partner_buf.span());
+        if (st.ok()) break;
+        ring_status = std::move(st);
+      }
+      if (!IsRetryable(ring_status) || !budget.AllowRetry(++failures)) {
+        if (faa_done) {
+          // Best effort: un-claim the slot; if even this fails the slot
+          // leaks zero-filled and uncommitted, which readers skip.
+          (void)qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
+                             static_cast<uint64_t>(-static_cast<int64_t>(rec)));
+        }
+        return ring_status;
+      }
+    }
   }
-  if (any_error) return Status::Unavailable("append: rdma completion error");
   if (has_partner) std::memcpy(&partner_used, partner_buf.data(), 8);
 
   if (old_used + rec + partner_used > meta.overflow_capacity) {
@@ -476,10 +622,16 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
 
   // Ring 2: write the record at its FAA-assigned slot, on the memory
   // instance that owns this cluster's group. The slot position keeps the
-  // cluster + overflow contiguous for single-READ loads.
+  // cluster + overflow contiguous for single-READ loads. Retried on
+  // transient failure (a dropped WRITE left the slot zero-filled, so
+  // re-writing the same bytes is idempotent). On permanent failure the slot
+  // is NOT rolled back: concurrent inserts may have FAAed past us, and a
+  // decrement now could hand two writers the same slot — an uncommitted
+  // zero slot is benign (readers skip it), a collided slot is not.
   const uint64_t remote_offset = meta.RecordOffset(old_used);
-  DHNSW_RETURN_IF_ERROR(
-      qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record));
+  DHNSW_RETURN_IF_ERROR(WithRetry([&] {
+    return qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record);
+  }));
 
   // Local bookkeeping: our cached table entry advances; a cached decoded
   // cluster is now stale and must be re-fetched on next use.
@@ -540,23 +692,58 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     const uint64_t want = rec * members.size();
 
     // Ring 1: one FAA claims space for the whole group; the partner counter
-    // rides along to validate the shared budget.
-    uint64_t partner_used = 0;
-    AlignedBuffer partner_buf(8, 64);
-    qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), want, 1);
+    // rides along to validate the shared budget. Same retry discipline as
+    // AppendRecord: re-ring while the FAA has not landed, then re-read only
+    // the partner counter, rolling the claim back on permanent failure.
     const bool has_partner = meta.partner != ClusterMeta::kNoPartner;
-    if (has_partner) {
-      qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
-    }
-    qp_.RingDoorbell();
+    uint64_t partner_used = 0;
     uint64_t old_used = 0;
-    bool any_error = false;
-    rdma::Completion c;
-    while (qp_.PollCompletion(&c)) {
-      any_error |= (c.status != rdma::WcStatus::kSuccess);
-      if (c.wr_id == 1) old_used = c.atomic_result;
+    AlignedBuffer partner_buf(8, 64);
+    {
+      RetryBudget budget(options_.retry, &clock_);
+      uint32_t failures = 0;
+      bool faa_done = false;
+      for (;;) {
+        Status ring_status;
+        if (!faa_done) {
+          qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), want, 1);
+          if (has_partner) {
+            qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+          }
+          qp_.RingDoorbell();
+          Status faa_status, partner_status;
+          rdma::Completion c;
+          while (qp_.PollCompletion(&c)) {
+            Status st = rdma::QueuePair::ToStatus(c);
+            if (c.wr_id == 1) {
+              if (st.ok()) old_used = c.atomic_result;
+              faa_status = std::move(st);
+            } else {
+              partner_status = std::move(st);
+            }
+          }
+          if (faa_status.ok()) {
+            faa_done = true;
+            if (partner_status.ok()) break;
+            ring_status = std::move(partner_status);
+          } else {
+            ring_status = std::move(faa_status);
+          }
+        } else {
+          Status st = qp_.Read(memory_.rkey, used_counter_offset(meta.partner),
+                               partner_buf.span());
+          if (st.ok()) break;
+          ring_status = std::move(st);
+        }
+        if (!IsRetryable(ring_status) || !budget.AllowRetry(++failures)) {
+          if (faa_done) {
+            (void)qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
+                               static_cast<uint64_t>(-static_cast<int64_t>(want)));
+          }
+          return ring_status;
+        }
+      }
     }
-    if (any_error) return Status::Unavailable("batch insert: rdma completion error");
     if (has_partner) std::memcpy(&partner_used, partner_buf.data(), 8);
 
     if (old_used + want + partner_used > meta.overflow_capacity) {
@@ -569,20 +756,43 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
 
     // Ring(s) 2: doorbell-batched WRITEs of the group's records. Records of
     // one partition are adjacent, but each is posted as its own WR (the
-    // doorbell coalesces them into one round trip per window).
+    // doorbell coalesces them into one round trip per window). Each WR
+    // carries its record index, so only the WRITEs that actually failed are
+    // re-issued — dropped WRITEs left their slots zero-filled, making the
+    // replay idempotent. Permanent failures leave uncommitted slots that
+    // readers skip (see AppendRecord for why no rollback).
     std::vector<std::vector<uint8_t>> records(members.size());
     const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
     for (size_t j = 0; j < members.size(); ++j) {
       records[j].resize(rec);
       EncodeOverflowRecord(global_ids[members[j]], vectors[members[j]], records[j]);
-      qp_.PostWrite(shard_rkey, meta.RecordOffset(old_used + j * rec), records[j]);
     }
-    qp_.RingDoorbell();
-    any_error = false;
-    while (qp_.PollCompletion(&c)) {
-      any_error |= (c.status != rdma::WcStatus::kSuccess);
+    std::vector<size_t> to_write(members.size());
+    for (size_t j = 0; j < members.size(); ++j) to_write[j] = j;
+    {
+      RetryBudget budget(options_.retry, &clock_);
+      uint32_t failures = 0;
+      for (;;) {
+        for (size_t j : to_write) {
+          qp_.PostWrite(shard_rkey, meta.RecordOffset(old_used + j * rec), records[j],
+                        /*wr_id=*/j);
+        }
+        qp_.RingDoorbell();
+        std::vector<size_t> failed_writes;
+        Status first_error;
+        rdma::Completion c;
+        while (qp_.PollCompletion(&c)) {
+          if (c.status == rdma::WcStatus::kSuccess) continue;
+          failed_writes.push_back(static_cast<size_t>(c.wr_id));
+          if (first_error.ok()) first_error = rdma::QueuePair::ToStatus(c);
+        }
+        if (failed_writes.empty()) break;
+        if (!IsRetryable(first_error) || !budget.AllowRetry(++failures)) {
+          return first_error;
+        }
+        to_write = std::move(failed_writes);
+      }
     }
-    if (any_error) return Status::Unavailable("batch insert: write completion error");
 
     meta.overflow_used = old_used + want;
     cache_.Erase(partition);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/retry_policy.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "common/topk.h"
@@ -64,6 +65,17 @@ struct ComputeOptions {
   /// Graph search (the paper) or exact per-cluster scan (IVF-style ablation).
   SubSearchMode sub_search = SubSearchMode::kGraph;
   HnswOptions sub_hnsw_template;    ///< decode-side options (metric etc.)
+  /// Retry/backoff applied to every fabric operation (cluster loads,
+  /// metadata refresh, insert rings). Disabled by default: fault-free
+  /// deployments keep byte-identical behaviour and simulated timing.
+  RetryPolicy retry;
+  /// Graceful degradation: when true, a batch whose cluster loads
+  /// permanently fail returns partial results — affected queries keep
+  /// whatever they found elsewhere and carry a non-OK per-query status in
+  /// BatchResult::statuses — instead of failing the whole batch. When false
+  /// (default) the first unrecovered error fails the batch, the seed
+  /// behaviour.
+  bool partial_results = false;
 };
 
 /// Per-batch latency/traffic attribution — the paper's Table 1/2 columns
@@ -79,6 +91,9 @@ struct BatchBreakdown {
   uint64_t cache_hits = 0;
   uint64_t pruned_searches = 0;  ///< (query, cluster) pairs skipped adaptively
   uint64_t pruned_loads = 0;     ///< whole cluster loads elided by pruning
+  uint64_t retries = 0;          ///< fabric ops re-issued after a failure
+  uint64_t failed_loads = 0;     ///< cluster loads abandoned after retries
+  uint64_t backoff_ns = 0;       ///< simulated ns spent backing off
   size_t num_queries = 0;
 
   BatchBreakdown& operator+=(const BatchBreakdown& rhs) noexcept;
@@ -96,6 +111,10 @@ struct BatchBreakdown {
 struct BatchResult {
   /// results[i] = top-k (global ids) for query i, ascending distance.
   std::vector<std::vector<Scored>> results;
+  /// statuses[i] = OK when query i saw every routed cluster; otherwise the
+  /// first load failure that reduced its candidate set (partial_results
+  /// mode). Same length as `results`.
+  std::vector<Status> statuses;
   BatchBreakdown breakdown;
 };
 
@@ -168,6 +187,8 @@ class ComputeNode {
   const rdma::QpStats& qp_stats() const noexcept { return qp_.stats(); }
   const SimClock& clock() const noexcept { return clock_; }
   size_t cache_size() const noexcept { return cache_.size(); }
+  /// Test hook: whether `cluster` is resident in the LRU cache (no LRU touch).
+  bool IsCached(uint32_t cluster) const noexcept { return cache_.Contains(cluster); }
   uint64_t cache_hits() const noexcept { return cache_.hits(); }
   uint64_t cache_misses() const noexcept { return cache_.misses(); }
   const std::string& name() const noexcept { return name_; }
@@ -200,12 +221,41 @@ class ComputeNode {
   Result<LoadedClusterPtr> DecodeLoaded(uint32_t cluster, std::span<const uint8_t> bytes,
                                         uint64_t used_bytes, double* deserialize_us);
 
+  /// A cluster load abandoned after exhausting the retry budget.
+  struct FailedLoad {
+    uint32_t cluster;
+    Status status;
+  };
+
   /// Loads `ids` (must not be cached): kFull coalesces into doorbell rings of
   /// `doorbell_batch`, kNoDoorbell issues one ring each. Decoded clusters are
   /// installed into the cache. Returns resident pointers for the wave.
+  /// Transient failures (unreachable / timeout / CRC mismatch) are retried
+  /// per options_.retry with backoff charged to the clock. Loads that still
+  /// fail are reported in `failed` when non-null (graceful degradation) or
+  /// fail the call with the first error when `failed` is null.
   Status LoadClusters(std::span<const uint32_t> ids,
                       std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
-                      BatchBreakdown* breakdown);
+                      BatchBreakdown* breakdown,
+                      std::vector<FailedLoad>* failed = nullptr);
+
+  /// Runs `fn` (returning Status) under options_.retry: transient errors are
+  /// retried with backoff charged to the clock; the last error is returned
+  /// when the budget is spent. Accounting lands in retries/backoff_out.
+  template <typename Fn>
+  Status WithRetry(Fn&& fn, uint64_t* retries_out = nullptr,
+                   uint64_t* backoff_out = nullptr) {
+    RetryBudget budget(options_.retry, &clock_);
+    uint32_t failures = 0;
+    for (;;) {
+      Status st = fn();
+      if (st.ok() || !IsRetryable(st)) return st;
+      uint64_t backoff = 0;
+      if (!budget.AllowRetry(++failures, &backoff)) return st;
+      if (retries_out != nullptr) ++*retries_out;
+      if (backoff_out != nullptr) *backoff_out += backoff;
+    }
+  }
 
   Status NaiveSearch(const VectorSet& queries, size_t begin, size_t count, size_t k,
                      uint32_t ef_search,

@@ -78,11 +78,12 @@ Result<DhnswEngine> DhnswEngine::BuildFromSnapshot(const std::string& path,
 }
 
 Result<RouterResult> DhnswEngine::SearchSharded(const VectorSet& queries, size_t k,
-                                                uint32_t ef_search) {
+                                                uint32_t ef_search,
+                                                const RouterOptions& router_options) {
   std::vector<ComputeNode*> pool;
   pool.reserve(computes_.size());
   for (auto& node : computes_) pool.push_back(node.get());
-  return ClientRouter(std::move(pool)).SearchBatch(queries, k, ef_search);
+  return ClientRouter(std::move(pool)).SearchBatch(queries, k, ef_search, router_options);
 }
 
 Result<uint32_t> DhnswEngine::Insert(std::span<const float> v, size_t via_instance) {

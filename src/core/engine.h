@@ -72,8 +72,11 @@ class DhnswEngine {
     return compute(0).SearchAll(queries, k, ef_search);
   }
 
-  /// Load-balanced batched search across the whole compute pool.
-  Result<RouterResult> SearchSharded(const VectorSet& queries, size_t k, uint32_t ef_search);
+  /// Load-balanced batched search across the whole compute pool. Pass
+  /// RouterOptions{.allow_partial = true} to degrade failed shards to
+  /// empty per-query results instead of failing the request.
+  Result<RouterResult> SearchSharded(const VectorSet& queries, size_t k, uint32_t ef_search,
+                                     const RouterOptions& router_options = {});
 
   /// Inserts a new vector; assigns and returns its global id.
   /// Routed + written by compute instance `via_instance`.

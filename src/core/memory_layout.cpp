@@ -1,14 +1,26 @@
 #include "core/memory_layout.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "common/binary_io.h"
+#include "common/crc32.h"
 
 namespace dhnsw {
 namespace {
 
 uint64_t AlignUp(uint64_t value, uint64_t alignment) {
   return (value + alignment - 1) / alignment * alignment;
+}
+
+/// CRC over a ClusterMeta entry's static fields: everything except the
+/// FAA-mutated overflow_used word and the CRC word itself.
+uint32_t ClusterMetaCrc(std::span<const uint8_t> entry) {
+  uint32_t crc = Crc32c(entry.first(ClusterMeta::kUsedFieldOffset));
+  return Crc32c(entry.subspan(ClusterMeta::kUsedFieldOffset + 8,
+                              ClusterMeta::kCrcOffset -
+                                  (ClusterMeta::kUsedFieldOffset + 8)),
+                crc);
 }
 
 }  // namespace
@@ -106,6 +118,8 @@ void EncodeRegionHeader(const RegionHeader& h, std::span<uint8_t> dst) {
   w.PutU64(h.meta_blob_offset);
   w.PutU64(h.meta_blob_size);
   w.PutU64(h.layout_version);
+  assert(buf.size() == RegionHeader::kCrcOffset);
+  w.PutU32(Crc32c({buf.data(), RegionHeader::kCrcOffset}));
   while (buf.size() < RegionHeader::kEncodedSize) buf.push_back(0);
   std::copy(buf.begin(), buf.end(), dst.begin());
 }
@@ -113,6 +127,11 @@ void EncodeRegionHeader(const RegionHeader& h, std::span<uint8_t> dst) {
 Result<RegionHeader> DecodeRegionHeader(std::span<const uint8_t> src) {
   if (src.size() < RegionHeader::kEncodedSize) {
     return Status::Corruption("region header truncated");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, src.data() + RegionHeader::kCrcOffset, 4);
+  if (stored_crc != Crc32c(src.first(RegionHeader::kCrcOffset))) {
+    return Status::Corruption("region header crc mismatch");
   }
   BinaryReader r(src);
   RegionHeader h;
@@ -150,6 +169,8 @@ void EncodeClusterMeta(const ClusterMeta& m, std::span<uint8_t> dst) {
   w.PutU32(m.record_size);
   w.PutU32(m.node_slot);
   w.PutF32(m.radius);
+  assert(buf.size() == ClusterMeta::kCrcOffset);
+  w.PutU32(ClusterMetaCrc({buf.data(), buf.size()}));
   while (buf.size() < ClusterMeta::kEncodedSize) buf.push_back(0);
   std::copy(buf.begin(), buf.end(), dst.begin());
 }
@@ -157,6 +178,11 @@ void EncodeClusterMeta(const ClusterMeta& m, std::span<uint8_t> dst) {
 Result<ClusterMeta> DecodeClusterMeta(std::span<const uint8_t> src) {
   if (src.size() < ClusterMeta::kEncodedSize) {
     return Status::Corruption("cluster meta entry truncated");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, src.data() + ClusterMeta::kCrcOffset, 4);
+  if (stored_crc != ClusterMetaCrc(src)) {
+    return Status::Corruption("cluster meta crc mismatch");
   }
   BinaryReader r(src);
   ClusterMeta m;

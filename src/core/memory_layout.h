@@ -30,11 +30,15 @@
 
 namespace dhnsw {
 
-/// Fixed 64-byte header at region offset 0.
+/// Fixed 64-byte header at region offset 0. The last padding word carries a
+/// CRC32C over the preceding 56 bytes; decoders verify it, so a bit-flip
+/// anywhere in the header surfaces as kCorruption instead of a bad offset.
 struct RegionHeader {
   static constexpr uint32_t kMagic = 0x44484E52;  // "DHNR"
   static constexpr uint32_t kVersion = 1;
   static constexpr size_t kEncodedSize = 64;
+  /// Byte offset of the CRC32C inside an encoded header.
+  static constexpr size_t kCrcOffset = 56;
 
   uint32_t magic = kMagic;
   uint32_t version = kVersion;
@@ -54,11 +58,16 @@ enum class OverflowDirection : uint32_t {
   kBackward = 1,  ///< "B" side: records grow downward before the blob
 };
 
-/// Fixed 64-byte per-cluster metadata entry.
+/// Fixed 64-byte per-cluster metadata entry. The final padding word carries a
+/// CRC32C over the *static* fields — bytes [0, 32) and [40, 60) — skipping
+/// `overflow_used` at [32, 40), which the insert protocol mutates in place
+/// with remote FAA and therefore cannot be covered by a write-once checksum.
 struct ClusterMeta {
   static constexpr size_t kEncodedSize = 64;
   /// Byte offset of `overflow_used` inside an encoded entry (FAA target).
   static constexpr uint64_t kUsedFieldOffset = 32;
+  /// Byte offset of the static-field CRC32C inside an encoded entry.
+  static constexpr size_t kCrcOffset = 60;
 
   uint64_t blob_offset = 0;        ///< within the owning shard's region
   uint64_t blob_size = 0;

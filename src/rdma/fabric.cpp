@@ -62,4 +62,19 @@ bool Fabric::IsNodeReachable(NodeId node) const {
   return node < nodes_.size() && nodes_[node]->reachable.load();
 }
 
+void Fabric::ArmFaults(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+}
+
+void Fabric::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_plan_.reset();
+}
+
+std::shared_ptr<const FaultPlan> Fabric::fault_plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_plan_;
+}
+
 }  // namespace dhnsw::rdma

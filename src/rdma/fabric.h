@@ -4,7 +4,10 @@
 //
 // Fault injection: tests can arm per-node failures so completions surface
 // kRemoteUnreachable, exercising error paths that real deployments hit when a
-// memory node reboots.
+// memory node reboots. Beyond the whole-node SetNodeReachable switch, a
+// seedable FaultPlan (fault_injection.h) can be armed to inject per-verb
+// transient/permanent failures, timeouts, latency spikes, and payload
+// bit-flips deterministically.
 #pragma once
 
 #include <atomic>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "rdma/fault_injection.h"
 #include "rdma/memory_region.h"
 #include "rdma/nic_model.h"
 #include "rdma/rdma_types.h"
@@ -50,6 +54,20 @@ class Fabric {
   void SetNodeReachable(NodeId node, bool reachable);
   bool IsNodeReachable(NodeId node) const;
 
+  /// Arms a fault schedule: every queue pair on this fabric starts consulting
+  /// it (each with fresh per-QP trigger state). Re-arming — even with an
+  /// identical plan — resets all injector state.
+  void ArmFaults(FaultPlan plan);
+  /// Removes the armed plan; subsequent verbs execute fault-free.
+  void ClearFaults();
+  /// The armed plan, or nullptr. Queue pairs detect re-arming by pointer
+  /// identity, so each ArmFaults call installs a distinct object.
+  std::shared_ptr<const FaultPlan> fault_plan() const;
+
+  /// Hands out queue-pair ids in creation order (the per-QP seed component of
+  /// deterministic fault injection).
+  uint32_t AllocateQpId() noexcept { return next_qp_id_.fetch_add(1); }
+
  private:
   struct Node {
     std::string name;
@@ -61,6 +79,8 @@ class Fabric {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<RKey, std::pair<NodeId, std::unique_ptr<MemoryRegion>>> regions_;
   RKey next_rkey_ = 1;
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  std::atomic<uint32_t> next_qp_id_{0};
 };
 
 }  // namespace dhnsw::rdma

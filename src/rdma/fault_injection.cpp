@@ -1,0 +1,94 @@
+#include "rdma/fault_injection.h"
+
+#include <algorithm>
+
+namespace dhnsw::rdma {
+
+std::string_view FaultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kUnreachable: return "unreachable";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Remote byte range a WR touches (atomics operate on 8 bytes).
+std::pair<uint64_t, uint64_t> WrRange(const WorkRequest& wr) {
+  const uint64_t len =
+      (wr.opcode == Opcode::kCompareSwap || wr.opcode == Opcode::kFetchAdd)
+          ? 8
+          : wr.local.size();
+  return {wr.remote_offset, wr.remote_offset + len};
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::shared_ptr<const FaultPlan> plan, uint32_t qp_id)
+    : plan_(std::move(plan)),
+      state_(plan_->rules().size()),
+      rng_(SplitMix64(plan_->seed() ^ (0x9e3779b97f4a7c15ULL * (qp_id + 1))).Next()) {}
+
+FaultDecision FaultInjector::Evaluate(NodeId owner, const WorkRequest& wr) {
+  FaultDecision decision;
+  const auto [wr_lo, wr_hi] = WrRange(wr);
+
+  for (size_t r = 0; r < plan_->rules().size(); ++r) {
+    const FaultRule& rule = plan_->rules()[r];
+    RuleState& st = state_[r];
+
+    // --- scope ---
+    if (rule.node.has_value() && *rule.node != owner) continue;
+    if (rule.opcode.has_value() && *rule.opcode != wr.opcode) continue;
+    if (rule.rkey.has_value() && *rule.rkey != wr.rkey) continue;
+    const uint64_t isect_lo = std::max(wr_lo, rule.offset_lo);
+    const uint64_t isect_hi = std::min(wr_hi, rule.offset_hi);
+    if (isect_lo >= isect_hi) continue;
+
+    const uint64_t match = ++st.matches;
+
+    // --- schedule ---
+    if (match <= rule.skip_first) continue;
+    if (st.triggers >= rule.max_triggers) continue;
+    if (rule.every_nth > 0 && (match - rule.skip_first) % rule.every_nth != 0) {
+      continue;
+    }
+    // The RNG is consumed only on probabilistic rules, so deterministic
+    // rules do not perturb other rules' streams.
+    if (rule.probability < 1.0 && rng_.NextDouble() >= rule.probability) continue;
+
+    ++st.triggers;
+    decision.fired = true;
+    decision.kind = rule.kind;
+    switch (rule.kind) {
+      case FaultKind::kUnreachable:
+        break;
+      case FaultKind::kTimeout:
+      case FaultKind::kDelay:
+        decision.extra_ns = rule.delay_ns;
+        break;
+      case FaultKind::kBitFlip: {
+        // Flip bits inside the intersection of the WR payload and the rule
+        // window, addressed relative to the WR's local buffer. Atomics have
+        // no payload buffer to damage; treat as a no-op trigger.
+        const uint64_t span = isect_hi - isect_lo;
+        if (wr.local.empty() || span == 0) break;
+        for (uint32_t f = 0; f < std::max<uint32_t>(rule.bit_flips, 1); ++f) {
+          const uint64_t bit = rng_.NextBounded(span * 8);
+          const uint32_t byte_in_wr =
+              static_cast<uint32_t>(isect_lo - wr_lo + bit / 8);
+          decision.flips.emplace_back(byte_in_wr,
+                                      static_cast<uint8_t>(1u << (bit % 8)));
+        }
+        break;
+      }
+    }
+    return decision;  // first triggered rule wins
+  }
+  return decision;
+}
+
+}  // namespace dhnsw::rdma

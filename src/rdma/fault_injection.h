@@ -1,0 +1,117 @@
+// Deterministic fault injection for the simulated RDMA fabric.
+//
+// A FaultPlan is a seedable list of rules describing which work requests may
+// fail and how: per-verb probabilities, every-Nth-op triggers, transient
+// windows (max_triggers), permanent outages, injected latency spikes, and
+// payload bit-flips that exercise the CRC paths of cluster blobs, overflow
+// records, and the global metadata block.
+//
+// Determinism contract: decisions are a pure function of
+//   (plan seed, queue-pair id, the QP's own WR sequence).
+// Each QueuePair owns a FaultInjector — the per-QP mutable state (match
+// counters, trigger counters, RNG stream). Because a QP is single-threaded
+// by design and QP ids are assigned in creation order, the same
+// configuration replays byte-identically across runs and across thread
+// interleavings of *other* QPs (see tests/test_chaos_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "rdma/rdma_types.h"
+
+namespace dhnsw::rdma {
+
+/// What an armed rule does to a matching work request.
+enum class FaultKind : uint8_t {
+  kUnreachable = 0,  ///< complete with kRemoteUnreachable; op NOT executed
+  kTimeout = 1,      ///< complete with kTimeout; op NOT executed
+  kBitFlip = 2,      ///< execute, then flip bits in the moved payload
+  kDelay = 3,        ///< execute normally but charge delay_ns extra
+};
+
+std::string_view FaultKindName(FaultKind kind) noexcept;
+
+/// One fault rule. A rule first *matches* a WR by scope (node / opcode /
+/// rkey / byte window), then *triggers* by schedule (probability, every_nth,
+/// skip_first, max_triggers). The first rule that triggers wins.
+struct FaultRule {
+  // --- scope: which WRs this rule can hit (all optional = match everything)
+  std::optional<NodeId> node;    ///< owner of the target region
+  std::optional<Opcode> opcode;  ///< verb filter
+  std::optional<RKey> rkey;      ///< region filter
+  /// Remote byte window [offset_lo, offset_hi); a READ/WRITE matches when its
+  /// range intersects it (atomics: their 8 bytes). Defaults cover the region.
+  uint64_t offset_lo = 0;
+  uint64_t offset_hi = UINT64_MAX;
+
+  // --- schedule: when a matching WR actually faults
+  double probability = 1.0;   ///< chance per matching op
+  uint64_t every_nth = 0;     ///< fire on every Nth match (1-based); 0 = off
+  uint64_t skip_first = 0;    ///< matches to let through before arming
+  /// Transient faults set a trigger budget; once spent the rule goes dormant.
+  /// UINT64_MAX (default) = permanent.
+  uint64_t max_triggers = UINT64_MAX;
+
+  // --- effect
+  FaultKind kind = FaultKind::kUnreachable;
+  uint64_t delay_ns = 50'000;  ///< kTimeout: wait charged; kDelay: spike size
+  uint32_t bit_flips = 1;      ///< kBitFlip: bits flipped per trigger
+};
+
+/// Immutable, seedable fault schedule. Arm on a Fabric with ArmFaults(); all
+/// queue pairs of that fabric consult it.
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  FaultPlan& Add(FaultRule rule) {
+    rules_.push_back(rule);
+    return *this;
+  }
+
+  uint64_t seed() const noexcept { return seed_; }
+  const std::vector<FaultRule>& rules() const noexcept { return rules_; }
+  bool empty() const noexcept { return rules_.empty(); }
+
+ private:
+  uint64_t seed_;
+  std::vector<FaultRule> rules_;
+};
+
+/// Outcome of evaluating one WR against the plan.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kDelay;  // meaningful only when fired
+  bool fired = false;
+  uint64_t extra_ns = 0;  ///< latency to charge to the ring (kTimeout/kDelay)
+  /// kBitFlip: (byte offset within the WR's local payload, XOR mask) pairs.
+  std::vector<std::pair<uint32_t, uint8_t>> flips;
+};
+
+/// Per-queue-pair mutable fault state. Not thread-safe; owned by one QP.
+class FaultInjector {
+ public:
+  FaultInjector(std::shared_ptr<const FaultPlan> plan, uint32_t qp_id);
+
+  /// Evaluates one WR (owner already resolved). Called once per executed WR.
+  FaultDecision Evaluate(NodeId owner, const WorkRequest& wr);
+
+  const FaultPlan& plan() const noexcept { return *plan_; }
+
+ private:
+  struct RuleState {
+    uint64_t matches = 0;   ///< WRs that fell in the rule's scope
+    uint64_t triggers = 0;  ///< times the rule fired
+  };
+
+  std::shared_ptr<const FaultPlan> plan_;
+  std::vector<RuleState> state_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace dhnsw::rdma

@@ -7,7 +7,17 @@ namespace dhnsw::rdma {
 
 QueuePair::QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs)
     : fabric_(fabric), clock_(clock),
-      max_doorbell_wrs_(max_doorbell_wrs == 0 ? 1 : max_doorbell_wrs) {}
+      max_doorbell_wrs_(max_doorbell_wrs == 0 ? 1 : max_doorbell_wrs),
+      qp_id_(fabric->AllocateQpId()) {}
+
+void QueuePair::RefreshInjector() {
+  std::shared_ptr<const FaultPlan> plan = fabric_->fault_plan();
+  if (plan == armed_plan_) return;
+  armed_plan_ = std::move(plan);
+  injector_ = (armed_plan_ == nullptr || armed_plan_->empty())
+                  ? nullptr
+                  : std::make_unique<FaultInjector>(armed_plan_, qp_id_);
+}
 
 void QueuePair::PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst,
                          uint64_t wr_id) {
@@ -41,7 +51,7 @@ void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, ui
       .swap_or_add = add});
 }
 
-Completion QueuePair::ExecuteOne(const WorkRequest& wr) {
+Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
   Completion c;
   c.wr_id = wr.wr_id;
   c.opcode = wr.opcode;
@@ -55,6 +65,24 @@ Completion QueuePair::ExecuteOne(const WorkRequest& wr) {
   if (!owner.ok() || !fabric_->IsNodeReachable(owner.value())) {
     c.status = WcStatus::kRemoteUnreachable;
     return c;
+  }
+
+  FaultDecision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->Evaluate(owner.value(), wr);
+    if (fault.fired) {
+      ++stats_.injected_faults;
+      *extra_ns += fault.extra_ns;
+      if (fault.kind == FaultKind::kUnreachable) {
+        c.status = WcStatus::kRemoteUnreachable;
+        return c;
+      }
+      if (fault.kind == FaultKind::kTimeout) {
+        c.status = WcStatus::kTimeout;
+        return c;
+      }
+      // kDelay / kBitFlip: the op still executes below.
+    }
   }
 
   switch (wr.opcode) {
@@ -93,12 +121,32 @@ Completion QueuePair::ExecuteOne(const WorkRequest& wr) {
       break;
     }
   }
+
+  // Payload bit-flips model on-the-wire corruption that slips past link-level
+  // checks: a READ damages the local destination buffer, a WRITE damages the
+  // bytes that landed in the remote region. The caller's source buffer is
+  // never touched. CRC verification downstream is what catches these.
+  if (fault.fired && fault.kind == FaultKind::kBitFlip && !fault.flips.empty()) {
+    if (wr.opcode == Opcode::kRead) {
+      for (const auto& [byte, mask] : fault.flips) {
+        if (byte < wr.local.size()) wr.local[byte] ^= mask;
+      }
+    } else if (wr.opcode == Opcode::kWrite) {
+      std::span<uint8_t> host = region->host_span();
+      for (const auto& [byte, mask] : fault.flips) {
+        const uint64_t off = wr.remote_offset + byte;
+        if (off < host.size()) host[off] ^= mask;
+      }
+    }
+  }
+
   c.status = WcStatus::kSuccess;
   return c;
 }
 
 uint32_t QueuePair::RingDoorbell() {
   if (send_queue_.empty()) return 0;
+  RefreshInjector();
 
   uint32_t rings = 0;
   size_t begin = 0;
@@ -106,9 +154,10 @@ uint32_t QueuePair::RingDoorbell() {
     const size_t end = std::min(send_queue_.size(),
                                 begin + static_cast<size_t>(max_doorbell_wrs_));
     BatchShape shape;
+    uint64_t extra_ns = 0;
     for (size_t i = begin; i < end; ++i) {
       const WorkRequest& wr = send_queue_[i];
-      Completion c = ExecuteOne(wr);
+      Completion c = ExecuteOne(wr, &extra_ns);
       completion_queue_.push_back(c);
 
       ++shape.num_wrs;
@@ -132,7 +181,7 @@ uint32_t QueuePair::RingDoorbell() {
           break;
       }
     }
-    const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape);
+    const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape) + extra_ns;
     if (clock_ != nullptr) clock_->Advance(cost_ns);
     stats_.sim_network_ns += cost_ns;
     ++stats_.round_trips;
@@ -157,8 +206,7 @@ std::vector<Completion> QueuePair::Flush() {
   return out;
 }
 
-namespace {
-Status StatusFromCompletion(const Completion& c) {
+Status QueuePair::ToStatus(const Completion& c) {
   switch (c.status) {
     case WcStatus::kSuccess:
       return Status::Ok();
@@ -168,46 +216,59 @@ Status StatusFromCompletion(const Completion& c) {
       return Status::Unavailable("rdma remote node unreachable");
     case WcStatus::kLocalLengthError:
       return Status::InvalidArgument("rdma local buffer length error");
+    case WcStatus::kTimeout:
+      return Status::DeadlineExceeded("rdma op timed out");
   }
   return Status::Internal("unknown completion status");
 }
-}  // namespace
 
 Status QueuePair::Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst) {
+  if (!completion_queue_.empty() || !send_queue_.empty()) {
+    return Status::Internal("Read: QP has pending WRs or undrained completions");
+  }
   PostRead(rkey, remote_offset, dst);
   RingDoorbell();
   Completion c;
   const bool have = PollCompletion(&c);
   if (!have) return Status::Internal("missing completion after Read");
-  return StatusFromCompletion(c);
+  return ToStatus(c);
 }
 
 Status QueuePair::Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src) {
+  if (!completion_queue_.empty() || !send_queue_.empty()) {
+    return Status::Internal("Write: QP has pending WRs or undrained completions");
+  }
   PostWrite(rkey, remote_offset, src);
   RingDoorbell();
   Completion c;
   const bool have = PollCompletion(&c);
   if (!have) return Status::Internal("missing completion after Write");
-  return StatusFromCompletion(c);
+  return ToStatus(c);
 }
 
 Result<uint64_t> QueuePair::CompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare,
                                         uint64_t swap) {
+  if (!completion_queue_.empty() || !send_queue_.empty()) {
+    return Status::Internal("CompareSwap: QP has pending WRs or undrained completions");
+  }
   PostCompareSwap(rkey, remote_offset, compare, swap);
   RingDoorbell();
   Completion c;
   if (!PollCompletion(&c)) return Status::Internal("missing completion after CAS");
-  Status st = StatusFromCompletion(c);
+  Status st = ToStatus(c);
   if (!st.ok()) return st;
   return c.atomic_result;
 }
 
 Result<uint64_t> QueuePair::FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add) {
+  if (!completion_queue_.empty() || !send_queue_.empty()) {
+    return Status::Internal("FetchAdd: QP has pending WRs or undrained completions");
+  }
   PostFetchAdd(rkey, remote_offset, add);
   RingDoorbell();
   Completion c;
   if (!PollCompletion(&c)) return Status::Internal("missing completion after FAA");
-  Status st = StatusFromCompletion(c);
+  Status st = ToStatus(c);
   if (!st.ok()) return st;
   return c.atomic_result;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -49,10 +50,18 @@ class QueuePair {
   /// --- completion queue ---
   bool PollCompletion(Completion* out);
   /// Rings if needed, then drains the CQ into `out`. Convenience for callers
-  /// that post a batch and want all results synchronously.
+  /// that post a batch and want all results synchronously. Every posted WR
+  /// gets its own entry with its own status — errors never swallow the
+  /// completions of sibling WRs in the batch.
   std::vector<Completion> Flush();
 
+  /// Maps a completion status to a Status. kRemoteUnreachable -> Unavailable
+  /// and kTimeout -> DeadlineExceeded, both retryable under RetryPolicy.
+  static Status ToStatus(const Completion& c);
+
   /// --- one-shot conveniences (each is one round trip) ---
+  /// Precondition: the CQ is drained (no stale completions); they return
+  /// Internal otherwise rather than mis-attribute an old completion.
   Status Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst);
   Status Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src);
   Result<uint64_t> CompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare, uint64_t swap);
@@ -61,19 +70,23 @@ class QueuePair {
   const QpStats& stats() const noexcept { return stats_; }
   void ResetStats() noexcept { stats_ = QpStats{}; }
 
- private:
-  struct PendingWr {
-    WorkRequest wr;
-  };
+  uint32_t qp_id() const noexcept { return qp_id_; }
 
-  Completion ExecuteOne(const WorkRequest& wr);
+ private:
+  Completion ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns);
+  /// Installs/refreshes the injector when the fabric's armed plan changed.
+  void RefreshInjector();
 
   Fabric* fabric_;
   SimClock* clock_;
   uint32_t max_doorbell_wrs_;
+  uint32_t qp_id_;
   std::vector<WorkRequest> send_queue_;
   std::deque<Completion> completion_queue_;
   QpStats stats_;
+  /// Plan the injector below was built from (pointer identity tracks re-arms).
+  std::shared_ptr<const FaultPlan> armed_plan_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace dhnsw::rdma

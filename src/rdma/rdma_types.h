@@ -42,6 +42,7 @@ enum class WcStatus : uint8_t {
   kRemoteAccessError,  ///< bad rkey or offset/length outside the region
   kRemoteUnreachable,  ///< node down / injected fault
   kLocalLengthError,   ///< local buffer length mismatch
+  kTimeout,            ///< response lost / injected timeout; op did not execute
 };
 
 /// Work completion, one per posted WR.
@@ -64,6 +65,7 @@ struct QpStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t sim_network_ns = 0;///< simulated time charged to this QP
+  uint64_t injected_faults = 0;///< WRs hit by the armed FaultPlan
 
   QpStats& operator-=(const QpStats& rhs) noexcept {
     round_trips -= rhs.round_trips;
@@ -74,6 +76,7 @@ struct QpStats {
     bytes_read -= rhs.bytes_read;
     bytes_written -= rhs.bytes_written;
     sim_network_ns -= rhs.sim_network_ns;
+    injected_faults -= rhs.injected_faults;
     return *this;
   }
   friend QpStats operator-(QpStats lhs, const QpStats& rhs) noexcept {

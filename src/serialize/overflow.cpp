@@ -3,7 +3,22 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/crc32.h"
+
 namespace dhnsw {
+
+namespace {
+
+/// CRC over the full record with the crc field (bytes [8, 12)) zeroed, so
+/// the checksum covers id, flags, vector payload, and padding.
+uint32_t RecordCrc(std::span<const uint8_t> record) {
+  uint32_t crc = Crc32c(record.first(8));
+  const uint8_t kZeros[4] = {0, 0, 0, 0};
+  crc = Crc32c({kZeros, 4}, crc);
+  return Crc32c(record.subspan(12), crc);
+}
+
+}  // namespace
 
 void EncodeOverflowRecord(uint32_t global_id, std::span<const float> vector,
                           std::span<uint8_t> dst, uint32_t flags) {
@@ -14,7 +29,9 @@ void EncodeOverflowRecord(uint32_t global_id, std::span<const float> vector,
   flags |= kOverflowCommitted;
   std::memcpy(dst.data(), &global_id, 4);
   std::memcpy(dst.data() + 4, &flags, 4);
-  std::memcpy(dst.data() + 8, vector.data(), vector.size() * 4);
+  std::memcpy(dst.data() + 12, vector.data(), vector.size() * 4);
+  const uint32_t crc = RecordCrc(dst.first(rec));
+  std::memcpy(dst.data() + 8, &crc, 4);
 }
 
 void EncodeOverflowTombstone(uint32_t global_id, uint32_t dim, std::span<uint8_t> dst) {
@@ -24,6 +41,8 @@ void EncodeOverflowTombstone(uint32_t global_id, uint32_t dim, std::span<uint8_t
   const uint32_t flags = kOverflowTombstone | kOverflowCommitted;
   std::memcpy(dst.data(), &global_id, 4);
   std::memcpy(dst.data() + 4, &flags, 4);
+  const uint32_t crc = RecordCrc(dst.first(rec));
+  std::memcpy(dst.data() + 8, &crc, 4);
 }
 
 Result<OverflowRecord> DecodeOverflowRecord(std::span<const uint8_t> src, uint32_t dim) {
@@ -34,8 +53,17 @@ Result<OverflowRecord> DecodeOverflowRecord(std::span<const uint8_t> src, uint32
   OverflowRecord out;
   std::memcpy(&out.global_id, src.data(), 4);
   std::memcpy(&out.flags, src.data() + 4, 4);
+  // An uncommitted slot is legitimately all-zero (FAA landed, WRITE in
+  // flight); its crc field is meaningless and must not be checked.
+  if (out.is_committed()) {
+    uint32_t stored = 0;
+    std::memcpy(&stored, src.data() + 8, 4);
+    if (stored != RecordCrc(src.first(rec))) {
+      return Status::Corruption("overflow record crc mismatch");
+    }
+  }
   out.vector.resize(dim);
-  std::memcpy(out.vector.data(), src.data() + 8, static_cast<size_t>(dim) * 4);
+  std::memcpy(out.vector.data(), src.data() + 12, static_cast<size_t>(dim) * 4);
   return out;
 }
 

@@ -4,8 +4,13 @@
 // appended with a remote Fetch-And-Add (space allocation) followed by a
 // single RDMA_WRITE. Records are fixed-size for a given dimensionality so a
 // reader can derive the record count from the used-byte counter alone:
-//   record := global_id u32 | flags u32 | f32[dim]
+//   record := global_id u32 | flags u32 | crc u32 | f32[dim]
 // padded so the record size is a multiple of 8 (FAA alignment unit).
+//
+// `crc` is CRC32C over the whole record with the crc field zeroed; it is
+// verified only for committed records (an in-flight slot is legitimately
+// zero) and turns silent wire/bit-rot damage into StatusCode::kCorruption,
+// which the compute path treats as retryable (re-read fetches a fresh copy).
 //
 // `flags` extends the paper's design with tombstones: a record with
 // kTombstone marks `global_id` as deleted in this partition. Appending a
@@ -44,7 +49,7 @@ struct OverflowRecord {
 
 /// Bytes one record occupies for `dim`-dimensional vectors (multiple of 8).
 constexpr size_t OverflowRecordSize(uint32_t dim) {
-  const size_t raw = 8 + static_cast<size_t>(dim) * 4;
+  const size_t raw = 12 + static_cast<size_t>(dim) * 4;
   return (raw + 7) / 8 * 8;
 }
 

@@ -1,0 +1,82 @@
+// Deterministic chaos-test harness (see tests/test_chaos_harness.cpp).
+//
+// Builds a small d-HNSW deployment once, records the fault-free answer as an
+// oracle, then replays the same query batch under seeded randomized fault
+// schedules armed on the fabric:
+//   - transient schedules (bounded trigger budgets) must CONVERGE: with a
+//     retry budget that outlasts the faults, results are byte-identical to
+//     the oracle;
+//   - permanent schedules (a cluster's byte range unreachable forever) must
+//     DEGRADE: affected queries carry non-OK statuses and keep candidates
+//     from their healthy clusters; unaffected queries still match the oracle.
+//
+// Everything is a pure function of the seeds: dataset, engine build, fault
+// decisions (per-QP injector streams), and backoff (simulated clock), so a
+// failure reproduces exactly from the seed that found it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include "rdma/fault_injection.h"
+
+namespace dhnsw {
+
+class ChaosHarness {
+ public:
+  struct Config {
+    uint64_t data_seed = 7;
+    uint32_t dim = 8;
+    uint32_t num_base = 1500;
+    uint32_t num_queries = 24;
+    uint32_t num_clusters = 6;
+    EngineMode mode = EngineMode::kFull;
+    uint32_t clusters_per_query = 3;
+    size_t k = 5;
+    uint32_t ef_search = 300;  ///< generous: sub-searches near-exhaustive
+  };
+
+  explicit ChaosHarness(Config config);
+
+  /// Fault-free reference answer, computed at construction.
+  const BatchResult& baseline() const noexcept { return baseline_; }
+
+  /// Replays the batch under `plan` with the given recovery knobs on a cold
+  /// cache. Arms the plan (fresh per-QP injector state), runs, then clears
+  /// the fabric's faults again.
+  Result<BatchResult> RunUnderPlan(const rdma::FaultPlan& plan, const RetryPolicy& retry,
+                                   bool partial_results);
+
+  /// Seeded randomized transient schedule: a handful of rules (unreachable /
+  /// timeout / latency spikes / payload bit-flips on READs) whose combined
+  /// trigger budget is bounded, so `max_attempts` retries strictly greater
+  /// than that budget always converge.
+  rdma::FaultPlan MakeTransientPlan(uint64_t seed) const;
+  /// Trigger budget an adequate retry policy must outlast.
+  static constexpr uint64_t kTransientTriggerBudget = 6;
+
+  /// Permanent outage of one cluster's byte range on the primary shard: its
+  /// loads fail forever, but the metadata table and every other cluster stay
+  /// reachable. Returns the victim cluster id via `victim`.
+  rdma::FaultPlan MakePermanentPlan(uint32_t* victim);
+
+  /// Cluster ids query `qi` routes to (mode-independent).
+  std::vector<uint32_t> RoutesOf(size_t qi);
+
+  const Config& config() const noexcept { return config_; }
+  const Dataset& dataset() const noexcept { return dataset_; }
+  DhnswEngine& engine() noexcept { return *engine_; }
+
+ private:
+  Config config_;
+  Dataset dataset_;
+  std::optional<DhnswEngine> engine_;
+  BatchResult baseline_;
+};
+
+/// True when both runs produced byte-identical top-k lists (ids + distances).
+bool SameResults(const BatchResult& a, const BatchResult& b);
+
+}  // namespace dhnsw

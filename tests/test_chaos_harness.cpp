@@ -1,0 +1,156 @@
+// Seeded chaos schedules against the fault-free oracle (ISSUE acceptance):
+//   - transient schedules + an adequate retry budget CONVERGE: results are
+//     byte-identical to the fault-free baseline;
+//   - permanent schedules DEGRADE gracefully: the victim cluster's queries
+//     carry non-OK statuses and keep candidates from healthy clusters, and
+//     nothing crashes, hangs, or poisons the rest of the batch.
+#include "chaos_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dhnsw {
+namespace {
+
+RetryPolicy AdequateRetry() {
+  RetryPolicy retry = RetryPolicy::Default();
+  // Strictly outlasts the bounded transient trigger budget even if every
+  // trigger lands on the same work request.
+  retry.max_attempts = ChaosHarness::kTransientTriggerBudget + 4;
+  return retry;
+}
+
+/// Parameterized over fault-schedule seeds (>= 5 per the acceptance bar).
+class ChaosScheduleTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static ChaosHarness& harness() {
+    static ChaosHarness* h = new ChaosHarness({});
+    return *h;
+  }
+};
+
+TEST_P(ChaosScheduleTest, TransientScheduleConvergesToOracle) {
+  ChaosHarness& h = harness();
+  const rdma::FaultPlan plan = h.MakeTransientPlan(GetParam());
+  ASSERT_FALSE(plan.empty());
+
+  auto faulty = h.RunUnderPlan(plan, AdequateRetry(), /*partial_results=*/false);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_TRUE(SameResults(faulty.value(), h.baseline()))
+      << "schedule seed " << GetParam() << " diverged from the oracle";
+  for (const Status& st : faulty.value().statuses) EXPECT_TRUE(st.ok());
+}
+
+TEST_P(ChaosScheduleTest, TransientScheduleWithoutRetriesSurfacesErrors) {
+  // Sanity check that the schedules actually bite: with retries disabled, a
+  // schedule must either fail the batch or (by luck of skip_first) still
+  // converge — but never return silently wrong results.
+  ChaosHarness& h = harness();
+  const rdma::FaultPlan plan = h.MakeTransientPlan(GetParam());
+  auto faulty = h.RunUnderPlan(plan, RetryPolicy::Disabled(), false);
+  if (faulty.ok()) {
+    EXPECT_TRUE(SameResults(faulty.value(), h.baseline()));
+  } else {
+    EXPECT_TRUE(IsRetryable(faulty.status()))
+        << faulty.status().ToString();  // a retry budget would have cured it
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosScheduleTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77));
+
+TEST(ChaosPermanentTest, VictimQueriesDegradeOthersMatchOracle) {
+  ChaosHarness h({});
+  uint32_t victim = 0;
+  const rdma::FaultPlan plan = h.MakePermanentPlan(&victim);
+
+  auto run = h.RunUnderPlan(plan, RetryPolicy::Default(), /*partial_results=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const BatchResult& got = run.value();
+  ASSERT_EQ(got.results.size(), h.dataset().queries.size());
+  ASSERT_EQ(got.statuses.size(), got.results.size());
+  EXPECT_GT(got.breakdown.failed_loads, 0u);
+
+  size_t degraded = 0;
+  for (size_t qi = 0; qi < got.results.size(); ++qi) {
+    const std::vector<uint32_t> routed = h.RoutesOf(qi);
+    const bool hits_victim =
+        std::find(routed.begin(), routed.end(), victim) != routed.end();
+    if (!hits_victim) {
+      // Untouched queries are bit-exact vs the oracle: the outage never
+      // poisons the rest of the batch.
+      EXPECT_TRUE(got.statuses[qi].ok()) << "query " << qi;
+      ASSERT_EQ(got.results[qi].size(), h.baseline().results[qi].size());
+      for (size_t j = 0; j < got.results[qi].size(); ++j) {
+        EXPECT_EQ(got.results[qi][j].id, h.baseline().results[qi][j].id);
+      }
+      continue;
+    }
+    ++degraded;
+    EXPECT_EQ(got.statuses[qi].code(), StatusCode::kUnavailable) << "query " << qi;
+    // Partial results: candidates from the healthy routed clusters survive.
+    if (routed.size() > 1) {
+      EXPECT_FALSE(got.results[qi].empty()) << "query " << qi;
+    }
+  }
+  EXPECT_GT(degraded, 0u) << "schedule failed to hit any query";
+}
+
+TEST(ChaosPermanentTest, WithoutPartialResultsTheBatchFailsCleanly) {
+  ChaosHarness h({});
+  uint32_t victim = 0;
+  const rdma::FaultPlan plan = h.MakePermanentPlan(&victim);
+  auto run = h.RunUnderPlan(plan, RetryPolicy::Default(), /*partial_results=*/false);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ChaosPermanentTest, DegradationIsIdenticalAcrossEngineModes) {
+  // The partial-result contract is mode-independent: same victim, same
+  // per-query statuses, same surviving ids in kNaive / kNoDoorbell / kFull.
+  std::vector<std::vector<Status>> statuses;
+  std::vector<std::vector<std::vector<uint32_t>>> ids;
+  for (EngineMode mode :
+       {EngineMode::kNaive, EngineMode::kNoDoorbell, EngineMode::kFull}) {
+    ChaosHarness::Config config;
+    config.mode = mode;
+    ChaosHarness h(config);
+    uint32_t victim = 0;
+    auto run = h.RunUnderPlan(h.MakePermanentPlan(&victim), RetryPolicy::Default(),
+                              /*partial_results=*/true);
+    ASSERT_TRUE(run.ok()) << EngineModeName(mode) << ": " << run.status().ToString();
+    statuses.push_back(run.value().statuses);
+    std::vector<std::vector<uint32_t>> mode_ids;
+    for (const auto& r : run.value().results) {
+      std::vector<uint32_t> q;
+      for (const Scored& s : r) q.push_back(s.id);
+      mode_ids.push_back(std::move(q));
+    }
+    ids.push_back(std::move(mode_ids));
+  }
+  for (size_t m = 1; m < statuses.size(); ++m) {
+    ASSERT_EQ(statuses[m].size(), statuses[0].size());
+    for (size_t qi = 0; qi < statuses[0].size(); ++qi) {
+      EXPECT_EQ(statuses[m][qi].code(), statuses[0][qi].code())
+          << "mode " << m << " query " << qi;
+      EXPECT_EQ(ids[m][qi], ids[0][qi]) << "mode " << m << " query " << qi;
+    }
+  }
+}
+
+TEST(ChaosScheduleModesTest, TransientConvergenceHoldsInEveryMode) {
+  for (EngineMode mode :
+       {EngineMode::kNaive, EngineMode::kNoDoorbell, EngineMode::kFull}) {
+    ChaosHarness::Config config;
+    config.mode = mode;
+    config.num_queries = 12;  // keep the per-mode build cheap
+    ChaosHarness h(config);
+    auto run = h.RunUnderPlan(h.MakeTransientPlan(909), AdequateRetry(), false);
+    ASSERT_TRUE(run.ok()) << EngineModeName(mode) << ": " << run.status().ToString();
+    EXPECT_TRUE(SameResults(run.value(), h.baseline())) << EngineModeName(mode);
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

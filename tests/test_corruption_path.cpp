@@ -8,7 +8,9 @@
 #include "dataset/synthetic.h"
 #include <cstring>
 
+#include "rdma/fault_injection.h"
 #include "rdma/memory_region.h"
+#include "serialize/overflow.h"
 
 namespace dhnsw {
 namespace {
@@ -109,6 +111,78 @@ TEST(CorruptionPathTest, WrongBlobAtOffsetDetectedByPartitionCheck) {
   const auto result = wide.SearchAll(rig.ds.queries, 5, 32);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CorruptionPathTest, WireBitFlipInOverflowRecordIsDetectedThenRetried) {
+  // A record in the shared overflow region crosses the wire with a flipped
+  // vector byte: the per-record CRC must surface kCorruption; since the
+  // damage was transient (the bytes in remote memory are fine), a retry
+  // budget re-reads cleanly and the search succeeds.
+  Rig rig = BuildRig();
+  ComputeNode& node = rig.engine.compute(0);
+
+  std::vector<float> v(rig.ds.base[0].begin(), rig.ds.base[0].end());
+  auto receipt = node.Insert(v, /*global_id=*/50'000);
+  ASSERT_TRUE(receipt.ok());
+
+  // Transient single-shot flip scoped to the record's vector bytes — the id
+  // and flags (committed bit) stay intact, so detection is guaranteed.
+  rdma::FaultRule rule;
+  rule.kind = rdma::FaultKind::kBitFlip;
+  rule.opcode = rdma::Opcode::kRead;
+  rule.offset_lo = receipt.value().remote_offset + 12;
+  rule.offset_hi = receipt.value().remote_offset + 12 + 4 * rig.engine.dim();
+  rule.max_triggers = 1;
+
+  // Fan out to every partition so the batch definitely loads the record's
+  // cluster (overflow included) over the faulty wire.
+  node.mutable_options()->clusters_per_query = rig.engine.num_partitions();
+  node.mutable_options()->cache_capacity = rig.engine.num_partitions();
+
+  rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule));
+  node.InvalidateCache();
+  const auto detected = rig.engine.SearchAll(rig.ds.queries, 5, 32);
+  ASSERT_FALSE(detected.ok());
+  EXPECT_EQ(detected.status().code(), StatusCode::kCorruption);
+
+  // Re-arm (fresh trigger budget) and enable retries: detect -> re-read ->
+  // success, with the recovery visible in the breakdown.
+  rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule));
+  node.mutable_options()->retry = RetryPolicy::Default();
+  node.InvalidateCache();
+  const auto healed = rig.engine.SearchAll(rig.ds.queries, 5, 32);
+  rig.engine.fabric().ClearFaults();
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_GT(healed.value().breakdown.retries, 0u);
+}
+
+TEST(CorruptionPathTest, WireBitFlipInMetadataBlockIsDetectedThenRetried) {
+  // Same story for the global metadata block: a flip in a table entry's
+  // CRC-covered static fields is caught by DecodeClusterMeta, and the
+  // per-batch RefreshMetadata read retries through it.
+  Rig rig = BuildRig();
+  ComputeNode& node = rig.engine.compute(0);
+  const LayoutPlan& plan = rig.engine.memory_node()->plan();
+
+  rdma::FaultRule rule;
+  rule.kind = rdma::FaultKind::kBitFlip;
+  rule.opcode = rdma::Opcode::kRead;
+  // First 32 bytes of entry 0: blob/overflow offsets, all CRC-covered.
+  rule.offset_lo = plan.header.table_offset;
+  rule.offset_hi = plan.header.table_offset + 32;
+  rule.max_triggers = 1;
+
+  rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule));
+  const auto detected = rig.engine.SearchAll(rig.ds.queries, 5, 32);
+  ASSERT_FALSE(detected.ok());
+  EXPECT_EQ(detected.status().code(), StatusCode::kCorruption);
+
+  rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule));
+  node.mutable_options()->retry = RetryPolicy::Default();
+  const auto healed = rig.engine.SearchAll(rig.ds.queries, 5, 32);
+  rig.engine.fabric().ClearFaults();
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_GT(healed.value().breakdown.retries, 0u);
 }
 
 }  // namespace

@@ -103,18 +103,75 @@ TEST(ClusterMetaFuzzTest, RandomBytesEitherDecodeOrFail) {
   }
 }
 
-TEST(ClusterMetaFuzzTest, RandomFieldsWithValidDirectionDecode) {
-  // Entries carry no checksum (the reader validates them semantically), so
-  // any bytes with a legal direction field must decode without crashing.
+TEST(ClusterMetaFuzzTest, RandomFieldsRoundTripThroughEncoder) {
+  // Entries carry a static-field CRC, so arbitrary field values must
+  // round-trip when produced by the encoder — and any single damaged byte
+  // outside the FAA-mutated counter must be rejected.
   Xoshiro256 rng(996);
   for (int trial = 0; trial < 200; ++trial) {
+    ClusterMeta m;
+    m.blob_offset = rng.Next();
+    m.blob_size = rng.Next();
+    m.overflow_base = rng.Next();
+    m.overflow_capacity = rng.Next();
+    m.overflow_used = rng.Next();
+    m.direction = static_cast<OverflowDirection>(rng.NextBounded(2));
+    m.partner = static_cast<uint32_t>(rng.Next());
+    m.record_size = static_cast<uint32_t>(rng.Next());
+    m.node_slot = static_cast<uint32_t>(rng.Next());
+    m.radius = rng.NextFloat();
+
     std::vector<uint8_t> bytes(ClusterMeta::kEncodedSize);
-    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
-    const uint32_t direction = static_cast<uint32_t>(rng.NextBounded(2));
-    std::memcpy(bytes.data() + 40, &direction, 4);  // direction field offset
+    EncodeClusterMeta(m, bytes);
     auto meta = DecodeClusterMeta(bytes);
     ASSERT_TRUE(meta.ok());
-    EXPECT_EQ(static_cast<uint32_t>(meta.value().direction), direction);
+    EXPECT_EQ(static_cast<uint32_t>(meta.value().direction),
+              static_cast<uint32_t>(m.direction));
+    EXPECT_EQ(meta.value().blob_offset, m.blob_offset);
+    EXPECT_EQ(meta.value().partner, m.partner);
+  }
+}
+
+TEST(ClusterMetaFuzzTest, DamagedStaticBytesAreRejected) {
+  ClusterMeta m;
+  m.blob_offset = 4096;
+  m.blob_size = 777;
+  m.overflow_base = 8192;
+  m.overflow_capacity = 1024;
+  m.record_size = 40;
+  std::vector<uint8_t> clean(ClusterMeta::kEncodedSize);
+  EncodeClusterMeta(m, clean);
+
+  for (size_t byte = 0; byte < ClusterMeta::kEncodedSize; ++byte) {
+    std::vector<uint8_t> bytes = clean;
+    bytes[byte] ^= 0x10;
+    auto meta = DecodeClusterMeta(bytes);
+    if (byte >= ClusterMeta::kUsedFieldOffset && byte < ClusterMeta::kUsedFieldOffset + 8) {
+      // The FAA counter is outside the CRC by design: remote atomics mutate
+      // it in place, so damage there is tolerated at this layer.
+      EXPECT_TRUE(meta.ok()) << "byte " << byte;
+    } else {
+      EXPECT_FALSE(meta.ok()) << "byte " << byte;
+    }
+  }
+}
+
+TEST(RegionHeaderFuzzTest, DamagedHeaderBytesAreRejected) {
+  RegionHeader h;
+  h.num_clusters = 9;
+  h.dim = 16;
+  h.record_size = 80;
+  h.table_offset = 64;
+  h.meta_blob_offset = 1024;
+  h.meta_blob_size = 512;
+  std::vector<uint8_t> clean(RegionHeader::kEncodedSize);
+  EncodeRegionHeader(h, clean);
+  ASSERT_TRUE(DecodeRegionHeader(clean).ok());
+
+  for (size_t byte = 0; byte < RegionHeader::kCrcOffset + 4; ++byte) {
+    std::vector<uint8_t> bytes = clean;
+    bytes[byte] ^= 0x01;
+    EXPECT_FALSE(DecodeRegionHeader(bytes).ok()) << "byte " << byte;
   }
 }
 

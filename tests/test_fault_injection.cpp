@@ -1,0 +1,295 @@
+// Fabric/queue-pair level tests of the deterministic fault-injection layer:
+// arming/clearing plans, per-WR completion statuses, transient trigger
+// budgets, payload bit-flips, injected latency, and the determinism contract.
+#include "rdma/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "rdma/queue_pair.h"
+
+namespace dhnsw::rdma {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_node_ = fabric_.AddNode("mem");
+    fabric_.AddNode("compute");
+    auto rkey = fabric_.RegisterMemory(mem_node_, kRegionSize);
+    ASSERT_TRUE(rkey.ok());
+    rkey_ = rkey.value();
+  }
+
+  static FaultRule Permanent(FaultKind kind) {
+    FaultRule rule;
+    rule.kind = kind;
+    return rule;
+  }
+
+  static constexpr size_t kRegionSize = 1 << 20;
+  Fabric fabric_;
+  NodeId mem_node_ = 0;
+  RKey rkey_ = 0;
+  SimClock clock_;
+};
+
+TEST_F(FaultInjectionTest, ArmAndClearRoundTrip) {
+  EXPECT_EQ(fabric_.fault_plan(), nullptr);
+  fabric_.ArmFaults(FaultPlan(42).Add(Permanent(FaultKind::kUnreachable)));
+  auto armed = fabric_.fault_plan();
+  ASSERT_NE(armed, nullptr);
+  EXPECT_EQ(armed->seed(), 42u);
+  EXPECT_EQ(armed->rules().size(), 1u);
+  fabric_.ClearFaults();
+  EXPECT_EQ(fabric_.fault_plan(), nullptr);
+}
+
+TEST_F(FaultInjectionTest, UnreachableFaultDoesNotExecuteTheOp) {
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  ASSERT_TRUE(qp.Write(rkey_, 64, payload).ok());
+
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.opcode = Opcode::kWrite;
+  fabric_.ArmFaults(FaultPlan(1).Add(rule));
+
+  std::vector<uint8_t> overwrite = {9, 9, 9, 9};
+  Status st = qp.Write(rkey_, 64, overwrite);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(qp.stats().injected_faults, 1u);
+
+  // Reads are outside the rule's scope; the original bytes must be intact.
+  std::vector<uint8_t> in(4, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 64, in).ok());
+  EXPECT_EQ(in, payload);
+}
+
+TEST_F(FaultInjectionTest, TimeoutMapsToDeadlineExceededAndChargesTime) {
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(8);
+  ASSERT_TRUE(qp.Read(rkey_, 0, buf).ok());
+  const uint64_t clean_op_ns = clock_.now_ns();
+
+  FaultRule rule = Permanent(FaultKind::kTimeout);
+  rule.delay_ns = 1'000'000;
+  fabric_.ArmFaults(FaultPlan(2).Add(rule));
+
+  const uint64_t before = clock_.now_ns();
+  EXPECT_EQ(qp.Read(rkey_, 0, buf).code(), StatusCode::kDeadlineExceeded);
+  // A timed-out op costs at least the fault-free op plus the injected wait.
+  EXPECT_GE(clock_.now_ns() - before, clean_op_ns + rule.delay_ns);
+}
+
+TEST_F(FaultInjectionTest, DelayFaultSucceedsButChargesExtraTime) {
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(qp.Read(rkey_, 0, buf).ok());
+  const uint64_t clean_op_ns = clock_.now_ns();
+
+  FaultRule rule = Permanent(FaultKind::kDelay);
+  rule.delay_ns = 777'000;
+  fabric_.ArmFaults(FaultPlan(3).Add(rule));
+
+  const uint64_t before = clock_.now_ns();
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+  EXPECT_EQ(clock_.now_ns() - before, clean_op_ns + rule.delay_ns);
+}
+
+TEST_F(FaultInjectionTest, ReadBitFlipCorruptsLocalBufferNotRemoteMemory) {
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> payload(32);
+  std::iota(payload.begin(), payload.end(), 0);
+  ASSERT_TRUE(qp.Write(rkey_, 128, payload).ok());
+
+  FaultRule rule = Permanent(FaultKind::kBitFlip);
+  rule.opcode = Opcode::kRead;
+  rule.bit_flips = 1;
+  fabric_.ArmFaults(FaultPlan(4).Add(rule));
+
+  std::vector<uint8_t> in(32, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 128, in).ok());  // bit-flips still "succeed"
+  size_t diffs = 0;
+  for (size_t i = 0; i < in.size(); ++i) diffs += (in[i] != payload[i]);
+  EXPECT_EQ(diffs, 1u);
+
+  // The remote region itself was not damaged: a clean read round-trips.
+  fabric_.ClearFaults();
+  std::vector<uint8_t> again(32, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 128, again).ok());
+  EXPECT_EQ(again, payload);
+}
+
+TEST_F(FaultInjectionTest, WriteBitFlipCorruptsRemoteMemoryNotTheSource) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kBitFlip);
+  rule.opcode = Opcode::kWrite;
+  fabric_.ArmFaults(FaultPlan(5).Add(rule));
+
+  std::vector<uint8_t> payload(16, 0xAA);
+  const std::vector<uint8_t> source_copy = payload;
+  ASSERT_TRUE(qp.Write(rkey_, 0, payload).ok());
+  EXPECT_EQ(payload, source_copy);  // caller's buffer is never mutated
+
+  fabric_.ClearFaults();
+  std::vector<uint8_t> in(16, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, in).ok());
+  size_t diffs = 0;
+  for (size_t i = 0; i < in.size(); ++i) diffs += (in[i] != payload[i]);
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST_F(FaultInjectionTest, FlushReportsPerWrStatusesIndependently) {
+  QueuePair qp(&fabric_, &clock_, /*max_doorbell_wrs=*/16);
+  // Fail only WRs that touch [512, 1024); siblings in the same doorbell
+  // batch must complete fine — first-error-wins semantics are gone.
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.offset_lo = 512;
+  rule.offset_hi = 1024;
+  fabric_.ArmFaults(FaultPlan(6).Add(rule));
+
+  std::vector<std::vector<uint8_t>> bufs(8, std::vector<uint8_t>(64));
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    qp.PostRead(rkey_, i * 256, bufs[i], /*wr_id=*/i);
+  }
+  const std::vector<Completion> completions = qp.Flush();
+  ASSERT_EQ(completions.size(), 8u);
+  for (const Completion& c : completions) {
+    const uint64_t offset = c.wr_id * 256;
+    const bool in_window = offset >= 512 && offset < 1024;
+    EXPECT_EQ(c.status == WcStatus::kRemoteUnreachable, in_window)
+        << "wr " << c.wr_id;
+  }
+  EXPECT_EQ(qp.stats().injected_faults, 2u);  // offsets 512 and 768
+}
+
+TEST_F(FaultInjectionTest, TransientBudgetExpiresAndSkipFirstDelays) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.skip_first = 2;
+  rule.max_triggers = 3;
+  fabric_.ArmFaults(FaultPlan(7).Add(rule));
+
+  std::vector<uint8_t> buf(8);
+  for (int op = 0; op < 10; ++op) {
+    const Status st = qp.Read(rkey_, 0, buf);
+    const bool should_fail = op >= 2 && op < 5;  // skip 2, then 3 triggers
+    EXPECT_EQ(!st.ok(), should_fail) << "op " << op;
+  }
+  EXPECT_EQ(qp.stats().injected_faults, 3u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresPeriodically) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.every_nth = 3;
+  fabric_.ArmFaults(FaultPlan(8).Add(rule));
+
+  std::vector<uint8_t> buf(8);
+  int failures = 0;
+  for (int op = 0; op < 9; ++op) failures += !qp.Read(rkey_, 0, buf).ok();
+  EXPECT_EQ(failures, 3);
+}
+
+TEST_F(FaultInjectionTest, ZeroProbabilityNeverFires) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.probability = 0.0;
+  fabric_.ArmFaults(FaultPlan(9).Add(rule));
+  std::vector<uint8_t> buf(8);
+  for (int op = 0; op < 50; ++op) EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+  EXPECT_EQ(qp.stats().injected_faults, 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticRuleIsDeterministicAcrossFabrics) {
+  // Two independent fabrics with the same plan seed and the same op sequence
+  // must make identical decisions — the whole determinism contract.
+  auto run = [](uint64_t plan_seed) {
+    Fabric fabric;
+    const NodeId mem = fabric.AddNode("mem");
+    const RKey rkey = fabric.RegisterMemory(mem, 1 << 16).value();
+    SimClock clock;
+    QueuePair qp(&fabric, &clock);
+    FaultRule rule;
+    rule.kind = FaultKind::kUnreachable;
+    rule.probability = 0.4;
+    fabric.ArmFaults(FaultPlan(plan_seed).Add(rule));
+    std::vector<uint8_t> buf(8);
+    std::vector<bool> outcomes;
+    for (int op = 0; op < 64; ++op) outcomes.push_back(qp.Read(rkey, 0, buf).ok());
+    return outcomes;
+  };
+  const auto a = run(1234);
+  EXPECT_EQ(a, run(1234));
+  EXPECT_NE(a, run(99887766));  // different seed, different schedule
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+}
+
+TEST_F(FaultInjectionTest, ReArmingResetsTriggerBudgets) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.max_triggers = 1;
+  std::vector<uint8_t> buf(8);
+
+  fabric_.ArmFaults(FaultPlan(10).Add(rule));
+  EXPECT_FALSE(qp.Read(rkey_, 0, buf).ok());  // budget spent
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+
+  fabric_.ArmFaults(FaultPlan(10).Add(rule));  // fresh plan object
+  EXPECT_FALSE(qp.Read(rkey_, 0, buf).ok());  // budget is back
+}
+
+TEST_F(FaultInjectionTest, RkeyScopeLimitsTheBlastRadius) {
+  auto rkey2 = fabric_.RegisterMemory(mem_node_, 4096);
+  ASSERT_TRUE(rkey2.ok());
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.rkey = rkey2.value();
+  fabric_.ArmFaults(FaultPlan(11).Add(rule));
+
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(8);
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+  EXPECT_EQ(qp.Read(rkey2.value(), 0, buf).code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionTest, AtomicsCanFaultToo) {
+  QueuePair qp(&fabric_, &clock_);
+  FaultRule rule = Permanent(FaultKind::kUnreachable);
+  rule.opcode = Opcode::kFetchAdd;
+  fabric_.ArmFaults(FaultPlan(12).Add(rule));
+
+  auto faa = qp.FetchAdd(rkey_, 0, 5);
+  EXPECT_EQ(faa.status().code(), StatusCode::kUnavailable);
+  // The add must NOT have landed (timeout/unreachable model: op not executed).
+  fabric_.ClearFaults();
+  auto read_back = qp.FetchAdd(rkey_, 0, 0);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), 0u);
+}
+
+TEST_F(FaultInjectionTest, OneShotsRejectUndrainedCompletionQueues) {
+  QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(8);
+  qp.PostRead(rkey_, 0, buf, 1);
+  qp.RingDoorbell();
+  // CQ has an unpolled completion: one-shots must refuse instead of
+  // mis-attributing it.
+  EXPECT_EQ(qp.Read(rkey_, 0, buf).code(), StatusCode::kInternal);
+  Completion c;
+  ASSERT_TRUE(qp.PollCompletion(&c));
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+}
+
+TEST_F(FaultInjectionTest, FaultKindNamesAreStable) {
+  EXPECT_EQ(FaultKindName(FaultKind::kUnreachable), "unreachable");
+  EXPECT_EQ(FaultKindName(FaultKind::kTimeout), "timeout");
+  EXPECT_EQ(FaultKindName(FaultKind::kBitFlip), "bit-flip");
+  EXPECT_EQ(FaultKindName(FaultKind::kDelay), "delay");
+}
+
+}  // namespace
+}  // namespace dhnsw::rdma

@@ -10,7 +10,7 @@ namespace {
 TEST(OverflowTest, RecordSizeIsEightAligned) {
   for (uint32_t dim : {1u, 2u, 3u, 4u, 127u, 128u, 960u}) {
     EXPECT_EQ(OverflowRecordSize(dim) % 8, 0u) << "dim " << dim;
-    EXPECT_GE(OverflowRecordSize(dim), 8 + dim * 4) << "dim " << dim;
+    EXPECT_GE(OverflowRecordSize(dim), 12 + dim * 4) << "dim " << dim;
   }
 }
 
@@ -98,11 +98,34 @@ TEST(OverflowTest, UncommittedSlotsAreSkippedByAreaDecode) {
 }
 
 TEST(OverflowTest, PaddingBytesDoNotLeak) {
-  // dim=1: record is 8 + 4 = 12 -> padded to 16; the pad must be zeroed.
-  std::vector<uint8_t> buf(OverflowRecordSize(1), 0xAB);
-  const std::vector<float> v = {7.0f};
+  // dim=2: record is 12 + 8 = 20 -> padded to 24; the pad must be zeroed.
+  std::vector<uint8_t> buf(OverflowRecordSize(2), 0xAB);
+  const std::vector<float> v = {7.0f, -7.0f};
   EncodeOverflowRecord(1, v, buf);
-  for (size_t i = 12; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+  for (size_t i = 20; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(OverflowTest, BitFlipInCommittedRecordIsDetected) {
+  const uint32_t dim = 4;
+  std::vector<uint8_t> buf(OverflowRecordSize(dim));
+  EncodeOverflowRecord(77, std::vector<float>{1, 2, 3, 4}, buf);
+  ASSERT_TRUE(DecodeOverflowRecord(buf, dim).ok());
+
+  // Flip one payload bit: the per-record CRC must catch it.
+  buf[14] ^= 0x04;
+  EXPECT_EQ(DecodeOverflowRecord(buf, dim).status().code(), StatusCode::kCorruption);
+  buf[14] ^= 0x04;
+
+  // Damage to the id is equally fatal...
+  buf[0] ^= 0x80;
+  EXPECT_EQ(DecodeOverflowRecord(buf, dim).status().code(), StatusCode::kCorruption);
+  buf[0] ^= 0x80;
+
+  // ...and a damaged area surfaces the corruption instead of bad data.
+  std::vector<uint8_t> area(buf);
+  area[16] ^= 0x01;
+  EXPECT_EQ(DecodeOverflowArea(area, area.size(), dim).status().code(),
+            StatusCode::kCorruption);
 }
 
 }  // namespace
