@@ -269,4 +269,57 @@ void RunBreakdownTable(const std::string& title, const BenchConfig& config) {
               cfg.workload == Workload::kSiftLike ? "SIFT1M" : "GIST1M");
 }
 
+JsonWriter& JsonWriter::Row(const std::string& name) {
+  rows_.emplace_back();
+  rows_.back().labels.emplace_back("name", name);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Label(const std::string& key, const std::string& value) {
+  rows_.back().labels.emplace_back(key, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, double value) {
+  rows_.back().fields.emplace_back(key, value);
+  return *this;
+}
+
+std::string JsonWriter::Dump() const {
+  // Labels here are identifiers (kernel names, metric names); no escaping of
+  // exotic characters is attempted.
+  std::string out = "{\n  \"benchmarks\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += "    {";
+    bool first = true;
+    for (const auto& [k, v] : rows_[r].labels) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + k + "\": \"" + v + "\"";
+    }
+    for (const auto& [k, v] : rows_[r].fields) {
+      if (!first) out += ", ";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out += "\"" + k + "\": " + buf;
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(("JsonWriter: " + path).c_str());
+    return false;
+  }
+  const std::string body = Dump();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
 }  // namespace dhnsw::bench

@@ -77,6 +77,28 @@ std::vector<uint32_t> DefaultEfSweep();
 /// Human-readable bytes.
 std::string FormatBytes(uint64_t bytes);
 
+/// Minimal JSON emitter for machine-readable bench output (CI archives one
+/// file per commit). Each row is a flat object of string labels and numeric
+/// fields; Dump() renders `{"benchmarks": [...]}`.
+class JsonWriter {
+ public:
+  /// Starts a new row named `name` (becomes the row's "name" label).
+  JsonWriter& Row(const std::string& name);
+  JsonWriter& Label(const std::string& key, const std::string& value);
+  JsonWriter& Field(const std::string& key, double value);
+
+  std::string Dump() const;
+  /// Writes Dump() to `path`; returns false (with a perror) on failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct RowData {
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::vector<RowData> rows_;
+};
+
 /// Runs a whole Fig.6-style experiment: 3 schemes x ef sweep; prints tables
 /// and the headline speedup (naive vs d-HNSW at the largest ef).
 void RunLatencyRecallFigure(const std::string& title, const BenchConfig& config, size_t k);

@@ -1,6 +1,9 @@
 // Microbenchmarks for the HNSW kernel itself (micro M1): distance kernels,
 // graph insert, and search across ef, independent of the disaggregation
 // machinery. google-benchmark based.
+//
+// For JSON output (CI archives this per commit) run with
+//   --benchmark_format=json --benchmark_out=hnsw_micro.json
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
@@ -54,22 +57,28 @@ void BM_HnswInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_HnswInsert)->Unit(benchmark::kMillisecond);
 
+/// args: {ef, dim}. dim 128 (SIFT-like) is the acceptance gate; 64 keeps the
+/// historical series comparable, 960 is GIST-like.
 void BM_HnswSearch(benchmark::State& state) {
   const uint32_t ef = static_cast<uint32_t>(state.range(0));
-  const uint32_t dim = 64;
+  const uint32_t dim = static_cast<uint32_t>(state.range(1));
+  const int n = dim >= 960 ? 2000 : 10000;
   Xoshiro256 rng(4);
   HnswIndex index(dim, {.M = 16, .ef_construction = 100});
-  for (int i = 0; i < 10000; ++i) index.Add(RandomVec(rng, dim));
+  for (int i = 0; i < n; ++i) index.Add(RandomVec(rng, dim));
   const auto q = RandomVec(rng, dim);
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.Search(q, 10, ef));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_HnswSearch)->Arg(8)->Arg(16)->Arg(48)->Arg(128);
+BENCHMARK(BM_HnswSearch)
+    ->Args({8, 64})->Args({16, 64})->Args({48, 64})->Args({128, 64})
+    ->Args({8, 128})->Args({16, 128})->Args({48, 128})->Args({128, 128})
+    ->Args({48, 960});
 
 void BM_FlatSearch(benchmark::State& state) {
-  const uint32_t dim = 64;
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
   Xoshiro256 rng(5);
   FlatIndex index(dim);
   for (int i = 0; i < 10000; ++i) index.Add(RandomVec(rng, dim));
@@ -78,7 +87,7 @@ void BM_FlatSearch(benchmark::State& state) {
     benchmark::DoNotOptimize(index.Search(q, 10));
   }
 }
-BENCHMARK(BM_FlatSearch);
+BENCHMARK(BM_FlatSearch)->Arg(64)->Arg(128);
 
 }  // namespace
 }  // namespace dhnsw

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace dhnsw {
@@ -54,6 +55,22 @@ class TopKHeap {
   /// Would a candidate at `distance` be retained right now?
   bool WouldAccept(float distance) const noexcept {
     return heap_.size() < k_ || distance < heap_.front().distance;
+  }
+
+  /// Re-arms the heap for a new bound without releasing capacity — the
+  /// allocation-free search path Reset()s a pooled heap instead of
+  /// constructing a fresh one per query.
+  void Reset(size_t k) {
+    k_ = k;
+    heap_.clear();
+  }
+
+  /// Sorts the retained entries ascending *in place* and returns a view into
+  /// them. Allocation-free. The heap invariant is destroyed: call Reset()
+  /// before pushing again.
+  std::span<const Scored> SortAscending() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return heap_;
   }
 
   /// Drains the heap into a vector sorted by ascending distance.

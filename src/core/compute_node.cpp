@@ -114,22 +114,32 @@ bool ComputeNode::LoadedCluster::IsDeleted(uint32_t global_id) const noexcept {
 void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint32_t ef,
                                         Metric metric, SubSearchMode mode,
                                         TopKHeap* out) const {
-  const DistanceFn dist = DistanceFunction(metric);
   if (mode == SubSearchMode::kFlatScan) {
-    // IVF-style exact scan over the cluster's stored vectors.
+    // IVF-style exact scan over the cluster's stored vectors: the rows are
+    // contiguous, so score a chunk per batched-kernel call (dispatch
+    // hoisted) and filter tombstones only when folding into the heap.
+    const RowsKernel rows = ActiveKernels().Rows(metric);
     const uint32_t dim = cluster.index.dim();
-    for (uint32_t local = 0; local < cluster.index.size(); ++local) {
-      const uint32_t gid = cluster.global_ids[local];
-      if (IsDeleted(gid)) continue;
-      out->Push(dist({cluster.index.vectors().data() + static_cast<size_t>(local) * dim,
-                      dim}, q), gid);
+    constexpr size_t kChunk = 256;
+    float dists[kChunk];
+    const size_t n = cluster.index.size();
+    for (size_t base = 0; base < n; base += kChunk) {
+      const size_t cnt = std::min(kChunk, n - base);
+      rows(q.data(), cluster.index.vectors().data() + base * dim, dim, cnt, dists);
+      for (size_t j = 0; j < cnt; ++j) {
+        const uint32_t gid = cluster.global_ids[base + j];
+        if (!IsDeleted(gid)) out->Push(dists[j], gid);
+      }
     }
   } else {
     // Graph part: local ids -> global ids, skipping tombstoned entries. Ask
-    // for a few extra candidates so deletions don't starve the top-k.
+    // for a few extra candidates so deletions don't starve the top-k. The
+    // result buffer is thread-local so steady-state sub-searches allocate
+    // nothing.
     const size_t slack = std::min<size_t>(tombstones.size(), 64);
-    for (const Scored& s :
-         cluster.index.Search(q, k + slack, std::max<uint32_t>(ef, 1))) {
+    static thread_local std::vector<Scored> results;
+    cluster.index.Search(q, k + slack, std::max<uint32_t>(ef, 1), &results);
+    for (const Scored& s : results) {
       const uint32_t gid = cluster.global_ids[s.id];
       if (!IsDeleted(gid)) out->Push(s.distance, gid);
     }
@@ -137,8 +147,11 @@ void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint
   // Overflow part: the paper appends inserted vectors as raw records read
   // back with the cluster; unless linked at load time they are scanned
   // exactly (no graph links yet).
+  const PairKernel pair = ActiveKernels().Pair(metric);
   for (const OverflowRecord& rec : overflow) {
-    if (!IsDeleted(rec.global_id)) out->Push(dist(rec.vector, q), rec.global_id);
+    if (!IsDeleted(rec.global_id)) {
+      out->Push(pair(rec.vector.data(), q.data(), rec.vector.size()), rec.global_id);
+    }
   }
 }
 

@@ -43,19 +43,23 @@ std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
     std::copy(v.begin(), v.end(), centroids.begin() + static_cast<size_t>(c) * dim);
   }
 
+  // k-means is L2 by definition regardless of the index metric; the centroid
+  // block is contiguous, so each row is assigned with one batched-kernel call.
+  const RowsKernel l2_rows = ActiveKernels().l2_rows;
+  std::vector<float> dists(std::max<size_t>(r, n));
+
   std::vector<uint32_t> assign(n, 0);
   std::vector<double> sums(static_cast<size_t>(r) * dim);
   std::vector<uint32_t> counts(r);
   for (uint32_t iter = 0; iter < iterations; ++iter) {
     // Assign.
     for (size_t i = 0; i < n; ++i) {
+      l2_rows(base[i].data(), centroids.data(), dim, r, dists.data());
       float best = std::numeric_limits<float>::max();
       uint32_t best_c = 0;
       for (uint32_t c = 0; c < r; ++c) {
-        const float d = L2Sq(
-            {centroids.data() + static_cast<size_t>(c) * dim, dim}, base[i]);
-        if (d < best) {
-          best = d;
+        if (dists[c] < best) {
+          best = dists[c];
           best_c = c;
         }
       }
@@ -80,19 +84,20 @@ std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
     }
   }
 
-  // Medoid snap: nearest base row per centroid, de-duplicated.
+  // Medoid snap: nearest base row per centroid, de-duplicated. The base set
+  // is contiguous, so each centroid's scan is one batched-kernel call.
   std::vector<uint32_t> reps;
   std::vector<uint8_t> taken(n, 0);
   for (uint32_t c = 0; c < r; ++c) {
+    l2_rows(centroids.data() + static_cast<size_t>(c) * dim,
+            base.flat().data(), dim, n, dists.data());
     float best = std::numeric_limits<float>::max();
     uint32_t best_row = 0;
     bool found = false;
     for (size_t i = 0; i < n; ++i) {
       if (taken[i]) continue;
-      const float d = L2Sq(
-          {centroids.data() + static_cast<size_t>(c) * dim, dim}, base[i]);
-      if (d < best) {
-        best = d;
+      if (dists[i] < best) {
+        best = dists[i];
         best_row = static_cast<uint32_t>(i);
         found = true;
       }

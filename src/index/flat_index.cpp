@@ -1,5 +1,6 @@
 #include "index/flat_index.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dhnsw {
@@ -18,11 +19,18 @@ void FlatIndex::AddBatch(std::span<const float> vectors) {
 
 std::vector<Scored> FlatIndex::Search(std::span<const float> query, size_t k) const {
   assert(query.size() == dim_);
-  const DistanceFn dist = DistanceFunction(metric_);
+  // Contiguous rows: score a chunk at a time with the one-to-many kernel
+  // (dispatch hoisted), then fold the chunk into the heap.
+  constexpr size_t kChunk = 256;
+  const RowsKernel rows = ActiveKernels().Rows(metric_);
+  float dists[kChunk];
   TopKHeap heap(k);
-  for (size_t i = 0; i < count_; ++i) {
-    const float d = dist({data_.data() + i * dim_, dim_}, query);
-    heap.Push(d, static_cast<uint32_t>(i));
+  for (size_t i = 0; i < count_; i += kChunk) {
+    const size_t n = std::min(kChunk, count_ - i);
+    rows(query.data(), data_.data() + i * dim_, dim_, n, dists);
+    for (size_t j = 0; j < n; ++j) {
+      heap.Push(dists[j], static_cast<uint32_t>(i + j));
+    }
   }
   return heap.TakeSorted();
 }

@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 
 namespace dhnsw {
+
+namespace {
+/// Reversed comparator turning std::push_heap/pop_heap into a min-heap on
+/// Scored (same ordering std::priority_queue<_, _, decltype(b < a)> used).
+struct MinCmp {
+  bool operator()(const Scored& a, const Scored& b) const noexcept { return b < a; }
+};
+}  // namespace
 
 HnswIndex::HnswIndex(uint32_t dim, HnswOptions options)
     : dim_(dim),
       options_(options),
-      dist_fn_(DistanceFunction(options.metric)),
+      pair_(ActiveKernels().Pair(options.metric)),
+      gather_(ActiveKernels().Gather(options.metric)),
       level_lambda_(1.0 / std::log(std::max<uint32_t>(2, options.M))),
       rng_(options.seed) {
   assert(dim > 0);
@@ -48,12 +56,16 @@ uint32_t HnswIndex::AddWithLevel(std::span<const float> v, uint32_t level) {
     return id;
   }
 
-  const std::span<const float> base = vector(id);
+  ScratchLease lease(scratch_pool_);
+  SearchScratch& s = *lease;
+  s.EnsureBatchCapacity(2 * options_.M + 2);
+
+  const float* base = RowPtr(id);
   uint32_t current = entry_point_;
 
   // Phase 1: greedy descent through layers above the new node's top level.
   for (int32_t layer = max_level_; layer > static_cast<int32_t>(level); --layer) {
-    current = GreedyClosest(base, current, static_cast<uint32_t>(layer));
+    current = GreedyClosest(base, current, static_cast<uint32_t>(layer), s);
   }
 
   // Phase 2: on each layer the node participates in, search with
@@ -61,30 +73,43 @@ uint32_t HnswIndex::AddWithLevel(std::span<const float> v, uint32_t level) {
   const int32_t top = std::min<int32_t>(static_cast<int32_t>(level), max_level_);
   for (int32_t layer = top; layer >= 0; --layer) {
     const uint32_t ulayer = static_cast<uint32_t>(layer);
-    std::vector<Scored> candidates =
-        SearchLayer(base, current, options_.ef_construction, ulayer);
-    if (!candidates.empty()) {
+    SearchLayerInto(base, current, options_.ef_construction, ulayer, s);
+    const std::span<const Scored> found = s.best.SortAscending();
+    s.candidates.assign(found.begin(), found.end());
+    if (!s.candidates.empty()) {
       // Best candidate seeds the next (lower) layer's search.
-      current = std::min_element(candidates.begin(), candidates.end())->id;
+      current = s.candidates.front().id;
     }
     const uint32_t m = options_.M;  // select M on every layer (cap applies on 0 too)
-    std::vector<uint32_t> selected =
-        SelectNeighbors(id, base, std::move(candidates), m, ulayer);
+    SelectNeighbors(id, base, s.candidates, m, ulayer, s, &s.selected);
 
-    links_[id][ulayer] = selected;
-    // Back-links, shrinking the neighbor's list if it overflows.
-    for (uint32_t nb : selected) {
+    std::vector<uint32_t>& own = links_[id][ulayer];
+    own.clear();
+    own.reserve(s.selected.size());
+    for (const Scored& sc : s.selected) own.push_back(sc.id);
+
+    // Back-links, shrinking the neighbor's list if it overflows. The
+    // overflowed list is re-scored with ONE batched call over the
+    // pre-existing neighbors; the distance to the just-linked node is reused
+    // from selection (all kernels are symmetric), not recomputed.
+    for (const Scored& sel : s.selected) {
+      const uint32_t nb = sel.id;
       std::vector<uint32_t>& nb_links = links_[nb][ulayer];
       nb_links.push_back(id);
       const uint32_t cap = MaxDegree(ulayer);
       if (nb_links.size() > cap) {
-        std::vector<Scored> scored;
-        scored.reserve(nb_links.size());
-        const std::span<const float> nb_vec = vector(nb);
-        for (uint32_t cand : nb_links) {
-          scored.push_back({Dist(nb_vec, vector(cand)), cand});
+        const float* nb_vec = RowPtr(nb);
+        const size_t old_n = nb_links.size() - 1;
+        s.EnsureBatchCapacity(old_n);
+        gather_(nb_vec, vectors_.data(), dim_, nb_links.data(), old_n, s.dists.data());
+        s.shrink_scored.clear();
+        for (size_t j = 0; j < old_n; ++j) {
+          s.shrink_scored.push_back({s.dists[j], nb_links[j]});
         }
-        nb_links = SelectNeighbors(nb, nb_vec, std::move(scored), cap, ulayer);
+        s.shrink_scored.push_back({sel.distance, id});  // cached, not recomputed
+        SelectNeighbors(nb, nb_vec, s.shrink_scored, cap, ulayer, s, &s.shrink_out);
+        nb_links.clear();
+        for (const Scored& sc : s.shrink_out) nb_links.push_back(sc.id);
       }
     }
   }
@@ -96,18 +121,20 @@ uint32_t HnswIndex::AddWithLevel(std::span<const float> v, uint32_t level) {
   return id;
 }
 
-uint32_t HnswIndex::GreedyClosest(std::span<const float> query, uint32_t entry,
-                                  uint32_t layer) const {
+uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry, uint32_t layer,
+                                  SearchScratch& s) const {
   uint32_t current = entry;
-  float current_dist = Dist(query, vector(current));
+  float current_dist = pair_(query, RowPtr(current), dim_);
   bool improved = true;
   while (improved) {
     improved = false;
-    for (uint32_t nb : links_[current][layer]) {
-      const float d = Dist(query, vector(nb));
-      if (d < current_dist) {
-        current = nb;
-        current_dist = d;
+    const std::vector<uint32_t>& nbs = links_[current][layer];
+    if (nbs.empty()) break;
+    gather_(query, vectors_.data(), dim_, nbs.data(), nbs.size(), s.dists.data());
+    for (size_t j = 0; j < nbs.size(); ++j) {
+      if (s.dists[j] < current_dist) {
+        current = nbs[j];
+        current_dist = s.dists[j];
         improved = true;
       }
     }
@@ -115,107 +142,128 @@ uint32_t HnswIndex::GreedyClosest(std::span<const float> query, uint32_t entry,
   return current;
 }
 
-std::vector<Scored> HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
-                                           uint32_t ef, uint32_t layer) const {
+void HnswIndex::SearchLayerInto(const float* query, uint32_t entry, uint32_t ef,
+                                uint32_t layer, SearchScratch& s) const {
   if (ef == 0) ef = 1;
-  // visited bitmap: graphs here are partition-sized (10^3..10^5 nodes), so a
-  // byte vector per call is cheap and keeps Search const + thread-safe.
-  std::vector<uint8_t> visited(levels_.size(), 0);
+  s.visited.Reset(levels_.size());
+  s.frontier.clear();
+  s.best.Reset(ef);
 
-  // Min-heap of candidates to expand; max-heap (TopKHeap) of results to keep.
-  auto cmp_min = [](const Scored& a, const Scored& b) { return b < a; };
-  std::priority_queue<Scored, std::vector<Scored>, decltype(cmp_min)> frontier(cmp_min);
+  const float entry_dist = pair_(query, RowPtr(entry), dim_);
+  s.frontier.push_back({entry_dist, entry});
+  s.best.Push(entry_dist, entry);
+  s.visited.TestAndSet(entry);
 
-  TopKHeap best(ef);
-  const float entry_dist = Dist(query, vector(entry));
-  frontier.push({entry_dist, entry});
-  best.Push(entry_dist, entry);
-  visited[entry] = 1;
+  while (!s.frontier.empty()) {
+    std::pop_heap(s.frontier.begin(), s.frontier.end(), MinCmp{});
+    const Scored candidate = s.frontier.back();
+    s.frontier.pop_back();
+    if (s.best.full() && candidate.distance > s.best.worst()) break;
 
-  while (!frontier.empty()) {
-    const Scored candidate = frontier.top();
-    frontier.pop();
-    if (best.full() && candidate.distance > best.worst()) break;
-
-    for (uint32_t nb : links_[candidate.id][layer]) {
-      if (visited[nb]) continue;
-      visited[nb] = 1;
-      const float d = Dist(query, vector(nb));
-      if (!best.full() || d < best.worst()) {
-        frontier.push({d, nb});
-        best.Push(d, nb);
+    // Stage unvisited neighbors, then score them with one batched call.
+    const std::vector<uint32_t>& nbs = links_[candidate.id][layer];
+    size_t n = 0;
+    for (uint32_t nb : nbs) {
+      if (!s.visited.TestAndSet(nb)) s.ids[n++] = nb;
+    }
+    if (n == 0) continue;
+    gather_(query, vectors_.data(), dim_, s.ids.data(), n, s.dists.data());
+    for (size_t j = 0; j < n; ++j) {
+      const float d = s.dists[j];
+      if (!s.best.full() || d < s.best.worst()) {
+        s.frontier.push_back({d, s.ids[j]});
+        std::push_heap(s.frontier.begin(), s.frontier.end(), MinCmp{});
+        s.best.Push(d, s.ids[j]);
       }
     }
   }
-  return best.TakeSorted();
 }
 
-std::vector<uint32_t> HnswIndex::SelectNeighbors(uint32_t base_id,
-                                                 std::span<const float> base,
-                                                 std::vector<Scored> candidates,
-                                                 uint32_t m, uint32_t layer) const {
+void HnswIndex::SelectNeighbors(uint32_t base_id, const float* base,
+                                std::vector<Scored>& candidates, uint32_t m,
+                                uint32_t layer, SearchScratch& s,
+                                std::vector<Scored>* out) const {
   // Algorithm 4 (heuristic): take candidates closest-first, but admit one only
   // if it is closer to the base than to every already-admitted neighbor —
   // this spreads links across directions instead of clustering them.
   std::sort(candidates.begin(), candidates.end());
 
   if (options_.extend_candidates) {
-    std::vector<uint8_t> seen(levels_.size(), 0);
-    if (base_id < seen.size()) seen[base_id] = 1;  // never re-add the base
-    for (const Scored& c : candidates) seen[c.id] = 1;
+    s.visited.Reset(levels_.size());
+    if (base_id < levels_.size()) s.visited.TestAndSet(base_id);  // never re-add the base
+    for (const Scored& c : candidates) s.visited.TestAndSet(c.id);
     const size_t original = candidates.size();
     for (size_t i = 0; i < original; ++i) {
       for (uint32_t nb : links_[candidates[i].id][layer]) {
-        if (seen[nb]) continue;
-        seen[nb] = 1;
-        candidates.push_back({Dist(base, vector(nb)), nb});
+        if (s.visited.TestAndSet(nb)) continue;
+        candidates.push_back({pair_(base, RowPtr(nb), dim_), nb});
       }
     }
     std::sort(candidates.begin(), candidates.end());
   }
 
-  std::vector<uint32_t> selected;
-  selected.reserve(m);
-  std::vector<Scored> pruned;
+  out->clear();
+  s.pruned.clear();
+  s.sel_ids.clear();
 
   for (const Scored& c : candidates) {
-    if (selected.size() >= m) break;
+    if (out->size() >= m) break;
     bool diverse = true;
-    for (uint32_t s : selected) {
-      if (Dist(vector(c.id), vector(s)) < c.distance) {
-        diverse = false;
-        break;
+    if (!s.sel_ids.empty()) {
+      // One batched call scores the candidate against every admitted
+      // neighbor (their ids are kept contiguous for exactly this).
+      gather_(RowPtr(c.id), vectors_.data(), dim_, s.sel_ids.data(),
+              s.sel_ids.size(), s.dists.data());
+      for (size_t j = 0; j < s.sel_ids.size(); ++j) {
+        if (s.dists[j] < c.distance) {
+          diverse = false;
+          break;
+        }
       }
     }
     if (diverse) {
-      selected.push_back(c.id);
+      out->push_back(c);
+      s.sel_ids.push_back(c.id);
     } else if (options_.keep_pruned_connections) {
-      pruned.push_back(c);
+      s.pruned.push_back(c);
     }
   }
 
   if (options_.keep_pruned_connections) {
-    for (const Scored& c : pruned) {
-      if (selected.size() >= m) break;
-      selected.push_back(c.id);
+    for (const Scored& c : s.pruned) {
+      if (out->size() >= m) break;
+      out->push_back(c);
     }
   }
-  return selected;
 }
 
 std::vector<Scored> HnswIndex::Search(std::span<const float> query, size_t k,
                                       uint32_t ef) const {
+  std::vector<Scored> out;
+  Search(query, k, ef, &out);
+  return out;
+}
+
+void HnswIndex::Search(std::span<const float> query, size_t k, uint32_t ef,
+                       std::vector<Scored>* out) const {
   assert(query.size() == dim_);
-  if (empty() || k == 0) return {};
+  out->clear();
+  if (empty() || k == 0) return;
   ef = std::max<uint32_t>(ef, static_cast<uint32_t>(k));
+
+  ScratchLease lease(scratch_pool_);
+  SearchScratch& s = *lease;
+  s.EnsureBatchCapacity(2 * options_.M + 2);
 
   uint32_t current = entry_point_;
   for (int32_t layer = max_level_; layer > 0; --layer) {
-    current = GreedyClosest(query, current, static_cast<uint32_t>(layer));
+    current = GreedyClosest(query.data(), current, static_cast<uint32_t>(layer), s);
   }
-  std::vector<Scored> found = SearchLayer(query, current, ef, 0);
-  if (found.size() > k) found.resize(k);
-  return found;
+  SearchLayerInto(query.data(), current, ef, 0, s);
+
+  std::span<const Scored> sorted = s.best.SortAscending();
+  if (sorted.size() > k) sorted = sorted.first(k);
+  out->assign(sorted.begin(), sorted.end());
 }
 
 std::span<const uint32_t> HnswIndex::neighbors(uint32_t id, uint32_t layer) const {

@@ -11,6 +11,12 @@
 //  - full structural introspection so the serializer can lay the graph out
 //    for one-sided RDMA access.
 //
+// Hot path: all distance evaluations go through the startup-dispatched SIMD
+// kernel table (index/distance.h), neighbor lists are scored with the batched
+// one-to-many kernel (dispatch hoisted out of every loop), and each search
+// leases a pooled SearchScratch (epoch-stamped visited list + reusable
+// heaps), so a steady-state Search performs no heap allocations.
+//
 // Concurrency: `Search` is const and safe to call from many threads
 // concurrently; `Add` requires external exclusion (d-HNSW serializes inserts
 // per partition, so the index itself stays single-writer).
@@ -25,6 +31,7 @@
 #include "common/status.h"
 #include "common/topk.h"
 #include "index/distance.h"
+#include "index/search_scratch.h"
 
 namespace dhnsw {
 
@@ -65,6 +72,12 @@ class HnswIndex {
   /// (ef is clamped up to k). Results sorted ascending by distance.
   std::vector<Scored> Search(std::span<const float> query, size_t k, uint32_t ef) const;
 
+  /// Allocation-free form: results replace `out`'s contents, reusing its
+  /// capacity. After the first few queries warmed the scratch pool and
+  /// `out`, a call performs no heap allocations at all.
+  void Search(std::span<const float> query, size_t k, uint32_t ef,
+              std::vector<Scored>* out) const;
+
   /// --- structural introspection (serializer, tests, layout code) ---
   uint32_t entry_point() const noexcept { return entry_point_; }
   int32_t max_level_in_graph() const noexcept { return max_level_; }
@@ -94,31 +107,38 @@ class HnswIndex {
 
  private:
   /// Greedy walk on one layer from `entry`, returning the closest node found
-  /// (ef = 1 search; used for the descent through upper layers).
-  uint32_t GreedyClosest(std::span<const float> query, uint32_t entry, uint32_t layer) const;
+  /// (ef = 1 search; used for the descent through upper layers). Each hop
+  /// scores the full neighbor list with one batched-kernel call.
+  uint32_t GreedyClosest(const float* query, uint32_t entry, uint32_t layer,
+                         SearchScratch& scratch) const;
 
-  /// Algorithm 2: layer-restricted best-first search returning up to `ef`
-  /// candidates (unsorted heap order).
-  std::vector<Scored> SearchLayer(std::span<const float> query, uint32_t entry,
-                                  uint32_t ef, uint32_t layer) const;
+  /// Algorithm 2: layer-restricted best-first search; leaves up to `ef`
+  /// candidates in scratch.best. Unvisited neighbors are staged into
+  /// scratch.ids and scored with one batched-kernel call per expansion.
+  void SearchLayerInto(const float* query, uint32_t entry, uint32_t ef,
+                       uint32_t layer, SearchScratch& scratch) const;
 
-  /// Algorithm 4: diversity-preserving neighbor selection. `base_id` is the
-  /// node the links are being chosen for; candidate extension must never
-  /// reintroduce it (back-links would create self loops).
-  std::vector<uint32_t> SelectNeighbors(uint32_t base_id, std::span<const float> base,
-                                        std::vector<Scored> candidates,
-                                        uint32_t m, uint32_t layer) const;
+  /// Algorithm 4: diversity-preserving neighbor selection into `*out`
+  /// (sorted candidates with their distances kept, so callers can reuse the
+  /// scores). `base_id` is the node the links are being chosen for;
+  /// candidate extension must never reintroduce it (back-links would create
+  /// self loops). `candidates` is a scratch working set and is clobbered.
+  void SelectNeighbors(uint32_t base_id, const float* base,
+                       std::vector<Scored>& candidates, uint32_t m,
+                       uint32_t layer, SearchScratch& scratch,
+                       std::vector<Scored>* out) const;
 
   /// Draws a level ~ floor(-ln(U) * 1/ln(M)), clamped by options_.max_level.
   uint32_t DrawLevel();
 
-  float Dist(std::span<const float> a, std::span<const float> b) const noexcept {
-    return dist_fn_(a, b);
+  const float* RowPtr(uint32_t id) const noexcept {
+    return vectors_.data() + static_cast<size_t>(id) * dim_;
   }
 
   uint32_t dim_;
   HnswOptions options_;
-  DistanceFn dist_fn_;
+  PairKernel pair_;      ///< hoisted (metric, tier) pairwise kernel
+  GatherKernel gather_;  ///< hoisted one-to-many kernel
   double level_lambda_;  ///< 1 / ln(M)
   Xoshiro256 rng_;
 
@@ -130,6 +150,10 @@ class HnswIndex {
 
   uint32_t entry_point_ = 0;
   int32_t max_level_ = -1;  ///< -1 while empty
+
+  /// Scratch pool for the allocation-free search path; grows to the peak
+  /// number of concurrent searches, then stops allocating.
+  mutable SearchScratchPool scratch_pool_;
 };
 
 }  // namespace dhnsw

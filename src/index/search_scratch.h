@@ -1,0 +1,124 @@
+// Reusable per-search scratch state for the HNSW hot path: an epoch-stamped
+// visited list (O(1) reset instead of an O(n) allocation+memset per query)
+// and the candidate/result containers, pooled per index so a steady-state
+// Search performs no heap allocations at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/topk.h"
+
+namespace dhnsw {
+
+/// Visited-set with epoch stamps: Reset bumps the epoch instead of clearing
+/// the array; the array is only zeroed when the 16-bit epoch wraps (every
+/// 65535 resets) or the index grew past the array's size.
+class VisitedList {
+ public:
+  void Reset(size_t n) {
+    if (marks_.size() < n) {
+      marks_.assign(n, 0);
+      epoch_ = 1;
+      return;
+    }
+    if (++epoch_ == 0) {
+      std::fill(marks_.begin(), marks_.end(), uint16_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks `id` visited; returns whether it already was.
+  bool TestAndSet(uint32_t id) noexcept {
+    if (marks_[id] == epoch_) return true;
+    marks_[id] = epoch_;
+    return false;
+  }
+
+  bool Test(uint32_t id) const noexcept { return marks_[id] == epoch_; }
+
+ private:
+  std::vector<uint16_t> marks_;
+  uint16_t epoch_ = 0;
+};
+
+/// Everything one in-flight search (or insert) needs. Containers keep their
+/// capacity across uses, so after warm-up nothing here allocates.
+struct SearchScratch {
+  VisitedList visited;
+  std::vector<Scored> frontier;  ///< min-heap (std::push_heap w/ reversed cmp)
+  TopKHeap best{0};              ///< ef-bounded result heap
+  std::vector<uint32_t> ids;     ///< unvisited-neighbor staging for batch scoring
+  std::vector<float> dists;      ///< batch-kernel output
+  // Construction-only working sets (insert path; not part of the
+  // allocation-free Search contract).
+  std::vector<Scored> candidates;    ///< per-layer ef_construction results
+  std::vector<Scored> selected;      ///< SelectNeighbors output for the new node
+  std::vector<Scored> shrink_scored; ///< back-link shrink candidate scores
+  std::vector<Scored> shrink_out;    ///< back-link shrink re-selection
+  std::vector<Scored> pruned;        ///< Algorithm 4 keepPrunedConnections pool
+  std::vector<uint32_t> sel_ids;     ///< contiguous ids of selected (batch diversity)
+
+  /// Guarantees the batch-staging buffers can hold `n` entries.
+  void EnsureBatchCapacity(size_t n) {
+    if (ids.size() < n) ids.resize(n);
+    if (dists.size() < n) dists.resize(n);
+  }
+};
+
+/// Thread-safe freelist of SearchScratch. HnswIndex keeps one pool; each
+/// Search leases a scratch (creating one only when all are in flight, i.e.
+/// the pool grows to the peak concurrency and then stops allocating).
+///
+/// Copy/move intentionally transfer nothing: the pool is a cache, and a
+/// copied or moved index simply warms its own.
+class SearchScratchPool {
+ public:
+  SearchScratchPool() = default;
+  SearchScratchPool(const SearchScratchPool&) noexcept {}
+  SearchScratchPool& operator=(const SearchScratchPool&) noexcept { return *this; }
+  SearchScratchPool(SearchScratchPool&&) noexcept {}
+  SearchScratchPool& operator=(SearchScratchPool&&) noexcept { return *this; }
+
+  std::unique_ptr<SearchScratch> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<SearchScratch> s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<SearchScratch>();
+  }
+
+  void Release(std::unique_ptr<SearchScratch> s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SearchScratch>> free_;
+};
+
+/// RAII lease of a SearchScratch from a pool.
+class ScratchLease {
+ public:
+  explicit ScratchLease(SearchScratchPool& pool)
+      : pool_(&pool), scratch_(pool_->Acquire()) {}
+  ~ScratchLease() { pool_->Release(std::move(scratch_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  SearchScratch& operator*() noexcept { return *scratch_; }
+  SearchScratch* operator->() noexcept { return scratch_.get(); }
+
+ private:
+  SearchScratchPool* pool_;
+  std::unique_ptr<SearchScratch> scratch_;
+};
+
+}  // namespace dhnsw

@@ -143,6 +143,12 @@ TEST(ConcurrentInsertTest, MixedReadersAndWritersStayConsistent) {
     auto id = engine.compute(2).Insert(v, 2'000'000 + i);
     if (id.ok()) ++inserted;
   }
+  // On a loaded machine the inserts can outrun the readers; keep the readers
+  // alive until at least one full batch completed so the assertions below
+  // measure what they mean to.
+  while (reader_batches.load() == 0 && reader_errors.load() == 0) {
+    std::this_thread::yield();
+  }
   stop.store(true);
   for (auto& th : readers) th.join();
 

@@ -1,0 +1,92 @@
+// Proves the allocation-free search contract (index/hnsw.h): after warm-up,
+// HnswIndex::Search(query, k, ef, out) performs zero heap allocations.
+//
+// Mechanism: global operator new/delete are replaced with counting versions
+// (gtest and the index itself allocate freely outside the measured window;
+// the counter is only compared across the steady-state window).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/hnsw.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace dhnsw {
+namespace {
+
+TEST(SearchAllocTest, SteadyStateSearchDoesNotAllocate) {
+  constexpr uint32_t kDim = 32;
+  constexpr size_t kCount = 2000;
+  HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 60;
+  HnswIndex index(kDim, options);
+
+  Xoshiro256 rng(0xa110cu);
+  std::vector<float> v(kDim);
+  for (size_t i = 0; i < kCount; ++i) {
+    for (float& x : v) x = static_cast<float>(rng.NextDouble());
+    index.Add(v);
+  }
+
+  std::vector<float> query(kDim);
+  std::vector<Scored> out;
+  // Warm-up: grows the scratch pool, the pooled containers, and `out`.
+  for (int i = 0; i < 10; ++i) {
+    for (float& x : query) x = static_cast<float>(rng.NextDouble());
+    index.Search(query, 10, 50, &out);
+    ASSERT_FALSE(out.empty());
+  }
+
+  const uint64_t before = g_allocations.load();
+  for (int i = 0; i < 100; ++i) {
+    for (float& x : query) x = static_cast<float>(rng.NextDouble());
+    index.Search(query, 10, 50, &out);
+    ASSERT_EQ(out.size(), 10u);
+  }
+  const uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations in 100 steady-state searches";
+}
+
+TEST(SearchAllocTest, AllocatingOverloadStillWorks) {
+  constexpr uint32_t kDim = 8;
+  HnswIndex index(kDim, HnswOptions{});
+  Xoshiro256 rng(7);
+  std::vector<float> v(kDim);
+  for (int i = 0; i < 50; ++i) {
+    for (float& x : v) x = static_cast<float>(rng.NextDouble());
+    index.Add(v);
+  }
+  const std::vector<Scored> a = index.Search(v, 5, 20);
+  std::vector<Scored> b;
+  index.Search(v, 5, 20, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw
