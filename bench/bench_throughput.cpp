@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/stats.h"
 #include "core/client_router.h"
 #include "dataset/ground_truth.h"
 
@@ -19,9 +20,10 @@ int main(int argc, char** argv) {
   dhnsw::Dataset ds = LoadDataset(config);
   dhnsw::DhnswEngine engine = BuildEngine(ds, config);
 
-  std::printf("\n%10s %16s %16s %14s\n", "instances", "batch latency", "throughput",
-              "recall");
-  std::printf("%10s %16s %16s %14s\n", "", "(us)", "(queries/s)", "@10");
+  std::printf("\n%10s %16s %16s %14s %14s %14s\n", "instances", "batch latency",
+              "throughput", "recall", "shard p50", "shard max");
+  std::printf("%10s %16s %16s %14s %14s %14s\n", "", "(us)", "(queries/s)", "@10",
+              "(us)", "(us)");
   for (size_t instances : {1u, 2u, 4u, 8u, 16u}) {
     // A fresh pool per point (cold caches), all attached to the same region.
     std::vector<std::unique_ptr<dhnsw::ComputeNode>> nodes;
@@ -36,9 +38,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "router failed: %s\n", result.status().ToString().c_str());
       return 1;
     }
+    // Per-shard latency distribution: each shard records into its own
+    // recorder/stat (in a real pool each instance aggregates locally), then
+    // the shards are Merge()d into a pool-wide view — no re-sort of the
+    // combined samples, no double-counting of Welford terms.
+    dhnsw::LatencyRecorder pool_latency;
+    dhnsw::RunningStat pool_stat;
+    for (const dhnsw::BatchBreakdown& b : result.value().per_instance) {
+      dhnsw::LatencyRecorder shard_latency;
+      dhnsw::RunningStat shard_stat;
+      const double shard_us = b.network_us + b.meta_us + b.sub_us + b.deserialize_us;
+      shard_latency.Add(shard_us);
+      shard_stat.Add(shard_us);
+      pool_latency.Merge(shard_latency);
+      pool_stat.Merge(shard_stat);
+    }
     double recall = dhnsw::MeanRecallAtK(ds, result.value().results, 10);
-    std::printf("%10zu %16.1f %16.0f %14.4f\n", instances,
-                result.value().batch_latency_us, result.value().throughput_qps, recall);
+    std::printf("%10zu %16.1f %16.0f %14.4f %14.1f %14.1f\n", instances,
+                result.value().batch_latency_us, result.value().throughput_qps, recall,
+                pool_latency.p50(), pool_stat.max());
   }
   std::printf("\n# latency = slowest shard; throughput = batch size / latency.\n");
   return 0;

@@ -13,6 +13,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "telemetry/metrics.h"
+
 namespace dhnsw {
 
 template <typename K, typename V>
@@ -31,14 +33,28 @@ class LruCache {
 
   bool Contains(const K& key) const { return map_.count(key) != 0; }
 
+  /// Mirrors this cache's accounting into shared registry instruments: Get
+  /// hits/misses bump the counters, and every size change moves the entries
+  /// gauge by a delta (so several caches can share one gauge and it reads as
+  /// the fleet-wide resident total). Any pointer may be null; instruments must
+  /// outlive the cache (registry instruments do).
+  void AttachTelemetry(telemetry::Counter* hit_counter, telemetry::Counter* miss_counter,
+                       telemetry::Gauge* entries_gauge) {
+    hit_counter_ = hit_counter;
+    miss_counter_ = miss_counter;
+    entries_gauge_ = entries_gauge;
+  }
+
   /// Looks up and marks as most-recently-used. Returns nullptr on miss.
   V* Get(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
+      if (miss_counter_ != nullptr) miss_counter_->Add(1);
       return nullptr;
     }
     ++hits_;
+    if (hit_counter_ != nullptr) hit_counter_->Add(1);
     order_.splice(order_.begin(), order_, it->second.order_it);
     return &it->second.value;
   }
@@ -64,6 +80,7 @@ class LruCache {
     auto [ins, fresh] = map_.emplace(key, Entry{std::move(value), order_.begin(), 0});
     assert(fresh);
     (void)fresh;
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(1);
     // Hold a transient pin so the entry being inserted is never the eviction
     // victim, even when every other entry is pinned.
     ++ins->second.pins;
@@ -92,10 +109,12 @@ class LruCache {
     if (it == map_.end()) return false;
     order_.erase(it->second.order_it);
     map_.erase(it);
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
     return true;
   }
 
   void Clear() {
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(-static_cast<int64_t>(map_.size()));
     map_.clear();
     order_.clear();
   }
@@ -126,6 +145,7 @@ class LruCache {
       if (map_it->second.pins > 0) continue;
       it = order_.erase(it);
       map_.erase(map_it);
+      if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
     }
   }
 
@@ -134,6 +154,9 @@ class LruCache {
   std::unordered_map<K, Entry> map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  telemetry::Counter* hit_counter_ = nullptr;
+  telemetry::Counter* miss_counter_ = nullptr;
+  telemetry::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace dhnsw

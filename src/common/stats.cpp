@@ -21,6 +21,24 @@ void RunningStat::Add(double x) noexcept {
 
 void RunningStat::Reset() noexcept { *this = RunningStat(); }
 
+void RunningStat::Merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  // Chan et al.: combined M2 adds the between-group term delta^2 * na*nb/n.
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  mean_ += delta * nb / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStat::variance() const noexcept {
   return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
 }
@@ -35,6 +53,27 @@ void LatencyRecorder::Add(double value_us) {
 void LatencyRecorder::Reset() {
   samples_.clear();
   sorted_ = true;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    samples_ = other.samples_;
+    sorted_ = other.sorted_;
+    return;
+  }
+  if (sorted_ && other.sorted_) {
+    // Two sorted runs: one linear pass keeps the result sorted, so the next
+    // percentile() query pays no O(n log n) re-sort of the merged set.
+    std::vector<double> merged;
+    merged.reserve(samples_.size() + other.samples_.size());
+    std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+               other.samples_.end(), std::back_inserter(merged));
+    samples_ = std::move(merged);
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
 }
 
 void LatencyRecorder::EnsureSorted() const {

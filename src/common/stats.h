@@ -8,10 +8,19 @@
 namespace dhnsw {
 
 /// Welford-style running mean/variance plus min/max.
+///
+/// Empty contract: with count() == 0, every accessor returns 0.0 (mean, min,
+/// max, sum, variance, stddev) rather than NaN or garbage.
 class RunningStat {
  public:
   void Add(double x) noexcept;
   void Reset() noexcept;
+
+  /// Folds `other` into this stat, as if every sample of `other` had been
+  /// Add()ed here (Chan et al.'s parallel combine — exact for count/mean/
+  /// sum/min/max, numerically stable for variance). Merging an empty stat is
+  /// a no-op; merging into an empty stat copies `other`.
+  void Merge(const RunningStat& other) noexcept;
 
   uint64_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }
@@ -32,10 +41,20 @@ class RunningStat {
 
 /// Exact-percentile latency recorder: stores all samples (benchmark scale is
 /// small enough), sorts lazily on query.
+///
+/// Empty contract: with count() == 0, mean(), percentile(p) for any p,
+/// min(), and max() all return 0.0 — callers can print a recorder that never
+/// saw a sample without guarding every accessor.
 class LatencyRecorder {
  public:
   void Add(double value_us);
   void Reset();
+
+  /// Folds `other`'s samples into this recorder. When both sides are already
+  /// sorted the merge is a linear two-way merge of sorted runs — no re-sort
+  /// of the combined set (the per-shard recorders benches merge are exactly
+  /// that case). Unsorted sides fall back to the usual lazy sort-on-query.
+  void Merge(const LatencyRecorder& other);
 
   size_t count() const noexcept { return samples_.size(); }
   double mean() const;

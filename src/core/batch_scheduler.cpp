@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "telemetry/metrics.h"
+
 namespace dhnsw {
+
+namespace {
+
+struct SchedulerInstruments {
+  telemetry::Counter* plans;
+  telemetry::Counter* waves;
+  telemetry::Counter* unique_clusters;
+  telemetry::Counter* dedup_saved_loads;
+};
+
+const SchedulerInstruments& Scheduler() {
+  static const SchedulerInstruments instruments = [] {
+    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+    return SchedulerInstruments{
+        r.GetCounter("dhnsw_scheduler_plans_total"),
+        r.GetCounter("dhnsw_scheduler_waves_total"),
+        r.GetCounter("dhnsw_scheduler_unique_clusters_total"),
+        r.GetCounter("dhnsw_scheduler_dedup_saved_loads_total"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 BatchPlan PlanBatch(const std::vector<std::vector<uint32_t>>& clusters_per_query,
                     const std::function<bool(uint32_t)>& is_cached,
@@ -70,6 +96,12 @@ BatchPlan PlanBatch(const std::vector<std::vector<uint32_t>>& clusters_per_query
     std::vector<uint32_t> chunk(misses.begin() + begin, misses.begin() + end);
     emit_wave(chunk, chunk);
   }
+
+  const SchedulerInstruments& metrics = Scheduler();
+  metrics.plans->Add(1);
+  metrics.waves->Add(plan.waves.size());
+  metrics.unique_clusters->Add(plan.unique_clusters);
+  metrics.dedup_saved_loads->Add(plan.dedup_saved_loads);
   return plan;
 }
 

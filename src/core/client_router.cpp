@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <thread>
 
+#include "telemetry/metrics.h"
+
 namespace dhnsw {
+
+namespace {
+
+struct RouterInstruments {
+  telemetry::Counter* requests;
+  telemetry::Counter* queries;
+  telemetry::Counter* shards;
+  telemetry::Counter* degraded_shards;
+  telemetry::Histogram* batch_latency_us;
+};
+
+const RouterInstruments& Router() {
+  static const RouterInstruments instruments = [] {
+    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+    return RouterInstruments{
+        r.GetCounter("dhnsw_router_requests_total"),
+        r.GetCounter("dhnsw_router_queries_total"),
+        r.GetCounter("dhnsw_router_shards_total"),
+        r.GetCounter("dhnsw_router_degraded_shards_total"),
+        r.GetHistogram("dhnsw_router_batch_latency_us"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t k,
                                                uint32_t ef_search,
@@ -14,6 +42,12 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
       return Status::Unavailable("router: compute node not connected");
     }
   }
+
+  // Router spans have no SimClock (instances each own theirs), so they carry
+  // wall time only; written exclusively from this thread.
+  telemetry::TraceContext trace{trace_buffer_, nullptr, ++request_seq_};
+  telemetry::TraceScope request_scope(trace, "router.request");
+  request_scope.set_args(queries.size(), k);
 
   const size_t n = queries.size();
   const size_t shards = std::min(pool_.size(), std::max<size_t>(n, 1));
@@ -41,15 +75,24 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
 
   if (execution_ == RouterExecution::kConcurrent) {
     // One thread per instance: instances are independent (own QP/cache/
-    // clock), mirroring the paper's per-instance query workers.
+    // clock), mirroring the paper's per-instance query workers. Shard spans
+    // are appended after the join (from this thread) without wall times —
+    // per-shard walls overlap and would double-count under parallelism.
     std::vector<std::thread> threads;
     threads.reserve(shards);
     for (size_t s = 0; s < shards; ++s) threads.emplace_back(run_shard, s);
     for (auto& t : threads) t.join();
+    for (size_t s = 0; s < shards; ++s) {
+      trace.Event("router.shard", static_cast<uint32_t>(s), work[s].begin, work[s].count);
+    }
   } else {
     // Isolated: each shard timed with the whole host to itself, so shard
     // wall-times model per-instance dedicated CPUs.
-    for (size_t s = 0; s < shards; ++s) run_shard(s);
+    for (size_t s = 0; s < shards; ++s) {
+      telemetry::TraceScope shard_scope(trace, "router.shard", static_cast<uint32_t>(s));
+      shard_scope.set_args(work[s].begin, work[s].count);
+      run_shard(s);
+    }
   }
 
   RouterResult out;
@@ -61,6 +104,7 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
       // all). With allow_partial its queries degrade to empty results that
       // carry the error; the other shards' answers survive untouched.
       if (!router_options.allow_partial) return work[s].result.status();
+      Router().degraded_shards->Add(1);
       for (size_t i = 0; i < work[s].count; ++i) {
         out.statuses[work[s].begin + i] = work[s].result.status();
       }
@@ -83,6 +127,12 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
   out.throughput_qps = out.batch_latency_us > 0.0
                            ? static_cast<double>(n) / (out.batch_latency_us / 1e6)
                            : 0.0;
+
+  const RouterInstruments& metrics = Router();
+  metrics.requests->Add(1);
+  metrics.queries->Add(n);
+  metrics.shards->Add(shards);
+  metrics.batch_latency_us->Record(static_cast<uint64_t>(out.batch_latency_us));
   return out;
 }
 

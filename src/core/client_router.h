@@ -62,6 +62,12 @@ class ClientRouter {
 
   size_t pool_size() const noexcept { return pool_.size(); }
 
+  /// Routes router-level spans ("router.request" umbrella plus one
+  /// "router.shard" span per shard) into `buffer`; nullptr detaches. The
+  /// buffer is written from the router's calling thread only, never from
+  /// shard threads, so kConcurrent execution stays race-free.
+  void set_trace(telemetry::TraceBuffer* buffer) noexcept { trace_buffer_ = buffer; }
+
   /// Shards `queries` across the pool in contiguous chunks; the batch's
   /// latency is the slowest shard's latency (instances run in parallel in a
   /// real pool regardless of the local execution policy).
@@ -71,6 +77,8 @@ class ClientRouter {
  private:
   std::vector<ComputeNode*> pool_;
   RouterExecution execution_;
+  telemetry::TraceBuffer* trace_buffer_ = nullptr;
+  uint32_t request_seq_ = 0;
 };
 
 }  // namespace dhnsw

@@ -4,10 +4,12 @@
 #include <unordered_set>
 
 #include "common/sim_clock.h"
+#include "common/timer.h"
 #include "core/meta_hnsw.h"
 #include "rdma/queue_pair.h"
 #include "serialize/cluster_blob.h"
 #include "serialize/overflow.h"
+#include "telemetry/metrics.h"
 
 namespace dhnsw {
 namespace {
@@ -58,6 +60,7 @@ Result<CompactionStats> Compactor::Run(const MemoryNodeHandle& old_handle,
   CompactionStats stats;
   SimClock clock;
   rdma::QueuePair qp(fabric_, &clock);
+  WallTimer run_timer;
 
   // Region header + metadata table, exactly like a compute node's bootstrap.
   AlignedBuffer header_buf(RegionHeader::kEncodedSize, 64);
@@ -111,6 +114,16 @@ Result<CompactionStats> Compactor::Run(const MemoryNodeHandle& old_handle,
                                         static_cast<uint32_t>(old_handle.num_shards())));
   stats.new_region_bytes = node->handle().region_size;
   *new_node = std::move(node);
+
+  // Compaction is rare and heavyweight; per-run registry lookups are fine.
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  registry.GetCounter("dhnsw_compaction_runs_total")->Add(1);
+  registry.GetCounter("dhnsw_compaction_records_folded_total")->Add(stats.live_records_folded);
+  registry.GetCounter("dhnsw_compaction_tombstones_applied_total")
+      ->Add(stats.tombstones_applied);
+  registry.GetCounter("dhnsw_compaction_bytes_read_total")->Add(stats.bytes_read);
+  registry.GetHistogram("dhnsw_compaction_run_us")
+      ->Record(static_cast<uint64_t>(run_timer.elapsed_us()));
   return stats;
 }
 

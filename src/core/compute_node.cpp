@@ -9,8 +9,62 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/distance.h"
+#include "telemetry/metrics.h"
 
 namespace dhnsw {
+
+namespace {
+
+// Compute-layer instruments (shared by every instance in the process; tests
+// read deltas). Resolved once — the per-batch record path is relaxed atomics
+// only, preserving the allocation-free hot path.
+struct ComputeInstruments {
+  telemetry::Counter* batches;
+  telemetry::Counter* queries;
+  telemetry::Counter* cluster_loads;
+  telemetry::Counter* bytes_loaded;
+  telemetry::Counter* cache_hit_clusters;
+  telemetry::Counter* cache_miss_clusters;
+  telemetry::Counter* pruned_loads;
+  telemetry::Counter* pruned_searches;
+  telemetry::Counter* retries;
+  telemetry::Counter* failed_loads;
+  telemetry::Counter* backoff_ns;
+  telemetry::Counter* inserts;
+  telemetry::Counter* removes;
+  telemetry::Counter* insert_rejects;
+  telemetry::ShardedCounter* sub_searches;
+  telemetry::Histogram* batch_round_trips;
+  telemetry::Histogram* batch_network_ns;
+};
+
+const ComputeInstruments& Compute() {
+  static const ComputeInstruments instruments = [] {
+    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+    return ComputeInstruments{
+        r.GetCounter("dhnsw_compute_batches_total"),
+        r.GetCounter("dhnsw_compute_queries_total"),
+        r.GetCounter("dhnsw_compute_cluster_loads_total"),
+        r.GetCounter("dhnsw_compute_bytes_loaded_total"),
+        r.GetCounter("dhnsw_compute_cache_hit_clusters_total"),
+        r.GetCounter("dhnsw_compute_cache_miss_clusters_total"),
+        r.GetCounter("dhnsw_compute_pruned_loads_total"),
+        r.GetCounter("dhnsw_compute_pruned_searches_total"),
+        r.GetCounter("dhnsw_compute_retries_total"),
+        r.GetCounter("dhnsw_compute_failed_loads_total"),
+        r.GetCounter("dhnsw_compute_backoff_ns_total"),
+        r.GetCounter("dhnsw_compute_inserts_total"),
+        r.GetCounter("dhnsw_compute_removes_total"),
+        r.GetCounter("dhnsw_compute_insert_rejects_total"),
+        r.GetShardedCounter("dhnsw_compute_sub_searches_total"),
+        r.GetHistogram("dhnsw_compute_batch_round_trips"),
+        r.GetHistogram("dhnsw_compute_batch_network_ns"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 std::string_view EngineModeName(EngineMode mode) noexcept {
   switch (mode) {
@@ -48,6 +102,13 @@ ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
       qp_(fabric, &clock_, options.doorbell_batch),
       cache_(options.mode == EngineMode::kNaive ? 0 : options.cache_capacity) {
   fabric_->AddNode(name_);
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  cache_.AttachTelemetry(registry.GetCounter("dhnsw_compute_cache_ref_hits_total"),
+                         registry.GetCounter("dhnsw_compute_cache_ref_misses_total"),
+                         registry.GetGauge("dhnsw_compute_cache_entries"));
+  trace_ctx_.buffer = &trace_buffer_;
+  trace_ctx_.clock = &clock_;
+  qp_.set_trace(&trace_ctx_);
 }
 
 Status ComputeNode::Connect() {
@@ -160,6 +221,8 @@ Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
     double* deserialize_us) {
   const ClusterMeta& meta = table_[cluster];
   WallTimer timer;
+  telemetry::TraceScope decode_scope(trace_ctx_, "cluster.decode");
+  decode_scope.set_args(cluster, bytes.size());
 
   // For a backward (B-side) cluster the overflow records precede the blob;
   // for a forward cluster they follow it (possibly after alignment padding).
@@ -316,6 +379,8 @@ Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
     if (!budget.AllowRetry(++round_failures, &backoff)) break;
     breakdown->retries += next_round.size();
     breakdown->backoff_ns += backoff;
+    trace_ctx_.Event("load.retry", telemetry::TraceEvent::kNoQuery, next_round.size(),
+                     backoff);
     remaining = std::move(next_round);
   }
 
@@ -378,36 +443,58 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
   result.statuses.assign(count, Status::Ok());
   result.breakdown.num_queries = count;
 
+  // One trace "batch" umbrella per SearchBatch; the disjoint "stage.*" spans
+  // below partition it, so their wall/sim sums reconcile against the umbrella
+  // (the >= 95% coverage contract in DESIGN.md).
+  trace_ctx_.batch = ++batch_seq_;
+  telemetry::TraceScope batch_scope(trace_ctx_, "batch");
+  batch_scope.set_args(count, k);
+
   const rdma::QpStats stats_before = qp_.stats();
 
   // Offset-table refresh: one small READ per batch keeps the cached offsets
   // and overflow counters current (paper §3.2, "latest version stored at the
   // beginning of the memory space"). Retried: a transiently missed refresh
   // should not fail a whole batch.
-  Status refresh = WithRetry([this] { return RefreshMetadata(); },
-                             &result.breakdown.retries,
-                             &result.breakdown.backoff_ns);
-  DHNSW_RETURN_IF_ERROR(std::move(refresh));
+  {
+    telemetry::TraceScope refresh_scope(trace_ctx_, "stage.refresh");
+    Status refresh = WithRetry([this] { return RefreshMetadata(); },
+                               &result.breakdown.retries,
+                               &result.breakdown.backoff_ns);
+    DHNSW_RETURN_IF_ERROR(std::move(refresh));
+  }
 
   // --- meta-HNSW routing (the "cache computation" column of Tables 1-2) ---
   WallTimer meta_timer;
   std::vector<std::vector<Scored>> routes_scored(count);
   std::vector<std::vector<uint32_t>> routes(count);
   const uint32_t b = std::max<uint32_t>(options_.clusters_per_query, 1);
-  for (size_t i = 0; i < count; ++i) {
-    routes_scored[i] = meta_->RouteManyScored(queries[begin + i], b);
-    routes[i].reserve(routes_scored[i].size());
-    for (const Scored& s : routes_scored[i]) routes[i].push_back(s.id);
+  {
+    telemetry::TraceScope meta_scope(trace_ctx_, "stage.meta");
+    meta_scope.set_args(count, b);
+    for (size_t i = 0; i < count; ++i) {
+      telemetry::TraceScope query_scope(trace_ctx_, "query.meta", static_cast<uint32_t>(i));
+      routes_scored[i] = meta_->RouteManyScored(queries[begin + i], b);
+      routes[i].reserve(routes_scored[i].size());
+      for (const Scored& s : routes_scored[i]) routes[i].push_back(s.id);
+    }
+    result.breakdown.meta_us = meta_timer.elapsed_us();
   }
-  result.breakdown.meta_us = meta_timer.elapsed_us();
 
   if (options_.mode == EngineMode::kNaive) {
+    telemetry::TraceScope naive_scope(trace_ctx_, "stage.naive");
     DHNSW_RETURN_IF_ERROR(NaiveSearch(queries, begin, count, k, ef_search, routes, &result));
   } else {
     // --- query-aware batched loading (§3.3) ---
-    BatchPlan plan = PlanBatch(routes, [this](uint32_t c) { return cache_.Contains(c); },
-                               options_.cache_capacity);
+    BatchPlan plan;
+    {
+      telemetry::TraceScope plan_scope(trace_ctx_, "stage.plan");
+      plan = PlanBatch(routes, [this](uint32_t c) { return cache_.Contains(c); },
+                       options_.cache_capacity);
+      plan_scope.set_args(plan.unique_clusters, plan.cache_hits);
+    }
     result.breakdown.cache_hits = plan.cache_hits;
+    Compute().cache_hit_clusters->Add(plan.cache_hits);
 
     std::vector<TopKHeap> heaps;
     heaps.reserve(count);
@@ -459,16 +546,28 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
       // Resident set for this wave: cache hits or fresh loads.
       std::vector<std::pair<uint32_t, LoadedClusterPtr>> fresh;
       std::vector<uint32_t> to_load;
+      uint64_t resident_skips = 0;
       for (uint32_t cluster : wave.to_load) {
         if (prune > 0.0 && !load_wanted[cluster]) {
           ++result.breakdown.pruned_loads;
           continue;
         }
-        if (!cache_.Contains(cluster)) to_load.push_back(cluster);
+        if (!cache_.Contains(cluster)) {
+          to_load.push_back(cluster);
+          trace_ctx_.Event("cache.miss", telemetry::TraceEvent::kNoQuery, cluster);
+        } else {
+          ++resident_skips;  // became resident since the plan (counts as a hit)
+        }
       }
+      Compute().cache_miss_clusters->Add(to_load.size());
+      Compute().cache_hit_clusters->Add(resident_skips);
       std::vector<FailedLoad> failures;
-      DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown,
-                                         options_.partial_results ? &failures : nullptr));
+      {
+        telemetry::TraceScope load_scope(trace_ctx_, "stage.load");
+        load_scope.set_args(to_load.size(), wave.work.size());
+        DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown,
+                                           options_.partial_results ? &failures : nullptr));
+      }
       // Graceful degradation: a permanently failed cluster poisons only the
       // queries routed to it — they keep candidates from their other
       // clusters and carry the failure in their per-query status.
@@ -496,10 +595,14 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
       };
 
       WallTimer sub_timer;
+      telemetry::TraceScope sub_scope(trace_ctx_, "stage.sub");
+      sub_scope.set_args(wave.work.size());
       std::atomic<uint64_t> pruned_searches{0};
       if (options_.search_threads > 1) {
         // Work items are grouped by query, so parallelizing over disjoint
-        // query ranges keeps each heap single-owner.
+        // query ranges keeps each heap single-owner. The trace buffer is
+        // single-writer, so only wave-level spans are recorded here;
+        // per-work-item "query.sub" spans exist in the sequential path.
         ThreadPool pool(options_.search_threads);
         std::vector<size_t> starts;
         for (size_t w = 0; w < wave.work.size(); ++w) {
@@ -519,6 +622,7 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
             if (failed_cluster(item.cluster)) continue;  // degraded, status set above
             const LoadedCluster* cluster = resident(item.cluster);
             if (cluster != nullptr) {
+              Compute().sub_searches->Add(1);
               cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
                               &heaps[item.query_index]);
             }
@@ -533,6 +637,10 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
           if (failed_cluster(item.cluster)) continue;  // degraded, status set above
           const LoadedCluster* cluster = resident(item.cluster);
           if (cluster == nullptr) return Status::Internal("wave cluster not resident");
+          telemetry::TraceScope item_scope(trace_ctx_, "query.sub",
+                                           static_cast<uint32_t>(item.query_index));
+          item_scope.set_args(item.cluster);
+          Compute().sub_searches->Add(1);
           cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
                           &heaps[item.query_index]);
         }
@@ -541,12 +649,28 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
       result.breakdown.sub_us += sub_timer.elapsed_us();
     }
 
-    for (size_t i = 0; i < count; ++i) result.results[i] = heaps[i].TakeSorted();
+    {
+      telemetry::TraceScope finalize_scope(trace_ctx_, "stage.finalize");
+      for (size_t i = 0; i < count; ++i) result.results[i] = heaps[i].TakeSorted();
+    }
   }
 
   const rdma::QpStats delta = qp_.stats() - stats_before;
   result.breakdown.network_us = static_cast<double>(delta.sim_network_ns) / 1e3;
   result.breakdown.round_trips = delta.round_trips;
+
+  const ComputeInstruments& metrics = Compute();
+  metrics.batches->Add(1);
+  metrics.queries->Add(count);
+  metrics.cluster_loads->Add(result.breakdown.clusters_loaded);
+  metrics.bytes_loaded->Add(result.breakdown.bytes_read);
+  metrics.pruned_loads->Add(result.breakdown.pruned_loads);
+  metrics.pruned_searches->Add(result.breakdown.pruned_searches);
+  metrics.retries->Add(result.breakdown.retries);
+  metrics.failed_loads->Add(result.breakdown.failed_loads);
+  metrics.backoff_ns->Add(result.breakdown.backoff_ns);
+  metrics.batch_round_trips->Record(delta.round_trips);
+  metrics.batch_network_ns->Record(delta.sim_network_ns);
   return result;
 }
 
@@ -555,6 +679,8 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   ClusterMeta& meta = table_[partition];
   const uint64_t rec = meta.record_size;
   if (record.size() != rec) return Status::Internal("AppendRecord: bad record size");
+  telemetry::TraceScope append_scope(trace_ctx_, "insert.append");
+  append_scope.set_args(partition, rec);
 
   // Ring 1: FAA-allocate `rec` bytes from this cluster's side of the shared
   // overflow area, and read the partner's counter in the SAME round trip to
@@ -661,7 +787,9 @@ Result<InsertReceipt> ComputeNode::Insert(std::span<const float> v, uint32_t glo
   const uint32_t partition = meta_->RouteOne(v);
   std::vector<uint8_t> record(table_[partition].record_size);
   EncodeOverflowRecord(global_id, v, record);
-  return AppendRecord(partition, record);
+  Result<InsertReceipt> receipt = AppendRecord(partition, record);
+  if (receipt.ok()) Compute().inserts->Add(1);
+  return receipt;
 }
 
 Result<InsertReceipt> ComputeNode::Remove(std::span<const float> v, uint32_t global_id) {
@@ -673,7 +801,9 @@ Result<InsertReceipt> ComputeNode::Remove(std::span<const float> v, uint32_t glo
   const uint32_t partition = meta_->RouteOne(v);
   std::vector<uint8_t> record(table_[partition].record_size);
   EncodeOverflowTombstone(global_id, header_.dim, record);
-  return AppendRecord(partition, record);
+  Result<InsertReceipt> receipt = AppendRecord(partition, record);
+  if (receipt.ok()) Compute().removes->Add(1);
+  return receipt;
 }
 
 Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
@@ -812,6 +942,8 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     result.inserted += static_cast<uint32_t>(members.size());
   }
   std::sort(result.rejected.begin(), result.rejected.end());
+  Compute().inserts->Add(result.inserted);
+  Compute().insert_rejects->Add(result.rejected.size());
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "rdma/queue_pair.h"
 #include "serialize/cluster_blob.h"
 #include "serialize/overflow.h"
+#include "telemetry/trace.h"
 
 namespace dhnsw {
 
@@ -184,6 +185,15 @@ class ComputeNode {
   /// Drops all cached clusters (not the meta-HNSW).
   void InvalidateCache();
 
+  /// --- per-query tracing (see DESIGN.md "Telemetry subsystem") ---
+  /// Reserves a bounded trace buffer of `capacity` events; 0 disables tracing.
+  /// The reservation allocates now so that steady-state spans never do. Spans
+  /// cover the whole query path: batch umbrella, disjoint "stage.*" phases,
+  /// nested per-query / per-cluster / per-ring detail.
+  void EnableTracing(size_t capacity) { trace_buffer_.Reserve(capacity); }
+  const telemetry::TraceBuffer& trace() const noexcept { return trace_buffer_; }
+  void ClearTrace() noexcept { trace_buffer_.Clear(); }
+
   const rdma::QpStats& qp_stats() const noexcept { return qp_.stats(); }
   const SimClock& clock() const noexcept { return clock_; }
   size_t cache_size() const noexcept { return cache_.size(); }
@@ -280,6 +290,12 @@ class ComputeNode {
   std::vector<ClusterMeta> table_;
   std::optional<MetaHnsw> meta_;
   LruCache<uint32_t, LoadedClusterPtr> cache_;
+
+  telemetry::TraceBuffer trace_buffer_;
+  /// Stamps spans with clock_; qp_ holds a pointer to it, so the batch id set
+  /// at SearchBatch entry propagates to "rdma.ring" spans automatically.
+  telemetry::TraceContext trace_ctx_;
+  uint32_t batch_seq_ = 0;
 };
 
 }  // namespace dhnsw

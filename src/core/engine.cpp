@@ -59,6 +59,7 @@ Result<DhnswEngine> DhnswEngine::Build(const VectorSet& base, DhnswConfig config
 
   // 4. Compute pool: each instance connects and caches the meta-HNSW.
   DHNSW_RETURN_IF_ERROR(engine.ConnectComputePool(config));
+  telemetry::DefaultRegistry().GetCounter("dhnsw_engine_builds_total")->Add(1);
   return engine;
 }
 
@@ -74,6 +75,7 @@ Result<DhnswEngine> DhnswEngine::BuildFromSnapshot(const std::string& path,
   DHNSW_RETURN_IF_ERROR(engine.ConnectComputePool(config));
   engine.dim_ = engine.computes_.front()->meta().dim();
   engine.num_partitions_ = engine.computes_.front()->num_clusters();
+  telemetry::DefaultRegistry().GetCounter("dhnsw_engine_snapshot_restores_total")->Add(1);
   return engine;
 }
 
@@ -83,7 +85,9 @@ Result<RouterResult> DhnswEngine::SearchSharded(const VectorSet& queries, size_t
   std::vector<ComputeNode*> pool;
   pool.reserve(computes_.size());
   for (auto& node : computes_) pool.push_back(node.get());
-  return ClientRouter(std::move(pool)).SearchBatch(queries, k, ef_search, router_options);
+  ClientRouter router(std::move(pool));
+  if (router_trace_.enabled()) router.set_trace(&router_trace_);
+  return router.SearchBatch(queries, k, ef_search, router_options);
 }
 
 Result<uint32_t> DhnswEngine::Insert(std::span<const float> v, size_t via_instance) {
@@ -141,7 +145,43 @@ Result<CompactionStats> DhnswEngine::Compact() {
 }
 
 Status DhnswEngine::SaveSnapshot(const std::string& path) const {
-  return SaveRegionSnapshot(*fabric_, memory_handle_, path);
+  Status st = SaveRegionSnapshot(*fabric_, memory_handle_, path);
+  if (st.ok()) {
+    telemetry::DefaultRegistry().GetCounter("dhnsw_engine_snapshot_saves_total")->Add(1);
+  }
+  return st;
+}
+
+void DhnswEngine::EnableTracing(size_t capacity_per_instance) {
+  for (auto& node : computes_) node->EnableTracing(capacity_per_instance);
+  router_trace_.Reserve(capacity_per_instance);
+}
+
+void DhnswEngine::ClearTraces() {
+  for (auto& node : computes_) node->ClearTrace();
+  router_trace_.Clear();
+}
+
+void DhnswEngine::PublishTopologyMetrics() const {
+  const Metrics m = CollectMetrics();
+  telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+  r.GetGauge("dhnsw_engine_partitions")->Set(m.partitions);
+  r.GetGauge("dhnsw_engine_compute_nodes")->Set(m.compute_nodes);
+  r.GetGauge("dhnsw_engine_memory_shards")->Set(m.memory_shards);
+  r.GetGauge("dhnsw_engine_region_bytes")->Set(static_cast<int64_t>(m.region_bytes_total));
+  r.GetGauge("dhnsw_engine_cache_entries")->Set(static_cast<int64_t>(m.cache_entries));
+  r.GetGauge("dhnsw_engine_cache_hits")->Set(static_cast<int64_t>(m.cache_hits));
+  r.GetGauge("dhnsw_engine_cache_misses")->Set(static_cast<int64_t>(m.cache_misses));
+}
+
+telemetry::MetricsSnapshot DhnswEngine::MetricsSnapshot() const {
+  PublishTopologyMetrics();
+  return telemetry::DefaultRegistry().Snapshot();
+}
+
+std::string DhnswEngine::MetricsText() const {
+  PublishTopologyMetrics();
+  return telemetry::DefaultRegistry().PrometheusText();
 }
 
 DhnswEngine::Metrics DhnswEngine::CollectMetrics() const {

@@ -21,6 +21,8 @@
 #include "core/partitioner.h"
 #include "dataset/dataset.h"
 #include "rdma/fabric.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace dhnsw {
 
@@ -102,6 +104,9 @@ class DhnswEngine {
   Status SaveSnapshot(const std::string& path) const;
 
   /// Point-in-time operational counters aggregated across the compute pool.
+  /// Kept as a plain struct for existing callers; the same numbers are also
+  /// published into the telemetry registry by MetricsSnapshot()/MetricsText()
+  /// as dhnsw_engine_* gauges.
   struct Metrics {
     uint32_t partitions = 0;
     uint32_t compute_nodes = 0;
@@ -117,10 +122,34 @@ class DhnswEngine {
   /// Human-readable one-screen summary (examples, debugging, ops).
   std::string DebugString() const;
 
+  /// --- telemetry (see DESIGN.md "Telemetry subsystem") ---
+  /// Enables per-query tracing: every compute instance gets a bounded buffer
+  /// of `capacity_per_instance` events (preallocated now, so steady-state
+  /// spans never allocate), and SearchSharded records router-level spans
+  /// into a separate router buffer of the same capacity. 0 disables.
+  void EnableTracing(size_t capacity_per_instance);
+  /// Forgets recorded events on every buffer; keeps reservations.
+  void ClearTraces();
+  /// Per-instance trace (spans recorded by compute instance `instance`).
+  const telemetry::TraceBuffer& trace(size_t instance = 0) const {
+    return computes_[instance]->trace();
+  }
+  const telemetry::TraceBuffer& router_trace() const noexcept { return router_trace_; }
+
+  /// Publishes the engine topology (dhnsw_engine_* gauges) into the process
+  /// registry, then returns a point-in-time snapshot of every instrument.
+  /// With several engines in one process the topology gauges reflect the
+  /// engine snapshotted most recently.
+  telemetry::MetricsSnapshot MetricsSnapshot() const;
+  /// Same, as Prometheus text exposition (the `dhnsw_cli stats` output).
+  std::string MetricsText() const;
+
  private:
   DhnswEngine() = default;
 
   Status ConnectComputePool(const DhnswConfig& config);
+  /// Mirrors CollectMetrics() into dhnsw_engine_* registry gauges.
+  void PublishTopologyMetrics() const;
 
   std::unique_ptr<rdma::Fabric> fabric_;
   std::unique_ptr<MemoryNode> memory_;
@@ -132,6 +161,7 @@ class DhnswEngine {
   uint32_t next_global_id_ = 0;
   uint64_t meta_blob_bytes_ = 0;
   std::vector<uint32_t> partition_sizes_;
+  telemetry::TraceBuffer router_trace_;
 };
 
 }  // namespace dhnsw

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/timer.h"
 #include "index/distance.h"
 #include "serialize/overflow.h"
+#include "telemetry/metrics.h"
 
 namespace dhnsw {
 
@@ -17,6 +19,7 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
                              uint32_t num_shards) {
   if (provisioned()) return Status::InvalidArgument("MemoryNode already provisioned");
   if (clusters.empty()) return Status::InvalidArgument("Provision: no clusters");
+  WallTimer provision_timer;
 
   // Serialize everything first so the layout knows exact sizes.
   const std::vector<uint8_t> meta_blob = meta.ToBlob();
@@ -87,6 +90,14 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
 
   handle_ = MemoryNodeHandle{node_, shard_rkeys[0], plan_.total_size,
                              std::move(shard_rkeys), std::move(shard_nodes)};
+
+  // Provisioning is control-plane: per-call registry lookups are fine.
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  registry.GetCounter("dhnsw_memory_provisions_total")->Add(1);
+  registry.GetCounter("dhnsw_memory_clusters_provisioned_total")->Add(clusters.size());
+  registry.GetGauge("dhnsw_memory_provisioned_bytes")->Add(static_cast<int64_t>(plan_.total_size));
+  registry.GetHistogram("dhnsw_memory_provision_us")
+      ->Record(static_cast<uint64_t>(provision_timer.elapsed_us()));
   return Status::Ok();
 }
 

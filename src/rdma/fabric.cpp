@@ -1,12 +1,44 @@
 #include "rdma/fabric.h"
 
+#include "telemetry/metrics.h"
+
 namespace dhnsw::rdma {
+
+namespace {
+
+// Fabric topology gauges/counters: control-plane only, so per-call registry
+// lookups are fine here (AddNode/RegisterMemory sit nowhere near the query
+// hot path).
+struct FabricInstruments {
+  telemetry::Gauge* nodes;
+  telemetry::Gauge* regions;
+  telemetry::Gauge* region_bytes;
+  telemetry::Counter* reachability_flips;
+  telemetry::Counter* fault_plans_armed;
+};
+
+const FabricInstruments& Instruments() {
+  static const FabricInstruments instruments = [] {
+    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+    return FabricInstruments{
+        r.GetGauge("dhnsw_fabric_nodes"),
+        r.GetGauge("dhnsw_fabric_regions"),
+        r.GetGauge("dhnsw_fabric_region_bytes"),
+        r.GetCounter("dhnsw_fabric_reachability_flips_total"),
+        r.GetCounter("dhnsw_fabric_fault_plans_armed_total"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 NodeId Fabric::AddNode(std::string name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto node = std::make_unique<Node>();
   node->name = std::move(name);
   nodes_.push_back(std::move(node));
+  Instruments().nodes->Add(1);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -30,6 +62,8 @@ Result<RKey> Fabric::RegisterMemory(NodeId node, size_t size, size_t alignment) 
   }
   const RKey rkey = next_rkey_++;
   regions_.emplace(rkey, std::make_pair(node, std::make_unique<MemoryRegion>(rkey, size, alignment)));
+  Instruments().regions->Add(1);
+  Instruments().region_bytes->Add(static_cast<int64_t>(size));
   return rkey;
 }
 
@@ -54,7 +88,10 @@ Result<NodeId> Fabric::OwnerOf(RKey rkey) const {
 
 void Fabric::SetNodeReachable(NodeId node, bool reachable) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (node < nodes_.size()) nodes_[node]->reachable.store(reachable);
+  if (node < nodes_.size() && nodes_[node]->reachable.load() != reachable) {
+    nodes_[node]->reachable.store(reachable);
+    Instruments().reachability_flips->Add(1);
+  }
 }
 
 bool Fabric::IsNodeReachable(NodeId node) const {
@@ -65,6 +102,7 @@ bool Fabric::IsNodeReachable(NodeId node) const {
 void Fabric::ArmFaults(FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+  Instruments().fault_plans_armed->Add(1);
 }
 
 void Fabric::ClearFaults() {

@@ -3,7 +3,48 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/metrics.h"
+
 namespace dhnsw::rdma {
+
+namespace {
+
+// Registry instruments mirroring QpStats across every QP in the process.
+// Resolved once (first ring pays the registration); the record path is pure
+// relaxed atomics and never allocates.
+struct RdmaInstruments {
+  telemetry::Counter* round_trips;
+  telemetry::Counter* work_requests;
+  telemetry::Counter* reads;
+  telemetry::Counter* writes;
+  telemetry::Counter* atomics;
+  telemetry::Counter* bytes_read;
+  telemetry::Counter* bytes_written;
+  telemetry::Counter* sim_network_ns;
+  telemetry::Counter* injected_faults;
+  telemetry::Histogram* ring_wrs;
+};
+
+const RdmaInstruments& Rdma() {
+  static const RdmaInstruments instruments = [] {
+    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+    return RdmaInstruments{
+        r.GetCounter("dhnsw_rdma_round_trips_total"),
+        r.GetCounter("dhnsw_rdma_work_requests_total"),
+        r.GetCounter("dhnsw_rdma_reads_total"),
+        r.GetCounter("dhnsw_rdma_writes_total"),
+        r.GetCounter("dhnsw_rdma_atomics_total"),
+        r.GetCounter("dhnsw_rdma_bytes_read_total"),
+        r.GetCounter("dhnsw_rdma_bytes_written_total"),
+        r.GetCounter("dhnsw_rdma_sim_network_ns_total"),
+        r.GetCounter("dhnsw_rdma_injected_faults_total"),
+        r.GetHistogram("dhnsw_rdma_ring_wrs"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 QueuePair::QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs)
     : fabric_(fabric), clock_(clock),
@@ -148,11 +189,13 @@ uint32_t QueuePair::RingDoorbell() {
   if (send_queue_.empty()) return 0;
   RefreshInjector();
 
+  const QpStats before = stats_;
   uint32_t rings = 0;
   size_t begin = 0;
   while (begin < send_queue_.size()) {
     const size_t end = std::min(send_queue_.size(),
                                 begin + static_cast<size_t>(max_doorbell_wrs_));
+    const uint64_t ring_sim_start = trace_ != nullptr ? trace_->now_ns() : 0;
     BatchShape shape;
     uint64_t extra_ns = 0;
     for (size_t i = begin; i < end; ++i) {
@@ -187,8 +230,25 @@ uint32_t QueuePair::RingDoorbell() {
     ++stats_.round_trips;
     ++rings;
     begin = end;
+    Rdma().ring_wrs->Record(shape.num_wrs);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->buffer->Append(telemetry::TraceEvent{
+          "rdma.ring", trace_->batch, telemetry::TraceEvent::kNoQuery, ring_sim_start,
+          trace_->now_ns(), 0, shape.num_wrs, shape.payload_bytes});
+    }
   }
   send_queue_.clear();
+
+  const RdmaInstruments& rdma = Rdma();
+  rdma.round_trips->Add(stats_.round_trips - before.round_trips);
+  rdma.work_requests->Add(stats_.work_requests - before.work_requests);
+  rdma.reads->Add(stats_.reads - before.reads);
+  rdma.writes->Add(stats_.writes - before.writes);
+  rdma.atomics->Add(stats_.atomics - before.atomics);
+  rdma.bytes_read->Add(stats_.bytes_read - before.bytes_read);
+  rdma.bytes_written->Add(stats_.bytes_written - before.bytes_written);
+  rdma.sim_network_ns->Add(stats_.sim_network_ns - before.sim_network_ns);
+  rdma.injected_faults->Add(stats_.injected_faults - before.injected_faults);
   return rings;
 }
 

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "rdma/fabric.h"
 #include "rdma/rdma_types.h"
+#include "telemetry/trace.h"
 
 namespace dhnsw::rdma {
 
@@ -70,6 +71,12 @@ class QueuePair {
   const QpStats& stats() const noexcept { return stats_; }
   void ResetStats() noexcept { stats_ = QpStats{}; }
 
+  /// Attaches the owning instance's trace context: every doorbell ring then
+  /// records an "rdma.ring" span (a = WRs in the ring, b = payload bytes)
+  /// stamped with the ring's simulated start/end. Pass nullptr to detach.
+  /// The context must outlive the QP (or a subsequent set_trace(nullptr)).
+  void set_trace(const telemetry::TraceContext* trace) noexcept { trace_ = trace; }
+
   uint32_t qp_id() const noexcept { return qp_id_; }
 
  private:
@@ -87,6 +94,7 @@ class QueuePair {
   /// Plan the injector below was built from (pointer identity tracks re-arms).
   std::shared_ptr<const FaultPlan> armed_plan_;
   std::unique_ptr<FaultInjector> injector_;
+  const telemetry::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace dhnsw::rdma

@@ -1,0 +1,171 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dhnsw::telemetry {
+
+uint64_t Histogram::ApproxPercentile(double p) const noexcept {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank over the cumulative bucket counts.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(clamped / 100.0 * static_cast<double>(n) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::Value(std::string_view name, int64_t fallback) const {
+  const MetricSample* s = Find(name);
+  return s == nullptr ? fallback : s->value;
+}
+
+MetricRegistry::Slot* MetricRegistry::FindOrCreate(std::string_view name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(std::string(name));
+  if (it != slots_.end()) {
+    assert(it->second->kind == kind && "metric re-registered under a different kind");
+    return it->second.get();
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: slot->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: slot->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: slot->histogram = std::make_unique<Histogram>(); break;
+    case Kind::kSharded: slot->sharded = std::make_unique<ShardedCounter>(); break;
+  }
+  Slot* raw = slot.get();
+  slots_.emplace(std::string(name), std::move(slot));
+  return raw;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+ShardedCounter* MetricRegistry::GetShardedCounter(std::string_view name) {
+  return FindOrCreate(name, Kind::kSharded)->sharded.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.samples.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) {
+      MetricSample s;
+      s.name = name;
+      switch (slot->kind) {
+        case Kind::kCounter:
+          s.kind = MetricSample::Kind::kCounter;
+          s.value = static_cast<int64_t>(slot->counter->value());
+          break;
+        case Kind::kSharded:
+          s.kind = MetricSample::Kind::kCounter;
+          s.value = static_cast<int64_t>(slot->sharded->value());
+          break;
+        case Kind::kGauge:
+          s.kind = MetricSample::Kind::kGauge;
+          s.value = slot->gauge->value();
+          break;
+        case Kind::kHistogram: {
+          s.kind = MetricSample::Kind::kHistogram;
+          const Histogram& h = *slot->histogram;
+          s.value = static_cast<int64_t>(h.count());
+          s.sum = h.sum();
+          for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const uint64_t c = h.bucket_count(i);
+            if (c != 0) s.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
+          }
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return snap;
+}
+
+std::string MetricRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  char line[192];
+  for (const MetricSample& s : snap.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::snprintf(line, sizeof line, "# TYPE %s counter\n%s %" PRId64 "\n",
+                      s.name.c_str(), s.name.c_str(), s.value);
+        out += line;
+        break;
+      case MetricSample::Kind::kGauge:
+        std::snprintf(line, sizeof line, "# TYPE %s gauge\n%s %" PRId64 "\n",
+                      s.name.c_str(), s.name.c_str(), s.value);
+        out += line;
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::snprintf(line, sizeof line, "# TYPE %s histogram\n", s.name.c_str());
+        out += line;
+        uint64_t cumulative = 0;
+        for (const auto& [le, count] : s.buckets) {
+          cumulative += count;
+          if (le == UINT64_MAX) continue;  // folded into +Inf below
+          std::snprintf(line, sizeof line, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                        s.name.c_str(), le, cumulative);
+          out += line;
+        }
+        std::snprintf(line, sizeof line, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                      s.name.c_str(), s.value);
+        out += line;
+        std::snprintf(line, sizeof line, "%s_sum %" PRIu64 "\n%s_count %" PRId64 "\n",
+                      s.name.c_str(), s.sum, s.name.c_str(), s.value);
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, slot] : slots_) {
+    switch (slot->kind) {
+      case Kind::kCounter: slot->counter->Reset(); break;
+      case Kind::kGauge: slot->gauge->Reset(); break;
+      case Kind::kHistogram: slot->histogram->Reset(); break;
+      case Kind::kSharded: slot->sharded->Reset(); break;
+    }
+  }
+}
+
+MetricRegistry& DefaultRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();  // leaked: outlives statics
+  return *registry;
+}
+
+}  // namespace dhnsw::telemetry

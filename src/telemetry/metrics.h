@@ -1,0 +1,196 @@
+// Lock-free runtime metrics: instruments + named registry (paper-adjacent
+// observability; see DESIGN.md "Telemetry subsystem").
+//
+// Design contract, in order of importance:
+//   1. The *record* path (Counter::Add, Gauge::Set, Histogram::Record,
+//      ShardedCounter::Add) is lock-free, wait-free on x86/ARM, and performs
+//      ZERO heap allocations — cheap enough for the allocation-free query
+//      hot path (tests/test_search_alloc.cpp proves this).
+//   2. Registration (GetCounter etc.) is idempotent by name, takes a mutex,
+//      and may allocate; components resolve their instruments ONCE (at
+//      construction / first use), never per operation. Returned pointers are
+//      stable for the registry's lifetime.
+//   3. Snapshots are point-in-time reads of relaxed atomics: each value is
+//      individually coherent; the set is not a consistent cut (standard for
+//      runtime metrics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dhnsw::telemetry {
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (resident entries, registered bytes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void Reset() noexcept { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Counter sharded across cache-line-padded slots, keyed by calling thread.
+/// Use for counters bumped from concurrent compute threads (e.g. per-work-item
+/// sub-search counts under ComputeOptions::search_threads > 1) where a single
+/// hot atomic would bounce between cores.
+class ShardedCounter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t n = 1) noexcept {
+    slots_[ShardOfThisThread()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() noexcept {
+    for (Slot& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardOfThisThread() noexcept {
+    // Thread-local slot assignment: cheap, stable per thread, no hashing of
+    // thread::id on the hot path.
+    static std::atomic<size_t> next{0};
+    thread_local const size_t shard = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return shard;
+  }
+
+  std::array<Slot, kShards> slots_{};
+};
+
+/// Bounded log2-bucketed histogram: value v lands in bucket bit_width(v)
+/// (bucket 0 holds v == 0, bucket i holds [2^(i-1), 2^i - 1]). 64 buckets
+/// cover the full uint64 range, so Record never branches on range and the
+/// footprint is fixed. Count/sum ride along for exact means.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  ///< bucket 0 + one per bit width
+
+  void Record(uint64_t v) noexcept {
+    buckets_[static_cast<size_t>(std::bit_width(v))].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  uint64_t bucket_count(size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, ...; UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= kBuckets - 1) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+  /// Upper bound of the bucket holding the p-th percentile (p in [0,100]).
+  /// Returns 0 when empty — same contract as LatencyRecorder (count()==0).
+  uint64_t ApproxPercentile(double p) const noexcept;
+
+  void Reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One sampled instrument in a point-in-time snapshot.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  ///< counter/sharded-counter/gauge value; histogram count
+  // Histogram-only extras:
+  uint64_t sum = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  ///< (upper bound, count), zero buckets elided
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  /// nullptr when `name` is absent.
+  const MetricSample* Find(std::string_view name) const;
+  /// Counter/gauge value by name; `fallback` when absent.
+  int64_t Value(std::string_view name, int64_t fallback = 0) const;
+};
+
+/// Named instrument registry. Get* is idempotent: the first call under a name
+/// creates the instrument, later calls return the same pointer (mixing kinds
+/// under one name is a programming error and asserts in debug). All returned
+/// pointers stay valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+  ShardedCounter* GetShardedCounter(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition (counters as `# TYPE c counter`, gauges as
+  /// gauge, histograms as cumulative `_bucket{le="..."}` + `_sum` + `_count`).
+  std::string PrometheusText() const;
+
+  /// Zeroes every instrument (tests / between benchmark phases). Pointers
+  /// stay valid.
+  void ResetAll();
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kSharded };
+  struct Slot {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<ShardedCounter> sharded;
+  };
+
+  Slot* FindOrCreate(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;  ///< guards the map; never held on the record path
+  std::unordered_map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+/// Process-wide registry the built-in instrumentation reports into. Tests
+/// that assert on counters should read deltas (other engines in the same
+/// process share these instruments) or ResetAll() first.
+MetricRegistry& DefaultRegistry();
+
+}  // namespace dhnsw::telemetry

@@ -1,0 +1,49 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dhnsw::telemetry {
+
+std::string TraceToJsonl(const TraceBuffer& buffer, const TraceExportOptions& options) {
+  std::string out;
+  out.reserve(buffer.size() * 96);
+  char line[320];
+  for (const TraceEvent& e : buffer.events()) {
+    int n;
+    if (e.query == TraceEvent::kNoQuery) {
+      n = std::snprintf(line, sizeof line,
+                        "{\"name\":\"%s\",\"batch\":%u,\"sim_start_ns\":%" PRIu64
+                        ",\"sim_end_ns\":%" PRIu64 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64,
+                        e.name, e.batch, e.sim_start_ns, e.sim_end_ns, e.a, e.b);
+    } else {
+      n = std::snprintf(line, sizeof line,
+                        "{\"name\":\"%s\",\"batch\":%u,\"query\":%u,\"sim_start_ns\":%" PRIu64
+                        ",\"sim_end_ns\":%" PRIu64 ",\"a\":%" PRIu64 ",\"b\":%" PRIu64,
+                        e.name, e.batch, e.query, e.sim_start_ns, e.sim_end_ns, e.a, e.b);
+    }
+    if (n < 0 || n >= static_cast<int>(sizeof line)) continue;  // oversized name: skip
+    out += line;
+    if (options.include_wall) {
+      std::snprintf(line, sizeof line, ",\"wall_ns\":%" PRIu64, e.wall_ns);
+      out += line;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Status WriteTraceJsonl(const TraceBuffer& buffer, const std::string& path,
+                       const TraceExportOptions& options) {
+  const std::string text = TraceToJsonl(buffer, options);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open trace file: " + path);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dhnsw::telemetry

@@ -5,9 +5,13 @@
 // reproducible from nothing but the seed that found it.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "chaos_harness.h"
+#include "telemetry/trace.h"
 
 namespace dhnsw {
 namespace {
@@ -72,6 +76,51 @@ TEST(ChaosDeterminismTest, DifferentPlanSeedsGiveDifferentSchedules) {
   // in the wire/time accounting.
   EXPECT_TRUE(SameResults(a.result, b.result));
   EXPECT_NE(a.sim_ns, b.sim_ns);
+}
+
+// The trace subsystem must inherit the same determinism: a chaos run's span
+// log (in the wall-free export form) is a pure function of the seeds. Two
+// fresh deployments replaying the same plan must serialize byte-identical
+// JSONL — this is what CI byte-compares and archives.
+TEST(ChaosDeterminismTest, TraceJsonlIsByteIdenticalAcrossSameSeedRuns) {
+  const auto run_traced = [](uint64_t plan_seed) {
+    ChaosHarness h({});
+    h.engine().EnableTracing(1 << 16);
+    RetryPolicy retry = RetryPolicy::Default();
+    retry.max_attempts = ChaosHarness::kTransientTriggerBudget + 4;
+    auto run = h.RunUnderPlan(h.MakeTransientPlan(plan_seed), retry, false);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    const telemetry::TraceBuffer& trace = h.engine().compute(0).trace();
+    EXPECT_GT(trace.size(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    return TraceToJsonl(trace, telemetry::TraceExportOptions{.include_wall = false});
+  };
+
+  const std::string first = run_traced(31);
+  const std::string second = run_traced(31);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "same-seed chaos traces diverged";
+
+  // The trace shows the batch anatomy including the fabric traffic the
+  // fault schedule perturbs.
+  EXPECT_NE(first.find("\"name\":\"batch\""), std::string::npos);
+  EXPECT_NE(first.find("\"stage.load\""), std::string::npos);
+  EXPECT_NE(first.find("\"rdma.ring\""), std::string::npos);
+  // wall_ns is omitted in the deterministic form by construction.
+  EXPECT_EQ(first.find("wall_ns"), std::string::npos);
+
+  // A different schedule perturbs simulated time, so the trace differs.
+  const std::string other = run_traced(32);
+  EXPECT_NE(first, other);
+
+  // CI artifact hook: archive the canonical trace when the env var is set.
+  if (const char* dir = std::getenv("DHNSW_TRACE_ARTIFACT_DIR")) {
+    const std::string path = std::string(dir) + "/chaos_trace_seed31.jsonl";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(first.data(), 1, first.size(), f), first.size());
+    ASSERT_EQ(std::fclose(f), 0);
+  }
 }
 
 TEST(ChaosDeterminismTest, PermanentSchedulesReplayIdenticallyToo) {

@@ -30,7 +30,8 @@ class CliTest : public ::testing::Test {
 
   void TearDown() override {
     for (const char* f : {"base.fvecs", "queries.fvecs", "gt.ivecs", "region.dsnp",
-                          "updated.dsnp", "compacted.dsnp", "ids.ivecs", "new.fvecs"}) {
+                          "updated.dsnp", "compacted.dsnp", "ids.ivecs", "new.fvecs",
+                          "trace.jsonl"}) {
       std::remove(Path(f).c_str());
     }
   }
@@ -139,6 +140,73 @@ TEST_F(CliTest, InsertThenCompactPipeline) {
                 &out), 0)
       << out;
   EXPECT_NE(out.find("searched 20 queries"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsEmitsPrometheusSnapshot) {
+  std::string out;
+  ASSERT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--reps=10", "--m=8"},
+                &out), 0);
+
+  out.clear();
+  ASSERT_EQ(Run({"stats", "--snapshot=" + Path("region.dsnp"),
+                 "--queries=" + Path("queries.fvecs"), "--k=5"},
+                &out), 0)
+      << out;
+  // Drove a batch first, then sampled the registry.
+  EXPECT_NE(out.find("ran 20 queries"), std::string::npos);
+  // Prometheus exposition format with engine topology gauges and compute
+  // counters that the query batch must have bumped.
+  EXPECT_NE(out.find("# TYPE dhnsw_engine_partitions gauge"), std::string::npos);
+  EXPECT_NE(out.find("dhnsw_engine_partitions 10"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE dhnsw_compute_batches_total counter"), std::string::npos);
+  EXPECT_NE(out.find("dhnsw_rdma_round_trips_total"), std::string::npos);
+
+  // Without --queries it still prints a (topology-only) snapshot.
+  out.clear();
+  ASSERT_EQ(Run({"stats", "--snapshot=" + Path("region.dsnp")}, &out), 0) << out;
+  EXPECT_EQ(out.find("ran "), std::string::npos);
+  EXPECT_NE(out.find("dhnsw_engine_compute_nodes"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceDumpsJsonlSpans) {
+  std::string out;
+  ASSERT_EQ(Run({"build", "--base=" + Path("base.fvecs"), "--out=" + Path("region.dsnp"),
+                 "--reps=10", "--m=8"},
+                &out), 0);
+
+  // To stdout: one JSON object per span, covering the batch stage taxonomy.
+  out.clear();
+  ASSERT_EQ(Run({"trace", "--snapshot=" + Path("region.dsnp"),
+                 "--queries=" + Path("queries.fvecs"), "--k=5"},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("{\"name\":\"batch\""), std::string::npos);
+  EXPECT_NE(out.find("\"stage.meta\""), std::string::npos);
+  EXPECT_NE(out.find("\"stage.sub\""), std::string::npos);
+  EXPECT_NE(out.find("\"rdma.ring\""), std::string::npos);
+
+  // To a file, deterministic form: no wall_ns key anywhere.
+  out.clear();
+  ASSERT_EQ(Run({"trace", "--snapshot=" + Path("region.dsnp"),
+                 "--queries=" + Path("queries.fvecs"), "--k=5", "--deterministic=1",
+                 "--out=" + Path("trace.jsonl")},
+                &out), 0)
+      << out;
+  EXPECT_NE(out.find("wrote "), std::string::npos);
+  std::FILE* f = std::fopen(Path("trace.jsonl").c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(contents.find("\"stage.load\""), std::string::npos);
+  EXPECT_EQ(contents.find("wall_ns"), std::string::npos);
+
+  // Missing --queries is a usage error.
+  out.clear();
+  EXPECT_EQ(Run({"trace", "--snapshot=" + Path("region.dsnp")}, &out), 1);
 }
 
 TEST_F(CliTest, MissingFilesSurfaceErrors) {

@@ -12,7 +12,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sim_clock.h"
 #include "index/hnsw.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 std::atomic<uint64_t> g_allocations{0};
@@ -67,6 +70,67 @@ TEST(SearchAllocTest, SteadyStateSearchDoesNotAllocate) {
   const uint64_t after = g_allocations.load();
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " allocations in 100 steady-state searches";
+}
+
+// The telemetry record path must keep the same contract: with instruments
+// resolved up front and a pre-reserved trace buffer, a fully instrumented
+// steady-state search loop (spans + events + counter/gauge/histogram/sharded
+// updates around every Search) performs zero heap allocations.
+TEST(SearchAllocTest, InstrumentedSearchDoesNotAllocate) {
+  constexpr uint32_t kDim = 32;
+  HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 60;
+  HnswIndex index(kDim, options);
+
+  Xoshiro256 rng(0x7e1eu);
+  std::vector<float> v(kDim);
+  for (size_t i = 0; i < 1000; ++i) {
+    for (float& x : v) x = static_cast<float>(rng.NextDouble());
+    index.Add(v);
+  }
+
+  // Control plane: registration may allocate, so it happens before the
+  // measured window — exactly how components resolve instruments once.
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  telemetry::Counter* searches = registry.GetCounter("alloc_test_searches_total");
+  telemetry::Gauge* inflight = registry.GetGauge("alloc_test_inflight");
+  telemetry::Histogram* latency = registry.GetHistogram("alloc_test_latency_ns");
+  telemetry::ShardedCounter* visited = registry.GetShardedCounter("alloc_test_visited");
+  SimClock clock;
+  telemetry::TraceBuffer buffer(1024);
+  telemetry::TraceContext ctx{&buffer, &clock, 1};
+
+  std::vector<float> query(kDim);
+  std::vector<Scored> out;
+  for (int i = 0; i < 10; ++i) {  // warm-up (scratch pool + thread-local shard)
+    for (float& x : query) x = static_cast<float>(rng.NextDouble());
+    telemetry::TraceScope span(ctx, "warmup");
+    index.Search(query, 10, 50, &out);
+    visited->Add(1);
+  }
+
+  const uint64_t before = g_allocations.load();
+  for (int i = 0; i < 100; ++i) {
+    for (float& x : query) x = static_cast<float>(rng.NextDouble());
+    inflight->Add(1);
+    {
+      telemetry::TraceScope span(ctx, "query.sub", static_cast<uint32_t>(i));
+      index.Search(query, 10, 50, &out);
+      span.set_args(out.size());
+    }
+    ctx.Event("cache.miss", telemetry::TraceEvent::kNoQuery, static_cast<uint64_t>(i));
+    searches->Add(1);
+    latency->Record(static_cast<uint64_t>(i) * 37);
+    visited->Add(out.size());
+    inflight->Add(-1);
+    ASSERT_EQ(out.size(), 10u);
+  }
+  const uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations in 100 instrumented searches";
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(searches->value(), 100u);
 }
 
 TEST(SearchAllocTest, AllocatingOverloadStillWorks) {

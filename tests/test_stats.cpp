@@ -74,6 +74,104 @@ TEST(LatencyRecorderTest, UnsortedInsertOrder) {
   EXPECT_DOUBLE_EQ(rec.min(), 0.5);
 }
 
+// Regression lock on the documented empty contract (stats.h): every accessor
+// of an empty RunningStat / LatencyRecorder returns 0.0 — no NaN, no UB —
+// so callers may print never-filled recorders unguarded.
+TEST(RunningStatTest, EmptyContractCoversEveryAccessor) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(LatencyRecorderTest, EmptyContractCoversEveryAccessor) {
+  const LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 0.0);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(rec.percentile(p), 0.0) << p;
+  }
+}
+
+TEST(RunningStatTest, MergeMatchesSingleStream) {
+  // Split one stream across three stats, merge, and compare against the
+  // stat that saw everything — count/mean/sum/min/max exact, variance tight.
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.0, 12.5, 0.25};
+  RunningStat whole;
+  RunningStat parts[3];
+  int i = 0;
+  for (double x : xs) {
+    whole.Add(x);
+    parts[i++ % 3].Add(x);
+  }
+  RunningStat merged;
+  for (const RunningStat& p : parts) merged.Merge(p);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat filled;
+  filled.Add(3.0);
+  filled.Add(5.0);
+
+  RunningStat target;
+  target.Merge(filled);  // into empty: copies
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+
+  const RunningStat empty;
+  target.Merge(empty);  // merging empty: no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+}
+
+TEST(LatencyRecorderTest, MergePreservesPercentiles) {
+  // Two shards each sorted (percentile queried), merged without re-sorting;
+  // percentiles must equal those of a recorder that saw all samples.
+  LatencyRecorder a, b, whole;
+  for (int i = 1; i <= 100; ++i) {
+    ((i % 2 == 0) ? a : b).Add(static_cast<double>(i));
+    whole.Add(static_cast<double>(i));
+  }
+  EXPECT_GT(a.p50(), 0.0);  // forces both sides sorted before the merge
+  EXPECT_GT(b.p50(), 0.0);
+
+  LatencyRecorder merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  ASSERT_EQ(merged.count(), 100u);
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(merged.min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 100.0);
+}
+
+TEST(LatencyRecorderTest, MergeUnsortedSidesStillCorrect) {
+  LatencyRecorder a, b;
+  a.Add(5.0);
+  a.Add(1.0);  // never queried: stays unsorted
+  b.Add(4.0);
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
 TEST(FormatRowTest, PadsCells) {
   const std::string row = FormatRow({"a", "bb"}, {3, 4});
   EXPECT_EQ(row, "  a    bb");

@@ -202,13 +202,64 @@ Status CmdInfo(const Flags& flags, std::string* out) {
   return Status::Ok();
 }
 
+Status CmdStats(const Flags& flags, std::string* out) {
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+
+  // Optionally drive a query batch first so the snapshot shows live counters
+  // (loads, rings, cache traffic), not just topology.
+  if (flags.Has("queries")) {
+    DHNSW_ASSIGN_OR_RETURN(VectorSet queries,
+                           ReadFvecs(flags.Get("queries"), flags.GetU64("max_rows", 0)));
+    const size_t k = flags.GetU64("k", 10);
+    const uint32_t ef = static_cast<uint32_t>(flags.GetU64("ef", 48));
+    DHNSW_ASSIGN_OR_RETURN(BatchResult result, engine.SearchAll(queries, k, ef));
+    Emit(out, "# ran %zu queries (k=%zu, efSearch=%u) before sampling",
+         queries.size(), k, ef);
+    (void)result;
+  }
+  *out += engine.MetricsText();
+  return Status::Ok();
+}
+
+Status CmdTrace(const Flags& flags, std::string* out) {
+  const std::string query_path = flags.Get("queries");
+  if (query_path.empty()) return Status::InvalidArgument("trace requires --queries=<fvecs>");
+  DHNSW_ASSIGN_OR_RETURN(const Metric metric, ParseMetric(flags.Get("metric", "l2")));
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, OpenSnapshot(flags, metric));
+  DHNSW_ASSIGN_OR_RETURN(VectorSet queries,
+                         ReadFvecs(query_path, flags.GetU64("max_rows", 0)));
+
+  engine.EnableTracing(flags.GetU64("capacity", 65536));
+  const size_t k = flags.GetU64("k", 10);
+  const uint32_t ef = static_cast<uint32_t>(flags.GetU64("ef", 48));
+  DHNSW_ASSIGN_OR_RETURN(BatchResult result, engine.SearchAll(queries, k, ef));
+  (void)result;
+
+  // --deterministic=1 drops wall_ns so same-seed runs are byte-identical.
+  telemetry::TraceExportOptions options;
+  options.include_wall = flags.GetU64("deterministic", 0) == 0;
+  const telemetry::TraceBuffer& trace = engine.trace(0);
+  if (flags.Has("out")) {
+    DHNSW_RETURN_IF_ERROR(telemetry::WriteTraceJsonl(trace, flags.Get("out"), options));
+    Emit(out, "wrote %zu spans (%llu dropped) to %s", trace.size(),
+         static_cast<unsigned long long>(trace.dropped()), flags.Get("out").c_str());
+  } else {
+    *out += telemetry::TraceToJsonl(trace, options);
+  }
+  return Status::Ok();
+}
+
 const char kUsage[] =
-    "usage: dhnsw_cli <build|query|insert|compact|info> --key=value ...\n"
+    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace> --key=value ...\n"
     "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
     "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
     "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
     "  compact --snapshot=region.dsnp --out=compacted.dsnp\n"
-    "  info    --snapshot=region.dsnp";
+    "  info    --snapshot=region.dsnp\n"
+    "  stats   --snapshot=region.dsnp [--queries=q.fvecs --k --ef]  (Prometheus text)\n"
+    "  trace   --snapshot=region.dsnp --queries=q.fvecs [--out=t.jsonl --capacity\n"
+    "          --deterministic=1]  (per-query trace spans as JSONL)";
 
 }  // namespace
 
@@ -235,6 +286,10 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdCompact(flags.value(), out);
   } else if (command == "info") {
     st = CmdInfo(flags.value(), out);
+  } else if (command == "stats") {
+    st = CmdStats(flags.value(), out);
+  } else if (command == "trace") {
+    st = CmdTrace(flags.value(), out);
   } else {
     Emit(out, "unknown command: %s\n%s", command.c_str(), kUsage);
     return 2;
