@@ -33,6 +33,9 @@ struct ComputeInstruments {
   telemetry::Counter* inserts;
   telemetry::Counter* removes;
   telemetry::Counter* insert_rejects;
+  telemetry::Counter* failovers;
+  telemetry::Counter* replica_insert_acks;
+  telemetry::Counter* replica_faa_acks;
   telemetry::ShardedCounter* sub_searches;
   telemetry::Histogram* batch_round_trips;
   telemetry::Histogram* batch_network_ns;
@@ -56,6 +59,9 @@ const ComputeInstruments& Compute() {
         r.GetCounter("dhnsw_compute_inserts_total"),
         r.GetCounter("dhnsw_compute_removes_total"),
         r.GetCounter("dhnsw_compute_insert_rejects_total"),
+        r.GetCounter("dhnsw_compute_failovers_total"),
+        r.GetCounter("dhnsw_replication_insert_acks_total"),
+        r.GetCounter("dhnsw_replication_faa_acks_total"),
         r.GetShardedCounter("dhnsw_compute_sub_searches_total"),
         r.GetHistogram("dhnsw_compute_batch_round_trips"),
         r.GetHistogram("dhnsw_compute_batch_network_ns"),
@@ -89,6 +95,7 @@ BatchBreakdown& BatchBreakdown::operator+=(const BatchBreakdown& rhs) noexcept {
   retries += rhs.retries;
   failed_loads += rhs.failed_loads;
   backoff_ns += rhs.backoff_ns;
+  failovers += rhs.failovers;
   num_queries += rhs.num_queries;
   return *this;
 }
@@ -111,13 +118,64 @@ ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
   qp_.set_trace(&trace_ctx_);
 }
 
+ComputeNode::SlotRoute ComputeNode::RouteFor(uint32_t slot) const {
+  if (replication_ != nullptr) {
+    const ReplicaManager::Route route = replication_->PrimaryRoute(slot);
+    if (route.rkey != 0) return SlotRoute{route.rkey, route.epoch};
+  }
+  // No manager (or it knows nothing about this slot): the provisioning-time
+  // handle, posted unfenced — the single-replica seed behaviour.
+  return SlotRoute{memory_.rkey_for_slot(slot), 0};
+}
+
+namespace {
+/// Failures that indicate the target replica (not the payload) is the
+/// problem: these — and only these — feed the failure detector. Decode/CRC
+/// errors stay wire-damage retries, and kFenced surfaces as kUnavailable, so
+/// a stale-epoch miss also lands here (the confirm probe then clears it).
+bool IsReachabilityFailure(const Status& status) noexcept {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+}  // namespace
+
+bool ComputeNode::NoteSlotFailure(uint32_t slot, BatchBreakdown* breakdown) {
+  if (replication_ == nullptr) return false;
+  if (!replication_->ReportUnreachable(slot)) return false;
+  Compute().failovers->Add(1);
+  if (breakdown != nullptr) ++breakdown->failovers;
+  trace_ctx_.Event("replication.failover_observed", telemetry::TraceEvent::kNoQuery, slot,
+                   replication_->SlotEpoch(slot));
+  return true;
+}
+
+void ComputeNode::ReportLoadFailures(
+    const std::vector<std::pair<uint32_t, Status>>& read_errors, BatchBreakdown* breakdown) {
+  if (replication_ == nullptr || read_errors.empty()) return;
+  // One report per slot per round: N failed READs against one dead replica
+  // are one observation, not N strikes.
+  std::vector<uint32_t> reported;
+  for (const auto& [cluster, status] : read_errors) {
+    if (!IsReachabilityFailure(status)) continue;
+    const uint32_t slot = table_[cluster].node_slot;
+    if (std::find(reported.begin(), reported.end(), slot) != reported.end()) continue;
+    reported.push_back(slot);
+    NoteSlotFailure(slot, breakdown);
+  }
+}
+
 Status ComputeNode::Connect() {
   // Each bootstrap step is retried under options_.retry: read + decode as a
   // unit, so a CRC mismatch on damaged bytes triggers a fresh read.
   // 1. Region header.
   DHNSW_RETURN_IF_ERROR(WithRetry([this] {
+    const SlotRoute route = RouteFor(0);
     AlignedBuffer header_buf(RegionHeader::kEncodedSize, 64);
-    DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, 0, header_buf.span()));
+    Status read = qp_.Read(route.rkey, 0, header_buf.span(), route.epoch);
+    if (!read.ok()) {
+      if (IsReachabilityFailure(read)) NoteSlotFailure(0, nullptr);
+      return read;
+    }
     DHNSW_ASSIGN_OR_RETURN(header_, DecodeRegionHeader(header_buf.span()));
     return Status::Ok();
   }));
@@ -125,8 +183,13 @@ Status ComputeNode::Connect() {
   // 2. meta-HNSW blob — cached in this instance for the engine's lifetime
   //    (paper §3.1: "we cache the lightweight meta-HNSW in the compute pool").
   DHNSW_RETURN_IF_ERROR(WithRetry([this] {
+    const SlotRoute route = RouteFor(0);
     AlignedBuffer meta_buf(header_.meta_blob_size, 64);
-    DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.meta_blob_offset, meta_buf.span()));
+    Status read = qp_.Read(route.rkey, header_.meta_blob_offset, meta_buf.span(), route.epoch);
+    if (!read.ok()) {
+      if (IsReachabilityFailure(read)) NoteSlotFailure(0, nullptr);
+      return read;
+    }
     DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::FromBlob(meta_buf.span()));
     meta.set_ef_route(options_.ef_meta);
     meta_.emplace(std::move(meta));
@@ -146,7 +209,14 @@ Status ComputeNode::RefreshMetadata() {
   const size_t table_bytes =
       static_cast<size_t>(header_.num_clusters) * ClusterMeta::kEncodedSize;
   AlignedBuffer buf(table_bytes, 64);
-  DHNSW_RETURN_IF_ERROR(qp_.Read(memory_.rkey, header_.table_offset, buf.span()));
+  const SlotRoute route = RouteFor(0);
+  Status read = qp_.Read(route.rkey, header_.table_offset, buf.span(), route.epoch);
+  if (!read.ok()) {
+    // Feed the detector so the WithRetry loop around this refresh converges
+    // onto the promoted replica instead of hammering a dead primary.
+    if (IsReachabilityFailure(read)) NoteSlotFailure(0, nullptr);
+    return read;
+  }
   std::vector<ClusterMeta> fresh(header_.num_clusters);
   for (uint32_t c = 0; c < header_.num_clusters; ++c) {
     DHNSW_ASSIGN_OR_RETURN(
@@ -322,8 +392,9 @@ Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
       ring_slot = meta.node_slot;
       const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
       pending.push_back(PendingLoad{cluster, AlignedBuffer(range.length, 64)});
-      qp_.PostRead(memory_.rkey_for_slot(meta.node_slot), range.offset,
-                   pending.back().buffer.span(), cluster);
+      const SlotRoute route = RouteFor(meta.node_slot);
+      qp_.PostRead(route.rkey, range.offset, pending.back().buffer.span(), cluster,
+                   route.epoch);
       if (++in_ring == doorbell) {
         qp_.RingDoorbell();
         in_ring = 0;
@@ -342,6 +413,10 @@ Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
                                  rdma::QueuePair::ToStatus(c));
       }
     }
+    // Unreachable/fenced loads are also failure-detector observations; once
+    // enough rounds strike out, the slot fails over and the next round's
+    // RouteFor resolves to the promoted replica at the bumped epoch.
+    ReportLoadFailures(read_errors, breakdown);
 
     std::vector<uint32_t> next_round;
     auto fail_one = [&](uint32_t cluster, Status st) {
@@ -705,11 +780,16 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
     uint32_t failures = 0;
     bool faa_done = false;
     for (;;) {
+      // Re-resolved every attempt: a failover (or re-replication admission)
+      // between attempts moves the ring to the promoted primary / new epoch.
+      const SlotRoute ctrl = RouteFor(0);
       Status ring_status;
       if (!faa_done) {
-        qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), rec, /*wr_id=*/1);
+        qp_.PostFetchAdd(ctrl.rkey, used_counter_offset(partition), rec, /*wr_id=*/1,
+                         ctrl.epoch);
         if (has_partner) {
-          qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+          qp_.PostRead(ctrl.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2,
+                       ctrl.epoch);
         }
         qp_.RingDoorbell();
         Status faa_status, partner_status;
@@ -731,8 +811,8 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
           ring_status = std::move(faa_status);
         }
       } else {
-        Status st = qp_.Read(memory_.rkey, used_counter_offset(meta.partner),
-                             partner_buf.span());
+        Status st = qp_.Read(ctrl.rkey, used_counter_offset(meta.partner),
+                             partner_buf.span(), ctrl.epoch);
         if (st.ok()) break;
         ring_status = std::move(st);
       }
@@ -740,10 +820,18 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
         if (faa_done) {
           // Best effort: un-claim the slot; if even this fails the slot
           // leaks zero-filled and uncommitted, which readers skip.
-          (void)qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
-                             static_cast<uint64_t>(-static_cast<int64_t>(rec)));
+          (void)qp_.FetchAdd(ctrl.rkey, used_counter_offset(partition),
+                             static_cast<uint64_t>(-static_cast<int64_t>(rec)), ctrl.epoch);
         }
         return ring_status;
+      }
+      // A reachability failure is a failure-detector observation. When the
+      // report tips the slot into failover the allocation restarts on the
+      // promoted primary: a claim FAAed onto the dead replica is behind the
+      // revoked rkey and unreachable by construction, so re-running the FAA
+      // cannot double-allocate.
+      if (IsReachabilityFailure(ring_status) && NoteSlotFailure(0, nullptr)) {
+        faa_done = false;
       }
     }
   }
@@ -753,8 +841,9 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
     // Shared area exhausted: roll the allocation back and report Capacity.
     // The caller can run Compact() (compactor.h) to fold overflow into the
     // base blobs and start over with an empty overflow area.
-    auto rollback = qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
-                                 static_cast<uint64_t>(-static_cast<int64_t>(rec)));
+    const SlotRoute ctrl = RouteFor(0);
+    auto rollback = qp_.FetchAdd(ctrl.rkey, used_counter_offset(partition),
+                                 static_cast<uint64_t>(-static_cast<int64_t>(rec)), ctrl.epoch);
     if (!rollback.ok()) return rollback.status();
     return Status::Capacity("overflow area full for partition " + std::to_string(partition));
   }
@@ -768,9 +857,18 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   // decrement now could hand two writers the same slot — an uncommitted
   // zero slot is benign (readers skip it), a collided slot is not.
   const uint64_t remote_offset = meta.RecordOffset(old_used);
-  DHNSW_RETURN_IF_ERROR(WithRetry([&] {
-    return qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record);
-  }));
+  if (replication_ == nullptr) {
+    DHNSW_RETURN_IF_ERROR(WithRetry([&] {
+      return qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record);
+    }));
+  } else {
+    DHNSW_RETURN_IF_ERROR(ReplicateRecordWrite(meta.node_slot, remote_offset, record));
+    // The FAA above advanced only the primary's counter; mirror the delta
+    // onto slot 0's secondaries so a later failover hands out a converged
+    // counter, and count the primary's authoritative FAA as its ack.
+    ReplicateCounterAdd(used_counter_offset(partition), rec);
+    Compute().replica_faa_acks->Add(1);
+  }
 
   // Local bookkeeping: our cached table entry advances; a cached decoded
   // cluster is now stale and must be re-fetched on next use.
@@ -847,11 +945,13 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
       uint32_t failures = 0;
       bool faa_done = false;
       for (;;) {
+        const SlotRoute ctrl = RouteFor(0);
         Status ring_status;
         if (!faa_done) {
-          qp_.PostFetchAdd(memory_.rkey, used_counter_offset(partition), want, 1);
+          qp_.PostFetchAdd(ctrl.rkey, used_counter_offset(partition), want, 1, ctrl.epoch);
           if (has_partner) {
-            qp_.PostRead(memory_.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2);
+            qp_.PostRead(ctrl.rkey, used_counter_offset(meta.partner), partner_buf.span(), 2,
+                         ctrl.epoch);
           }
           qp_.RingDoorbell();
           Status faa_status, partner_status;
@@ -873,25 +973,31 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
             ring_status = std::move(faa_status);
           }
         } else {
-          Status st = qp_.Read(memory_.rkey, used_counter_offset(meta.partner),
-                               partner_buf.span());
+          Status st = qp_.Read(ctrl.rkey, used_counter_offset(meta.partner),
+                               partner_buf.span(), ctrl.epoch);
           if (st.ok()) break;
           ring_status = std::move(st);
         }
         if (!IsRetryable(ring_status) || !budget.AllowRetry(++failures)) {
           if (faa_done) {
-            (void)qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
-                               static_cast<uint64_t>(-static_cast<int64_t>(want)));
+            (void)qp_.FetchAdd(ctrl.rkey, used_counter_offset(partition),
+                               static_cast<uint64_t>(-static_cast<int64_t>(want)), ctrl.epoch);
           }
           return ring_status;
+        }
+        // See AppendRecord: a failover restarts the allocation on the
+        // promoted primary (the old claim sits behind a revoked rkey).
+        if (IsReachabilityFailure(ring_status) && NoteSlotFailure(0, nullptr)) {
+          faa_done = false;
         }
       }
     }
     if (has_partner) std::memcpy(&partner_used, partner_buf.data(), 8);
 
     if (old_used + want + partner_used > meta.overflow_capacity) {
-      auto rollback = qp_.FetchAdd(memory_.rkey, used_counter_offset(partition),
-                                   static_cast<uint64_t>(-static_cast<int64_t>(want)));
+      const SlotRoute ctrl = RouteFor(0);
+      auto rollback = qp_.FetchAdd(ctrl.rkey, used_counter_offset(partition),
+                                   static_cast<uint64_t>(-static_cast<int64_t>(want)), ctrl.epoch);
       if (!rollback.ok()) return rollback.status();
       for (size_t i : members) result.rejected.push_back(i);
       continue;
@@ -905,14 +1011,14 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     // replay idempotent. Permanent failures leave uncommitted slots that
     // readers skip (see AppendRecord for why no rollback).
     std::vector<std::vector<uint8_t>> records(members.size());
-    const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
     for (size_t j = 0; j < members.size(); ++j) {
       records[j].resize(rec);
       EncodeOverflowRecord(global_ids[members[j]], vectors[members[j]], records[j]);
     }
-    std::vector<size_t> to_write(members.size());
-    for (size_t j = 0; j < members.size(); ++j) to_write[j] = j;
-    {
+    if (replication_ == nullptr) {
+      const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
+      std::vector<size_t> to_write(members.size());
+      for (size_t j = 0; j < members.size(); ++j) to_write[j] = j;
       RetryBudget budget(options_.retry, &clock_);
       uint32_t failures = 0;
       for (;;) {
@@ -935,6 +1041,16 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
         }
         to_write = std::move(failed_writes);
       }
+    } else {
+      // Replicated fan-out: the whole group lands on every live replica of
+      // the owning slot, each WRITE acked by a same-ring read-back.
+      std::vector<uint64_t> offsets(members.size());
+      for (size_t j = 0; j < members.size(); ++j) {
+        offsets[j] = meta.RecordOffset(old_used + j * rec);
+      }
+      DHNSW_RETURN_IF_ERROR(ReplicateGroupWrites(meta.node_slot, offsets, records));
+      ReplicateCounterAdd(used_counter_offset(partition), want);
+      Compute().replica_faa_acks->Add(1);  // the group's authoritative FAA
     }
 
     meta.overflow_used = old_used + want;
@@ -945,6 +1061,140 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
   Compute().inserts->Add(result.inserted);
   Compute().insert_rejects->Add(result.rejected.size());
   return result;
+}
+
+Status ComputeNode::ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
+                                         std::span<const uint8_t> record) {
+  const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(slot);
+  AlignedBuffer readback(record.size(), 64);
+  for (size_t i = 0; i < routes.size(); ++i) {
+    const ReplicaManager::Route& route = routes[i];
+    const bool primary = i == 0;
+    // WRITE + READ-back in one ring: the fabric executes a ring's WRs in
+    // post order, so the READ returns exactly what the WRITE stored. The
+    // record bytes carry their own CRC, so byte-identity is the ack.
+    Status st = WithRetry([&] {
+      if (replication_->health(slot, route.replica) == ReplicaHealth::kDead) {
+        // Deliberately non-retryable: a replica that died mid-fan-out is
+        // skipped (secondary) or fails the insert (primary).
+        return Status::NotFound("replica died during write fan-out");
+      }
+      const uint64_t epoch = replication_->SlotEpoch(slot);
+      qp_.PostWrite(route.rkey, remote_offset, record, /*wr_id=*/1, epoch);
+      qp_.PostRead(route.rkey, remote_offset, readback.span(), /*wr_id=*/2, epoch);
+      qp_.RingDoorbell();
+      Status write_status, read_status;
+      rdma::Completion c;
+      while (qp_.PollCompletion(&c)) {
+        Status s = rdma::QueuePair::ToStatus(c);
+        if (c.wr_id == 1) {
+          write_status = std::move(s);
+        } else {
+          read_status = std::move(s);
+        }
+      }
+      DHNSW_RETURN_IF_ERROR(std::move(write_status));
+      DHNSW_RETURN_IF_ERROR(std::move(read_status));
+      if (std::memcmp(readback.data(), record.data(), record.size()) != 0) {
+        return Status::Corruption("replica write ack: read-back differs");
+      }
+      return Status::Ok();
+    });
+    if (st.ok()) {
+      Compute().replica_insert_acks->Add(1);
+      continue;
+    }
+    if (primary) return st;
+    replication_->ReportReplicaFailure(slot, route.replica);
+  }
+  return Status::Ok();
+}
+
+Status ComputeNode::ReplicateGroupWrites(uint32_t slot, const std::vector<uint64_t>& offsets,
+                                         const std::vector<std::vector<uint8_t>>& records) {
+  const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(slot);
+  std::vector<AlignedBuffer> readbacks;
+  readbacks.reserve(records.size());
+  for (const std::vector<uint8_t>& record : records) readbacks.emplace_back(record.size(), 64);
+  for (size_t i = 0; i < routes.size(); ++i) {
+    const ReplicaManager::Route& route = routes[i];
+    const bool primary = i == 0;
+    std::vector<size_t> to_write(records.size());
+    for (size_t j = 0; j < records.size(); ++j) to_write[j] = j;
+    RetryBudget budget(options_.retry, &clock_);
+    uint32_t failures = 0;
+    Status replica_status;
+    for (;;) {
+      if (replication_->health(slot, route.replica) == ReplicaHealth::kDead) {
+        replica_status = Status::NotFound("replica died during write fan-out");
+        break;
+      }
+      // Interleaved WRITE (wr 2j) / READ-back (wr 2j+1) pairs; the doorbell
+      // window coalesces them, in-order execution keeps each pair adjacent.
+      const uint64_t epoch = replication_->SlotEpoch(slot);
+      for (size_t j : to_write) {
+        qp_.PostWrite(route.rkey, offsets[j], records[j], /*wr_id=*/2 * j, epoch);
+        qp_.PostRead(route.rkey, offsets[j], readbacks[j].span(), /*wr_id=*/2 * j + 1, epoch);
+      }
+      qp_.RingDoorbell();
+      std::vector<size_t> failed;
+      Status first_error;
+      rdma::Completion c;
+      while (qp_.PollCompletion(&c)) {
+        if (c.status == rdma::WcStatus::kSuccess) continue;
+        failed.push_back(static_cast<size_t>(c.wr_id / 2));
+        if (first_error.ok()) first_error = rdma::QueuePair::ToStatus(c);
+      }
+      // Ack check: a pair whose verbs both "succeeded" must still read back
+      // byte-identical before it counts.
+      for (size_t j : to_write) {
+        if (std::find(failed.begin(), failed.end(), j) != failed.end()) continue;
+        if (std::memcmp(readbacks[j].data(), records[j].data(), records[j].size()) != 0) {
+          failed.push_back(j);
+          if (first_error.ok()) {
+            first_error = Status::Corruption("replica write ack: read-back differs");
+          }
+        }
+      }
+      if (failed.empty()) break;
+      if (!IsRetryable(first_error) || !budget.AllowRetry(++failures)) {
+        replica_status = std::move(first_error);
+        break;
+      }
+      std::sort(failed.begin(), failed.end());
+      failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+      to_write = std::move(failed);
+    }
+    if (replica_status.ok()) {
+      Compute().replica_insert_acks->Add(records.size());
+      continue;
+    }
+    if (primary) return replica_status;
+    replication_->ReportReplicaFailure(slot, route.replica);
+  }
+  return Status::Ok();
+}
+
+void ComputeNode::ReplicateCounterAdd(uint64_t remote_offset, uint64_t add) {
+  const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(0);
+  for (size_t i = 1; i < routes.size(); ++i) {
+    const ReplicaManager::Route& route = routes[i];
+    // FAA (not WRITE): commutative with concurrent inserts from other
+    // compute nodes, so catch-ups never lose deltas.
+    Status st = WithRetry([&] {
+      if (replication_->health(0, route.replica) == ReplicaHealth::kDead) {
+        return Status::NotFound("replica died during counter catch-up");
+      }
+      return qp_.FetchAdd(route.rkey, remote_offset, add, replication_->SlotEpoch(0)).status();
+    });
+    if (st.ok()) {
+      Compute().replica_faa_acks->Add(1);
+    } else {
+      // A secondary that cannot absorb the catch-up is degraded, never a
+      // reason to fail the insert the primary already committed.
+      replication_->ReportReplicaFailure(0, route.replica);
+    }
+  }
 }
 
 Status ComputeNode::Reconnect(MemoryNodeHandle memory) {

@@ -26,6 +26,7 @@
 #include "core/memory_layout.h"
 #include "core/memory_node.h"
 #include "core/meta_hnsw.h"
+#include "core/replication.h"
 #include "rdma/queue_pair.h"
 #include "serialize/cluster_blob.h"
 #include "serialize/overflow.h"
@@ -95,6 +96,7 @@ struct BatchBreakdown {
   uint64_t retries = 0;          ///< fabric ops re-issued after a failure
   uint64_t failed_loads = 0;     ///< cluster loads abandoned after retries
   uint64_t backoff_ns = 0;       ///< simulated ns spent backing off
+  uint64_t failovers = 0;        ///< replica failovers this batch triggered
   size_t num_queries = 0;
 
   BatchBreakdown& operator+=(const BatchBreakdown& rhs) noexcept;
@@ -142,6 +144,16 @@ class ComputeNode {
   ComputeOptions* mutable_options() noexcept { return &options_; }
   const MetaHnsw& meta() const { return *meta_; }
   uint32_t num_clusters() const noexcept { return header_.num_clusters; }
+  uint32_t dim() const noexcept { return header_.dim; }
+
+  /// Attaches the replica directory: every subsequent fabric access resolves
+  /// its target through the manager's PrimaryRoute and stamps the slot epoch
+  /// into the work request; failures feed the manager's failure detector and
+  /// inserts fan out to every live replica. Pass nullptr to detach (accesses
+  /// then go straight to the provisioning-time handle, unfenced — the
+  /// single-replica seed behaviour). The manager must outlive this node.
+  void AttachReplicaManager(ReplicaManager* manager) noexcept { replication_ = manager; }
+  ReplicaManager* replica_manager() const noexcept { return replication_; }
 
   /// Searches queries [begin, begin+count) of `queries` for their top-k with
   /// the given sub-HNSW ef. One call == one batch (paper batch size 2000).
@@ -272,6 +284,39 @@ class ComputeNode {
                      const std::vector<std::vector<uint32_t>>& routes,
                      BatchResult* result);
 
+  /// Where ops against `slot` go right now: the replica manager's primary
+  /// route (rkey + fence epoch) when attached, else the provisioning-time
+  /// handle unfenced (epoch 0 — admitted regardless of region epoch).
+  struct SlotRoute {
+    rdma::RKey rkey = 0;
+    uint64_t epoch = 0;
+  };
+  SlotRoute RouteFor(uint32_t slot) const;
+
+  /// Feeds a reachability failure (kUnavailable / kDeadlineExceeded) against
+  /// `slot`'s primary into the failure detector. Returns true when the report
+  /// tipped the slot into failover — the caller's next RouteFor() then names
+  /// the promoted replica at the bumped epoch.
+  bool NoteSlotFailure(uint32_t slot, BatchBreakdown* breakdown);
+  /// NoteSlotFailure for the slots behind a set of failed cluster loads.
+  void ReportLoadFailures(const std::vector<std::pair<uint32_t, Status>>& read_errors,
+                          BatchBreakdown* breakdown);
+
+  /// Replicated record write: WRITE + same-ring READ-back against every
+  /// non-dead replica of `slot`; the CRC-carrying record bytes must read back
+  /// identical (the per-replica ack). Primary failure fails the call;
+  /// a secondary that cannot ack is reported to the failure detector and
+  /// skipped. Requires an attached manager.
+  Status ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
+                              std::span<const uint8_t> record);
+  /// Batched form: all records of one partition group, per-replica doorbell
+  /// rings of interleaved WRITE/READ-back pairs.
+  Status ReplicateGroupWrites(uint32_t slot, const std::vector<uint64_t>& offsets,
+                              const std::vector<std::vector<uint8_t>>& records);
+  /// Catch-up FAAs: mirrors a counter delta onto slot 0's secondaries so
+  /// their overflow counters converge with the primary's authoritative one.
+  void ReplicateCounterAdd(uint64_t remote_offset, uint64_t add);
+
   /// Shared tail of Insert/Remove: FAA-allocate a record slot in `partition`
   /// (validating the shared group budget against the partner), then WRITE
   /// the pre-encoded record bytes. Two round trips.
@@ -282,6 +327,7 @@ class ComputeNode {
   MemoryNodeHandle memory_;
   ComputeOptions options_;
   std::string name_;
+  ReplicaManager* replication_ = nullptr;  ///< not owned; may be null
 
   SimClock clock_;
   rdma::QueuePair qp_;

@@ -20,6 +20,7 @@ Status DhnswEngine::ConnectComputePool(const DhnswConfig& config) {
   for (size_t i = 0; i < std::max<size_t>(config.num_compute_nodes, 1); ++i) {
     auto node = std::make_unique<ComputeNode>(fabric_.get(), memory_handle_, copts,
                                               "compute-" + std::to_string(i));
+    node->AttachReplicaManager(replication_.get());
     DHNSW_RETURN_IF_ERROR(node->Connect());
     computes_.push_back(std::move(node));
   }
@@ -57,6 +58,14 @@ Result<DhnswEngine> DhnswEngine::Build(const VectorSet& base, DhnswConfig config
   engine.memory_handle_ = engine.memory_->handle();
   engine.meta_blob_bytes_ = engine.memory_->plan().header.meta_blob_size;
 
+  // 3b. Replication: clone every shard region onto factor-1 extra memory
+  //     nodes and fence the whole pool at epoch 1.
+  if (config.replication.enabled()) {
+    engine.replication_ =
+        std::make_unique<ReplicaManager>(engine.fabric_.get(), config.replication);
+    DHNSW_RETURN_IF_ERROR(engine.replication_->ProvisionReplicas(engine.memory_handle_));
+  }
+
   // 4. Compute pool: each instance connects and caches the meta-HNSW.
   DHNSW_RETURN_IF_ERROR(engine.ConnectComputePool(config));
   telemetry::DefaultRegistry().GetCounter("dhnsw_engine_builds_total")->Add(1);
@@ -72,7 +81,33 @@ Result<DhnswEngine> DhnswEngine::BuildFromSnapshot(const std::string& path,
   DHNSW_ASSIGN_OR_RETURN(engine.memory_handle_,
                          LoadRegionSnapshot(engine.fabric_.get(), path));
   engine.next_global_id_ = next_global_id;
+  if (config.replication.enabled()) {
+    engine.replication_ =
+        std::make_unique<ReplicaManager>(engine.fabric_.get(), config.replication);
+    DHNSW_RETURN_IF_ERROR(engine.replication_->ProvisionReplicas(engine.memory_handle_));
+  }
   DHNSW_RETURN_IF_ERROR(engine.ConnectComputePool(config));
+
+  // Restore validation: reject a snapshot that disagrees with what the
+  // caller says it should contain — a wrong-dataset snapshot would otherwise
+  // connect fine and quietly mis-serve every query.
+  const ComputeNode& probe = *engine.computes_.front();
+  if (config.expected_dim != 0 && probe.dim() != config.expected_dim) {
+    return Status::InvalidArgument(
+        "snapshot dim " + std::to_string(probe.dim()) + " disagrees with configured dim " +
+        std::to_string(config.expected_dim) + " in " + path);
+  }
+  if (config.expected_partitions != 0 && probe.num_clusters() != config.expected_partitions) {
+    return Status::InvalidArgument("snapshot has " + std::to_string(probe.num_clusters()) +
+                                   " partitions, config expects " +
+                                   std::to_string(config.expected_partitions) + " in " + path);
+  }
+  // Internal cross-check: region header vs the decoded meta-HNSW blob.
+  if (probe.meta().dim() != probe.dim() ||
+      probe.meta().num_partitions() != probe.num_clusters()) {
+    return Status::Corruption("snapshot region header disagrees with its meta-HNSW blob in " +
+                              path);
+  }
   engine.dim_ = engine.computes_.front()->meta().dim();
   engine.num_partitions_ = engine.computes_.front()->num_clusters();
   telemetry::DefaultRegistry().GetCounter("dhnsw_engine_snapshot_restores_total")->Add(1);
@@ -138,7 +173,15 @@ Result<CompactionStats> DhnswEngine::Compact() {
   // connection manager pushing a new lease). The old region is abandoned.
   memory_ = std::move(fresh);
   memory_handle_ = memory_->handle();
+  // Replication restarts from scratch on the fresh region: a new manager
+  // re-clones the compacted layout and fences it at epoch 1 (the old
+  // replicas described a region that no longer exists).
+  if (replication_ != nullptr) {
+    replication_ = std::make_unique<ReplicaManager>(fabric_.get(), config_.replication);
+    DHNSW_RETURN_IF_ERROR(replication_->ProvisionReplicas(memory_handle_));
+  }
   for (auto& node : computes_) {
+    node->AttachReplicaManager(replication_.get());
     DHNSW_RETURN_IF_ERROR(node->Reconnect(memory_handle_));
   }
   return stats;
@@ -154,11 +197,13 @@ Status DhnswEngine::SaveSnapshot(const std::string& path) const {
 
 void DhnswEngine::EnableTracing(size_t capacity_per_instance) {
   for (auto& node : computes_) node->EnableTracing(capacity_per_instance);
+  if (replication_ != nullptr) replication_->EnableTracing(capacity_per_instance);
   router_trace_.Reserve(capacity_per_instance);
 }
 
 void DhnswEngine::ClearTraces() {
   for (auto& node : computes_) node->ClearTrace();
+  if (replication_ != nullptr) replication_->ClearTrace();
   router_trace_.Clear();
 }
 

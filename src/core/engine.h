@@ -19,6 +19,7 @@
 #include "core/memory_node.h"
 #include "core/meta_hnsw.h"
 #include "core/partitioner.h"
+#include "core/replication.h"
 #include "dataset/dataset.h"
 #include "rdma/fabric.h"
 #include "telemetry/metrics.h"
@@ -35,6 +36,17 @@ struct DhnswConfig {
   size_t num_compute_nodes = 1;  ///< instances in the compute pool
   size_t num_memory_nodes = 1;   ///< instances in the memory pool (shards)
   size_t build_threads = 1;      ///< parallelism for partition/build phase
+  /// Replicated memory pool: factor > 1 provisions every shard region onto
+  /// that many memory nodes and turns on failure detection, epoch-fenced
+  /// failover, and online re-replication (core/replication.h). The default
+  /// factor 1 keeps the single-copy seed behaviour byte-identical.
+  ReplicationOptions replication;
+  /// Snapshot restore validation (BuildFromSnapshot only): when non-zero,
+  /// the restored region must carry exactly this vector dimensionality /
+  /// partition count, else the restore fails with kInvalidArgument instead
+  /// of serving an index the caller's queries cannot match. 0 = unchecked.
+  uint32_t expected_dim = 0;
+  uint32_t expected_partitions = 0;
 
   /// Convenience: paper-default configuration for a given metric.
   static DhnswConfig Defaults(Metric metric = Metric::kL2);
@@ -62,6 +74,10 @@ class DhnswEngine {
   /// for snapshot-restored engines.
   const MemoryNode* memory_node() const noexcept { return memory_.get(); }
   rdma::Fabric& fabric() noexcept { return *fabric_; }
+  /// The replica directory / failure detector, or null when replication is
+  /// disabled (factor 1).
+  ReplicaManager* replication() noexcept { return replication_.get(); }
+  const ReplicaManager* replication() const noexcept { return replication_.get(); }
   uint32_t num_partitions() const noexcept { return num_partitions_; }
   uint32_t dim() const noexcept { return dim_; }
   const std::vector<uint32_t>& partition_sizes() const noexcept { return partition_sizes_; }
@@ -153,6 +169,9 @@ class DhnswEngine {
 
   std::unique_ptr<rdma::Fabric> fabric_;
   std::unique_ptr<MemoryNode> memory_;
+  /// Owned here, raw-pointer-attached to every compute node; destroyed after
+  /// them is not required (nodes never outlive the engine).
+  std::unique_ptr<ReplicaManager> replication_;
   MemoryNodeHandle memory_handle_;
   std::vector<std::unique_ptr<ComputeNode>> computes_;
   DhnswConfig config_;

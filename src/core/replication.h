@@ -1,0 +1,179 @@
+// Replicated memory pool: failure detection, epoch-fenced failover, and
+// online re-replication.
+//
+// The paper's memory pool is a single point of failure: every sub-HNSW
+// cluster lives in exactly one registered region. This module provisions the
+// same serialized region bytes onto `factor` memory nodes per shard slot and
+// runs the control plane a real deployment would host in its connection
+// manager:
+//
+//   * directory    — per-slot replica lists (node, rkey, health) plus the
+//                    current primary and the slot's fence epoch. Compute
+//                    nodes resolve every load/insert through PrimaryRoute()
+//                    and stamp the epoch into the work request.
+//   * health       — a SimClock-driven probe loop (Tick()) reads 8 bytes
+//                    from every non-dead replica; consecutive misses walk a
+//                    replica alive -> suspected -> dead. Compute nodes feed
+//                    the same miss counters through ReportUnreachable() when
+//                    a load fails, so detection also rides the data path.
+//   * failover     — marking a primary dead revokes its rkey on the fabric
+//                    (see Fabric::RevokeRegion: a stale primary that comes
+//                    back cannot serve reads or absorb writes), promotes the
+//                    next live replica, and bumps the slot epoch; survivors'
+//                    regions are re-fenced at the new epoch so every compute
+//                    node is forced through a directory refresh.
+//   * re-replication — Rereplicate() restores the replication factor by
+//                    streaming the region from a live replica onto a fresh
+//                    node (chunked, CRC-checked, doorbell-batched) and
+//                    atomically admitting it at the next epoch.
+//
+// Thread safety: every public method locks one mutex; the manager owns its
+// own SimClock and QueuePair (the control plane's network time is charged to
+// the manager, never to a compute instance's latency accounting), so search
+// traces stay deterministic with or without probes running.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "core/memory_node.h"
+#include "rdma/fabric.h"
+#include "rdma/queue_pair.h"
+#include "telemetry/trace.h"
+
+namespace dhnsw {
+
+/// Replication knobs. The default (factor 1) disables the whole subsystem;
+/// single-replica deployments keep byte-identical behaviour and timing.
+struct ReplicationOptions {
+  /// Copies of every shard region, including the original. 1 = disabled.
+  uint32_t factor = 1;
+  /// Simulated time one Tick() advances before probing (probe period).
+  uint64_t probe_interval_ns = 1'000'000;
+  /// Consecutive misses that walk an alive replica to suspected.
+  uint32_t suspect_after_misses = 2;
+  /// Consecutive misses that declare a replica dead (>= suspect_after).
+  uint32_t dead_after_misses = 3;
+  /// Chunk size for re-replication streaming (doorbell-batched READ/WRITE).
+  uint64_t rereplicate_chunk_bytes = 64 * 1024;
+  /// Chunks coalesced per doorbell ring while streaming.
+  uint32_t rereplicate_doorbell = 16;
+
+  bool enabled() const noexcept { return factor > 1; }
+};
+
+enum class ReplicaHealth : uint8_t { kAlive = 0, kSuspected = 1, kDead = 2 };
+
+std::string_view ReplicaHealthName(ReplicaHealth health) noexcept;
+
+class ReplicaManager {
+ public:
+  ReplicaManager(rdma::Fabric* fabric, ReplicationOptions options);
+
+  /// Builds the replica sets from the provisioned deployment: replica 0 of
+  /// each slot is the region `handle` names; replicas 1..factor-1 are cloned
+  /// onto fresh fabric nodes with the chunked streamer. All replica regions
+  /// are then fenced at epoch 1.
+  Status ProvisionReplicas(const MemoryNodeHandle& handle);
+
+  /// How a compute node addresses one slot right now.
+  struct Route {
+    rdma::RKey rkey = 0;
+    uint64_t epoch = 0;
+    uint32_t replica = 0;  ///< replica index within the slot
+    /// False when every replica of the slot is dead; the route then points
+    /// at the (revoked) last primary so accesses fail fenced rather than
+    /// dereferencing rkey 0.
+    bool alive = false;
+  };
+
+  Route PrimaryRoute(uint32_t slot) const;
+  /// Every non-dead replica of `slot` (primary first) — the write fan-out set.
+  std::vector<Route> WriteRoutes(uint32_t slot) const;
+
+  size_t num_slots() const;
+  uint32_t factor() const noexcept { return options_.factor; }
+  const ReplicationOptions& options() const noexcept { return options_; }
+  uint64_t SlotEpoch(uint32_t slot) const;
+  ReplicaHealth health(uint32_t slot, uint32_t replica) const;
+  /// Replicas of `slot` currently alive (not suspected, not dead).
+  uint32_t AliveCount(uint32_t slot) const;
+
+  /// One probe round over every non-dead replica of every slot, after
+  /// advancing the manager clock by the probe interval. Returns the number
+  /// of health-state transitions (suspected/dead/recovered).
+  uint32_t Tick();
+
+  /// Data-path failure report: a compute node failed to reach `slot`'s
+  /// primary. Counts one miss, then confirm-probes the primary: a successful
+  /// probe clears the miss count (the failure was stale-epoch or transient —
+  /// the caller should refresh its route and retry); a failed probe counts a
+  /// second miss. Crossing dead_after_misses kills the primary and fails the
+  /// slot over. Returns true when a failover happened.
+  bool ReportUnreachable(uint32_t slot);
+
+  /// Write-path failure report against a specific (usually secondary)
+  /// replica: one miss + thresholds, no confirm probe.
+  void ReportReplicaFailure(uint32_t slot, uint32_t replica);
+
+  /// Restores the replication factor of `slot`: streams the region from the
+  /// current primary onto a fresh node (chunked + CRC-checked + doorbell-
+  /// batched), verifies the copy, then atomically admits it at the next
+  /// epoch. Serving continues throughout — the new epoch only forces compute
+  /// nodes through one directory refresh. Assumes no concurrent writers to
+  /// the slot during the copy (searches are fine; see DESIGN.md §9).
+  Status Rereplicate(uint32_t slot);
+  /// Rereplicate() for every slot below the configured factor.
+  Status RereplicateAll();
+
+  /// Human-readable per-node health/epoch table (`dhnsw_cli topology`).
+  std::string TopologyText() const;
+
+  /// --- control-plane tracing ("replication.*" spans) ---
+  void EnableTracing(size_t capacity) { trace_buffer_.Reserve(capacity); }
+  void ClearTrace() noexcept { trace_buffer_.Clear(); }
+  const telemetry::TraceBuffer& trace() const noexcept { return trace_buffer_; }
+
+  const SimClock& clock() const noexcept { return clock_; }
+
+ private:
+  struct Replica {
+    rdma::NodeId node = 0;
+    rdma::RKey rkey = 0;
+    ReplicaHealth health = ReplicaHealth::kAlive;
+    uint32_t misses = 0;  ///< consecutive probe/report misses
+  };
+  struct Slot {
+    std::vector<Replica> replicas;
+    uint32_t primary = 0;
+    uint64_t epoch = 0;
+  };
+
+  /// True when the 8-byte probe read at region offset 0 succeeds.
+  bool ProbeLocked(const Replica& replica);
+  /// Applies miss thresholds; may suspect or kill (and fail over) `replica`.
+  /// Returns the number of state transitions.
+  uint32_t ApplyThresholdsLocked(uint32_t slot, uint32_t replica);
+  void MarkDeadLocked(uint32_t slot, uint32_t replica);
+  void FailoverLocked(uint32_t slot);
+  /// Streams `size` bytes from src to dst in CRC-checked chunks coalesced
+  /// into doorbell rings, then re-reads dst and verifies every chunk CRC.
+  Status StreamRegionLocked(rdma::RKey src, rdma::RKey dst, uint64_t size);
+  void PublishGaugesLocked() const;
+
+  rdma::Fabric* fabric_;
+  ReplicationOptions options_;
+  mutable std::mutex mutex_;
+  SimClock clock_;
+  rdma::QueuePair qp_;
+  std::vector<Slot> slots_;
+  telemetry::TraceBuffer trace_buffer_;
+  telemetry::TraceContext trace_ctx_;
+};
+
+}  // namespace dhnsw

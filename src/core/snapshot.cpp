@@ -22,6 +22,24 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Reads exactly `want` bytes (expected at absolute file offset `offset`)
+/// into `dst`. A short read is classified: a real stream error is kIoError;
+/// end-of-file is a truncated snapshot — kCorruption, reporting the exact
+/// byte offset where data ran out so the operator can tell a clipped copy
+/// from a wrong file.
+Status ReadExact(std::FILE* f, void* dst, size_t want, uint64_t offset, const char* what,
+                 const std::string& path) {
+  const size_t got = std::fread(dst, 1, want, f);
+  if (got == want) return Status::Ok();
+  if (std::ferror(f) != 0) {
+    return Status::IoError("snapshot: read error in " + std::string(what) + " of " + path);
+  }
+  return Status::Corruption("snapshot: truncated " + std::string(what) + " in " + path +
+                            " at byte offset " + std::to_string(offset + got) + " (wanted " +
+                            std::to_string(want) + " bytes at offset " +
+                            std::to_string(offset) + ")");
+}
+
 }  // namespace
 
 Status SaveRegionSnapshot(const rdma::Fabric& fabric, const MemoryNodeHandle& handle,
@@ -67,10 +85,11 @@ Result<MemoryNodeHandle> LoadRegionSnapshot(rdma::Fabric* fabric, const std::str
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("snapshot: cannot open " + path);
 
+  uint64_t file_offset = 0;
   std::vector<uint8_t> fixed(kFixedHeaderSize);
-  if (std::fread(fixed.data(), 1, fixed.size(), f.get()) != fixed.size()) {
-    return Status::Corruption("snapshot: truncated header in " + path);
-  }
+  DHNSW_RETURN_IF_ERROR(
+      ReadExact(f.get(), fixed.data(), fixed.size(), file_offset, "header", path));
+  file_offset += fixed.size();
   BinaryReader r(fixed);
   uint32_t magic = 0, version = 0, shards = 0, reserved = 0;
   DHNSW_RETURN_IF_ERROR(r.GetU32(&magic));
@@ -87,9 +106,9 @@ Result<MemoryNodeHandle> LoadRegionSnapshot(rdma::Fabric* fabric, const std::str
   std::vector<uint32_t> crcs(shards);
   {
     std::vector<uint8_t> per_shard(shards * kPerShardHeaderSize);
-    if (std::fread(per_shard.data(), 1, per_shard.size(), f.get()) != per_shard.size()) {
-      return Status::Corruption("snapshot: truncated shard table in " + path);
-    }
+    DHNSW_RETURN_IF_ERROR(
+        ReadExact(f.get(), per_shard.data(), per_shard.size(), file_offset, "shard table", path));
+    file_offset += per_shard.size();
     BinaryReader sr(per_shard);
     for (uint32_t s = 0; s < shards; ++s) {
       uint32_t pad = 0;
@@ -108,9 +127,10 @@ Result<MemoryNodeHandle> LoadRegionSnapshot(rdma::Fabric* fabric, const std::str
     if (region == nullptr) return Status::Internal("snapshot: fresh region vanished");
 
     const std::span<uint8_t> dst = region->host_span().subspan(0, sizes[s]);
-    if (std::fread(dst.data(), 1, sizes[s], f.get()) != sizes[s]) {
-      return Status::Corruption("snapshot: truncated payload in " + path);
-    }
+    const std::string what = "payload of shard " + std::to_string(s);
+    DHNSW_RETURN_IF_ERROR(
+        ReadExact(f.get(), dst.data(), sizes[s], file_offset, what.c_str(), path));
+    file_offset += sizes[s];
     if (Crc32c({dst.data(), sizes[s]}) != crcs[s]) {
       return Status::Corruption("snapshot: payload CRC mismatch in " + path);
     }

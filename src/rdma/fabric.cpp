@@ -15,6 +15,8 @@ struct FabricInstruments {
   telemetry::Gauge* region_bytes;
   telemetry::Counter* reachability_flips;
   telemetry::Counter* fault_plans_armed;
+  telemetry::Counter* epoch_bumps;
+  telemetry::Counter* revocations;
 };
 
 const FabricInstruments& Instruments() {
@@ -26,6 +28,8 @@ const FabricInstruments& Instruments() {
         r.GetGauge("dhnsw_fabric_region_bytes"),
         r.GetCounter("dhnsw_fabric_reachability_flips_total"),
         r.GetCounter("dhnsw_fabric_fault_plans_armed_total"),
+        r.GetCounter("dhnsw_fabric_epoch_bumps_total"),
+        r.GetCounter("dhnsw_fabric_region_revocations_total"),
     };
   }();
   return instruments;
@@ -97,6 +101,43 @@ void Fabric::SetNodeReachable(NodeId node, bool reachable) {
 bool Fabric::IsNodeReachable(NodeId node) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return node < nodes_.size() && nodes_[node]->reachable.load();
+}
+
+void Fabric::SetRegionEpoch(RKey rkey, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.find(rkey) == regions_.end()) return;
+  fences_[rkey].epoch = epoch;
+  Instruments().epoch_bumps->Add(1);
+}
+
+uint64_t Fabric::RegionEpoch(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  return it == fences_.end() ? 0 : it->second.epoch;
+}
+
+void Fabric::RevokeRegion(RKey rkey) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.find(rkey) == regions_.end()) return;
+  FenceState& fence = fences_[rkey];
+  if (!fence.revoked) {
+    fence.revoked = true;
+    Instruments().revocations->Add(1);
+  }
+}
+
+bool Fabric::IsRegionRevoked(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  return it != fences_.end() && it->second.revoked;
+}
+
+bool Fabric::AdmitAccess(RKey rkey, uint64_t expected_epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  if (it == fences_.end()) return true;  // never fenced: all traffic admitted
+  if (it->second.revoked) return false;
+  return expected_epoch == 0 || expected_epoch == it->second.epoch;
 }
 
 void Fabric::ArmFaults(FaultPlan plan) {

@@ -54,6 +54,26 @@ class Fabric {
   void SetNodeReachable(NodeId node, bool reachable);
   bool IsNodeReachable(NodeId node) const;
 
+  /// --- epoch fencing (replication failover; see core/replication.h) ---
+  /// Installs/advances a region's fence epoch. Fenced work requests (those
+  /// posted with a non-zero expected_epoch) execute only when their epoch
+  /// matches; mismatches complete with kFenced. Unfenced requests (epoch 0)
+  /// are unaffected, preserving single-replica behaviour byte-for-byte.
+  void SetRegionEpoch(RKey rkey, uint64_t epoch);
+  /// Current fence epoch of `rkey`; 0 = never fenced.
+  uint64_t RegionEpoch(RKey rkey) const;
+  /// Revokes a region's rkey, modeling the connection manager invalidating a
+  /// dead replica's memory registration: EVERY subsequent access — fenced or
+  /// not, read or write — completes with kFenced. Irreversible; a recovered
+  /// node re-registers fresh memory instead. This is what makes a stale
+  /// primary that comes back unable to serve reads or absorb writes.
+  void RevokeRegion(RKey rkey);
+  bool IsRegionRevoked(RKey rkey) const;
+  /// Fence admission check for one access (used by queue pairs). True when
+  /// the op may execute: region not revoked, and either the op is unfenced
+  /// (expected_epoch == 0) or it matches the region's current epoch.
+  bool AdmitAccess(RKey rkey, uint64_t expected_epoch) const;
+
   /// Arms a fault schedule: every queue pair on this fabric starts consulting
   /// it (each with fresh per-QP trigger state). Re-arming — even with an
   /// identical plan — resets all injector state.
@@ -74,10 +94,17 @@ class Fabric {
     std::atomic<bool> reachable{true};
   };
 
+  /// Fence state per region. Absent entry = unfenced, never revoked.
+  struct FenceState {
+    uint64_t epoch = 0;
+    bool revoked = false;
+  };
+
   NicModelConfig nic_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<RKey, std::pair<NodeId, std::unique_ptr<MemoryRegion>>> regions_;
+  std::unordered_map<RKey, FenceState> fences_;
   RKey next_rkey_ = 1;
   std::shared_ptr<const FaultPlan> fault_plan_;
   std::atomic<uint32_t> next_qp_id_{0};

@@ -22,6 +22,7 @@ struct RdmaInstruments {
   telemetry::Counter* bytes_written;
   telemetry::Counter* sim_network_ns;
   telemetry::Counter* injected_faults;
+  telemetry::Counter* fenced_ops;
   telemetry::Histogram* ring_wrs;
 };
 
@@ -38,6 +39,7 @@ const RdmaInstruments& Rdma() {
         r.GetCounter("dhnsw_rdma_bytes_written_total"),
         r.GetCounter("dhnsw_rdma_sim_network_ns_total"),
         r.GetCounter("dhnsw_rdma_injected_faults_total"),
+        r.GetCounter("dhnsw_rdma_fenced_ops_total"),
         r.GetHistogram("dhnsw_rdma_ring_wrs"),
     };
   }();
@@ -61,35 +63,40 @@ void QueuePair::RefreshInjector() {
 }
 
 void QueuePair::PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst,
-                         uint64_t wr_id) {
+                         uint64_t wr_id, uint64_t expected_epoch) {
   send_queue_.push_back(WorkRequest{
       .wr_id = wr_id, .opcode = Opcode::kRead, .rkey = rkey,
-      .remote_offset = remote_offset, .local = dst});
+      .remote_offset = remote_offset, .local = dst,
+      .expected_epoch = expected_epoch});
 }
 
 void QueuePair::PostWrite(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src,
-                          uint64_t wr_id) {
+                          uint64_t wr_id, uint64_t expected_epoch) {
   // WRITE never modifies the local buffer; the non-const span in WorkRequest
   // is a convenience for sharing the struct with READ.
   send_queue_.push_back(WorkRequest{
       .wr_id = wr_id, .opcode = Opcode::kWrite, .rkey = rkey,
       .remote_offset = remote_offset,
-      .local = {const_cast<uint8_t*>(src.data()), src.size()}});
+      .local = {const_cast<uint8_t*>(src.data()), src.size()},
+      .expected_epoch = expected_epoch});
 }
 
 void QueuePair::PostCompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare,
-                                uint64_t swap, uint64_t wr_id) {
+                                uint64_t swap, uint64_t wr_id, uint64_t expected_epoch) {
   send_queue_.push_back(WorkRequest{
       .wr_id = wr_id, .opcode = Opcode::kCompareSwap, .rkey = rkey,
       .remote_offset = remote_offset, .local = {},
-      .compare = compare, .swap_or_add = swap});
+      .compare = compare, .swap_or_add = swap,
+      .expected_epoch = expected_epoch});
 }
 
-void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id) {
+void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id,
+                             uint64_t expected_epoch) {
   send_queue_.push_back(WorkRequest{
       .wr_id = wr_id, .opcode = Opcode::kFetchAdd, .rkey = rkey,
       .remote_offset = remote_offset, .local = {},
-      .swap_or_add = add});
+      .swap_or_add = add,
+      .expected_epoch = expected_epoch});
 }
 
 Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
@@ -105,6 +112,14 @@ Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
   auto owner = fabric_->OwnerOf(wr.rkey);
   if (!owner.ok() || !fabric_->IsNodeReachable(owner.value())) {
     c.status = WcStatus::kRemoteUnreachable;
+    return c;
+  }
+  // Epoch fence (replication failover): checked before fault injection — a
+  // revoked/stale-epoch rejection is a deterministic connection-manager
+  // property, not a wire event, so it must not consume fault triggers.
+  if (!fabric_->AdmitAccess(wr.rkey, wr.expected_epoch)) {
+    Rdma().fenced_ops->Add(1);
+    c.status = WcStatus::kFenced;
     return c;
   }
 
@@ -278,15 +293,18 @@ Status QueuePair::ToStatus(const Completion& c) {
       return Status::InvalidArgument("rdma local buffer length error");
     case WcStatus::kTimeout:
       return Status::DeadlineExceeded("rdma op timed out");
+    case WcStatus::kFenced:
+      return Status::Unavailable("rdma op fenced: stale epoch or revoked rkey");
   }
   return Status::Internal("unknown completion status");
 }
 
-Status QueuePair::Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst) {
+Status QueuePair::Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst,
+                       uint64_t expected_epoch) {
   if (!completion_queue_.empty() || !send_queue_.empty()) {
     return Status::Internal("Read: QP has pending WRs or undrained completions");
   }
-  PostRead(rkey, remote_offset, dst);
+  PostRead(rkey, remote_offset, dst, /*wr_id=*/0, expected_epoch);
   RingDoorbell();
   Completion c;
   const bool have = PollCompletion(&c);
@@ -294,11 +312,12 @@ Status QueuePair::Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst
   return ToStatus(c);
 }
 
-Status QueuePair::Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src) {
+Status QueuePair::Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src,
+                        uint64_t expected_epoch) {
   if (!completion_queue_.empty() || !send_queue_.empty()) {
     return Status::Internal("Write: QP has pending WRs or undrained completions");
   }
-  PostWrite(rkey, remote_offset, src);
+  PostWrite(rkey, remote_offset, src, /*wr_id=*/0, expected_epoch);
   RingDoorbell();
   Completion c;
   const bool have = PollCompletion(&c);
@@ -320,11 +339,12 @@ Result<uint64_t> QueuePair::CompareSwap(RKey rkey, uint64_t remote_offset, uint6
   return c.atomic_result;
 }
 
-Result<uint64_t> QueuePair::FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add) {
+Result<uint64_t> QueuePair::FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add,
+                                     uint64_t expected_epoch) {
   if (!completion_queue_.empty() || !send_queue_.empty()) {
     return Status::Internal("FetchAdd: QP has pending WRs or undrained completions");
   }
-  PostFetchAdd(rkey, remote_offset, add);
+  PostFetchAdd(rkey, remote_offset, add, /*wr_id=*/0, expected_epoch);
   RingDoorbell();
   Completion c;
   if (!PollCompletion(&c)) return Status::Internal("missing completion after FAA");

@@ -35,11 +35,17 @@ class QueuePair {
   void set_max_doorbell_wrs(uint32_t n) noexcept { max_doorbell_wrs_ = n == 0 ? 1 : n; }
 
   /// --- posting (no network activity yet) ---
-  void PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst, uint64_t wr_id = 0);
-  void PostWrite(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src, uint64_t wr_id = 0);
+  /// `expected_epoch` carries the replication fence: 0 (default) posts an
+  /// unfenced op — the seed behaviour; non-zero ops execute only when they
+  /// match the target region's current fence epoch (else kFenced).
+  void PostRead(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst, uint64_t wr_id = 0,
+                uint64_t expected_epoch = 0);
+  void PostWrite(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src, uint64_t wr_id = 0,
+                 uint64_t expected_epoch = 0);
   void PostCompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare, uint64_t swap,
-                       uint64_t wr_id = 0);
-  void PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id = 0);
+                       uint64_t wr_id = 0, uint64_t expected_epoch = 0);
+  void PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, uint64_t wr_id = 0,
+                    uint64_t expected_epoch = 0);
 
   size_t pending_wrs() const noexcept { return send_queue_.size(); }
 
@@ -58,15 +64,20 @@ class QueuePair {
 
   /// Maps a completion status to a Status. kRemoteUnreachable -> Unavailable
   /// and kTimeout -> DeadlineExceeded, both retryable under RetryPolicy.
+  /// kFenced also maps to Unavailable (distinct message): the cure is the
+  /// same — refresh the replica directory and retry against the new primary.
   static Status ToStatus(const Completion& c);
 
   /// --- one-shot conveniences (each is one round trip) ---
   /// Precondition: the CQ is drained (no stale completions); they return
   /// Internal otherwise rather than mis-attribute an old completion.
-  Status Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst);
-  Status Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src);
+  Status Read(RKey rkey, uint64_t remote_offset, std::span<uint8_t> dst,
+              uint64_t expected_epoch = 0);
+  Status Write(RKey rkey, uint64_t remote_offset, std::span<const uint8_t> src,
+               uint64_t expected_epoch = 0);
   Result<uint64_t> CompareSwap(RKey rkey, uint64_t remote_offset, uint64_t compare, uint64_t swap);
-  Result<uint64_t> FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add);
+  Result<uint64_t> FetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add,
+                            uint64_t expected_epoch = 0);
 
   const QpStats& stats() const noexcept { return stats_; }
   void ResetStats() noexcept { stats_ = QpStats{}; }

@@ -35,6 +35,11 @@ struct WorkRequest {
   std::span<uint8_t> local;      ///< local buffer (src for WRITE, dst otherwise)
   uint64_t compare = 0;          ///< CAS: expected value
   uint64_t swap_or_add = 0;      ///< CAS: new value / FAA: addend
+  /// Replication epoch fence: 0 = unfenced (legacy traffic, always admitted
+  /// unless the region's rkey was revoked). Non-zero = the op executes only
+  /// when it matches the region's current fence epoch; a mismatch completes
+  /// with kFenced and the op does NOT execute. See Fabric::SetRegionEpoch.
+  uint64_t expected_epoch = 0;
 };
 
 enum class WcStatus : uint8_t {
@@ -43,6 +48,8 @@ enum class WcStatus : uint8_t {
   kRemoteUnreachable,  ///< node down / injected fault
   kLocalLengthError,   ///< local buffer length mismatch
   kTimeout,            ///< response lost / injected timeout; op did not execute
+  kFenced,             ///< epoch fence rejected the op (stale epoch or revoked
+                       ///< rkey); op did not execute
 };
 
 /// Work completion, one per posted WR.

@@ -24,6 +24,7 @@ DhnswConfig MakeConfig(const ChaosHarness::Config& c) {
   config.compute.mode = c.mode;
   config.compute.clusters_per_query = c.clusters_per_query;
   config.compute.cache_capacity = c.num_clusters;  // one cold load per cluster
+  config.replication.factor = c.replication_factor;
   return config;
 }
 
@@ -129,6 +130,20 @@ rdma::FaultPlan ChaosHarness::MakePermanentPlan(uint32_t* victim) {
   rule.offset_hi = meta.blob_offset + meta.blob_size;
   // max_triggers stays UINT64_MAX: permanent outage.
   return rdma::FaultPlan(target).Add(rule);
+}
+
+rdma::FaultPlan ChaosHarness::MakeKillPrimaryPlan(uint64_t skip_first, uint32_t slot) const {
+  const ReplicaManager* manager = engine_->replication();
+  const rdma::RKey primary = manager != nullptr
+                                 ? manager->PrimaryRoute(slot).rkey
+                                 : engine_->memory_handle().rkey_for_slot(slot);
+  rdma::FaultRule rule;
+  rule.kind = rdma::FaultKind::kUnreachable;
+  rule.rkey = primary;  // every verb against the region, probes included
+  rule.skip_first = skip_first;
+  // max_triggers stays UINT64_MAX: the crashed node never comes back. (Its
+  // rkey is revoked at failover anyway; see Fabric::RevokeRegion.)
+  return rdma::FaultPlan(slot).Add(rule);
 }
 
 std::vector<uint32_t> ChaosHarness::RoutesOf(size_t qi) {

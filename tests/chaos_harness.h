@@ -36,6 +36,10 @@ class ChaosHarness {
     uint32_t clusters_per_query = 3;
     size_t k = 5;
     uint32_t ef_search = 300;  ///< generous: sub-searches near-exhaustive
+    /// Memory-pool replication factor (1 = single copy, replication off).
+    /// Factor >= 2 arms failure detection + epoch-fenced failover, letting
+    /// kill-the-primary schedules CONVERGE instead of degrade.
+    uint32_t replication_factor = 1;
   };
 
   explicit ChaosHarness(Config config);
@@ -61,6 +65,16 @@ class ChaosHarness {
   /// loads fail forever, but the metadata table and every other cluster stay
   /// reachable. Returns the victim cluster id via `victim`.
   rdma::FaultPlan MakePermanentPlan(uint32_t* victim);
+
+  /// Kills `slot`'s CURRENT primary memory node mid-batch: after letting
+  /// `skip_first` matching ops through (per queue pair), every access to the
+  /// primary's region — any verb, including the manager's health probes —
+  /// fails forever, modeling a node crash. With replication_factor >= 2 a
+  /// retry budget that outlasts detection (skip window + dead_after_misses
+  /// reports) converges onto the promoted replica; with factor 1 the slot is
+  /// simply gone. Resolves the primary at call time, so calling it again
+  /// after a failover targets the promoted replica.
+  rdma::FaultPlan MakeKillPrimaryPlan(uint64_t skip_first, uint32_t slot = 0) const;
 
   /// Cluster ids query `qi` routes to (mode-independent).
   std::vector<uint32_t> RoutesOf(size_t qi);

@@ -1,0 +1,207 @@
+// Failover chaos acceptance (ISSUE 4 / S3): with a replicated memory pool
+// (factor 2), killing the primary memory node in the middle of a query batch
+// must
+//   (a) yield complete, byte-correct results for EVERY query in the batch —
+//       zero wrong results, recall unchanged vs the fault-free oracle;
+//   (b) cost only bounded extra latency over the healthy run (detection
+//       reports + backoff + one promotion, not an unbounded stall);
+//   (c) replay byte-identically from the seed: the same kill schedule
+//       serializes the same wall-free trace JSONL on every run (this is the
+//       artifact the failover-chaos CI job archives and byte-compares).
+// Plus: online re-replication restores the factor while search keeps being
+// served, and the restored copy is a real serving replica (it survives a
+// second primary kill). When every replica of a shard is gone, only
+// allow_partial degrades queries — matching the router policy.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chaos_harness.h"
+#include "telemetry/trace.h"
+
+namespace dhnsw {
+namespace {
+
+ChaosHarness::Config ReplicatedConfig() {
+  ChaosHarness::Config config;
+  config.replication_factor = 2;
+  return config;
+}
+
+/// Lets a couple of loads through before the crash — the batch is genuinely
+/// mid-flight when the primary dies.
+constexpr uint64_t kKillSkipFirst = 2;
+
+/// Outlasts detection: the kill rule's per-QP skip window absorbs the first
+/// confirm probes, then two more failed reports (two misses each) walk the
+/// primary alive -> suspected -> dead. ~skip + 3 rounds; 12 is generous.
+RetryPolicy FailoverRetry() {
+  RetryPolicy retry = RetryPolicy::Default();
+  retry.max_attempts = 12;
+  return retry;
+}
+
+TEST(ChaosFailoverTest, KillPrimaryMidBatchConvergesToOracle) {
+  ChaosHarness h(ReplicatedConfig());
+  ReplicaManager* manager = h.engine().replication();
+  ASSERT_NE(manager, nullptr);
+  ASSERT_EQ(manager->AliveCount(0), 2u);
+  ASSERT_EQ(manager->SlotEpoch(0), 1u);
+
+  // Strict mode: any query that lost a routed cluster would fail the batch.
+  auto run = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), FailoverRetry(),
+                            /*partial_results=*/false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const BatchResult& result = run.value();
+  EXPECT_TRUE(SameResults(h.baseline(), result)) << "failover changed results";
+  for (size_t qi = 0; qi < result.statuses.size(); ++qi) {
+    EXPECT_TRUE(result.statuses[qi].ok()) << "query " << qi;
+  }
+
+  // The batch itself drove the failover: primary dead + revoked, secondary
+  // promoted, epoch bumped, and the compute instance observed it.
+  EXPECT_EQ(manager->health(0, 0), ReplicaHealth::kDead);
+  EXPECT_EQ(manager->PrimaryRoute(0).replica, 1u);
+  EXPECT_EQ(manager->SlotEpoch(0), 2u);
+  EXPECT_GE(result.breakdown.failovers, 1u);
+  EXPECT_GE(result.breakdown.retries, 1u);
+}
+
+TEST(ChaosFailoverTest, FailoverLatencyIsBounded) {
+  ChaosHarness h(ReplicatedConfig());
+  const RetryPolicy retry = FailoverRetry();
+
+  const uint64_t t0 = h.engine().compute(0).clock().now_ns();
+  auto healthy = h.RunUnderPlan(rdma::FaultPlan(0), retry, false);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  const uint64_t healthy_ns = h.engine().compute(0).clock().now_ns() - t0;
+
+  const uint64_t t1 = h.engine().compute(0).clock().now_ns();
+  auto killed = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), retry, false);
+  ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+  const uint64_t failover_ns = h.engine().compute(0).clock().now_ns() - t1;
+
+  ASSERT_TRUE(SameResults(h.baseline(), killed.value()));
+  EXPECT_GT(failover_ns, healthy_ns) << "the kill schedule never cost anything?";
+  // Detection adds a handful of failed rounds plus exponential backoff
+  // (20us * 2^k, capped at 5ms) before the promoted replica serves the
+  // retried loads. Budget 3x the healthy batch plus the worst-case backoff
+  // sum for the rounds the retry policy allows — deterministic, so this
+  // bound either always holds or never does.
+  uint64_t backoff_budget = 0;
+  for (uint32_t k = 1; k < retry.max_attempts; ++k) backoff_budget += retry.BackoffNs(k);
+  EXPECT_LT(failover_ns, 3 * healthy_ns + backoff_budget);
+}
+
+TEST(ChaosFailoverTest, TraceJsonlIsByteIdenticalAcrossSameSeedKillRuns) {
+  // A failover run's span log — compute side AND the replica manager's
+  // control-plane events — must be a pure function of the seeds, in the
+  // wall-free export form. CI archives exactly this serialization.
+  const auto run_traced = [] {
+    ChaosHarness h(ReplicatedConfig());
+    h.engine().EnableTracing(1 << 16);
+    auto run = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), FailoverRetry(), false);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(SameResults(h.baseline(), run.value()));
+    const telemetry::TraceExportOptions wall_free{.include_wall = false};
+    return TraceToJsonl(h.engine().compute(0).trace(), wall_free) +
+           TraceToJsonl(h.engine().replication()->trace(), wall_free);
+  };
+
+  const std::string first = run_traced();
+  const std::string second = run_traced();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "same-seed failover traces diverged";
+
+  // The trace narrates the failover end to end: the compute instance's
+  // observation and the manager's suspect -> death -> promotion sequence.
+  EXPECT_NE(first.find("replication.failover_observed"), std::string::npos);
+  EXPECT_NE(first.find("replication.suspect"), std::string::npos);
+  EXPECT_NE(first.find("replication.death"), std::string::npos);
+  EXPECT_NE(first.find("replication.failover"), std::string::npos);
+  EXPECT_EQ(first.find("wall_ns"), std::string::npos);
+
+  // CI artifact hook: archive the canonical failover trace when set.
+  if (const char* dir = std::getenv("DHNSW_TRACE_ARTIFACT_DIR")) {
+    const std::string path = std::string(dir) + "/failover_trace.jsonl";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(first.data(), 1, first.size(), f), first.size());
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+}
+
+TEST(ChaosFailoverTest, RereplicationRestoresFactorOnlineAndCopyServes) {
+  ChaosHarness h(ReplicatedConfig());
+  ReplicaManager* manager = h.engine().replication();
+  ASSERT_NE(manager, nullptr);
+
+  // Round 1: kill the original primary; the batch converges on replica 1.
+  auto first = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), FailoverRetry(), false);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(SameResults(h.baseline(), first.value()));
+  ASSERT_EQ(manager->AliveCount(0), 1u);
+
+  // Restore the factor online: stream onto a fresh node, admit at epoch 3.
+  ASSERT_TRUE(manager->RereplicateAll().ok());
+  EXPECT_EQ(manager->AliveCount(0), 2u);
+  EXPECT_EQ(manager->SlotEpoch(0), 3u);
+
+  // Serving continued: the admission epoch bump only forces a route refresh.
+  auto after = h.RunUnderPlan(rdma::FaultPlan(0), FailoverRetry(), false);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(SameResults(h.baseline(), after.value()));
+
+  // Round 2: kill the promoted primary too. Only the streamed copy remains —
+  // correct results now prove the re-replicated bytes are a real replica.
+  auto second = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), FailoverRetry(), false);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(SameResults(h.baseline(), second.value()));
+  EXPECT_EQ(manager->AliveCount(0), 1u);
+  EXPECT_EQ(manager->SlotEpoch(0), 4u);
+  EXPECT_EQ(manager->PrimaryRoute(0).replica, 2u);
+}
+
+TEST(ChaosFailoverTest, AllReplicasDeadDegradesOnlyUnderAllowPartial) {
+  ChaosHarness h(ReplicatedConfig());
+  ReplicaManager* manager = h.engine().replication();
+  ASSERT_NE(manager, nullptr);
+
+  // Kill the whole replica set of slot 0 at once (skip_first 0: immediate).
+  rdma::FaultPlan wipeout(99);
+  for (const ReplicaManager::Route& route : manager->WriteRoutes(0)) {
+    rdma::FaultRule rule;
+    rule.kind = rdma::FaultKind::kUnreachable;
+    rule.rkey = route.rkey;
+    wipeout.Add(rule);
+  }
+
+  // Compute level: with the metadata slot's whole replica set gone there is
+  // nothing partial to serve — the batch fails in both modes.
+  auto strict = h.RunUnderPlan(wipeout, FailoverRetry(), /*partial_results=*/false);
+  EXPECT_FALSE(strict.ok());
+  auto compute_partial = h.RunUnderPlan(wipeout, FailoverRetry(), /*partial_results=*/true);
+  EXPECT_FALSE(compute_partial.ok());
+
+  // Router level: degradation for a fully-dead shard is allow_partial's job.
+  // Without it the request fails; with it every query of the wiped shard
+  // comes back empty with the error attached instead of wrong data. (Both
+  // replicas are dead + revoked by now, so no re-arming is needed.)
+  auto router_strict = h.engine().SearchSharded(h.dataset().queries, h.config().k,
+                                                h.config().ef_search, RouterOptions{});
+  EXPECT_FALSE(router_strict.ok());
+  auto degraded = h.engine().SearchSharded(h.dataset().queries, h.config().k,
+                                           h.config().ef_search,
+                                           RouterOptions{.allow_partial = true});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  for (size_t qi = 0; qi < degraded.value().statuses.size(); ++qi) {
+    EXPECT_FALSE(degraded.value().statuses[qi].ok()) << "query " << qi;
+    EXPECT_TRUE(degraded.value().results[qi].empty()) << "query " << qi;
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -209,6 +209,34 @@ TEST_F(CliTest, TraceDumpsJsonlSpans) {
   EXPECT_EQ(Run({"trace", "--snapshot=" + Path("region.dsnp")}, &out), 1);
 }
 
+TEST_F(CliTest, TopologyPrintsReplicaHealthTable) {
+  std::string out;
+  ASSERT_EQ(Run({"topology", "--replicas=2"}, &out), 0) << out;
+  EXPECT_NE(out.find("replication factor 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("slot 0: epoch 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("alive"), std::string::npos) << out;
+  EXPECT_NE(out.find("search served 8/8 queries"), std::string::npos) << out;
+
+  // Factor 1: the subsystem is off and the command says so.
+  out.clear();
+  ASSERT_EQ(Run({"topology", "--replicas=1"}, &out), 0) << out;
+  EXPECT_NE(out.find("replication disabled"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, TopologySurvivesAKilledMemoryNode) {
+  // The README walkthrough: kill slot 0's primary, watch the probe loop
+  // declare it dead, fail over, re-replicate, and keep serving.
+  std::string out;
+  ASSERT_EQ(Run({"topology", "--replicas=2", "--kill=0", "--rereplicate=1"}, &out), 0) << out;
+  EXPECT_NE(out.find("killed memory-node"), std::string::npos) << out;
+  EXPECT_NE(out.find("failed over"), std::string::npos) << out;
+  EXPECT_NE(out.find("factor 2 restored online"), std::string::npos) << out;
+  EXPECT_NE(out.find("search served 8/8 queries"), std::string::npos) << out;
+  // Post-failover + admission: epoch 3, the dead primary visible + revoked.
+  EXPECT_NE(out.find("slot 0: epoch 3"), std::string::npos) << out;
+  EXPECT_NE(out.find("dead [revoked]"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, MissingFilesSurfaceErrors) {
   std::string out;
   EXPECT_EQ(Run({"build", "--base=/nope.fvecs", "--out=" + Path("region.dsnp")}, &out), 1);

@@ -1,0 +1,281 @@
+// ReplicaManager unit + acceptance tests: provisioning byte-identical
+// replicas, probe-driven health transitions, epoch-fenced failover (a stale
+// or revoked route can never serve), online re-replication, and the S6
+// telemetry closures — replicated-insert ack counters close against
+// replication_factor x inserts, and the epoch gauge is monotone across a
+// forced failover. Chaos-level kill-mid-batch coverage lives in
+// tests/test_chaos_failover.cpp.
+#include "core/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/sim_clock.h"
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include "rdma/queue_pair.h"
+#include "telemetry/metrics.h"
+
+namespace dhnsw {
+namespace {
+
+Dataset SmallDataset() {
+  return MakeSynthetic(
+      {.dim = 8, .num_base = 500, .num_queries = 10, .num_clusters = 4, .seed = 77});
+}
+
+DhnswConfig SmallConfig(uint32_t factor) {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 4;
+  config.compute.cache_capacity = 4;
+  config.replication.factor = factor;
+  return config;
+}
+
+uint32_t RegionCrc(DhnswEngine& engine, rdma::RKey rkey) {
+  const rdma::MemoryRegion* region = engine.fabric().FindRegion(rkey);
+  EXPECT_NE(region, nullptr);
+  return region == nullptr ? 0 : Crc32c(region->host_span());
+}
+
+/// Walks `slot`'s current primary to dead via the probe loop (node crash
+/// modeled with the whole-node reachability switch).
+void KillPrimary(DhnswEngine& engine, uint32_t slot = 0) {
+  ReplicaManager* manager = engine.replication();
+  ASSERT_NE(manager, nullptr);
+  const rdma::RKey primary = manager->PrimaryRoute(slot).rkey;
+  auto owner = engine.fabric().OwnerOf(primary);
+  ASSERT_TRUE(owner.ok());
+  engine.fabric().SetNodeReachable(owner.value(), false);
+  for (uint32_t i = 0; i < manager->options().dead_after_misses; ++i) manager->Tick();
+}
+
+TEST(ReplicationTest, FactorOneDisablesTheSubsystem) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(1));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built.value().replication(), nullptr);
+  EXPECT_TRUE(built.value().SearchAll(ds.queries, 5, 64).ok());
+}
+
+TEST(ReplicationTest, ProvisionClonesByteIdenticalReplicas) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(3));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  ReplicaManager* manager = engine.replication();
+  ASSERT_NE(manager, nullptr);
+
+  EXPECT_EQ(manager->factor(), 3u);
+  EXPECT_EQ(manager->num_slots(), 1u);
+  EXPECT_EQ(manager->SlotEpoch(0), 1u);
+  EXPECT_EQ(manager->AliveCount(0), 3u);
+
+  const std::vector<ReplicaManager::Route> routes = manager->WriteRoutes(0);
+  ASSERT_EQ(routes.size(), 3u);
+  const uint32_t primary_crc = RegionCrc(engine, routes[0].rkey);
+  for (size_t r = 1; r < routes.size(); ++r) {
+    EXPECT_EQ(RegionCrc(engine, routes[r].rkey), primary_crc) << "replica " << r;
+  }
+
+  const std::string topology = manager->TopologyText();
+  EXPECT_NE(topology.find("replication factor 3"), std::string::npos);
+  EXPECT_NE(topology.find("replica 2"), std::string::npos);
+  EXPECT_NE(topology.find(" *"), std::string::npos);
+}
+
+TEST(ReplicationTest, ProbeLoopWalksAliveSuspectedDeadAndRecovers) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(2));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  ReplicaManager* manager = engine.replication();
+
+  // Take the SECONDARY down: health walks without triggering a failover.
+  const rdma::RKey secondary = manager->WriteRoutes(0)[1].rkey;
+  auto owner = engine.fabric().OwnerOf(secondary);
+  ASSERT_TRUE(owner.ok());
+
+  engine.fabric().SetNodeReachable(owner.value(), false);
+  EXPECT_EQ(manager->Tick(), 0u);  // one miss: still alive
+  EXPECT_EQ(manager->health(0, 1), ReplicaHealth::kAlive);
+  EXPECT_EQ(manager->Tick(), 1u);  // second miss: suspected
+  EXPECT_EQ(manager->health(0, 1), ReplicaHealth::kSuspected);
+
+  // A suspected replica that answers again recovers fully.
+  engine.fabric().SetNodeReachable(owner.value(), true);
+  EXPECT_EQ(manager->Tick(), 1u);
+  EXPECT_EQ(manager->health(0, 1), ReplicaHealth::kAlive);
+  EXPECT_EQ(manager->SlotEpoch(0), 1u) << "no failover for a secondary blip";
+
+  // Sustained unreachability kills it.
+  engine.fabric().SetNodeReachable(owner.value(), false);
+  for (uint32_t i = 0; i < manager->options().dead_after_misses; ++i) manager->Tick();
+  EXPECT_EQ(manager->health(0, 1), ReplicaHealth::kDead);
+  EXPECT_TRUE(engine.fabric().IsRegionRevoked(secondary));
+  EXPECT_EQ(manager->PrimaryRoute(0).replica, 0u) << "primary unaffected";
+}
+
+TEST(ReplicationTest, PrimaryDeathFailsOverFencedAndServiceContinues) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(2));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  ReplicaManager* manager = engine.replication();
+
+  auto before = engine.SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(before.ok());
+  const rdma::RKey old_primary = manager->PrimaryRoute(0).rkey;
+
+  KillPrimary(engine);
+  EXPECT_EQ(manager->health(0, 0), ReplicaHealth::kDead);
+  EXPECT_EQ(manager->PrimaryRoute(0).replica, 1u);
+  EXPECT_EQ(manager->SlotEpoch(0), 2u);
+  const rdma::RKey new_primary = manager->PrimaryRoute(0).rkey;
+  EXPECT_NE(new_primary, old_primary);
+
+  // --- fencing acceptance ---
+  SimClock clock;
+  rdma::QueuePair qp(&engine.fabric(), &clock);
+  std::vector<uint8_t> probe(8);
+  // A compute instance still stamping the pre-failover epoch is rejected.
+  const Status stale = qp.Read(new_primary, 0, probe, /*expected_epoch=*/1);
+  EXPECT_EQ(stale.code(), StatusCode::kUnavailable);
+  EXPECT_NE(stale.message().find("fenced"), std::string::npos) << stale.ToString();
+  // The dead primary's rkey is revoked: even UNFENCED ops are refused, so a
+  // stale returning node can neither serve reads nor absorb writes.
+  EXPECT_EQ(qp.Read(old_primary, 0, probe, 0).code(), StatusCode::kUnavailable);
+  // The current epoch admits.
+  EXPECT_TRUE(qp.Read(new_primary, 0, probe, 2).ok());
+
+  // Compute instances re-resolve routes transparently: same answers.
+  engine.compute(0).InvalidateCache();
+  auto after = engine.SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().results.size(), before.value().results.size());
+  for (size_t qi = 0; qi < after.value().results.size(); ++qi) {
+    ASSERT_EQ(after.value().results[qi].size(), before.value().results[qi].size()) << qi;
+    for (size_t j = 0; j < after.value().results[qi].size(); ++j) {
+      EXPECT_EQ(after.value().results[qi][j].id, before.value().results[qi][j].id);
+    }
+  }
+}
+
+TEST(ReplicationTest, RereplicateRestoresFactorAtBumpedEpoch) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(2));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  ReplicaManager* manager = engine.replication();
+  telemetry::Counter* rereps =
+      telemetry::DefaultRegistry().GetCounter("dhnsw_replication_rereplications_total");
+  telemetry::Counter* copied =
+      telemetry::DefaultRegistry().GetCounter("dhnsw_replication_copied_bytes_total");
+
+  KillPrimary(engine);
+  ASSERT_EQ(manager->AliveCount(0), 1u);
+  const uint64_t rereps_before = rereps->value();
+  const uint64_t copied_before = copied->value();
+
+  ASSERT_TRUE(manager->RereplicateAll().ok());
+  EXPECT_EQ(manager->AliveCount(0), 2u);
+  EXPECT_EQ(manager->SlotEpoch(0), 3u);
+  EXPECT_EQ(rereps->value() - rereps_before, 1u);
+  EXPECT_GT(copied->value(), copied_before);
+
+  // The streamed copy is byte-identical to the surviving source.
+  const std::vector<ReplicaManager::Route> routes = manager->WriteRoutes(0);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(RegionCrc(engine, routes[0].rkey), RegionCrc(engine, routes[1].rkey));
+
+  // Already at factor: a second call is a no-op.
+  ASSERT_TRUE(manager->RereplicateAll().ok());
+  EXPECT_EQ(manager->SlotEpoch(0), 3u);
+
+  engine.compute(0).InvalidateCache();
+  EXPECT_TRUE(engine.SearchAll(ds.queries, 5, 64).ok());
+}
+
+// --- S6: telemetry closure ---
+
+TEST(ReplicationTest, InsertAckCountersCloseAgainstFactorTimesInserts) {
+  const Dataset ds = SmallDataset();
+  const uint32_t kFactor = 2;
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(kFactor));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  telemetry::Counter* insert_acks =
+      telemetry::DefaultRegistry().GetCounter("dhnsw_replication_insert_acks_total");
+  telemetry::Counter* faa_acks =
+      telemetry::DefaultRegistry().GetCounter("dhnsw_replication_faa_acks_total");
+
+  const uint64_t insert_acks_before = insert_acks->value();
+  const uint64_t faa_acks_before = faa_acks->value();
+
+  uint64_t inserted = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    auto id = engine.Insert(ds.queries[i]);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ++inserted;
+  }
+
+  // Closure: every durable insert was CRC-acked by every replica — exactly
+  // factor x inserts record-write acks, and (single inserts allocate one
+  // overflow cell each) factor x inserts allocation acks.
+  EXPECT_EQ(insert_acks->value() - insert_acks_before, kFactor * inserted);
+  EXPECT_EQ(faa_acks->value() - faa_acks_before, kFactor * inserted);
+
+  // The fan-out kept the replica sets byte-identical (records AND counters).
+  ReplicaManager* manager = engine.replication();
+  const std::vector<ReplicaManager::Route> routes = manager->WriteRoutes(0);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(RegionCrc(engine, routes[0].rkey), RegionCrc(engine, routes[1].rkey));
+
+  // The inserted vectors are findable — and stay findable after a failover
+  // flips every search onto the replicated copy.
+  engine.compute(0).InvalidateCache();
+  auto before = engine.SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(before.ok());
+  KillPrimary(engine);
+  engine.compute(0).InvalidateCache();
+  auto after = engine.SearchAll(ds.queries, 5, 64);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  for (size_t qi = 0; qi < ds.queries.size(); ++qi) {
+    ASSERT_FALSE(after.value().results[qi].empty());
+    // Query qi was inserted verbatim for qi < 6: its own id must surface.
+    if (qi < 6) {
+      EXPECT_EQ(after.value().results[qi][0].id, before.value().results[qi][0].id) << qi;
+    }
+  }
+}
+
+TEST(ReplicationTest, EpochGaugeIsMonotoneAcrossForcedFailover) {
+  const Dataset ds = SmallDataset();
+  auto built = DhnswEngine::Build(ds.base, SmallConfig(2));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  DhnswEngine& engine = built.value();
+  telemetry::Gauge* epoch = telemetry::DefaultRegistry().GetGauge("dhnsw_replication_epoch");
+
+  const int64_t provisioned = epoch->value();
+  EXPECT_EQ(provisioned, 1);
+
+  KillPrimary(engine);
+  const int64_t failed_over = epoch->value();
+  EXPECT_GT(failed_over, provisioned);
+
+  ASSERT_TRUE(engine.replication()->RereplicateAll().ok());
+  const int64_t readmitted = epoch->value();
+  EXPECT_GT(readmitted, failed_over);
+
+  // Factor/min-alive gauges reflect the restored deployment.
+  EXPECT_EQ(telemetry::DefaultRegistry().GetGauge("dhnsw_replication_factor")->value(), 2);
+  EXPECT_EQ(
+      telemetry::DefaultRegistry().GetGauge("dhnsw_replication_min_alive_replicas")->value(),
+      2);
+}
+
+}  // namespace
+}  // namespace dhnsw

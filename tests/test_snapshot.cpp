@@ -144,6 +144,88 @@ TEST(SnapshotTest, TruncatedFileDetected) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, TruncationIsClassifiedWithByteOffsetAtEveryStage) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 300, .num_queries = 1,
+                              .num_clusters = 2, .seed = 116});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempPath("offsets.dsnp");
+  ASSERT_TRUE(engine.value().SaveSnapshot(path).ok());
+
+  const auto truncated_to = [&](long size) {
+    const std::string copy = TempPath("offsets_cut.dsnp");
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::FILE* out = std::fopen(copy.c_str(), "wb");
+    EXPECT_NE(in, nullptr);
+    EXPECT_NE(out, nullptr);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+    EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out), bytes.size());
+    std::fclose(in);
+    std::fclose(out);
+    rdma::Fabric fabric;
+    return LoadRegionSnapshot(&fabric, copy).status();
+  };
+
+  // Mid-header: data ran out at byte 8 of the 16-byte fixed header.
+  const Status header = truncated_to(8);
+  EXPECT_EQ(header.code(), StatusCode::kCorruption);
+  EXPECT_NE(header.message().find("truncated header"), std::string::npos) << header.ToString();
+  EXPECT_NE(header.message().find("at byte offset 8"), std::string::npos) << header.ToString();
+
+  // Mid-shard-table: the single-shard table spans bytes [16, 32).
+  const Status table = truncated_to(20);
+  EXPECT_EQ(table.code(), StatusCode::kCorruption);
+  EXPECT_NE(table.message().find("truncated shard table"), std::string::npos)
+      << table.ToString();
+  EXPECT_NE(table.message().find("at byte offset 20"), std::string::npos) << table.ToString();
+
+  // Mid-payload: 100 bytes past the headers, so shard 0's payload (which
+  // starts at offset 32) runs out at byte 132.
+  const Status payload = truncated_to(32 + 100);
+  EXPECT_EQ(payload.code(), StatusCode::kCorruption);
+  EXPECT_NE(payload.message().find("truncated payload of shard 0"), std::string::npos)
+      << payload.ToString();
+  EXPECT_NE(payload.message().find("at byte offset 132"), std::string::npos)
+      << payload.ToString();
+
+  std::remove(path.c_str());
+  std::remove(TempPath("offsets_cut.dsnp").c_str());
+}
+
+TEST(SnapshotTest, RestoreRejectsConfigDisagreement) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 2,
+                              .num_clusters = 4, .seed = 117});
+  auto engine = DhnswEngine::Build(ds.base, SmallConfig());  // dim 8, 10 partitions
+  ASSERT_TRUE(engine.ok());
+  const std::string path = TempPath("validated.dsnp");
+  ASSERT_TRUE(engine.value().SaveSnapshot(path).ok());
+  const uint32_t next_id = static_cast<uint32_t>(ds.base.size());
+
+  // A snapshot whose stored dim disagrees with what the caller configured
+  // must refuse to serve (queries could never match), not silently load.
+  DhnswConfig wrong_dim = SmallConfig();
+  wrong_dim.expected_dim = 128;
+  auto by_dim = DhnswEngine::BuildFromSnapshot(path, wrong_dim, next_id);
+  EXPECT_EQ(by_dim.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(by_dim.status().message().find("dim"), std::string::npos)
+      << by_dim.status().ToString();
+
+  DhnswConfig wrong_parts = SmallConfig();
+  wrong_parts.expected_partitions = 99;
+  auto by_parts = DhnswEngine::BuildFromSnapshot(path, wrong_parts, next_id);
+  EXPECT_EQ(by_parts.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(by_parts.status().message().find("partitions"), std::string::npos)
+      << by_parts.status().ToString();
+
+  // Matching expectations admit; zero (the default) means unchecked.
+  DhnswConfig right = SmallConfig();
+  right.expected_dim = 8;
+  right.expected_partitions = 10;
+  EXPECT_TRUE(DhnswEngine::BuildFromSnapshot(path, right, next_id).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, UnknownRegionFailsToSave) {
   rdma::Fabric fabric;
   MemoryNodeHandle bogus{0, 999, 1024};

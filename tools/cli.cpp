@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
 #include "dataset/vecs_io.h"
 
 namespace dhnsw::cli {
@@ -250,8 +251,60 @@ Status CmdTrace(const Flags& flags, std::string* out) {
   return Status::Ok();
 }
 
+Status CmdTopology(const Flags& flags, std::string* out) {
+  // Synthetic stand-in deployment: `topology` demonstrates the replication
+  // control plane — per-node health, fence epochs, failover, and online
+  // re-replication — without needing a snapshot on disk. `--kill=<slot>`
+  // crashes that slot's current primary and lets the probe loop detect it;
+  // `--rereplicate=1` then restores the configured factor.
+  const uint32_t replicas = static_cast<uint32_t>(flags.GetU64("replicas", 2));
+  const uint32_t clusters = static_cast<uint32_t>(flags.GetU64("clusters", 4));
+  const Dataset ds =
+      MakeSynthetic({.dim = static_cast<uint32_t>(flags.GetU64("dim", 8)),
+                     .num_base = static_cast<uint32_t>(flags.GetU64("rows", 600)),
+                     .num_queries = 8,
+                     .num_clusters = clusters,
+                     .seed = flags.GetU64("seed", 42)});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = clusters;
+  config.compute.cache_capacity = clusters;
+  config.replication.factor = replicas;
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, DhnswEngine::Build(ds.base, config));
+
+  ReplicaManager* manager = engine.replication();
+  if (manager == nullptr) {
+    Emit(out, "replication disabled (factor 1): single-copy memory pool");
+    return Status::Ok();
+  }
+
+  if (flags.Has("kill")) {
+    const uint32_t slot = static_cast<uint32_t>(flags.GetU64("kill", 0));
+    if (slot >= manager->num_slots()) {
+      return Status::InvalidArgument("--kill: no such slot");
+    }
+    DHNSW_ASSIGN_OR_RETURN(const rdma::NodeId owner,
+                           engine.fabric().OwnerOf(manager->PrimaryRoute(slot).rkey));
+    engine.fabric().SetNodeReachable(owner, false);
+    Emit(out, "killed %s (slot %u primary)", engine.fabric().NodeName(owner).c_str(), slot);
+    const uint32_t ticks = manager->options().dead_after_misses;
+    for (uint32_t i = 0; i < ticks; ++i) manager->Tick();
+    Emit(out, "probe loop declared it dead after %u tick(s); failed over", ticks);
+    if (flags.GetU64("rereplicate", 0) != 0) {
+      DHNSW_RETURN_IF_ERROR(manager->RereplicateAll());
+      Emit(out, "re-replicated: factor %u restored online", manager->factor());
+    }
+  }
+
+  // Prove the topology still serves before printing it.
+  DHNSW_ASSIGN_OR_RETURN(const BatchResult probe, engine.SearchAll(ds.queries, 5, 64));
+  Emit(out, "search served %zu/%zu queries through this topology",
+       probe.statuses.size(), ds.queries.size());
+  *out += manager->TopologyText();
+  return Status::Ok();
+}
+
 const char kUsage[] =
-    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace> --key=value ...\n"
+    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology> --key=value ...\n"
     "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
     "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
     "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
@@ -259,7 +312,9 @@ const char kUsage[] =
     "  info    --snapshot=region.dsnp\n"
     "  stats   --snapshot=region.dsnp [--queries=q.fvecs --k --ef]  (Prometheus text)\n"
     "  trace   --snapshot=region.dsnp --queries=q.fvecs [--out=t.jsonl --capacity\n"
-    "          --deterministic=1]  (per-query trace spans as JSONL)";
+    "          --deterministic=1]  (per-query trace spans as JSONL)\n"
+    "  topology [--replicas=2 --kill=<slot> --rereplicate=1 --dim --rows --clusters\n"
+    "          --seed]  (per-node replica health/epoch table on a synthetic pool)";
 
 }  // namespace
 
@@ -290,6 +345,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdStats(flags.value(), out);
   } else if (command == "trace") {
     st = CmdTrace(flags.value(), out);
+  } else if (command == "topology") {
+    st = CmdTopology(flags.value(), out);
   } else {
     Emit(out, "unknown command: %s\n%s", command.c_str(), kUsage);
     return 2;
