@@ -26,6 +26,10 @@ class LruCache {
   size_t capacity() const noexcept { return capacity_; }
   size_t size() const noexcept { return map_.size(); }
 
+  /// Shrinking below the current size evicts unpinned entries immediately;
+  /// pinned entries survive, so the size may exceed the new capacity — but
+  /// only by the number of pinned entries. The remainder of the shrink is
+  /// deferred: it completes as the blocking pins are released (see Unpin).
   void set_capacity(size_t capacity) {
     capacity_ = capacity;
     EvictToCapacity();
@@ -100,6 +104,10 @@ class LruCache {
     auto it = map_.find(key);
     if (it == map_.end() || it->second.pins == 0) return false;
     --it->second.pins;
+    // Deferred eviction: a shrink (or over-capacity Put) that was blocked by
+    // pins resumes the moment an entry becomes evictable again, restoring the
+    // size <= capacity invariant as early as the pinning contract allows.
+    if (it->second.pins == 0 && map_.size() > capacity_) EvictToCapacity();
     return true;
   }
 
@@ -137,6 +145,10 @@ class LruCache {
     // Scan from the LRU end, skipping pinned entries. If everything is pinned
     // the cache may transiently exceed capacity; that mirrors a compute
     // instance that must hold all clusters of an in-flight doorbell read.
+    // The scan is bounded: `it` strictly approaches order_.begin() on every
+    // iteration (erase returns the successor, i.e. the element after the
+    // erased one — and we step back before each probe), so an all-pinned
+    // cache terminates after one pass instead of spinning.
     auto it = order_.end();
     while (map_.size() > capacity_ && it != order_.begin()) {
       --it;

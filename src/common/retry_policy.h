@@ -40,11 +40,17 @@ struct RetryPolicy {
   bool enabled() const noexcept { return max_attempts > 1; }
 
   /// Backoff charged before the retry following `failures` failed attempts.
+  /// Saturates at max_backoff_ns. The clamp happens in the double domain:
+  /// with large attempt counts/multipliers the product exceeds the uint64_t
+  /// range, and casting such a double is undefined behaviour — the cap must
+  /// be applied before the cast, not after.
   uint64_t BackoffNs(uint32_t failures) const noexcept {
     if (failures == 0) return 0;
+    const double cap = static_cast<double>(max_backoff_ns);
     double ns = static_cast<double>(initial_backoff_ns);
-    for (uint32_t i = 1; i < failures; ++i) ns *= backoff_multiplier;
-    return std::min(static_cast<uint64_t>(ns), max_backoff_ns);
+    for (uint32_t i = 1; i < failures && ns < cap; ++i) ns *= backoff_multiplier;
+    if (!(ns < cap)) return max_backoff_ns;  // also catches NaN/inf products
+    return static_cast<uint64_t>(ns);
   }
 
   static RetryPolicy Disabled() noexcept { return RetryPolicy{}; }

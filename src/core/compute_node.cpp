@@ -36,6 +36,8 @@ struct ComputeInstruments {
   telemetry::Counter* failovers;
   telemetry::Counter* replica_insert_acks;
   telemetry::Counter* replica_faa_acks;
+  telemetry::Counter* prefetch_waves;
+  telemetry::Counter* pipeline_overlap_ns;
   telemetry::ShardedCounter* sub_searches;
   telemetry::Histogram* batch_round_trips;
   telemetry::Histogram* batch_network_ns;
@@ -62,6 +64,8 @@ const ComputeInstruments& Compute() {
         r.GetCounter("dhnsw_compute_failovers_total"),
         r.GetCounter("dhnsw_replication_insert_acks_total"),
         r.GetCounter("dhnsw_replication_faa_acks_total"),
+        r.GetCounter("dhnsw_compute_prefetch_waves_total"),
+        r.GetCounter("dhnsw_compute_pipeline_overlap_ns_total"),
         r.GetShardedCounter("dhnsw_compute_sub_searches_total"),
         r.GetHistogram("dhnsw_compute_batch_round_trips"),
         r.GetHistogram("dhnsw_compute_batch_network_ns"),
@@ -96,6 +100,7 @@ BatchBreakdown& BatchBreakdown::operator+=(const BatchBreakdown& rhs) noexcept {
   failed_loads += rhs.failed_loads;
   backoff_ns += rhs.backoff_ns;
   failovers += rhs.failovers;
+  pipeline_overlap_ns += rhs.pipeline_overlap_ns;
   num_queries += rhs.num_queries;
   return *this;
 }
@@ -288,11 +293,14 @@ void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint
 
 Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
     uint32_t cluster, std::span<const uint8_t> bytes, uint64_t used_bytes,
-    double* deserialize_us) {
+    double* deserialize_us, bool traced) {
   const ClusterMeta& meta = table_[cluster];
   WallTimer timer;
-  telemetry::TraceScope decode_scope(trace_ctx_, "cluster.decode");
-  decode_scope.set_args(cluster, bytes.size());
+  std::optional<telemetry::TraceScope> decode_scope;
+  if (traced) {
+    decode_scope.emplace(trace_ctx_, "cluster.decode");
+    decode_scope->set_args(cluster, bytes.size());
+  }
 
   // For a backward (B-side) cluster the overflow records precede the blob;
   // for a forward cluster they follow it (possibly after alignment padding).
@@ -336,132 +344,162 @@ Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
   return LoadedClusterPtr(std::move(loaded));
 }
 
-Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
-                                 std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
-                                 BatchBreakdown* breakdown,
-                                 std::vector<FailedLoad>* failed) {
-  if (ids.empty()) return Status::Ok();
+uint32_t ComputeNode::DoorbellWindow() const noexcept {
+  return options_.mode == EngineMode::kFull ? std::max<uint32_t>(options_.doorbell_batch, 1)
+                                            : 1;
+}
 
-  std::vector<uint32_t> ordered(ids.begin(), ids.end());
-  for (uint32_t cluster : ordered) {
-    if (cluster >= table_.size()) return Status::InvalidArgument("LoadClusters: bad id");
+std::vector<ComputeNode::PendingLoad> ComputeNode::PostRoundReads(
+    std::vector<uint32_t>* remaining, const std::function<void()>& ring) {
+  // Stage buffers and post READs; ring per cluster (kNoDoorbell) or per
+  // doorbell chunk (kFull). A doorbell ring is a per-destination-QP batch,
+  // so loads are grouped by owning memory instance (node_slot) before
+  // chunking. The QP itself also enforces the doorbell window.
+  std::stable_sort(remaining->begin(), remaining->end(), [this](uint32_t a, uint32_t b) {
+    return table_[a].node_slot < table_[b].node_slot;
+  });
+
+  const uint32_t doorbell = DoorbellWindow();
+  std::vector<PendingLoad> pending;
+  pending.reserve(remaining->size());
+  uint32_t in_ring = 0;
+  uint32_t ring_slot = 0;
+  for (uint32_t cluster : *remaining) {
+    const ClusterMeta& meta = table_[cluster];
+    if (in_ring > 0 && meta.node_slot != ring_slot) {
+      ring();  // destination changed: close the previous batch
+      in_ring = 0;
+    }
+    ring_slot = meta.node_slot;
+    const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
+    pending.push_back(
+        PendingLoad{cluster, AlignedBuffer(range.length, 64), meta.overflow_used});
+    const SlotRoute route = RouteFor(meta.node_slot);
+    qp_.PostRead(route.rkey, range.offset, pending.back().buffer.span(), cluster,
+                 route.epoch);
+    if (++in_ring == doorbell) {
+      ring();
+      in_ring = 0;
+    }
   }
+  if (in_ring > 0) ring();
+  return pending;
+}
 
-  const uint32_t doorbell =
-      options_.mode == EngineMode::kFull ? std::max<uint32_t>(options_.doorbell_batch, 1) : 1;
-  qp_.set_max_doorbell_wrs(doorbell);
+std::vector<std::pair<uint32_t, Status>> ComputeNode::DrainReadErrors() {
+  // Drain the whole CQ before acting on errors — leaving stale completions
+  // behind would poison the next batch. Each WR carries its cluster id, so
+  // one failed READ never hides its siblings' outcomes.
+  std::vector<std::pair<uint32_t, Status>> read_errors;
+  rdma::Completion c;
+  while (qp_.PollCompletion(&c)) {
+    if (c.status != rdma::WcStatus::kSuccess) {
+      read_errors.emplace_back(static_cast<uint32_t>(c.wr_id),
+                               rdma::QueuePair::ToStatus(c));
+    }
+  }
+  return read_errors;
+}
 
+void ComputeNode::RecordLoadError(LoadRoundState* state, uint32_t cluster, Status st) {
+  for (auto& [id, s] : state->last_error) {
+    if (id == cluster) {
+      s = std::move(st);
+      return;
+    }
+  }
+  state->last_error.emplace_back(cluster, std::move(st));
+}
+
+void ComputeNode::ProcessLoadRound(
+    std::vector<PendingLoad>& pending,
+    const std::vector<std::pair<uint32_t, Status>>& read_errors,
+    std::vector<Result<LoadedClusterPtr>>* predecoded, LoadRoundState* state,
+    std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out, BatchBreakdown* breakdown,
+    std::vector<uint32_t>* next_round) {
+  auto fail_one = [&](uint32_t cluster, Status st) {
+    if (IsRetryable(st)) next_round->push_back(cluster);
+    RecordLoadError(state, cluster, std::move(st));
+  };
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    PendingLoad& load = pending[i];
+    const auto err = std::find_if(
+        read_errors.begin(), read_errors.end(),
+        [&load](const auto& e) { return e.first == load.cluster; });
+    if (err != read_errors.end()) {
+      fail_one(load.cluster, err->second);
+      continue;
+    }
+    Result<LoadedClusterPtr> loaded =
+        predecoded != nullptr
+            ? std::move((*predecoded)[i])
+            : DecodeLoaded(load.cluster, load.buffer.span(), load.used_bytes,
+                           &breakdown->deserialize_us);
+    if (!loaded.ok()) {
+      // A CRC/format mismatch on freshly read bytes is wire damage; a
+      // re-read fetches a clean copy. The damaged copy is NEVER cached.
+      fail_one(load.cluster, loaded.status());
+      continue;
+    }
+    if (predecoded != nullptr) {
+      // The real decode ran on the prefetch worker (untraced — the buffer is
+      // single-writer); this marker keeps per-cluster decode visibility in
+      // the deterministic trace stream.
+      trace_ctx_.Event("cluster.decode", telemetry::TraceEvent::kNoQuery, load.cluster,
+                       load.buffer.size());
+    }
+    breakdown->clusters_loaded += 1;
+    breakdown->bytes_read += load.buffer.size();
+    if (options_.mode != EngineMode::kNaive) {
+      cache_.Put(load.cluster, loaded.value());
+    }
+    out->emplace_back(load.cluster, std::move(loaded).value());
+  }
+}
+
+bool ComputeNode::AdvanceLoadRound(LoadRoundState* state,
+                                   const std::vector<uint32_t>& next_round,
+                                   BatchBreakdown* breakdown) {
+  uint64_t backoff = 0;
+  if (!state->budget.AllowRetry(++state->round_failures, &backoff)) return false;
+  breakdown->retries += next_round.size();
+  breakdown->backoff_ns += backoff;
+  trace_ctx_.Event("load.retry", telemetry::TraceEvent::kNoQuery, next_round.size(),
+                   backoff);
+  return true;
+}
+
+void ComputeNode::RunLoadRounds(LoadRoundState* state,
+                                std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                                BatchBreakdown* breakdown) {
+  qp_.set_max_doorbell_wrs(DoorbellWindow());
   // One round loads `remaining` and reports per-cluster outcomes; transient
   // failures (unreachable, timeout, CRC-detected corruption) go back into
   // `remaining` with FRESH buffers and are retried under the retry budget.
-  RetryBudget budget(options_.retry, &clock_);
-  uint32_t round_failures = 0;
-  std::vector<uint32_t> remaining = std::move(ordered);
-  // Sticky per-cluster last error, kept across rounds for final reporting.
-  std::vector<std::pair<uint32_t, Status>> last_error;
-
-  auto record_error = [&last_error](uint32_t cluster, Status st) {
-    for (auto& [id, s] : last_error) {
-      if (id == cluster) {
-        s = std::move(st);
-        return;
-      }
-    }
-    last_error.emplace_back(cluster, std::move(st));
-  };
-
-  while (!remaining.empty()) {
-    // Stage buffers and post READs; ring per cluster (kNoDoorbell) or per
-    // doorbell chunk (kFull). A doorbell ring is a per-destination-QP batch,
-    // so loads are grouped by owning memory instance (node_slot) before
-    // chunking. The QP itself also enforces the doorbell window.
-    std::stable_sort(remaining.begin(), remaining.end(), [this](uint32_t a, uint32_t b) {
-      return table_[a].node_slot < table_[b].node_slot;
-    });
-
-    std::vector<PendingLoad> pending;
-    pending.reserve(remaining.size());
-    uint32_t in_ring = 0;
-    uint32_t ring_slot = 0;
-    for (uint32_t cluster : remaining) {
-      const ClusterMeta& meta = table_[cluster];
-      if (in_ring > 0 && meta.node_slot != ring_slot) {
-        qp_.RingDoorbell();  // destination changed: close the previous batch
-        in_ring = 0;
-      }
-      ring_slot = meta.node_slot;
-      const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
-      pending.push_back(PendingLoad{cluster, AlignedBuffer(range.length, 64)});
-      const SlotRoute route = RouteFor(meta.node_slot);
-      qp_.PostRead(route.rkey, range.offset, pending.back().buffer.span(), cluster,
-                   route.epoch);
-      if (++in_ring == doorbell) {
-        qp_.RingDoorbell();
-        in_ring = 0;
-      }
-    }
-    if (in_ring > 0) qp_.RingDoorbell();
-
-    // Drain the whole CQ before acting on errors — leaving stale completions
-    // behind would poison the next batch. Each WR carries its cluster id, so
-    // one failed READ never hides its siblings' outcomes.
-    std::vector<std::pair<uint32_t, Status>> read_errors;
-    rdma::Completion c;
-    while (qp_.PollCompletion(&c)) {
-      if (c.status != rdma::WcStatus::kSuccess) {
-        read_errors.emplace_back(static_cast<uint32_t>(c.wr_id),
-                                 rdma::QueuePair::ToStatus(c));
-      }
-    }
+  while (!state->remaining.empty()) {
+    std::vector<PendingLoad> pending =
+        PostRoundReads(&state->remaining, [this] { qp_.RingDoorbell(); });
+    const std::vector<std::pair<uint32_t, Status>> read_errors = DrainReadErrors();
     // Unreachable/fenced loads are also failure-detector observations; once
     // enough rounds strike out, the slot fails over and the next round's
     // RouteFor resolves to the promoted replica at the bumped epoch.
     ReportLoadFailures(read_errors, breakdown);
 
     std::vector<uint32_t> next_round;
-    auto fail_one = [&](uint32_t cluster, Status st) {
-      if (IsRetryable(st)) next_round.push_back(cluster);
-      record_error(cluster, std::move(st));
-    };
-
-    for (PendingLoad& load : pending) {
-      const auto err = std::find_if(
-          read_errors.begin(), read_errors.end(),
-          [&load](const auto& e) { return e.first == load.cluster; });
-      if (err != read_errors.end()) {
-        fail_one(load.cluster, err->second);
-        continue;
-      }
-      const uint64_t used = table_[load.cluster].overflow_used;
-      Result<LoadedClusterPtr> loaded = DecodeLoaded(
-          load.cluster, load.buffer.span(), used, &breakdown->deserialize_us);
-      if (!loaded.ok()) {
-        // A CRC/format mismatch on freshly read bytes is wire damage; a
-        // re-read fetches a clean copy. The damaged copy is NEVER cached.
-        fail_one(load.cluster, loaded.status());
-        continue;
-      }
-      breakdown->clusters_loaded += 1;
-      breakdown->bytes_read += load.buffer.size();
-      if (options_.mode != EngineMode::kNaive) {
-        cache_.Put(load.cluster, loaded.value());
-      }
-      out->emplace_back(load.cluster, std::move(loaded).value());
-    }
-
+    ProcessLoadRound(pending, read_errors, nullptr, state, out, breakdown, &next_round);
     if (next_round.empty()) break;
-    uint64_t backoff = 0;
-    if (!budget.AllowRetry(++round_failures, &backoff)) break;
-    breakdown->retries += next_round.size();
-    breakdown->backoff_ns += backoff;
-    trace_ctx_.Event("load.retry", telemetry::TraceEvent::kNoQuery, next_round.size(),
-                     backoff);
-    remaining = std::move(next_round);
+    if (!AdvanceLoadRound(state, next_round, breakdown)) break;
+    state->remaining = std::move(next_round);
   }
+}
 
+Status ComputeNode::FinalizeLoads(
+    LoadRoundState* state, const std::vector<std::pair<uint32_t, LoadedClusterPtr>>& out,
+    BatchBreakdown* breakdown, std::vector<FailedLoad>* failed) {
   // Whatever still carries an error and is not resident was abandoned.
-  for (auto& [cluster, st] : last_error) {
-    const bool resident = std::any_of(out->begin(), out->end(),
+  for (auto& [cluster, st] : state->last_error) {
+    const bool resident = std::any_of(out.begin(), out.end(),
                                       [c = cluster](const auto& p) { return p.first == c; });
     if (resident) continue;
     breakdown->failed_loads += 1;
@@ -469,6 +507,140 @@ Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
     failed->push_back(FailedLoad{cluster, std::move(st)});
   }
   return Status::Ok();
+}
+
+Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
+                                 std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                                 BatchBreakdown* breakdown,
+                                 std::vector<FailedLoad>* failed) {
+  if (ids.empty()) return Status::Ok();
+  for (uint32_t cluster : ids) {
+    if (cluster >= table_.size()) return Status::InvalidArgument("LoadClusters: bad id");
+  }
+  LoadRoundState state(options_.retry, &clock_);
+  state.remaining.assign(ids.begin(), ids.end());
+  RunLoadRounds(&state, out, breakdown);
+  return FinalizeLoads(&state, *out, breakdown, failed);
+}
+
+ThreadPool* ComputeNode::SearchPool() {
+  const size_t want = std::max<size_t>(options_.search_threads, 1);
+  if (search_pool_ == nullptr || search_pool_->num_threads() != want) {
+    search_pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return search_pool_.get();
+}
+
+ThreadPool* ComputeNode::PrefetchPool() {
+  if (prefetch_pool_ == nullptr) prefetch_pool_ = std::make_unique<ThreadPool>(1);
+  return prefetch_pool_.get();
+}
+
+std::unique_ptr<ComputeNode::WaveLoadState> ComputeNode::IssueWaveLoads(
+    const LoadWave& wave, const std::vector<uint8_t>* load_wanted, bool pipelined,
+    BatchBreakdown* breakdown) {
+  auto state = std::make_unique<WaveLoadState>();
+  uint64_t resident_skips = 0;
+  for (uint32_t cluster : wave.to_load) {
+    if (load_wanted != nullptr && !(*load_wanted)[cluster]) {
+      ++breakdown->pruned_loads;
+      continue;
+    }
+    if (!cache_.Contains(cluster)) {
+      state->to_load.push_back(cluster);
+      trace_ctx_.Event("cache.miss", telemetry::TraceEvent::kNoQuery, cluster);
+    } else {
+      ++resident_skips;  // became resident since the plan (counts as a hit)
+    }
+  }
+  Compute().cache_miss_clusters->Add(state->to_load.size());
+  Compute().cache_hit_clusters->Add(resident_skips);
+  if (!pipelined || state->to_load.empty()) return state;
+
+  // Pipelined path: post this wave's READs NOW and hand them to the prefetch
+  // worker; they drain (data movement + fault evaluation + decode) while the
+  // previous wave's sub-searches run. All sim-clock/stats accounting is
+  // deferred to the reap, so the fabric-visible op sequence — and with it
+  // every fault decision, retry, and simulated timestamp — is identical to
+  // the blocking path. The span is sim-instantaneous (posting advances no
+  // simulated time), keeping the exact stage/batch sim coverage invariant.
+  telemetry::TraceScope prefetch_scope(trace_ctx_, "stage.prefetch");
+  state->async = true;
+  qp_.set_max_doorbell_wrs(DoorbellWindow());
+  state->pending = PostRoundReads(&state->to_load, [this] { qp_.StageAsyncRing(); });
+  state->batch = qp_.TakeAsyncBatch();
+  prefetch_scope.set_args(state->to_load.size(),
+                          state->batch != nullptr ? state->batch->num_wrs() : 0);
+  state->decoded.reserve(state->pending.size());
+  for (size_t i = 0; i < state->pending.size(); ++i) {
+    state->decoded.emplace_back(Status::Internal("prefetch: read failed before decode"));
+  }
+  Compute().prefetch_waves->Add(1);
+
+  WaveLoadState* raw = state.get();
+  state->done = PrefetchPool()->Submit([this, raw] {
+    WallTimer worker_timer;
+    qp_.ExecuteAsyncBatch(raw->batch.get());
+    const std::span<const rdma::Completion> comps = raw->batch->completions();
+    for (size_t i = 0; i < raw->pending.size(); ++i) {
+      if (comps[i].status != rdma::WcStatus::kSuccess) continue;
+      raw->decoded[i] = DecodeLoaded(raw->pending[i].cluster, raw->pending[i].buffer.span(),
+                                     raw->pending[i].used_bytes, &raw->deserialize_us,
+                                     /*traced=*/false);
+    }
+    raw->worker_busy_ns = worker_timer.elapsed_ns();
+  });
+  return state;
+}
+
+Status ComputeNode::ReapWaveLoads(WaveLoadState* wave_load,
+                                  std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                                  BatchBreakdown* breakdown,
+                                  std::vector<FailedLoad>* failed) {
+  if (!wave_load->async) return LoadClusters(wave_load->to_load, out, breakdown, failed);
+
+  // Join the prefetch worker; whatever of its busy time we did NOT spend
+  // waiting here ran concurrently with the previous wave's sub-searches.
+  WallTimer wait_timer;
+  wave_load->done.get();
+  wave_load->async = false;  // consumed: AbandonPrefetch must not re-join/re-reap
+  const uint64_t wait_ns = wait_timer.elapsed_ns();
+  const uint64_t overlap_ns =
+      wave_load->worker_busy_ns > wait_ns ? wave_load->worker_busy_ns - wait_ns : 0;
+  breakdown->pipeline_overlap_ns += overlap_ns;
+  Compute().pipeline_overlap_ns->Add(overlap_ns);
+
+  // Budget starts before the deferred charge lands, mirroring the blocking
+  // path where RetryBudget is constructed before round 1's network time.
+  LoadRoundState state(options_.retry, &clock_);
+  qp_.ReapAsyncBatch(wave_load->batch.get());
+  const std::vector<std::pair<uint32_t, Status>> read_errors = DrainReadErrors();
+  ReportLoadFailures(read_errors, breakdown);
+
+  std::vector<uint32_t> next_round;
+  ProcessLoadRound(wave_load->pending, read_errors, &wave_load->decoded, &state, out,
+                   breakdown, &next_round);
+  breakdown->deserialize_us += wave_load->deserialize_us;
+  // Rounds >= 2 (transient faults on prefetched clusters) run blocking, on
+  // the shared retry machinery — backoff, failover reporting, and abandoned-
+  // load semantics are exactly those of the sequential path.
+  if (!next_round.empty() && AdvanceLoadRound(&state, next_round, breakdown)) {
+    state.remaining = std::move(next_round);
+    RunLoadRounds(&state, out, breakdown);
+  }
+  return FinalizeLoads(&state, *out, breakdown, failed);
+}
+
+void ComputeNode::AbandonPrefetch(WaveLoadState* wave_load) {
+  if (wave_load == nullptr || !wave_load->async) return;
+  if (wave_load->done.valid()) wave_load->done.get();
+  // Charge the posted round anyway (those READs did cross the fabric) and
+  // drop its completions: the batch is failing, nothing will consume them,
+  // and the next batch must find an empty CQ.
+  qp_.ReapAsyncBatch(wave_load->batch.get());
+  rdma::Completion c;
+  while (qp_.PollCompletion(&c)) {
+  }
 }
 
 Status ComputeNode::NaiveSearch(const VectorSet& queries, size_t begin, size_t count,
@@ -607,41 +779,59 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
       return rd > prune * static_cast<double>(heap.worst());
     };
 
-    for (const LoadWave& wave : plan.waves) {
-      // Adaptive pruning: elide a cluster's load entirely when every query
-      // that wanted it already has a full top-k that its representative
-      // cannot beat (cf. learned early termination [12]).
-      std::vector<uint8_t> load_wanted(table_.size(), 0);
-      if (prune > 0.0) {
-        for (const WorkItem& item : wave.work) {
-          if (!prunable(item, heaps)) load_wanted[item.cluster] = 1;
-        }
+    // Pipelined wave execution: with pipeline_depth >= 2 (and pruning off —
+    // prune masks depend on heap state the previous wave has not produced
+    // yet), each wave's cluster READs are posted before the previous wave's
+    // sub-searches start, and drain + decode on the prefetch worker while
+    // those searches run. Issue/reap keeps all fabric accounting on this
+    // thread in the blocking path's exact order, so results, statuses, the
+    // cache, and the simulated timeline are bit-identical either way.
+    const bool pipelined = options_.pipeline_depth >= 2 && prune <= 0.0;
+
+    // Adaptive pruning: elide a cluster's load entirely when every query
+    // that wanted it already has a full top-k that its representative
+    // cannot beat (cf. learned early termination [12]).
+    std::vector<uint8_t> load_wanted;
+    auto wanted_for = [&](const LoadWave& wave) -> const std::vector<uint8_t>* {
+      if (prune <= 0.0) return nullptr;
+      load_wanted.assign(table_.size(), 0);
+      for (const WorkItem& item : wave.work) {
+        if (!prunable(item, heaps)) load_wanted[item.cluster] = 1;
+      }
+      return &load_wanted;
+    };
+
+    std::unique_ptr<WaveLoadState> inflight;
+    // A failing batch must not leave a posted-but-unreaped prefetch on the
+    // QP: the next batch would inherit its WRs and completions.
+    struct InflightDrain {
+      ComputeNode* node;
+      std::unique_ptr<WaveLoadState>* inflight;
+      ~InflightDrain() {
+        if (*inflight != nullptr) node->AbandonPrefetch(inflight->get());
+      }
+    } drain_guard{this, &inflight};
+
+    for (size_t wv = 0; wv < plan.waves.size(); ++wv) {
+      const LoadWave& wave = plan.waves[wv];
+      if (inflight == nullptr) {
+        inflight = IssueWaveLoads(wave, wanted_for(wave), pipelined, &result.breakdown);
       }
 
       // Resident set for this wave: cache hits or fresh loads.
       std::vector<std::pair<uint32_t, LoadedClusterPtr>> fresh;
-      std::vector<uint32_t> to_load;
-      uint64_t resident_skips = 0;
-      for (uint32_t cluster : wave.to_load) {
-        if (prune > 0.0 && !load_wanted[cluster]) {
-          ++result.breakdown.pruned_loads;
-          continue;
-        }
-        if (!cache_.Contains(cluster)) {
-          to_load.push_back(cluster);
-          trace_ctx_.Event("cache.miss", telemetry::TraceEvent::kNoQuery, cluster);
-        } else {
-          ++resident_skips;  // became resident since the plan (counts as a hit)
-        }
-      }
-      Compute().cache_miss_clusters->Add(to_load.size());
-      Compute().cache_hit_clusters->Add(resident_skips);
       std::vector<FailedLoad> failures;
       {
         telemetry::TraceScope load_scope(trace_ctx_, "stage.load");
-        load_scope.set_args(to_load.size(), wave.work.size());
-        DHNSW_RETURN_IF_ERROR(LoadClusters(to_load, &fresh, &result.breakdown,
-                                           options_.partial_results ? &failures : nullptr));
+        load_scope.set_args(inflight->to_load.size(), wave.work.size());
+        DHNSW_RETURN_IF_ERROR(ReapWaveLoads(inflight.get(), &fresh, &result.breakdown,
+                                            options_.partial_results ? &failures : nullptr));
+      }
+      inflight.reset();
+      // One wave ahead (double-buffered): the next wave's misses post now and
+      // drain on the prefetch worker while this wave's sub-searches run.
+      if (pipelined && wv + 1 < plan.waves.size()) {
+        inflight = IssueWaveLoads(plan.waves[wv + 1], nullptr, true, &result.breakdown);
       }
       // Graceful degradation: a permanently failed cluster poisons only the
       // queries routed to it — they keep candidates from their other
@@ -661,13 +851,29 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
         return std::any_of(failures.begin(), failures.end(),
                            [cluster](const FailedLoad& fl) { return fl.cluster == cluster; });
       };
-      auto resident = [&](uint32_t cluster) -> const LoadedCluster* {
-        for (const auto& [id, ptr] : fresh) {
-          if (id == cluster) return ptr.get();
-        }
-        LoadedClusterPtr* hit = cache_.Get(cluster);
-        return hit == nullptr ? nullptr : hit->get();
-      };
+
+      // Wave-local resident map, built once on the owner thread: O(1) lookup
+      // per work item instead of a linear scan over `fresh`, and exactly one
+      // cache probe per unique cluster. This also fixes a latent race — the
+      // old per-item lookup called cache_.Get (which splices the recency
+      // list) from pool workers. `fresh` holds shared_ptrs for the duration
+      // of the wave, so entries stay alive even if the cache evicts them.
+      wave_resident_.assign(table_.size(), nullptr);
+      wave_probed_.assign(table_.size(), 0);
+      for (const auto& [id, ptr] : fresh) {
+        wave_resident_[id] = ptr.get();
+        wave_probed_[id] = 1;
+      }
+      for (const WorkItem& item : wave.work) {
+        if (wave_probed_[item.cluster] != 0) continue;
+        // Pruned items never touched the cache before; keep it that way
+        // (prunable is monotone, so an item pruned now stays pruned).
+        if (prune > 0.0 && prunable(item, heaps)) continue;
+        wave_probed_[item.cluster] = 1;
+        if (failed_cluster(item.cluster)) continue;
+        LoadedClusterPtr* hit = cache_.Get(item.cluster);
+        wave_resident_[item.cluster] = hit == nullptr ? nullptr : hit->get();
+      }
 
       WallTimer sub_timer;
       telemetry::TraceScope sub_scope(trace_ctx_, "stage.sub");
@@ -678,14 +884,16 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
         // query ranges keeps each heap single-owner. The trace buffer is
         // single-writer, so only wave-level spans are recorded here;
         // per-work-item "query.sub" spans exist in the sequential path.
-        ThreadPool pool(options_.search_threads);
+        // The pool is node-owned and persistent: constructing one per wave
+        // spent a thread create/join cycle on every wave, a fixed cost that
+        // dwarfed small waves and made search_threads > 1 slower than 1.
         std::vector<size_t> starts;
         for (size_t w = 0; w < wave.work.size(); ++w) {
           if (w == 0 || wave.work[w].query_index != wave.work[w - 1].query_index) {
             starts.push_back(w);
           }
         }
-        pool.ParallelFor(starts.size(), [&](size_t s) {
+        SearchPool()->ParallelFor(starts.size(), [&](size_t s) {
           const size_t first = starts[s];
           const size_t last = s + 1 < starts.size() ? starts[s + 1] : wave.work.size();
           for (size_t w = first; w < last; ++w) {
@@ -695,7 +903,7 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
               continue;
             }
             if (failed_cluster(item.cluster)) continue;  // degraded, status set above
-            const LoadedCluster* cluster = resident(item.cluster);
+            const LoadedCluster* cluster = wave_resident_[item.cluster];
             if (cluster != nullptr) {
               Compute().sub_searches->Add(1);
               cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
@@ -710,7 +918,7 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
             continue;
           }
           if (failed_cluster(item.cluster)) continue;  // degraded, status set above
-          const LoadedCluster* cluster = resident(item.cluster);
+          const LoadedCluster* cluster = wave_resident_[item.cluster];
           if (cluster == nullptr) return Status::Internal("wave cluster not resident");
           telemetry::TraceScope item_scope(trace_ctx_, "query.sub",
                                            static_cast<uint32_t>(item.query_index));

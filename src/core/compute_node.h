@@ -13,11 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/thread_pool.h"
 #include "common/retry_policy.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -52,6 +55,19 @@ struct ComputeOptions {
   uint32_t doorbell_batch = 16;     ///< D: max READ WRs coalesced per ring
   uint32_t ef_meta = 32;            ///< ef for meta-HNSW routing
   size_t search_threads = 1;        ///< intra-instance search parallelism
+  /// Pipelined wave execution (DESIGN.md §10): 0/1 runs waves sequentially
+  /// (load wave N, then search it — the seed behaviour); >= 2 double-buffers
+  /// the executor — while wave N's sub-searches run, wave N+1's deduped
+  /// cluster READs are already posted and draining on the async QP path, and
+  /// are reaped when wave N finishes. The implementation keeps exactly one
+  /// wave in flight ahead (deeper depths are clamped to that). Results,
+  /// per-query statuses, cache contents, retry/fencing semantics, and the
+  /// simulated timeline are bit-identical to the sequential path
+  /// (tests/test_pipeline.cpp); only wall-clock time changes. Falls back to
+  /// sequential when adaptive_prune_factor > 0 (prune decisions depend on the
+  /// previous wave's heaps, so the next load set is not known in advance) and
+  /// in kNaive mode (no wave structure to overlap).
+  uint32_t pipeline_depth = 2;
   /// When true, overflow vectors are inserted into the decoded sub-HNSW at
   /// load time (CPU cost once per load) instead of being linearly scanned on
   /// every query against that cluster. Worth it once overflow grows.
@@ -97,6 +113,11 @@ struct BatchBreakdown {
   uint64_t failed_loads = 0;     ///< cluster loads abandoned after retries
   uint64_t backoff_ns = 0;       ///< simulated ns spent backing off
   uint64_t failovers = 0;        ///< replica failovers this batch triggered
+  /// Wall ns of prefetch work (wave N+1 READ draining + decode) that ran
+  /// concurrently with wave N's sub-searches instead of stalling the batch —
+  /// the observable win of pipeline_depth >= 2. Wall-clock derived: it never
+  /// feeds spans or the simulated timeline, which stay deterministic.
+  uint64_t pipeline_overlap_ns = 0;
   size_t num_queries = 0;
 
   BatchBreakdown& operator+=(const BatchBreakdown& rhs) noexcept;
@@ -235,13 +256,20 @@ class ComputeNode {
 
   /// Reads one cluster (blob + used overflow) into a fresh buffer and posts
   /// nothing — the caller controls doorbell grouping via `qp_.PostRead`.
+  /// `used_bytes` snapshots the cluster's overflow counter at post time so a
+  /// prefetch worker can decode without touching the (owner-thread) table.
   struct PendingLoad {
     uint32_t cluster;
     AlignedBuffer buffer;
+    uint64_t used_bytes = 0;
   };
 
+  /// `traced` = false suppresses the "cluster.decode" span: the prefetch
+  /// worker decodes off-thread and the trace buffer is single-writer; the
+  /// reap emits the deterministic marker event instead.
   Result<LoadedClusterPtr> DecodeLoaded(uint32_t cluster, std::span<const uint8_t> bytes,
-                                        uint64_t used_bytes, double* deserialize_us);
+                                        uint64_t used_bytes, double* deserialize_us,
+                                        bool traced = true);
 
   /// A cluster load abandoned after exhausting the retry budget.
   struct FailedLoad {
@@ -260,6 +288,96 @@ class ComputeNode {
                       std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
                       BatchBreakdown* breakdown,
                       std::vector<FailedLoad>* failed = nullptr);
+
+  /// Mutable state of one LoadClusters retry sequence. Shared between the
+  /// blocking path (RunLoadRounds drives every round) and the pipelined reap,
+  /// which consumes the prefetched round itself and hands rounds >= 2 to the
+  /// same machinery — so retry counting, backoff, failover reporting, and
+  /// final error attribution are one code path regardless of executor.
+  struct LoadRoundState {
+    LoadRoundState(const RetryPolicy& policy, SimClock* clock) : budget(policy, clock) {}
+    RetryBudget budget;
+    uint32_t round_failures = 0;
+    std::vector<uint32_t> remaining;
+    /// Sticky per-cluster last error, kept across rounds for final reporting.
+    std::vector<std::pair<uint32_t, Status>> last_error;
+  };
+
+  /// One wave's cluster loads: the post-cache-check miss list, plus — on the
+  /// pipelined path — the posted async batch and the prefetch worker's
+  /// outputs. Heap-allocated so the worker can hold a stable pointer.
+  struct WaveLoadState {
+    std::vector<uint32_t> to_load;  ///< cache misses, sorted by node slot once posted
+    bool async = false;
+    // --- pipelined prefetch only ---
+    std::vector<PendingLoad> pending;             ///< posted order
+    std::unique_ptr<rdma::AsyncBatch> batch;
+    std::vector<Result<LoadedClusterPtr>> decoded;  ///< aligned with pending
+    double deserialize_us = 0.0;
+    uint64_t worker_busy_ns = 0;  ///< wall ns the worker spent (execute + decode)
+    std::future<void> done;
+  };
+
+  /// kFull coalesces `doorbell_batch` READs per ring; other modes ring singly.
+  uint32_t DoorbellWindow() const noexcept;
+  /// Sorts `remaining` by owning node slot, stages buffers, posts the READs,
+  /// and invokes `ring` exactly where the doorbell closes (destination change
+  /// / window full / end) — RingDoorbell on the blocking path, StageAsyncRing
+  /// on the async one, so both produce the same WR/ring sequence.
+  std::vector<PendingLoad> PostRoundReads(std::vector<uint32_t>* remaining,
+                                          const std::function<void()>& ring);
+  /// Drains the CQ, returning (cluster, status) for every failed READ.
+  std::vector<std::pair<uint32_t, Status>> DrainReadErrors();
+  void RecordLoadError(LoadRoundState* state, uint32_t cluster, Status st);
+  /// Decodes/installs one executed round. `predecoded` non-null supplies the
+  /// prefetch worker's decode results (aligned with `pending`); null decodes
+  /// inline. Retryable failures land in `next_round`.
+  void ProcessLoadRound(std::vector<PendingLoad>& pending,
+                        const std::vector<std::pair<uint32_t, Status>>& read_errors,
+                        std::vector<Result<LoadedClusterPtr>>* predecoded,
+                        LoadRoundState* state,
+                        std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                        BatchBreakdown* breakdown, std::vector<uint32_t>* next_round);
+  /// Retry gate after a failed round: consumes budget, charges backoff, and
+  /// records the accounting/trace event. False = give up (errors stand).
+  bool AdvanceLoadRound(LoadRoundState* state, const std::vector<uint32_t>& next_round,
+                        BatchBreakdown* breakdown);
+  /// Runs post/ring/drain/process rounds until `state->remaining` is empty or
+  /// the retry budget refuses.
+  void RunLoadRounds(LoadRoundState* state,
+                     std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                     BatchBreakdown* breakdown);
+  /// Final error attribution: abandoned clusters either fail the call (strict
+  /// mode, `failed` null) or are reported for per-query degradation.
+  Status FinalizeLoads(LoadRoundState* state,
+                       const std::vector<std::pair<uint32_t, LoadedClusterPtr>>& out,
+                       BatchBreakdown* breakdown, std::vector<FailedLoad>* failed);
+
+  /// Computes a wave's miss list (cache checks + hit/miss accounting) and, on
+  /// the pipelined path, posts its READs and hands the batch to the prefetch
+  /// worker under a "stage.prefetch" span. `load_wanted` (nullable) is the
+  /// adaptive-prune elision mask — sequential executor only.
+  std::unique_ptr<WaveLoadState> IssueWaveLoads(const LoadWave& wave,
+                                                const std::vector<uint8_t>* load_wanted,
+                                                bool pipelined, BatchBreakdown* breakdown);
+  /// Blocks until the wave's loads are resident (or abandoned): joins the
+  /// prefetch worker and performs the deferred sim/stats accounting, or runs
+  /// the whole blocking load when the wave was not issued asynchronously.
+  /// Retry rounds after a prefetched round run synchronously right here, so
+  /// recovery semantics match the blocking path exactly.
+  Status ReapWaveLoads(WaveLoadState* wave_load,
+                       std::vector<std::pair<uint32_t, LoadedClusterPtr>>* out,
+                       BatchBreakdown* breakdown, std::vector<FailedLoad>* failed);
+  /// Early-exit cleanup: joins + reaps an in-flight prefetch whose results
+  /// will never be consumed, keeping the QP/CQ consistent for the next batch.
+  void AbandonPrefetch(WaveLoadState* wave_load);
+
+  /// Persistent worker pools (lazily built; the search pool is rebuilt when
+  /// options_.search_threads changes). Constructing a ThreadPool per wave
+  /// cost ~50-100us of thread spawn/join per wave — a latency cliff for
+  /// search_threads > 1 on small waves; these amortize it to once per node.
+  ThreadPool* SearchPool();
+  ThreadPool* PrefetchPool();
 
   /// Runs `fn` (returning Status) under options_.retry: transient errors are
   /// retried with backoff charged to the clock; the last error is returned
@@ -336,6 +454,15 @@ class ComputeNode {
   std::vector<ClusterMeta> table_;
   std::optional<MetaHnsw> meta_;
   LruCache<uint32_t, LoadedClusterPtr> cache_;
+
+  /// Wave-local O(1) resident map (cluster id -> resident decoded cluster),
+  /// rebuilt per wave on the owner thread; sub-search workers only read it.
+  /// Replaces the old per-work-item linear scan + LruCache::Get, which both
+  /// cost O(work x fresh) and raced the LRU recency splice from pool threads.
+  std::vector<const LoadedCluster*> wave_resident_;
+  std::vector<uint8_t> wave_probed_;  ///< clusters already looked up this wave
+  std::unique_ptr<ThreadPool> search_pool_;
+  std::unique_ptr<ThreadPool> prefetch_pool_;  ///< 1 thread: drains + decodes prefetches
 
   telemetry::TraceBuffer trace_buffer_;
   /// Stamps spans with clock_; qp_ holds a pointer to it, so the batch id set

@@ -1,6 +1,7 @@
 #include "rdma/queue_pair.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "telemetry/metrics.h"
@@ -99,7 +100,8 @@ void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, ui
       .expected_epoch = expected_epoch});
 }
 
-Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
+Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns,
+                                 uint64_t* injected_faults) {
   Completion c;
   c.wr_id = wr.wr_id;
   c.opcode = wr.opcode;
@@ -127,7 +129,7 @@ Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
   if (injector_ != nullptr) {
     fault = injector_->Evaluate(owner.value(), wr);
     if (fault.fired) {
-      ++stats_.injected_faults;
+      ++*injected_faults;
       *extra_ns += fault.extra_ns;
       if (fault.kind == FaultKind::kUnreachable) {
         c.status = WcStatus::kRemoteUnreachable;
@@ -200,60 +202,47 @@ Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns) {
   return c;
 }
 
-uint32_t QueuePair::RingDoorbell() {
-  if (send_queue_.empty()) return 0;
-  RefreshInjector();
-
-  const QpStats before = stats_;
-  uint32_t rings = 0;
-  size_t begin = 0;
-  while (begin < send_queue_.size()) {
-    const size_t end = std::min(send_queue_.size(),
-                                begin + static_cast<size_t>(max_doorbell_wrs_));
-    const uint64_t ring_sim_start = trace_ != nullptr ? trace_->now_ns() : 0;
-    BatchShape shape;
-    uint64_t extra_ns = 0;
-    for (size_t i = begin; i < end; ++i) {
-      const WorkRequest& wr = send_queue_[i];
-      Completion c = ExecuteOne(wr, &extra_ns);
-      completion_queue_.push_back(c);
-
-      ++shape.num_wrs;
-      ++stats_.work_requests;
-      switch (wr.opcode) {
-        case Opcode::kRead:
-          ++stats_.reads;
-          if (c.status == WcStatus::kSuccess) stats_.bytes_read += c.byte_len;
-          shape.payload_bytes += wr.local.size();
-          break;
-        case Opcode::kWrite:
-          ++stats_.writes;
-          if (c.status == WcStatus::kSuccess) stats_.bytes_written += c.byte_len;
-          shape.payload_bytes += wr.local.size();
-          break;
-        case Opcode::kCompareSwap:
-        case Opcode::kFetchAdd:
-          ++stats_.atomics;
-          ++shape.num_atomics;
-          shape.payload_bytes += 8;
-          break;
-      }
-    }
-    const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape) + extra_ns;
-    if (clock_ != nullptr) clock_->Advance(cost_ns);
-    stats_.sim_network_ns += cost_ns;
-    ++stats_.round_trips;
-    ++rings;
-    begin = end;
-    Rdma().ring_wrs->Record(shape.num_wrs);
-    if (trace_ != nullptr && trace_->enabled()) {
-      trace_->buffer->Append(telemetry::TraceEvent{
-          "rdma.ring", trace_->batch, telemetry::TraceEvent::kNoQuery, ring_sim_start,
-          trace_->now_ns(), 0, shape.num_wrs, shape.payload_bytes});
+void QueuePair::AccountRing(std::span<const WorkRequest> wrs,
+                            std::span<const Completion> completions, uint64_t extra_ns) {
+  const uint64_t ring_sim_start = trace_ != nullptr ? trace_->now_ns() : 0;
+  BatchShape shape;
+  for (size_t i = 0; i < wrs.size(); ++i) {
+    const WorkRequest& wr = wrs[i];
+    const Completion& c = completions[i];
+    ++shape.num_wrs;
+    ++stats_.work_requests;
+    switch (wr.opcode) {
+      case Opcode::kRead:
+        ++stats_.reads;
+        if (c.status == WcStatus::kSuccess) stats_.bytes_read += c.byte_len;
+        shape.payload_bytes += wr.local.size();
+        break;
+      case Opcode::kWrite:
+        ++stats_.writes;
+        if (c.status == WcStatus::kSuccess) stats_.bytes_written += c.byte_len;
+        shape.payload_bytes += wr.local.size();
+        break;
+      case Opcode::kCompareSwap:
+      case Opcode::kFetchAdd:
+        ++stats_.atomics;
+        ++shape.num_atomics;
+        shape.payload_bytes += 8;
+        break;
     }
   }
-  send_queue_.clear();
+  const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape) + extra_ns;
+  if (clock_ != nullptr) clock_->Advance(cost_ns);
+  stats_.sim_network_ns += cost_ns;
+  ++stats_.round_trips;
+  Rdma().ring_wrs->Record(shape.num_wrs);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->buffer->Append(telemetry::TraceEvent{
+        "rdma.ring", trace_->batch, telemetry::TraceEvent::kNoQuery, ring_sim_start,
+        trace_->now_ns(), 0, shape.num_wrs, shape.payload_bytes});
+  }
+}
 
+void QueuePair::MirrorStatsDelta(const QpStats& before) {
   const RdmaInstruments& rdma = Rdma();
   rdma.round_trips->Add(stats_.round_trips - before.round_trips);
   rdma.work_requests->Add(stats_.work_requests - before.work_requests);
@@ -264,6 +253,92 @@ uint32_t QueuePair::RingDoorbell() {
   rdma.bytes_written->Add(stats_.bytes_written - before.bytes_written);
   rdma.sim_network_ns->Add(stats_.sim_network_ns - before.sim_network_ns);
   rdma.injected_faults->Add(stats_.injected_faults - before.injected_faults);
+}
+
+uint32_t QueuePair::RingDoorbell() {
+  if (send_queue_.empty()) return 0;
+  RefreshInjector();
+
+  const QpStats before = stats_;
+  uint32_t rings = 0;
+  size_t begin = 0;
+  // Scratch kept per-call (not per-chunk): one execute pass fills it, then the
+  // chunk is accounted and its completions land in the CQ.
+  std::vector<Completion> chunk_completions;
+  while (begin < send_queue_.size()) {
+    const size_t end = std::min(send_queue_.size(),
+                                begin + static_cast<size_t>(max_doorbell_wrs_));
+    chunk_completions.clear();
+    uint64_t extra_ns = 0;
+    for (size_t i = begin; i < end; ++i) {
+      chunk_completions.push_back(
+          ExecuteOne(send_queue_[i], &extra_ns, &stats_.injected_faults));
+    }
+    AccountRing({send_queue_.data() + begin, end - begin}, chunk_completions, extra_ns);
+    completion_queue_.insert(completion_queue_.end(), chunk_completions.begin(),
+                             chunk_completions.end());
+    ++rings;
+    begin = end;
+  }
+  send_queue_.clear();
+  MirrorStatsDelta(before);
+  return rings;
+}
+
+void QueuePair::StageAsyncRing() {
+  if (send_queue_.empty()) return;
+  if (async_staging_ == nullptr) async_staging_ = std::make_unique<AsyncBatch>();
+  AsyncBatch& batch = *async_staging_;
+  const size_t begin = batch.wrs_.size();
+  batch.wrs_.insert(batch.wrs_.end(), send_queue_.begin(), send_queue_.end());
+  batch.groups_.push_back(AsyncBatch::RingGroup{begin, batch.wrs_.size()});
+  send_queue_.clear();
+}
+
+std::unique_ptr<AsyncBatch> QueuePair::TakeAsyncBatch() {
+  StageAsyncRing();  // pick up posted-but-unstaged WRs as a final group
+  if (async_staging_ == nullptr) return nullptr;
+  // Arm on the owner thread: the injector's decision stream depends only on
+  // this QP's WR sequence, so evaluating it later from a worker thread keeps
+  // the same deterministic outcomes the sync path would have produced.
+  RefreshInjector();
+  async_staging_->window_ = max_doorbell_wrs_;
+  return std::move(async_staging_);
+}
+
+void QueuePair::ExecuteAsyncBatch(AsyncBatch* batch) {
+  assert(batch != nullptr && !batch->executed_);
+  batch->completions_.reserve(batch->wrs_.size());
+  batch->extra_ns_.reserve(batch->wrs_.size());
+  for (const WorkRequest& wr : batch->wrs_) {
+    uint64_t extra = 0;
+    batch->completions_.push_back(ExecuteOne(wr, &extra, &batch->injected_faults_));
+    batch->extra_ns_.push_back(extra);
+  }
+  batch->executed_ = true;
+}
+
+uint32_t QueuePair::ReapAsyncBatch(AsyncBatch* batch) {
+  assert(batch != nullptr && batch->executed_);
+  const QpStats before = stats_;
+  uint32_t rings = 0;
+  for (const AsyncBatch::RingGroup& group : batch->groups_) {
+    size_t begin = group.begin;
+    while (begin < group.end) {
+      const size_t end =
+          std::min(group.end, begin + static_cast<size_t>(batch->window_));
+      uint64_t extra_ns = 0;
+      for (size_t i = begin; i < end; ++i) extra_ns += batch->extra_ns_[i];
+      AccountRing({batch->wrs_.data() + begin, end - begin},
+                  {batch->completions_.data() + begin, end - begin}, extra_ns);
+      completion_queue_.insert(completion_queue_.end(), batch->completions_.begin() + begin,
+                               batch->completions_.begin() + end);
+      ++rings;
+      begin = end;
+    }
+  }
+  stats_.injected_faults += batch->injected_faults_;
+  MirrorStatsDelta(before);
   return rings;
 }
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "core/engine.h"
 #include "dataset/synthetic.h"
 #include "rdma/fault_injection.h"
@@ -42,6 +43,37 @@ std::vector<uint32_t> ClustersOnSlot(const DhnswEngine& engine, uint32_t slot) {
     if (plan.entries[c].node_slot == slot) out.push_back(c);
   }
   return out;
+}
+
+// Regression: BackoffNs used to compute pow(multiplier, failures - 1) in the
+// double domain and cast to uint64_t BEFORE clamping. With a large attempt
+// budget the product overflows the uint64_t range and the cast is undefined
+// behaviour (it produced 0 on x86-64, silently erasing the backoff). The clamp
+// must happen while the value is still a double.
+TEST(FaultRecoveryTest, BackoffClampsInDoubleDomainUnderLargeAttemptBudgets) {
+  RetryPolicy policy;
+  policy.max_attempts = 64;
+  policy.initial_backoff_ns = 1000;
+  policy.backoff_multiplier = 10.0;  // 1000 * 10^63 >> 2^64
+  policy.max_backoff_ns = 5'000'000;
+  EXPECT_EQ(policy.BackoffNs(0), 0u);
+  EXPECT_EQ(policy.BackoffNs(1), 1000u);
+  EXPECT_EQ(policy.BackoffNs(2), 10'000u);
+  for (uint32_t f = 5; f <= 64; ++f) {
+    EXPECT_EQ(policy.BackoffNs(f), policy.max_backoff_ns) << "failures=" << f;
+  }
+  // Far beyond the attempt budget the value must still be the clamp, never a
+  // wrapped/UB cast result.
+  EXPECT_EQ(policy.BackoffNs(200), policy.max_backoff_ns);
+  EXPECT_EQ(policy.BackoffNs(4096), policy.max_backoff_ns);
+
+  // Monotone non-decreasing up to the clamp.
+  uint64_t prev = 0;
+  for (uint32_t f = 1; f <= 64; ++f) {
+    const uint64_t ns = policy.BackoffNs(f);
+    EXPECT_GE(ns, prev);
+    prev = ns;
+  }
 }
 
 TEST(FaultRecoveryTest, MidBatchNodeFailureIsIdenticalAcrossModes) {

@@ -123,6 +123,44 @@ TEST(LruCacheTest, SetCapacityShrinksAndEvicts) {
   EXPECT_TRUE(cache.Contains(3));
 }
 
+TEST(LruCacheTest, ShrinkWhilePinnedDefersEvictionToUnpin) {
+  LruCache<int, int> cache(4);
+  for (int i = 0; i < 4; ++i) cache.Put(i, i);  // LRU order: 0,1,2,3 (0 oldest)
+  ASSERT_TRUE(cache.Pin(1));
+  ASSERT_TRUE(cache.Pin(2));
+  cache.set_capacity(1);
+  // Contract: size may exceed the new capacity only by the pinned count.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.size(), cache.capacity() + 2);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  // Releasing a pin completes the deferred shrink: the now-unpinned LRU
+  // entry goes, without waiting for the next Put.
+  EXPECT_TRUE(cache.Unpin(2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  // Size is back within capacity, so the last unpin evicts nothing.
+  EXPECT_TRUE(cache.Unpin(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, EvictToCapacityTerminatesWhenAllPinned) {
+  LruCache<int, int> cache(8);
+  for (int i = 0; i < 8; ++i) {
+    cache.Put(i, i);
+    ASSERT_TRUE(cache.Pin(i));
+  }
+  // Nothing is evictable: the scan must finish after one pass over the
+  // recency list instead of spinning, leaving every pinned entry resident.
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.size(), 8u);
+  // Each unpin drains one more entry toward the (zero) capacity.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(cache.Unpin(i));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(LruCacheTest, StatsCountHitsAndMisses) {
   LruCache<int, int> cache(2);
   cache.Put(1, 10);
