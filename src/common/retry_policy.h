@@ -71,6 +71,13 @@ inline bool IsRetryable(const Status& st) noexcept { return IsRetryable(st.code(
 
 /// Tracks attempts + deadline for one logical operation. Charges backoff to
 /// the clock (nullptr clock = accounting skipped, decisions unchanged).
+///
+/// The clock MUST be the one owned by the instance running the operation
+/// (each ComputeNode constructs budgets against its own SimClock, and the
+/// ReplicaManager against its own): a clock shared across concurrent
+/// instances would charge every instance's backoff into every other's
+/// elapsed time, exhausting deadlines that were never actually spent.
+/// tests/test_scaleout.cpp's cross-inflation regression pins this down.
 class RetryBudget {
  public:
   RetryBudget(const RetryPolicy& policy, SimClock* clock) noexcept
@@ -84,9 +91,13 @@ class RetryBudget {
     if (backoff_out != nullptr) *backoff_out = 0;
     if (failures + 1 > policy_.max_attempts) return false;
     const uint64_t backoff = policy_.BackoffNs(failures);
-    if (policy_.deadline_ns > 0 && clock_ != nullptr &&
-        clock_->now_ns() - start_ns_ + backoff > policy_.deadline_ns) {
-      return false;
+    if (policy_.deadline_ns > 0 && clock_ != nullptr) {
+      // Saturating elapsed: a clock Reset() between construction and this
+      // check would otherwise wrap (now < start) to a huge unsigned elapsed
+      // and falsely exhaust the deadline forever.
+      const uint64_t now = clock_->now_ns();
+      const uint64_t elapsed = now >= start_ns_ ? now - start_ns_ : 0;
+      if (elapsed + backoff > policy_.deadline_ns) return false;
     }
     if (clock_ != nullptr) clock_->Advance(backoff);
     if (backoff_out != nullptr) *backoff_out = backoff;

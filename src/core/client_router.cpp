@@ -36,6 +36,66 @@ const RouterInstruments& Router() {
 Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t k,
                                                uint32_t ef_search,
                                                const RouterOptions& router_options) {
+  const size_t n = queries.size();
+  const size_t shards = std::min(pool_.size(), std::max<size_t>(n, 1));
+  const size_t per_shard = (n + shards - 1) / std::max<size_t>(shards, 1);
+
+  std::vector<ShardPlan> plan(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    plan[s].begin = s * per_shard;
+    plan[s].count = plan[s].begin >= n ? 0 : std::min(per_shard, n - plan[s].begin);
+  }
+  return RunShards(queries, k, ef_search, router_options, plan);
+}
+
+Result<RouterResult> ClientRouter::SearchBatchWeighted(const VectorSet& queries, size_t k,
+                                                       uint32_t ef_search,
+                                                       std::span<const uint64_t> outstanding,
+                                                       const RouterOptions& router_options) {
+  if (outstanding.size() != pool_.size()) {
+    return Status::InvalidArgument("router: outstanding size != pool size");
+  }
+  const size_t n = queries.size();
+  const size_t shards = pool_.size();
+  if (shards == 0) return Status::InvalidArgument("router: empty compute pool");
+
+  // Shard sizes proportional to 1/(1+outstanding), summed to exactly n via
+  // largest remainder (ties to the lowest index, keeping the plan a pure
+  // function of the inputs).
+  std::vector<double> weight(shards);
+  double total = 0.0;
+  for (size_t s = 0; s < shards; ++s) {
+    weight[s] = 1.0 / (1.0 + static_cast<double>(outstanding[s]));
+    total += weight[s];
+  }
+  std::vector<ShardPlan> plan(shards);
+  std::vector<std::pair<double, size_t>> remainder(shards);
+  size_t assigned = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const double ideal = static_cast<double>(n) * weight[s] / total;
+    plan[s].count = static_cast<size_t>(ideal);
+    assigned += plan[s].count;
+    remainder[s] = {ideal - static_cast<double>(plan[s].count), s};
+  }
+  std::sort(remainder.begin(), remainder.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (size_t i = 0; assigned < n; ++i, ++assigned) {
+    ++plan[remainder[i % shards].second].count;
+  }
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    plan[s].begin = begin;
+    begin += plan[s].count;
+  }
+  return RunShards(queries, k, ef_search, router_options, plan);
+}
+
+Result<RouterResult> ClientRouter::RunShards(const VectorSet& queries, size_t k,
+                                             uint32_t ef_search,
+                                             const RouterOptions& router_options,
+                                             const std::vector<ShardPlan>& plan) {
   if (pool_.empty()) return Status::InvalidArgument("router: empty compute pool");
   for (ComputeNode* node : pool_) {
     if (node == nullptr || !node->connected()) {
@@ -50,8 +110,7 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
   request_scope.set_args(queries.size(), k);
 
   const size_t n = queries.size();
-  const size_t shards = std::min(pool_.size(), std::max<size_t>(n, 1));
-  const size_t per_shard = (n + shards - 1) / std::max<size_t>(shards, 1);
+  const size_t shards = plan.size();
 
   struct Shard {
     size_t begin = 0;
@@ -60,8 +119,8 @@ Result<RouterResult> ClientRouter::SearchBatch(const VectorSet& queries, size_t 
   };
   std::vector<Shard> work(shards);
   for (size_t s = 0; s < shards; ++s) {
-    work[s].begin = s * per_shard;
-    work[s].count = work[s].begin >= n ? 0 : std::min(per_shard, n - work[s].begin);
+    work[s].begin = plan[s].begin;
+    work[s].count = plan[s].count;
   }
 
   auto run_shard = [this, &work, &queries, k, ef_search](size_t s) {

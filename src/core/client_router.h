@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -74,7 +75,28 @@ class ClientRouter {
   Result<RouterResult> SearchBatch(const VectorSet& queries, size_t k, uint32_t ef_search,
                                    const RouterOptions& router_options = {});
 
+  /// Load-aware sharding: shard sizes are proportional to 1/(1+outstanding),
+  /// where `outstanding[i]` is instance i's queued/inflight op count (the
+  /// ComputePool's live queue depths), distributed to exactly the query count
+  /// by largest remainder with ties to the lowest index. All-idle pools get
+  /// the even split; a backed-up instance gets proportionally fewer of this
+  /// batch's queries. `outstanding` must be pool-sized.
+  Result<RouterResult> SearchBatchWeighted(const VectorSet& queries, size_t k,
+                                           uint32_t ef_search,
+                                           std::span<const uint64_t> outstanding,
+                                           const RouterOptions& router_options = {});
+
  private:
+  struct ShardPlan {
+    size_t begin = 0;
+    size_t count = 0;
+  };
+  /// Shared execution tail: runs the planned contiguous shards on the pool
+  /// and merges results back into request order.
+  Result<RouterResult> RunShards(const VectorSet& queries, size_t k, uint32_t ef_search,
+                                 const RouterOptions& router_options,
+                                 const std::vector<ShardPlan>& plan);
+
   std::vector<ComputeNode*> pool_;
   RouterExecution execution_;
   telemetry::TraceBuffer* trace_buffer_ = nullptr;

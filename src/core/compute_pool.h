@@ -1,0 +1,231 @@
+// ComputePool: N ComputeNode instances served concurrently by worker threads
+// behind a front-end dispatcher with admission control (DESIGN.md §12).
+//
+// The paper's deployment is "multiple CPU instances sharing one memory pool"
+// behind a client load balancer; ClientRouter models the batch-sharding half
+// of that, and this class models the other half — a live pool where every
+// node has its own worker thread, a bounded FIFO queue, and an independent
+// op stream, so cache interference, overflow-FAA contention, and failover
+// under traffic actually happen concurrently.
+//
+// Two run modes:
+//   - kDrain: the dispatcher blocks when a queue is full (backpressure) and
+//     every op is admitted. With DispatchPolicy::kLeastAssigned the
+//     node assignment is a pure function of the op sequence, so the set of
+//     (node, op) executions — and therefore the state at quiescence — is
+//     deterministic. This is the differential-testing mode.
+//   - kPaced: the dispatcher releases ops at their schedule arrival_ns
+//     (open-loop). Admission control applies: a full node queue or a tenant
+//     over its inflight limit DROPS the op with kCapacity — the
+//     latency-under-load mode, where drops are the signal, not a bug.
+//
+// Determinism argument (kDrain + kLeastAssigned): assignment depends only on
+// cumulative per-node assigned counts (ties to the lowest index); each lane
+// is FIFO; each ComputeNode owns its clock/QP/cache, so a node's execution
+// is a pure function of its op subsequence. Cross-node effects go through
+// the shared memory region, where inserts allocate disjoint overflow slots
+// via remote FAA — the slot ORDER may interleave differently run to run, but
+// the record SET at quiescence is schedule-determined, which is why the
+// scale-out suite compares quiescence-time search results against a
+// single-node sequential oracle (tests/test_scaleout.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "core/client_router.h"
+#include "core/compute_node.h"
+#include "core/workload_gen.h"
+#include "telemetry/trace.h"
+
+namespace dhnsw {
+
+/// How the dispatcher picks a node for the next op.
+enum class DispatchPolicy : uint8_t {
+  /// Fewest ops assigned so far, ties to the lowest index. Load-aware in the
+  /// cumulative sense and a pure function of the op sequence — the only
+  /// policy that keeps kDrain runs deterministic.
+  kLeastAssigned = 0,
+  /// Fewest ops queued right now (live depth). Adapts to slow nodes under
+  /// paced load, but depends on wall-clock service times.
+  kLeastLoaded = 1,
+  kRoundRobin = 2,
+};
+
+struct AdmissionOptions {
+  /// Bound on each node's FIFO. kPaced drops on overflow; kDrain blocks.
+  size_t node_queue_capacity = 256;
+  /// Max ops a tenant may have admitted-but-unfinished across the pool
+  /// (kPaced only; kDrain admits everything). 0 = unlimited.
+  size_t tenant_inflight_limit = 64;
+};
+
+struct ComputePoolOptions {
+  DispatchPolicy dispatch = DispatchPolicy::kLeastAssigned;
+  AdmissionOptions admission;
+  /// Top-k and ef applied to every search op.
+  size_t k = 10;
+  uint32_t ef_search = 64;
+  /// Tenants the stats/limits arrays are sized for; ops with tenant >= this
+  /// are rejected with kInvalidArgument.
+  uint32_t num_tenants = 1;
+  /// Per-lane + dispatcher trace buffers (0 disables pool spans).
+  size_t trace_capacity = 0;
+};
+
+enum class PoolRunMode : uint8_t { kDrain = 0, kPaced = 1 };
+
+/// Terminal fate of one scheduled op. Every op gets exactly one.
+struct OpOutcome {
+  Status status = Status::Internal("op never completed");
+  std::vector<Scored> results;     ///< searches only
+  uint32_t node = UINT32_MAX;      ///< executing node, UINT32_MAX when dropped
+  bool dropped = false;            ///< refused at admission (status says why)
+  uint64_t queue_wall_ns = 0;      ///< admission -> execution start
+  uint64_t total_wall_ns = 0;      ///< admission -> completion (sojourn)
+};
+
+struct PoolRunStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed_ok = 0;
+  uint64_t failed = 0;  ///< executed but returned an error
+  uint64_t dropped_queue_full = 0;
+  uint64_t dropped_tenant_limit = 0;
+  uint64_t dropped_invalid = 0;
+  uint64_t searches = 0;  ///< executed (admitted) only
+  uint64_t inserts = 0;
+  double wall_seconds = 0.0;
+  double offered_qps = 0.0;   ///< submitted / schedule span (kPaced) or wall
+  double achieved_qps = 0.0;  ///< admitted completions / wall
+  /// Sojourn latency (queue wait + service) of admitted ops, microseconds.
+  LatencyRecorder latency_us;
+  std::vector<LatencyRecorder> per_tenant_latency_us;  ///< size num_tenants
+  std::vector<uint64_t> per_tenant_drops;              ///< size num_tenants
+  std::vector<uint64_t> per_node_ops;                  ///< size pool
+
+  uint64_t dropped() const noexcept {
+    return dropped_queue_full + dropped_tenant_limit + dropped_invalid;
+  }
+};
+
+class ComputePool {
+ public:
+  /// The pool does not own the nodes; all must be connected. Workers start
+  /// immediately and idle until Run().
+  ComputePool(std::vector<ComputeNode*> nodes, ComputePoolOptions options);
+  ~ComputePool();
+
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  size_t size() const noexcept { return lanes_.size(); }
+  const ComputePoolOptions& options() const noexcept { return options_; }
+
+  /// Executes the schedule. kDrain ignores arrival_ns and applies
+  /// backpressure; kPaced sleeps the dispatcher to each op's arrival_ns and
+  /// applies admission control. `outcomes` (optional) receives one terminal
+  /// OpOutcome per op, index-aligned with `ops`. One Run at a time.
+  PoolRunStats Run(std::span<const WorkloadOp> ops, PoolRunMode mode,
+                   std::vector<OpOutcome>* outcomes = nullptr);
+
+  /// Front-end batch search: shards `queries` over the pool via
+  /// ClientRouter::SearchBatchWeighted, weighting shards inversely to each
+  /// node's current queue depth so a backed-up node gets less synchronous
+  /// work. With idle queues this degenerates to the even split.
+  Result<RouterResult> SearchSharded(const VectorSet& queries, size_t k,
+                                     uint32_t ef_search,
+                                     const RouterOptions& router_options = {});
+
+  /// Live queue depth of node `i` (racy snapshot; exact once quiescent).
+  size_t queue_depth(size_t i) const noexcept {
+    return lanes_[i]->depth.load(std::memory_order_relaxed);
+  }
+
+  /// Pool-level spans: "pool.dispatch"/"pool.drop" events from the
+  /// dispatcher, "pool.op" spans from each lane's worker. Buffers are
+  /// single-writer; exports are wall-free-deterministic in kDrain mode with
+  /// kLeastAssigned (the byte-compare contract of the scale-out CI job).
+  void EnableTracing(size_t capacity);
+  void ClearTraces();
+  const telemetry::TraceBuffer& dispatch_trace() const noexcept { return dispatch_trace_; }
+  const telemetry::TraceBuffer& lane_trace(size_t i) const { return lanes_[i]->trace; }
+
+ private:
+  struct QueuedOp {
+    const WorkloadOp* op = nullptr;
+    size_t index = 0;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// One node's worker lane. Queue state is mutex-protected; the stats block
+  /// is worker-private during a run and read by Run() only after quiescence
+  /// (the completion handshake provides the happens-before edge).
+  struct Lane {
+    ComputeNode* node = nullptr;
+    uint32_t index = 0;
+    std::mutex mutex;
+    std::condition_variable cv_nonempty;  ///< dispatcher -> worker
+    std::condition_variable cv_room;      ///< worker -> blocked dispatcher
+    std::deque<QueuedOp> queue;
+    std::atomic<size_t> depth{0};
+    bool stop = false;
+    std::thread thread;
+
+    // Worker-private per-run accumulators (merged by Run() at quiescence).
+    uint64_t ops = 0, ok = 0, failed = 0, searches = 0, inserts = 0;
+    LatencyRecorder latency_us;
+    std::vector<LatencyRecorder> tenant_latency_us;
+    telemetry::TraceBuffer trace;
+    telemetry::Gauge* depth_gauge = nullptr;
+    telemetry::Counter* ops_counter = nullptr;
+  };
+
+  void WorkerLoop(Lane* lane);
+  void ExecuteOp(Lane* lane, const QueuedOp& item);
+  uint32_t PickNode(uint32_t tenant);
+  /// Records a dispatcher-side drop (kPaced admission refusals).
+  void DropOp(size_t index, uint32_t tenant, Status status, uint64_t* stat);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  ComputePoolOptions options_;
+  std::vector<uint64_t> assigned_;  ///< dispatcher-only cumulative counts
+  uint32_t round_robin_next_ = 0;
+  std::unique_ptr<std::atomic<int64_t>[]> tenant_inflight_;
+
+  // Per-run shared state (set by Run before dispatch, cleared after).
+  std::span<const WorkloadOp> run_ops_;
+  std::vector<OpOutcome>* run_outcomes_ = nullptr;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  size_t done_count_ = 0;   ///< guarded by done_mutex_
+  size_t done_target_ = 0;  ///< guarded by done_mutex_
+  bool run_active_ = false;
+
+  telemetry::TraceBuffer dispatch_trace_;
+  uint32_t run_seq_ = 0;
+
+  // Process-registry instruments (registered once per pool construction).
+  telemetry::Counter* ops_total_ = nullptr;
+  telemetry::Counter* admitted_total_ = nullptr;
+  telemetry::Counter* dropped_total_ = nullptr;
+  telemetry::Counter* dropped_queue_full_total_ = nullptr;
+  telemetry::Counter* dropped_tenant_limit_total_ = nullptr;
+  telemetry::Counter* failures_total_ = nullptr;
+  telemetry::Histogram* latency_us_hist_ = nullptr;
+  telemetry::Gauge* nodes_gauge_ = nullptr;
+  std::vector<telemetry::Counter*> tenant_drop_counters_;
+};
+
+}  // namespace dhnsw

@@ -69,6 +69,14 @@ class DhnswEngine {
 
   size_t num_compute_nodes() const noexcept { return computes_.size(); }
   ComputeNode& compute(size_t i = 0) { return *computes_[i]; }
+  /// Raw pointers to every compute instance, pool order — the constructor
+  /// form ClientRouter and ComputePool take. Never null entries.
+  std::vector<ComputeNode*> compute_nodes() {
+    std::vector<ComputeNode*> nodes;
+    nodes.reserve(computes_.size());
+    for (auto& c : computes_) nodes.push_back(c.get());
+    return nodes;
+  }
   const MemoryNodeHandle& memory_handle() const noexcept { return memory_handle_; }
   /// Present when the engine built (or compacted) the region itself; null
   /// for snapshot-restored engines.

@@ -1,0 +1,162 @@
+#include "core/workload_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dhnsw {
+
+WorkloadGenerator::WorkloadGenerator(const VectorSet& base, WorkloadGenOptions options)
+    : base_(base), options_(options), rng_(options.seed) {
+  assert(!base.empty());
+  options_.num_topics = std::max<uint32_t>(
+      1, std::min<uint32_t>(options_.num_topics, static_cast<uint32_t>(base.size())));
+  options_.target_qps = std::max(options_.target_qps, 1.0);
+  options_.read_fraction = std::clamp(options_.read_fraction, 0.0, 1.0);
+  options_.num_tenants = std::max<uint32_t>(1, options_.num_tenants);
+
+  if (options_.zipf_s > 0.0) {
+    zipf_cdf_.resize(options_.num_topics);
+    double total = 0.0;
+    for (uint32_t t = 0; t < options_.num_topics; ++t) {
+      total += 1.0 / std::pow(static_cast<double>(t + 1), options_.zipf_s);
+      zipf_cdf_[t] = total;
+    }
+    for (double& v : zipf_cdf_) v /= total;
+  }
+
+  // Per-dimension data spread, so payload noise is proportional regardless of
+  // the dataset's scale (SIFT-like ~100s vs GIST-like ~0.5).
+  double abs_sum = 0.0;
+  const size_t probe = std::min<size_t>(base.size(), 100);
+  for (size_t i = 0; i < probe; ++i) {
+    for (float x : base_[i]) abs_sum += std::fabs(x);
+  }
+  noise_scale_ = static_cast<float>(
+      abs_sum / (static_cast<double>(probe) * base_.dim()) + 1e-6);
+
+  // Derive the two bursty rates so the time-weighted mean stays target_qps:
+  // f*hot + (1-f)*quiet = target, hot = factor*target. The quiet rate must
+  // stay positive, so factor*fraction is capped just under 1.
+  double f = std::clamp(options_.burst_fraction, 0.01, 0.99);
+  double factor = std::max(options_.burst_factor, 1.0);
+  if (factor * f >= 0.95) factor = 0.95 / f;
+  burst_hot_qps_ = factor * options_.target_qps;
+  burst_quiet_qps_ = options_.target_qps * (1.0 - f * factor) / (1.0 - f);
+  options_.burst_fraction = f;
+  options_.burst_factor = factor;
+}
+
+size_t WorkloadGenerator::NumInserts() const noexcept {
+  const double w = 1.0 - options_.read_fraction;
+  return static_cast<size_t>(std::floor(static_cast<double>(options_.num_ops) * w));
+}
+
+uint32_t WorkloadGenerator::TopicOfRow(size_t row) const noexcept {
+  return static_cast<uint32_t>(row * options_.num_topics / base_.size());
+}
+
+uint64_t WorkloadGenerator::NextInterarrivalNs() {
+  const auto exp_ns = [this](double qps) {
+    const double mean_ns = 1e9 / qps;
+    // 1 - U avoids log(0); U in [0,1) so 1-U in (0,1].
+    return -std::log(1.0 - rng_.NextDouble()) * mean_ns;
+  };
+  switch (options_.arrivals) {
+    case ArrivalProcess::kUniform:
+      return static_cast<uint64_t>(1e9 / options_.target_qps);
+    case ArrivalProcess::kPoisson:
+      return static_cast<uint64_t>(exp_ns(options_.target_qps));
+    case ArrivalProcess::kBursty: {
+      // Two-state MMPP: draw at the current state's rate, consuming dwell
+      // time; state flips (with a fresh exponential dwell) whenever the draw
+      // overruns what is left of the current dwell.
+      double waited = 0.0;
+      for (;;) {
+        if (dwell_left_ns_ <= 0.0) {
+          const double mean_dwell =
+              static_cast<double>(options_.burst_period_ns) *
+              (in_burst_ ? options_.burst_fraction : 1.0 - options_.burst_fraction);
+          dwell_left_ns_ = -std::log(1.0 - rng_.NextDouble()) * mean_dwell;
+        }
+        const double rate = in_burst_ ? burst_hot_qps_ : burst_quiet_qps_;
+        const double dt = exp_ns(std::max(rate, 1e-3));
+        if (dt <= dwell_left_ns_) {
+          dwell_left_ns_ -= dt;
+          return static_cast<uint64_t>(waited + dt);
+        }
+        waited += dwell_left_ns_;
+        dwell_left_ns_ = 0.0;
+        in_burst_ = !in_burst_;
+      }
+    }
+  }
+  return 0;
+}
+
+uint32_t WorkloadGenerator::DrawTopic() {
+  if (zipf_cdf_.empty()) {
+    return static_cast<uint32_t>(rng_.NextBounded(options_.num_topics));
+  }
+  const double u = rng_.NextDouble();
+  // CDF is tiny (<= num_topics entries); linear scan is fine.
+  for (uint32_t t = 0; t < zipf_cdf_.size(); ++t) {
+    if (u <= zipf_cdf_[t]) return t;
+  }
+  return static_cast<uint32_t>(zipf_cdf_.size() - 1);
+}
+
+size_t WorkloadGenerator::DrawRowInTopic(uint32_t topic) {
+  const size_t n = base_.size();
+  const size_t begin = static_cast<size_t>(topic) * n / options_.num_topics;
+  const size_t end = static_cast<size_t>(topic + 1) * n / options_.num_topics;
+  const size_t width = std::max<size_t>(1, end - begin);
+  return std::min(begin + rng_.NextBounded(width), n - 1);
+}
+
+std::vector<float> WorkloadGenerator::NoisyCopy(size_t row) {
+  std::span<const float> src = base_[row];
+  std::vector<float> v(src.begin(), src.end());
+  const float sigma = options_.noise_stddev * noise_scale_;
+  for (float& x : v) {
+    x += sigma * static_cast<float>(rng_.NextGaussian());
+  }
+  return v;
+}
+
+std::vector<WorkloadOp> WorkloadGenerator::Generate() {
+  std::vector<WorkloadOp> ops;
+  ops.reserve(options_.num_ops);
+
+  const double w = 1.0 - options_.read_fraction;  // insert weight
+  uint64_t t_ns = 0;
+  size_t inserts_emitted = 0;
+  uint32_t next_insert_id = options_.first_insert_id;
+
+  for (size_t i = 0; i < options_.num_ops; ++i) {
+    t_ns += NextInterarrivalNs();
+
+    WorkloadOp op;
+    op.arrival_ns = t_ns;
+    // Exact mix: op i is an insert iff the integer staircase floor((i+1)*w)
+    // advances — deterministic positions, exactly floor(n*w) inserts total.
+    const auto stair = [w](size_t idx) {
+      return static_cast<size_t>(std::floor(static_cast<double>(idx) * w));
+    };
+    const bool is_insert = stair(i + 1) > stair(i);
+    op.kind = is_insert ? WorkloadOp::Kind::kInsert : WorkloadOp::Kind::kSearch;
+    op.tenant = static_cast<uint32_t>(rng_.NextBounded(options_.num_tenants));
+    op.topic = DrawTopic();
+    op.vector = NoisyCopy(DrawRowInTopic(op.topic));
+    if (is_insert) {
+      op.global_id = next_insert_id++;
+      ++inserts_emitted;
+    }
+    ops.push_back(std::move(op));
+  }
+  assert(inserts_emitted == NumInserts());
+  (void)inserts_emitted;
+  return ops;
+}
+
+}  // namespace dhnsw

@@ -1,0 +1,118 @@
+// Open-loop workload generator for the compute-pool scale-out harness
+// (DESIGN.md §12).
+//
+// Produces a fully materialized, seeded schedule of search/insert operations
+// with arrival timestamps — the arrival process is decided by the generator,
+// not by the service rate, so the harness can drive the pool open-loop (ops
+// arrive whether or not the pool keeps up, exposing the queueing p99/p999
+// cliffs closed-loop benches hide). Everything is a pure function of the
+// seed: two generators with identical options emit bit-identical schedules
+// (tests/test_workload_gen.cpp), which is what lets the scale-out
+// differential suite compare an N-node concurrent run against a single-node
+// sequential replay of the very same operation list.
+//
+// Knobs mirror the evaluation axes of the paper and its follow-ups:
+//   - arrivals: Poisson (the open-loop default), bursty (two-state modulated
+//     Poisson whose on/off dwell times make p999 interesting), or uniform
+//     (fixed spacing, the closed-loop-like control);
+//   - skew: queries/inserts target Zipfian topics over contiguous base-row
+//     slices, so hot clusters see cache contention across compute nodes;
+//   - mix: read_fraction is honored EXACTLY via an error-accumulator walk
+//     (floor((i+1)*w) - floor(i*w)), not by coin flips — deterministic
+//     positions, exact counts;
+//   - inserts carry pre-assigned dense global ids starting at
+//     first_insert_id, so any schedule prefix is replayable on any topology
+//     without an id-allocation race.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/dataset.h"
+
+namespace dhnsw {
+
+/// Arrival process shaping the open-loop schedule.
+enum class ArrivalProcess : uint8_t {
+  kPoisson = 0,  ///< exponential interarrivals at target_qps
+  kBursty = 1,   ///< two-state modulated Poisson (on/off), same mean rate
+  kUniform = 2,  ///< fixed 1/target_qps spacing
+};
+
+struct WorkloadGenOptions {
+  uint64_t seed = 1;
+  size_t num_ops = 1000;
+  /// Mean arrival rate in operations per second (all processes honor it).
+  double target_qps = 50'000.0;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// kBursty: burst-state rate = burst_factor * target_qps, and the process
+  /// spends ~burst_fraction of the time bursting; the quiet-state rate is
+  /// derived so the overall mean stays target_qps. Requires
+  /// burst_factor * burst_fraction < 1 (clamped otherwise).
+  double burst_factor = 3.0;
+  double burst_fraction = 0.2;
+  /// kBursty: mean burst dwell is burst_period_ns * burst_fraction, mean
+  /// quiet dwell burst_period_ns * (1 - burst_fraction).
+  uint64_t burst_period_ns = 2'000'000;
+  /// Zipf exponent over topics; 0 = uniform topic popularity.
+  double zipf_s = 1.1;
+  /// Topics = contiguous equal slices of base rows (matches the synthetic
+  /// datasets' cluster-major row order, so a topic ~= a cluster).
+  uint32_t num_topics = 32;
+  /// Query/insert payloads are base rows + N(0, (noise_stddev*scale)^2)
+  /// per-dimension noise, scale estimated from the data's spread.
+  float noise_stddev = 0.05f;
+  /// Fraction of operations that are searches (exact, see above).
+  double read_fraction = 0.9;
+  /// Operations round-robin-with-jitter over this many tenants.
+  uint32_t num_tenants = 1;
+  /// First pre-assigned insert id; callers pass engine.next_global_id().
+  uint32_t first_insert_id = 0;
+};
+
+struct WorkloadOp {
+  enum class Kind : uint8_t { kSearch = 0, kInsert = 1 };
+  Kind kind = Kind::kSearch;
+  uint64_t arrival_ns = 0;  ///< offset from schedule start
+  uint32_t tenant = 0;
+  uint32_t topic = 0;       ///< Zipf-drawn topic the payload came from
+  uint32_t global_id = 0;   ///< pre-assigned id (inserts only)
+  std::vector<float> vector;
+};
+
+class WorkloadGenerator {
+ public:
+  /// `base` must stay alive while Generate() runs; payloads are copies.
+  WorkloadGenerator(const VectorSet& base, WorkloadGenOptions options);
+
+  /// Materializes the whole schedule, sorted by arrival_ns (arrivals are
+  /// generated in order, so no sort happens). Deterministic per options.
+  std::vector<WorkloadOp> Generate();
+
+  /// Exact number of inserts Generate() emits for these options.
+  size_t NumInserts() const noexcept;
+  /// Topic of a base row under the contiguous-slice mapping.
+  uint32_t TopicOfRow(size_t row) const noexcept;
+
+  const WorkloadGenOptions& options() const noexcept { return options_; }
+
+ private:
+  uint64_t NextInterarrivalNs();
+  uint32_t DrawTopic();
+  size_t DrawRowInTopic(uint32_t topic);
+  std::vector<float> NoisyCopy(size_t row);
+
+  const VectorSet& base_;
+  WorkloadGenOptions options_;
+  Xoshiro256 rng_;
+  std::vector<double> zipf_cdf_;  ///< empty when zipf_s == 0
+  float noise_scale_ = 0.0f;
+  // kBursty state machine.
+  bool in_burst_ = false;
+  double burst_quiet_qps_ = 0.0;
+  double burst_hot_qps_ = 0.0;
+  double dwell_left_ns_ = 0.0;
+};
+
+}  // namespace dhnsw

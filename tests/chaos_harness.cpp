@@ -25,6 +25,7 @@ DhnswConfig MakeConfig(const ChaosHarness::Config& c) {
   config.compute.clusters_per_query = c.clusters_per_query;
   config.compute.cache_capacity = c.num_clusters;  // one cold load per cluster
   config.replication.factor = c.replication_factor;
+  config.num_compute_nodes = c.num_compute_nodes;
   return config;
 }
 

@@ -40,6 +40,9 @@ class ChaosHarness {
     /// Factor >= 2 arms failure detection + epoch-fenced failover, letting
     /// kill-the-primary schedules CONVERGE instead of degrade.
     uint32_t replication_factor = 1;
+    /// Compute instances the engine provisions (the scale-out chaos tests
+    /// drive a ComputePool over all of them; single-node suites keep 1).
+    uint32_t num_compute_nodes = 1;
   };
 
   explicit ChaosHarness(Config config);

@@ -17,8 +17,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "chaos_harness.h"
+#include "common/timer.h"
+#include "core/compute_pool.h"
+#include "core/workload_gen.h"
 #include "telemetry/trace.h"
 
 namespace dhnsw {
@@ -163,6 +167,100 @@ TEST(ChaosFailoverTest, RereplicationRestoresFactorOnlineAndCopyServes) {
   EXPECT_EQ(manager->AliveCount(0), 1u);
   EXPECT_EQ(manager->SlotEpoch(0), 4u);
   EXPECT_EQ(manager->PrimaryRoute(0).replica, 2u);
+}
+
+// Chaos UNDER LOAD (ISSUE 6): kill slot 0's primary while a 4-node compute
+// pool serves an open-loop mixed schedule at a target rate far above what
+// the pool can drain. Required behaviour while degraded:
+//   - every op reaches a terminal outcome: OK, an explicit error (nack), or
+//     an admission-control drop — never a hang, never a lost op;
+//   - no lost acks: every insert the pool acked OK is retrievable at
+//     quiescence from the promoted replica;
+//   - the overload is shed by ADMISSION (kCapacity drops at dispatch), and
+//   - the whole episode completes in bounded wall time with the failover
+//     actually observed (epoch bumped, primary dead).
+TEST(ChaosFailoverTest, KillPrimaryUnderOpenLoopLoadShedsButNeverLosesAcks) {
+  ChaosHarness::Config config = ReplicatedConfig();
+  config.num_compute_nodes = 4;
+  ChaosHarness h(config);
+  ReplicaManager* manager = h.engine().replication();
+  ASSERT_NE(manager, nullptr);
+  for (size_t i = 0; i < 4; ++i) {
+    h.engine().compute(i).mutable_options()->retry = FailoverRetry();
+  }
+
+  WorkloadGenOptions wopt;
+  wopt.seed = 43;
+  wopt.num_ops = 400;
+  wopt.target_qps = 500'000.0;  // >> serviceable: forces queue pressure
+  wopt.read_fraction = 0.8;
+  wopt.num_topics = config.num_clusters;
+  wopt.num_tenants = 2;
+  wopt.first_insert_id = static_cast<uint32_t>(config.num_base);
+  auto ops = WorkloadGenerator(h.dataset().base, wopt).Generate();
+
+  ComputePoolOptions popt;
+  popt.dispatch = DispatchPolicy::kLeastLoaded;
+  popt.k = config.k;
+  popt.ef_search = config.ef_search;
+  popt.num_tenants = 2;
+  popt.admission.node_queue_capacity = 8;
+  popt.admission.tenant_inflight_limit = 48;
+
+  h.engine().fabric().ArmFaults(h.MakeKillPrimaryPlan(/*skip_first=*/6));
+  std::vector<OpOutcome> outcomes;
+  PoolRunStats stats;
+  {
+    ComputePool pool(h.engine().compute_nodes(), popt);
+    WallTimer wall;
+    stats = pool.Run(ops, PoolRunMode::kPaced, &outcomes);
+    EXPECT_LT(wall.elapsed_ns(), 60ull * 1'000'000'000) << "degraded pool stalled";
+  }
+  h.engine().fabric().ClearFaults();
+
+  // Accounting closes: terminal fate for every op, no lost ops.
+  EXPECT_EQ(stats.submitted, ops.size());
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.dropped());
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.failed);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_NE(outcomes[i].status.message(), "op never completed") << "op " << i;
+    if (outcomes[i].dropped) {
+      EXPECT_EQ(outcomes[i].status.code(), StatusCode::kCapacity) << "op " << i;
+    }
+  }
+  // The overload was shed at admission, not absorbed as unbounded queueing.
+  EXPECT_GT(stats.dropped(), 0u);
+  EXPECT_GT(stats.completed_ok, 0u);
+
+  // The traffic drove the failover mid-run.
+  EXPECT_EQ(manager->health(0, 0), ReplicaHealth::kDead);
+  EXPECT_GE(manager->SlotEpoch(0), 2u);
+
+  // No lost acks: every OK-acked insert is served from the promoted replica.
+  h.engine().compute(0).InvalidateCache();
+  size_t acked = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (ops[i].kind != WorkloadOp::Kind::kInsert) continue;
+    if (outcomes[i].dropped || !outcomes[i].status.ok()) continue;
+    ++acked;
+    VectorSet one(h.engine().dim());
+    one.Append(ops[i].vector);
+    auto found = h.engine().compute(0).SearchBatch(one, 0, 1, config.k,
+                                                   config.ef_search);
+    ASSERT_TRUE(found.ok()) << "verification search failed for op " << i;
+    bool present = false;
+    for (const Scored& s : found.value().results[0]) {
+      present = present || s.id == ops[i].global_id;
+    }
+    EXPECT_TRUE(present) << "acked insert op " << i << " (gid " << ops[i].global_id
+                         << ") vanished after failover";
+  }
+  EXPECT_GT(acked, 0u) << "schedule never acked an insert; test proves nothing";
+
+  // Post-episode the deployment still serves reads cleanly.
+  auto after = h.engine().SearchAll(h.dataset().queries, config.k, config.ef_search);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  for (const Status& st : after.value().statuses) EXPECT_TRUE(st.ok());
 }
 
 TEST(ChaosFailoverTest, AllReplicasDeadDegradesOnlyUnderAllowPartial) {

@@ -3,6 +3,8 @@
 #include "cli.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 
@@ -16,7 +18,13 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // A unique directory per test (name + pid): ctest runs each test as its
+    // own process, possibly in parallel, and the fixture's fixed file names
+    // would otherwise race across concurrent CliTest processes.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "dhnsw_cli_" + info->name() + "_" +
+           std::to_string(static_cast<long>(::getpid()));
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0) << dir_;
     ds_ = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 20,
                          .num_clusters = 5, .seed = 191});
     ComputeGroundTruth(&ds_, 10);
@@ -34,6 +42,7 @@ class CliTest : public ::testing::Test {
                           "trace.jsonl"}) {
       std::remove(Path(f).c_str());
     }
+    ::rmdir(dir_.c_str());
   }
 
   std::string Path(const std::string& name) const { return dir_ + "/" + name; }
@@ -235,6 +244,42 @@ TEST_F(CliTest, TopologySurvivesAKilledMemoryNode) {
   // Post-failover + admission: epoch 3, the dead primary visible + revoked.
   EXPECT_NE(out.find("slot 0: epoch 3"), std::string::npos) << out;
   EXPECT_NE(out.find("dead [revoked]"), std::string::npos) << out;
+}
+
+// The scaleout subcommand is synthetic-only (no snapshot files), so these
+// run fixture-free: CliTest's SetUp/TearDown churns fixed-name files in the
+// shared temp dir, which races against parallel CliTest processes.
+TEST(CliScaleoutTest, DrainRunsEveryOpAndReportsPercentiles) {
+  // Deterministic backpressure mode: every op admitted, none dropped, work
+  // spread across all nodes by the least-assigned dispatcher.
+  std::string out;
+  ASSERT_EQ(cli::RunCli({"scaleout", "--nodes=3", "--ops=120", "--rows=600",
+                         "--read_fraction=1.0", "--drain=1"},
+                        &out), 0) << out;
+  EXPECT_NE(out.find("scaleout: 3 nodes, 120 ops (100% reads)"),
+            std::string::npos) << out;
+  EXPECT_NE(out.find("drain (deterministic backpressure)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("admitted 120  ok 120  failed 0  dropped 0"),
+            std::string::npos) << out;
+  EXPECT_NE(out.find("sojourn p50"), std::string::npos) << out;
+  EXPECT_NE(out.find("node0=40 node1=40 node2=40"), std::string::npos) << out;
+}
+
+TEST(CliScaleoutTest, PacedOverloadShedsInsteadOfHanging) {
+  // Paced mode at an absurd target QPS with tiny queues: admission control
+  // must drop (queue-full), and the accounting must still close.
+  std::string out;
+  ASSERT_EQ(cli::RunCli({"scaleout", "--nodes=2", "--ops=200", "--rows=600",
+                         "--qps=5000000", "--queue_capacity=2"},
+                        &out), 0) << out;
+  EXPECT_NE(out.find("paced open-loop with admission control"),
+            std::string::npos) << out;
+  EXPECT_EQ(out.find("dropped 0 "), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(cli::RunCli({"scaleout", "--nodes=0"}, &out), 1);
+  EXPECT_NE(out.find("--nodes must be >= 1"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, MissingFilesSurfaceErrors) {

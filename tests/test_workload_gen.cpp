@@ -1,0 +1,249 @@
+// Statistical + determinism tests for the open-loop workload generator
+// (core/workload_gen.h). The generator's contracts, in test order:
+//   - Poisson interarrivals have mean 1/qps and CV^2 ~= 1;
+//   - the bursty process keeps the same mean but is overdispersed (CV^2 > 1);
+//   - Zipf topic frequencies follow the rank-frequency power law (log-log
+//     slope ~= -s);
+//   - the read/write mix is EXACT, not a coin-flip expectation;
+//   - same seed => bit-identical schedules; different seed => different;
+//   - insert ids are dense and pre-assigned from first_insert_id.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/workload_gen.h"
+#include "dataset/synthetic.h"
+
+namespace dhnsw {
+namespace {
+
+Dataset SmallData() {
+  return MakeSynthetic({.dim = 8, .num_base = 2000, .num_queries = 4,
+                        .num_clusters = 8, .seed = 11});
+}
+
+std::vector<double> InterarrivalsUs(const std::vector<WorkloadOp>& ops) {
+  std::vector<double> gaps;
+  gaps.reserve(ops.size());
+  uint64_t prev = 0;
+  for (const WorkloadOp& op : ops) {
+    gaps.push_back(static_cast<double>(op.arrival_ns - prev) / 1e3);
+    prev = op.arrival_ns;
+  }
+  return gaps;
+}
+
+void MeanVar(const std::vector<double>& xs, double* mean, double* var) {
+  double m = 0.0;
+  for (double x : xs) m += x;
+  m /= static_cast<double>(xs.size());
+  double v = 0.0;
+  for (double x : xs) v += (x - m) * (x - m);
+  v /= static_cast<double>(xs.size() - 1);
+  *mean = m;
+  *var = v;
+}
+
+TEST(WorkloadGenTest, PoissonInterarrivalMeanAndVarianceWithinTolerance) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 5;
+  opt.num_ops = 40'000;
+  opt.target_qps = 100'000.0;  // mean gap 10us
+  opt.arrivals = ArrivalProcess::kPoisson;
+  opt.read_fraction = 1.0;
+  auto ops = WorkloadGenerator(ds.base, opt).Generate();
+
+  double mean_us = 0.0, var_us2 = 0.0;
+  MeanVar(InterarrivalsUs(ops), &mean_us, &var_us2);
+  // Exponential(mean 10us): variance = mean^2. 40k samples => ~3 sigma
+  // bounds of a few percent; 10% tolerances are comfortably outside noise
+  // while still catching a wrong distribution (uniform: var = mean^2/3).
+  EXPECT_NEAR(mean_us, 10.0, 1.0);
+  EXPECT_NEAR(var_us2 / (mean_us * mean_us), 1.0, 0.15);
+}
+
+TEST(WorkloadGenTest, BurstyKeepsMeanRateButOverdisperses) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 5;
+  opt.num_ops = 40'000;
+  opt.target_qps = 100'000.0;
+  opt.read_fraction = 1.0;
+
+  opt.arrivals = ArrivalProcess::kBursty;
+  auto bursty = WorkloadGenerator(ds.base, opt).Generate();
+  double mean_us = 0.0, var_us2 = 0.0;
+  MeanVar(InterarrivalsUs(bursty), &mean_us, &var_us2);
+
+  // Same long-run rate (f*hot + (1-f)*quiet = target by construction)...
+  EXPECT_NEAR(mean_us, 10.0, 1.5);
+  // ...but a two-state modulated Poisson is strictly overdispersed: CV^2
+  // exceeds the Poisson process' 1.0.
+  EXPECT_GT(var_us2 / (mean_us * mean_us), 1.25);
+}
+
+TEST(WorkloadGenTest, UniformArrivalsAreEquallySpaced) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.num_ops = 100;
+  opt.target_qps = 1e6;  // 1us spacing
+  opt.arrivals = ArrivalProcess::kUniform;
+  auto ops = WorkloadGenerator(ds.base, opt).Generate();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].arrival_ns, (i + 1) * 1000u);
+  }
+}
+
+TEST(WorkloadGenTest, ZipfRankFrequencySlopeMatchesExponent) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 17;
+  opt.num_ops = 60'000;
+  opt.zipf_s = 1.1;
+  opt.num_topics = 16;
+  opt.read_fraction = 1.0;
+  auto ops = WorkloadGenerator(ds.base, opt).Generate();
+
+  std::vector<uint64_t> freq(opt.num_topics, 0);
+  for (const WorkloadOp& op : ops) ++freq[op.topic];
+  // By construction topic rank == topic id (p ~ 1/(t+1)^s). Least-squares
+  // fit of log(freq) on log(rank) over the well-populated head.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const size_t fit = 12;
+  for (size_t t = 0; t < fit; ++t) {
+    ASSERT_GT(freq[t], 50u) << "topic " << t << " too sparse to fit";
+    const double x = std::log(static_cast<double>(t + 1));
+    const double y = std::log(static_cast<double>(freq[t]));
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+  }
+  const double n = static_cast<double>(fit);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -opt.zipf_s, 0.15);
+}
+
+TEST(WorkloadGenTest, ReadWriteMixIsExact) {
+  Dataset ds = SmallData();
+  for (double rf : {1.0, 0.9, 0.75, 0.5, 0.0}) {
+    WorkloadGenOptions opt;
+    opt.num_ops = 1000;
+    opt.read_fraction = rf;
+    WorkloadGenerator gen(ds.base, opt);
+    auto ops = gen.Generate();
+
+    size_t inserts = 0;
+    size_t max_prefix_error = 0;
+    const double w = 1.0 - rf;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == WorkloadOp::Kind::kInsert) ++inserts;
+      // The staircase keeps every prefix within 1 op of the ideal mix.
+      const double ideal = static_cast<double>(i + 1) * w;
+      max_prefix_error = std::max(
+          max_prefix_error,
+          static_cast<size_t>(std::fabs(static_cast<double>(inserts) - ideal)));
+    }
+    EXPECT_EQ(inserts, static_cast<size_t>(std::floor(1000 * w))) << "rf=" << rf;
+    EXPECT_EQ(inserts, gen.NumInserts()) << "rf=" << rf;
+    EXPECT_LE(max_prefix_error, 1u) << "rf=" << rf;
+  }
+}
+
+TEST(WorkloadGenTest, InsertIdsAreDenseFromFirstInsertId) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.num_ops = 400;
+  opt.read_fraction = 0.7;
+  opt.first_insert_id = 9000;
+  auto ops = WorkloadGenerator(ds.base, opt).Generate();
+
+  uint32_t expected = 9000;
+  for (const WorkloadOp& op : ops) {
+    if (op.kind != WorkloadOp::Kind::kInsert) continue;
+    EXPECT_EQ(op.global_id, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 9000 + 120);  // floor(400 * 0.3)
+}
+
+TEST(WorkloadGenTest, SameSeedBitIdenticalDifferentSeedNot) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 123;
+  opt.num_ops = 500;
+  opt.read_fraction = 0.8;
+  opt.num_tenants = 4;
+  opt.arrivals = ArrivalProcess::kBursty;
+  auto a = WorkloadGenerator(ds.base, opt).Generate();
+  auto b = WorkloadGenerator(ds.base, opt).Generate();
+
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns) << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].topic, b[i].topic) << i;
+    EXPECT_EQ(a[i].global_id, b[i].global_id) << i;
+    ASSERT_EQ(a[i].vector.size(), b[i].vector.size()) << i;
+    EXPECT_EQ(std::memcmp(a[i].vector.data(), b[i].vector.data(),
+                          a[i].vector.size() * sizeof(float)),
+              0)
+        << i;
+  }
+
+  opt.seed = 124;
+  auto c = WorkloadGenerator(ds.base, opt).Generate();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a[i].arrival_ns != c[i].arrival_ns || a[i].topic != c[i].topic;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadGenTest, TenantsAllCoveredAndInRange) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 3;
+  opt.num_ops = 2000;
+  opt.num_tenants = 8;
+  auto ops = WorkloadGenerator(ds.base, opt).Generate();
+
+  std::vector<uint64_t> per_tenant(opt.num_tenants, 0);
+  for (const WorkloadOp& op : ops) {
+    ASSERT_LT(op.tenant, opt.num_tenants);
+    ++per_tenant[op.tenant];
+  }
+  for (uint32_t t = 0; t < opt.num_tenants; ++t) {
+    EXPECT_GT(per_tenant[t], 100u) << "tenant " << t;
+  }
+}
+
+TEST(WorkloadGenTest, PayloadsStayNearTheirTopicSlice) {
+  Dataset ds = SmallData();
+  WorkloadGenOptions opt;
+  opt.seed = 29;
+  opt.num_ops = 200;
+  opt.num_topics = 8;
+  opt.noise_stddev = 0.0f;  // payloads are exact base-row copies
+  WorkloadGenerator gen(ds.base, opt);
+  auto ops = gen.Generate();
+
+  for (const WorkloadOp& op : ops) {
+    ASSERT_EQ(op.vector.size(), ds.base.dim());
+    // Zero-noise payloads must be some row of the claimed topic's slice.
+    const size_t n = ds.base.size();
+    const size_t begin = static_cast<size_t>(op.topic) * n / opt.num_topics;
+    const size_t end = static_cast<size_t>(op.topic + 1) * n / opt.num_topics;
+    bool found = false;
+    for (size_t row = begin; row < end && !found; ++row) {
+      found = std::memcmp(op.vector.data(), ds.base[row].data(),
+                          op.vector.size() * sizeof(float)) == 0;
+    }
+    EXPECT_TRUE(found) << "payload not in topic " << op.topic << " slice";
+  }
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -1,11 +1,14 @@
 #include "cli.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
 
 #include "common/timer.h"
+#include "core/compute_pool.h"
 #include "core/engine.h"
+#include "core/workload_gen.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
 #include "dataset/vecs_io.h"
@@ -34,6 +37,10 @@ struct Flags {
   uint64_t GetU64(const std::string& key, uint64_t fallback) const {
     auto it = values.find(key);
     return it == values.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double GetF64(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
   }
   bool Has(const std::string& key) const { return values.count(key) != 0; }
 };
@@ -303,8 +310,89 @@ Status CmdTopology(const Flags& flags, std::string* out) {
   return Status::Ok();
 }
 
+Status CmdScaleout(const Flags& flags, std::string* out) {
+  // Synthetic stand-in deployment for the compute pool (DESIGN.md §12):
+  // N ComputeNode instances over one memory pool, driven by the open-loop
+  // workload generator. `--drain=1` runs the deterministic backpressure mode
+  // (kLeastAssigned dispatch); the default is paced open-loop at `--qps`
+  // with load-aware dispatch and admission control, where drops under
+  // overload are the expected signal.
+  const uint32_t nodes = static_cast<uint32_t>(flags.GetU64("nodes", 4));
+  const uint32_t clusters = static_cast<uint32_t>(flags.GetU64("clusters", 8));
+  const uint32_t rows = static_cast<uint32_t>(flags.GetU64("rows", 3000));
+  if (nodes == 0) return Status::InvalidArgument("--nodes must be >= 1");
+  const Dataset ds =
+      MakeSynthetic({.dim = static_cast<uint32_t>(flags.GetU64("dim", 16)),
+                     .num_base = rows,
+                     .num_queries = 8,
+                     .num_clusters = clusters,
+                     .seed = flags.GetU64("seed", 42)});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = clusters;
+  config.compute.cache_capacity = std::max(1u, clusters / 2);
+  config.num_compute_nodes = nodes;
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, DhnswEngine::Build(ds.base, config));
+
+  WorkloadGenOptions wopt;
+  wopt.seed = flags.GetU64("seed", 42);
+  wopt.num_ops = flags.GetU64("ops", 2000);
+  wopt.target_qps = flags.GetF64("qps", 20000.0);
+  wopt.read_fraction = flags.GetF64("read_fraction", 0.9);
+  wopt.zipf_s = flags.GetF64("zipf", 1.1);
+  wopt.num_topics = clusters;
+  wopt.num_tenants = static_cast<uint32_t>(flags.GetU64("tenants", 2));
+  wopt.first_insert_id = rows;
+  WorkloadGenerator gen(ds.base, wopt);
+  const auto ops = gen.Generate();
+
+  const bool drain = flags.GetU64("drain", 0) != 0;
+  ComputePoolOptions popt;
+  popt.dispatch =
+      drain ? DispatchPolicy::kLeastAssigned : DispatchPolicy::kLeastLoaded;
+  popt.k = flags.GetU64("k", 10);
+  popt.ef_search = static_cast<uint32_t>(flags.GetU64("ef", 48));
+  popt.num_tenants = wopt.num_tenants;
+  popt.admission.node_queue_capacity = flags.GetU64("queue_capacity", 64);
+  popt.admission.tenant_inflight_limit = flags.GetU64("tenant_limit", 0);
+  ComputePool pool(engine.compute_nodes(), popt);
+  const PoolRunStats stats =
+      pool.Run(ops, drain ? PoolRunMode::kDrain : PoolRunMode::kPaced);
+
+  Emit(out, "scaleout: %u nodes, %zu ops (%.0f%% reads), %s", nodes, ops.size(),
+       wopt.read_fraction * 100.0,
+       drain ? "drain (deterministic backpressure)"
+             : "paced open-loop with admission control");
+  Emit(out, "admitted %llu  ok %llu  failed %llu  dropped %llu "
+       "(queue %llu, tenant %llu, invalid %llu)",
+       static_cast<unsigned long long>(stats.admitted),
+       static_cast<unsigned long long>(stats.completed_ok),
+       static_cast<unsigned long long>(stats.failed),
+       static_cast<unsigned long long>(stats.dropped()),
+       static_cast<unsigned long long>(stats.dropped_queue_full),
+       static_cast<unsigned long long>(stats.dropped_tenant_limit),
+       static_cast<unsigned long long>(stats.dropped_invalid));
+  Emit(out, "offered %.0f ops/s  achieved %.0f ops/s", stats.offered_qps,
+       stats.achieved_qps);
+  Emit(out, "sojourn p50 %.1f us  p99 %.1f us  p999 %.1f us",
+       stats.latency_us.p50(), stats.latency_us.p99(),
+       stats.latency_us.percentile(99.9));
+  std::string per_node = "per-node ops:";
+  for (size_t i = 0; i < stats.per_node_ops.size(); ++i) {
+    per_node += " node" + std::to_string(i) + "=" +
+                std::to_string(stats.per_node_ops[i]);
+  }
+  Emit(out, "%s", per_node.c_str());
+  for (uint32_t t = 0; t < wopt.num_tenants; ++t) {
+    if (stats.per_tenant_drops[t] != 0) {
+      Emit(out, "tenant %u: %llu drops", t,
+           static_cast<unsigned long long>(stats.per_tenant_drops[t]));
+    }
+  }
+  return Status::Ok();
+}
+
 const char kUsage[] =
-    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology> --key=value ...\n"
+    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology|scaleout> --key=value ...\n"
     "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
     "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
     "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
@@ -314,7 +402,10 @@ const char kUsage[] =
     "  trace   --snapshot=region.dsnp --queries=q.fvecs [--out=t.jsonl --capacity\n"
     "          --deterministic=1]  (per-query trace spans as JSONL)\n"
     "  topology [--replicas=2 --kill=<slot> --rereplicate=1 --dim --rows --clusters\n"
-    "          --seed]  (per-node replica health/epoch table on a synthetic pool)";
+    "          --seed]  (per-node replica health/epoch table on a synthetic pool)\n"
+    "  scaleout [--nodes=4 --ops=2000 --qps=20000 --read_fraction=0.9 --zipf=1.1\n"
+    "          --tenants=2 --drain=1 --queue_capacity --tenant_limit --k --ef --dim\n"
+    "          --rows --clusters --seed]  (compute-pool run on a synthetic pool)";
 
 }  // namespace
 
@@ -347,6 +438,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdTrace(flags.value(), out);
   } else if (command == "topology") {
     st = CmdTopology(flags.value(), out);
+  } else if (command == "scaleout") {
+    st = CmdScaleout(flags.value(), out);
   } else {
     Emit(out, "unknown command: %s\n%s", command.c_str(), kUsage);
     return 2;
