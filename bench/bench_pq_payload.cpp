@@ -1,0 +1,218 @@
+// PQ payload trade-off experiment (DESIGN.md "PQ-compressed payloads"):
+// the same engine, searched by three compute nodes that differ only in
+// ComputeOptions::payload —
+//   raw        full blobs cross the wire (the seed behaviour);
+//   pq         only the compressed prefix (graph + m-byte codes) is read and
+//              candidates are scored by SIMD ADC;
+//   pq+rerank  pq, plus exact re-scoring of the top rerank_depth survivors
+//              from targeted raw-row READs.
+// Reports recall@10 / payload bytes moved / latency per mode over the ef
+// sweep on a SIFT-like slice, plus the dim-256 bytes ratio (the >= 8x
+// acceptance point: at dim 128 the graph adjacency floor caps the ratio
+// near 5-6x; 256-d rows clear 8x with margin).
+//
+// `--json=PATH` archives the grid (default BENCH_pq.json, the CI artifact).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace {
+
+using dhnsw::ComputeNode;
+using dhnsw::ComputeOptions;
+using dhnsw::Dataset;
+using dhnsw::DhnswConfig;
+using dhnsw::DhnswEngine;
+using dhnsw::PayloadMode;
+using dhnsw::bench::BenchConfig;
+using dhnsw::bench::JsonWriter;
+using dhnsw::bench::SweepPoint;
+
+// Synthetic Gaussian data has no inter-dimension correlation for PQ to
+// exploit (real SIFT is far more compressible), so the codebook needs fine
+// subspaces: m = 32 (4 dims per subquantizer) keeps ADC ordering good enough
+// that a 64-deep exact re-rank lands within 0.01 recall of raw. Override
+// with --pq_m= / --rerank_depth= to explore the compression-recall frontier.
+uint32_t g_pq_m = 32;
+uint32_t g_rerank_depth = 64;
+
+DhnswConfig PqEngineConfig(const BenchConfig& config) {
+  DhnswConfig dcfg = DhnswConfig::Defaults();
+  dcfg.meta.num_representatives = config.num_representatives;
+  dcfg.sub_hnsw.M = config.sub_m;
+  dcfg.sub_hnsw.ef_construction = config.ef_construction;
+  dcfg.compute.clusters_per_query = config.clusters_per_query;
+  dcfg.compute.cache_capacity = static_cast<uint32_t>(
+      std::max(1.0, config.cache_fraction * config.num_representatives));
+  dcfg.compute.doorbell_batch = config.doorbell_batch;
+  dcfg.pq.enabled = true;
+  dcfg.pq.m = g_pq_m;
+  return dcfg;
+}
+
+std::unique_ptr<ComputeNode> AttachPayloadNode(DhnswEngine& engine,
+                                               const BenchConfig& config,
+                                               PayloadMode payload) {
+  ComputeOptions options;
+  options.clusters_per_query = config.clusters_per_query;
+  options.cache_capacity = static_cast<uint32_t>(
+      std::max(1.0, config.cache_fraction * config.num_representatives));
+  options.doorbell_batch = config.doorbell_batch;
+  options.payload = payload;
+  options.rerank_depth = g_rerank_depth;
+  auto node = std::make_unique<ComputeNode>(&engine.fabric(), engine.memory_handle(),
+                                            options);
+  const dhnsw::Status st = node->Connect();
+  if (!st.ok()) {
+    std::fprintf(stderr, "compute connect failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return node;
+}
+
+uint64_t PayloadBytes(const dhnsw::BatchBreakdown& b) {
+  return b.bytes_read + b.rerank_bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_pq.json";
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--pq_m=", 7) == 0) {
+      g_pq_m = static_cast<uint32_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--rerank_depth=", 15) == 0) {
+      g_rerank_depth = static_cast<uint32_t>(std::strtoul(argv[i] + 15, nullptr, 10));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchConfig defaults = BenchConfig::ForWorkload(dhnsw::bench::Workload::kSiftLike);
+  defaults.num_base = 20000;
+  defaults.num_queries = 1000;
+  const BenchConfig config = dhnsw::bench::ParseFlags(
+      static_cast<int>(rest.size()), rest.data(), defaults);
+
+  Dataset ds = dhnsw::bench::LoadDataset(config);
+  DhnswEngine engine = [&] {
+    auto built = DhnswEngine::Build(ds.base, PqEngineConfig(config));
+    if (!built.ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n", built.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(built).value();
+  }();
+
+  struct Scheme {
+    PayloadMode payload;
+    const char* name;
+  };
+  const Scheme schemes[] = {{PayloadMode::kRaw, "raw"},
+                            {PayloadMode::kPq, "pq"},
+                            {PayloadMode::kPqRerank, "pq+rerank"}};
+
+  JsonWriter json;
+  const std::vector<uint32_t> sweep = dhnsw::bench::DefaultEfSweep();
+  std::vector<SweepPoint> raw_points;
+  for (const Scheme& scheme : schemes) {
+    std::printf("\n## payload: %s\n", scheme.name);
+    std::printf("%8s %10s %14s %14s %12s %12s\n", "efSearch", "recall",
+                "latency(us/q)", "payload(B/q)", "rerank(B/q)", "fallbacks");
+    std::vector<SweepPoint> points;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      // Fresh node per point: every measurement starts with a cold cache.
+      auto node = AttachPayloadNode(engine, config, scheme.payload);
+      const SweepPoint p =
+          dhnsw::bench::RunPoint(*node, ds, config.gt_k, sweep[i]);
+      const double per_query = static_cast<double>(ds.queries.size());
+      std::printf("%8u %10.4f %14.2f %14.1f %12.1f %12llu\n", p.ef_search, p.recall,
+                  p.latency_us_per_query,
+                  static_cast<double>(PayloadBytes(p.breakdown)) / per_query,
+                  static_cast<double>(p.breakdown.rerank_bytes) / per_query,
+                  static_cast<unsigned long long>(p.breakdown.rerank_fallbacks));
+      json.Row("pq_payload_sweep")
+          .Label("payload", scheme.name)
+          .Label("dataset", ds.name)
+          .Field("ef_search", p.ef_search)
+          .Field("recall_at_10", p.recall)
+          .Field("latency_us_per_query", p.latency_us_per_query)
+          .Field("payload_bytes", static_cast<double>(PayloadBytes(p.breakdown)))
+          .Field("rerank_bytes", static_cast<double>(p.breakdown.rerank_bytes))
+          .Field("rerank_candidates",
+                 static_cast<double>(p.breakdown.rerank_candidates))
+          .Field("rerank_fallbacks",
+                 static_cast<double>(p.breakdown.rerank_fallbacks));
+      points.push_back(p);
+    }
+    if (scheme.payload == PayloadMode::kRaw) raw_points = points;
+    if (scheme.payload != PayloadMode::kRaw && !raw_points.empty()) {
+      const SweepPoint& raw = raw_points.back();
+      const SweepPoint& here = points.back();
+      std::printf("# vs raw @ef=%u: bytes ratio %.2fx, recall delta %+.4f\n",
+                  raw.ef_search,
+                  static_cast<double>(PayloadBytes(raw.breakdown)) /
+                      static_cast<double>(PayloadBytes(here.breakdown)),
+                  here.recall - raw.recall);
+      json.Row("pq_payload_headline")
+          .Label("payload", scheme.name)
+          .Field("ef_search", raw.ef_search)
+          .Field("bytes_ratio_vs_raw",
+                 static_cast<double>(PayloadBytes(raw.breakdown)) /
+                     static_cast<double>(PayloadBytes(here.breakdown)))
+          .Field("recall_delta_vs_raw", here.recall - raw.recall);
+    }
+  }
+
+  // Acceptance point: at dim 256 the compressed prefix must move >= 8x fewer
+  // payload bytes than raw (dim 128's adjacency floor caps the ratio lower).
+  {
+    Dataset wide = dhnsw::MakeSynthetic({.dim = 256,
+                                         .num_base = 6000,
+                                         .num_queries = 200,
+                                         .num_clusters = 24,
+                                         .seed = config.seed});
+    BenchConfig wide_config = config;
+    wide_config.num_representatives = 24;
+    auto built = DhnswEngine::Build(wide.base, PqEngineConfig(wide_config));
+    if (!built.ok()) {
+      std::fprintf(stderr, "dim-256 build failed: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    DhnswEngine wide_engine = std::move(built).value();
+    uint64_t bytes[2] = {0, 0};
+    const PayloadMode modes[2] = {PayloadMode::kRaw, PayloadMode::kPq};
+    for (int i = 0; i < 2; ++i) {
+      auto node = AttachPayloadNode(wide_engine, wide_config, modes[i]);
+      auto result = node->SearchAll(wide.queries, 10, 48);
+      if (!result.ok()) {
+        std::fprintf(stderr, "dim-256 search failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      bytes[i] = PayloadBytes(result.value().breakdown);
+    }
+    const double ratio = static_cast<double>(bytes[0]) / static_cast<double>(bytes[1]);
+    std::printf("\n# dim-256 payload bytes: raw %s, pq %s -> ratio %.2fx\n",
+                dhnsw::bench::FormatBytes(bytes[0]).c_str(),
+                dhnsw::bench::FormatBytes(bytes[1]).c_str(), ratio);
+    json.Row("pq_bytes_ratio_dim256")
+        .Field("raw_bytes", static_cast<double>(bytes[0]))
+        .Field("pq_bytes", static_cast<double>(bytes[1]))
+        .Field("ratio", ratio);
+  }
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
+  std::printf("# wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,6 +1,12 @@
-// Generic LRU cache with entry pinning, used by ComputeNode to hold the most
-// recently loaded sub-HNSW clusters (paper §3.3: "retain the most recently
-// loaded c sub-HNSWs for the next batch").
+// Generic weighted LRU cache with entry pinning, used by ComputeNode to hold
+// the most recently loaded sub-HNSW clusters (paper §3.3: "retain the most
+// recently loaded c sub-HNSWs for the next batch").
+//
+// Capacity is a total-*weight* budget. The default weight of 1 per entry
+// gives classic max-entry-count semantics; ComputeNode passes the loaded
+// buffer size instead when a byte budget (cache_budget_bytes) is configured,
+// so compressed (PQ) clusters pack proportionally more entries into the same
+// budget.
 //
 // Pinning exists because within one batch every cluster currently being
 // traversed must stay resident even if it is the least recently used; eviction
@@ -20,16 +26,21 @@ namespace dhnsw {
 template <typename K, typename V>
 class LruCache {
  public:
-  /// `capacity` = max number of entries; 0 means caching disabled.
+  /// `capacity` = max total weight (entry count with default weights);
+  /// 0 means caching disabled.
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   size_t capacity() const noexcept { return capacity_; }
   size_t size() const noexcept { return map_.size(); }
+  /// Sum of the weights of all resident entries (== size() when every entry
+  /// used the default weight).
+  size_t total_weight() const noexcept { return total_weight_; }
 
-  /// Shrinking below the current size evicts unpinned entries immediately;
-  /// pinned entries survive, so the size may exceed the new capacity — but
-  /// only by the number of pinned entries. The remainder of the shrink is
-  /// deferred: it completes as the blocking pins are released (see Unpin).
+  /// Shrinking below the current weight evicts unpinned entries immediately;
+  /// pinned entries survive, so the total weight may exceed the new capacity
+  /// — but only by the weight of the pinned entries. The remainder of the
+  /// shrink is deferred: it completes as the blocking pins are released (see
+  /// Unpin).
   void set_capacity(size_t capacity) {
     capacity_ = capacity;
     EvictToCapacity();
@@ -70,20 +81,29 @@ class LruCache {
   }
 
   /// Inserts or overwrites; marks most-recently-used; may evict. Returns a
-  /// pointer to the stored value (valid until eviction). If capacity is 0 the
-  /// value is not stored and nullptr is returned.
-  V* Put(const K& key, V value) {
-    if (capacity_ == 0) return nullptr;
+  /// pointer to the stored value (valid until eviction). If capacity is 0, or
+  /// the entry alone outweighs the whole budget, the value is not stored and
+  /// nullptr is returned (the caller keeps its own copy for the batch).
+  V* Put(const K& key, V value, size_t weight = 1) {
+    if (capacity_ == 0 || weight > capacity_) return nullptr;
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second.value = std::move(value);
+      total_weight_ += weight - it->second.weight;
+      it->second.weight = weight;
       order_.splice(order_.begin(), order_, it->second.order_it);
+      // A heavier replacement can push the cache over budget.
+      ++it->second.pins;
+      EvictToCapacity();
+      --it->second.pins;
       return &it->second.value;
     }
     order_.push_front(key);
-    auto [ins, fresh] = map_.emplace(key, Entry{std::move(value), order_.begin(), 0});
+    auto [ins, fresh] =
+        map_.emplace(key, Entry{std::move(value), order_.begin(), 0, weight});
     assert(fresh);
     (void)fresh;
+    total_weight_ += weight;
     if (entries_gauge_ != nullptr) entries_gauge_->Add(1);
     // Hold a transient pin so the entry being inserted is never the eviction
     // victim, even when every other entry is pinned.
@@ -106,8 +126,8 @@ class LruCache {
     --it->second.pins;
     // Deferred eviction: a shrink (or over-capacity Put) that was blocked by
     // pins resumes the moment an entry becomes evictable again, restoring the
-    // size <= capacity invariant as early as the pinning contract allows.
-    if (it->second.pins == 0 && map_.size() > capacity_) EvictToCapacity();
+    // weight <= capacity invariant as early as the pinning contract allows.
+    if (it->second.pins == 0 && total_weight_ > capacity_) EvictToCapacity();
     return true;
   }
 
@@ -115,6 +135,7 @@ class LruCache {
   bool Erase(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) return false;
+    total_weight_ -= it->second.weight;
     order_.erase(it->second.order_it);
     map_.erase(it);
     if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
@@ -125,6 +146,7 @@ class LruCache {
     if (entries_gauge_ != nullptr) entries_gauge_->Add(-static_cast<int64_t>(map_.size()));
     map_.clear();
     order_.clear();
+    total_weight_ = 0;
   }
 
   uint64_t hits() const noexcept { return hits_; }
@@ -139,6 +161,7 @@ class LruCache {
     V value;
     typename std::list<K>::iterator order_it;
     uint32_t pins;
+    size_t weight;
   };
 
   void EvictToCapacity() {
@@ -150,11 +173,12 @@ class LruCache {
     // erased one — and we step back before each probe), so an all-pinned
     // cache terminates after one pass instead of spinning.
     auto it = order_.end();
-    while (map_.size() > capacity_ && it != order_.begin()) {
+    while (total_weight_ > capacity_ && it != order_.begin()) {
       --it;
       auto map_it = map_.find(*it);
       assert(map_it != map_.end());
       if (map_it->second.pins > 0) continue;
+      total_weight_ -= map_it->second.weight;
       it = order_.erase(it);
       map_.erase(map_it);
       if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
@@ -162,6 +186,7 @@ class LruCache {
   }
 
   size_t capacity_;
+  size_t total_weight_ = 0;
   std::list<K> order_;  // front = MRU
   std::unordered_map<K, Entry> map_;
   uint64_t hits_ = 0;

@@ -38,6 +38,10 @@ struct ComputeInstruments {
   telemetry::Counter* replica_faa_acks;
   telemetry::Counter* prefetch_waves;
   telemetry::Counter* pipeline_overlap_ns;
+  telemetry::Counter* rerank_candidates;
+  telemetry::Counter* rerank_reads;
+  telemetry::Counter* rerank_bytes;
+  telemetry::Counter* rerank_fallbacks;
   telemetry::ShardedCounter* sub_searches;
   telemetry::Histogram* batch_round_trips;
   telemetry::Histogram* batch_network_ns;
@@ -66,6 +70,10 @@ const ComputeInstruments& Compute() {
         r.GetCounter("dhnsw_replication_faa_acks_total"),
         r.GetCounter("dhnsw_compute_prefetch_waves_total"),
         r.GetCounter("dhnsw_compute_pipeline_overlap_ns_total"),
+        r.GetCounter("dhnsw_compute_rerank_candidates_total"),
+        r.GetCounter("dhnsw_compute_rerank_reads_total"),
+        r.GetCounter("dhnsw_compute_rerank_bytes_total"),
+        r.GetCounter("dhnsw_compute_rerank_fallbacks_total"),
         r.GetShardedCounter("dhnsw_compute_sub_searches_total"),
         r.GetHistogram("dhnsw_compute_batch_round_trips"),
         r.GetHistogram("dhnsw_compute_batch_network_ns"),
@@ -81,6 +89,15 @@ std::string_view EngineModeName(EngineMode mode) noexcept {
     case EngineMode::kNaive: return "naive";
     case EngineMode::kNoDoorbell: return "no-doorbell";
     case EngineMode::kFull: return "d-hnsw";
+  }
+  return "?";
+}
+
+std::string_view PayloadModeName(PayloadMode mode) noexcept {
+  switch (mode) {
+    case PayloadMode::kRaw: return "raw";
+    case PayloadMode::kPq: return "pq";
+    case PayloadMode::kPqRerank: return "pq+rerank";
   }
   return "?";
 }
@@ -101,6 +118,10 @@ BatchBreakdown& BatchBreakdown::operator+=(const BatchBreakdown& rhs) noexcept {
   backoff_ns += rhs.backoff_ns;
   failovers += rhs.failovers;
   pipeline_overlap_ns += rhs.pipeline_overlap_ns;
+  rerank_candidates += rhs.rerank_candidates;
+  rerank_reads += rhs.rerank_reads;
+  rerank_bytes += rhs.rerank_bytes;
+  rerank_fallbacks += rhs.rerank_fallbacks;
   num_queries += rhs.num_queries;
   return *this;
 }
@@ -112,7 +133,10 @@ ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
       options_(options),
       name_(std::move(name)),
       qp_(fabric, &clock_, options.doorbell_batch),
-      cache_(options.mode == EngineMode::kNaive ? 0 : options.cache_capacity) {
+      cache_(options.mode == EngineMode::kNaive
+                 ? 0
+                 : (options.cache_budget_bytes > 0 ? options.cache_budget_bytes
+                                                   : options.cache_capacity)) {
   fabric_->AddNode(name_);
   telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
   cache_.AttachTelemetry(registry.GetCounter("dhnsw_compute_cache_ref_hits_total"),
@@ -205,6 +229,25 @@ Status ComputeNode::Connect() {
   //    instances after the sub-HNSW clusters are written to the memory pool").
   DHNSW_RETURN_IF_ERROR(WithRetry([this] { return RefreshMetadata(); }));
 
+  // 4. PQ preconditions: compressed payloads need the shared codebook (it
+  //    rides in the meta blob) and per-cluster prefix lengths from the table.
+  //    Failing here — not mid-batch — keeps every later load unconditional.
+  if (options_.payload != PayloadMode::kRaw) {
+    if (meta_->quantizer() == nullptr) {
+      return Status::InvalidArgument(
+          "payload=pq requires a PQ-enabled deployment (no codebook in meta blob)");
+    }
+    if (static_cast<Metric>(header_.metric) == Metric::kCosine) {
+      return Status::InvalidArgument("payload=pq does not support cosine");
+    }
+    for (uint32_t c = 0; c < table_.size(); ++c) {
+      if (table_[c].pq_head_size == 0) {
+        return Status::InvalidArgument("payload=pq: cluster " + std::to_string(c) +
+                                       " was provisioned without PQ codes");
+      }
+    }
+  }
+
   qp_.ResetStats();
   clock_.Reset();
   return Status::Ok();
@@ -255,15 +298,15 @@ void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint
     // contiguous, so score a chunk per batched-kernel call (dispatch
     // hoisted) and filter tombstones only when folding into the heap.
     const RowsKernel rows = ActiveKernels().Rows(metric);
-    const uint32_t dim = cluster.index.dim();
+    const uint32_t dim = cluster->index.dim();
     constexpr size_t kChunk = 256;
     float dists[kChunk];
-    const size_t n = cluster.index.size();
+    const size_t n = cluster->index.size();
     for (size_t base = 0; base < n; base += kChunk) {
       const size_t cnt = std::min(kChunk, n - base);
-      rows(q.data(), cluster.index.vectors().data() + base * dim, dim, cnt, dists);
+      rows(q.data(), cluster->index.vectors().data() + base * dim, dim, cnt, dists);
       for (size_t j = 0; j < cnt; ++j) {
-        const uint32_t gid = cluster.global_ids[base + j];
+        const uint32_t gid = cluster->global_ids[base + j];
         if (!IsDeleted(gid)) out->Push(dists[j], gid);
       }
     }
@@ -274,15 +317,62 @@ void ComputeNode::LoadedCluster::Search(std::span<const float> q, size_t k, uint
     // nothing.
     const size_t slack = std::min<size_t>(tombstones.size(), 64);
     static thread_local std::vector<Scored> results;
-    cluster.index.Search(q, k + slack, std::max<uint32_t>(ef, 1), &results);
+    cluster->index.Search(q, k + slack, std::max<uint32_t>(ef, 1), &results);
     for (const Scored& s : results) {
-      const uint32_t gid = cluster.global_ids[s.id];
+      const uint32_t gid = cluster->global_ids[s.id];
       if (!IsDeleted(gid)) out->Push(s.distance, gid);
     }
   }
   // Overflow part: the paper appends inserted vectors as raw records read
   // back with the cluster; unless linked at load time they are scanned
   // exactly (no graph links yet).
+  const PairKernel pair = ActiveKernels().Pair(metric);
+  for (const OverflowRecord& rec : overflow) {
+    if (!IsDeleted(rec.global_id)) {
+      out->Push(pair(rec.vector.data(), q.data(), rec.vector.size()), rec.global_id);
+    }
+  }
+}
+
+void ComputeNode::LoadedCluster::SearchPq(std::span<const float> q, size_t k,
+                                          uint32_t ef, Metric metric,
+                                          SubSearchMode mode, uint32_t rerank,
+                                          std::vector<Scored>* rerank_cands,
+                                          TopKHeap* out) const {
+  // Per-(query, cluster) ADC LUT; thread-local so steady-state sub-searches
+  // allocate nothing (pool workers each get their own).
+  static thread_local std::vector<float> lut;
+  static thread_local std::vector<float> scratch;
+  static thread_local std::vector<Scored> adc;
+  lut.resize(quantizer->lut_floats());
+  scratch.resize(quantizer->dim());
+  const float bias = quantizer->BuildAdcLut(metric, q, centroid, lut.data(),
+                                            scratch.data());
+  const bool flat = mode == SubSearchMode::kFlatScan;
+  const uint32_t slack =
+      static_cast<uint32_t>(std::min<size_t>(tombstones.size(), 64));
+
+  if (rerank_cands != nullptr) {
+    // Collect the top max(k, rerank) survivors for exact re-rank; graph
+    // candidates do NOT enter the heap here — their ADC scores are only a
+    // ranking, the caller pushes the exact (or fallback) distances.
+    const uint32_t want = std::max<uint32_t>(static_cast<uint32_t>(k), rerank);
+    SearchPqCluster(*pq, lut.data(), bias, want + slack,
+                    std::max<uint32_t>(ef, want + slack), flat, &adc);
+    for (const Scored& s : adc) {
+      if (IsDeleted(pq->global_ids[s.id])) continue;
+      rerank_cands->push_back(s);
+      if (rerank_cands->size() == want) break;
+    }
+  } else {
+    SearchPqCluster(*pq, lut.data(), bias, static_cast<uint32_t>(k) + slack,
+                    std::max<uint32_t>(ef, 1), flat, &adc);
+    for (const Scored& s : adc) {
+      const uint32_t gid = pq->global_ids[s.id];
+      if (!IsDeleted(gid)) out->Push(s.distance, gid);
+    }
+  }
+  // Overflow records arrive raw with the prefix read; score them exactly.
   const PairKernel pair = ActiveKernels().Pair(metric);
   for (const OverflowRecord& rec : overflow) {
     if (!IsDeleted(rec.global_id)) {
@@ -302,24 +392,43 @@ Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
     decode_scope->set_args(cluster, bytes.size());
   }
 
-  // For a backward (B-side) cluster the overflow records precede the blob;
-  // for a forward cluster they follow it (possibly after alignment padding).
-  const std::span<const uint8_t> blob_bytes =
-      bytes.subspan(meta.BlobOffsetInRead(used_bytes), meta.blob_size);
-  const std::span<const uint8_t> overflow_bytes =
-      bytes.subspan(meta.OverflowOffsetInRead(), used_bytes);
+  const bool pq_mode = options_.payload != PayloadMode::kRaw;
 
-  DHNSW_ASSIGN_OR_RETURN(Cluster decoded,
-                         DecodeCluster(blob_bytes, options_.sub_hnsw_template));
-  if (decoded.partition_id != cluster) {
-    return Status::Corruption("loaded blob belongs to a different partition");
+  // Raw mode reads one contiguous range; overflow records precede the blob
+  // for a backward (B-side) cluster and follow it for a forward one. PQ mode
+  // always stages [used overflow][pq prefix] in the buffer (PostRoundReads).
+  const std::span<const uint8_t> blob_bytes =
+      pq_mode ? bytes.subspan(used_bytes, meta.pq_head_size)
+              : bytes.subspan(meta.BlobOffsetInRead(used_bytes), meta.blob_size);
+  const std::span<const uint8_t> overflow_bytes =
+      pq_mode ? bytes.subspan(0, used_bytes)
+              : bytes.subspan(meta.OverflowOffsetInRead(), used_bytes);
+
+  auto loaded = std::make_shared<LoadedCluster>();
+  if (pq_mode) {
+    DHNSW_ASSIGN_OR_RETURN(PqCluster decoded, DecodePqCluster(blob_bytes));
+    if (decoded.partition_id != cluster) {
+      return Status::Corruption("loaded blob belongs to a different partition");
+    }
+    loaded->pq.emplace(std::move(decoded));
+    const std::span<const float> rep = meta_->index().vector(cluster);
+    loaded->centroid.assign(rep.begin(), rep.end());
+    loaded->quantizer = meta_->quantizer();
+  } else {
+    DHNSW_ASSIGN_OR_RETURN(Cluster decoded,
+                           DecodeCluster(blob_bytes, options_.sub_hnsw_template));
+    if (decoded.partition_id != cluster) {
+      return Status::Corruption("loaded blob belongs to a different partition");
+    }
+    loaded->cluster.emplace(std::move(decoded));
   }
   DHNSW_ASSIGN_OR_RETURN(
       std::vector<OverflowRecord> records,
       DecodeOverflowArea(overflow_bytes, used_bytes, header_.dim));
 
   // Split the raw records into tombstones and live inserts; optionally link
-  // live inserts straight into the decoded graph.
+  // live inserts straight into the decoded graph (raw payloads only — a PQ
+  // prefix has no raw graph to link into).
   std::vector<uint32_t> tombstones;
   std::vector<OverflowRecord> live;
   for (OverflowRecord& rec : records) {
@@ -330,16 +439,16 @@ Result<ComputeNode::LoadedClusterPtr> ComputeNode::DecodeLoaded(
     }
   }
   std::sort(tombstones.begin(), tombstones.end());
-  if (options_.link_overflow_on_load) {
+  if (options_.link_overflow_on_load && !pq_mode) {
     for (const OverflowRecord& rec : live) {
-      decoded.index.Add(rec.vector);
-      decoded.global_ids.push_back(rec.global_id);
+      loaded->cluster->index.Add(rec.vector);
+      loaded->cluster->global_ids.push_back(rec.global_id);
     }
     live.clear();
   }
-
-  auto loaded = std::make_shared<LoadedCluster>(LoadedCluster{
-      std::move(decoded), std::move(live), std::move(tombstones), used_bytes});
+  loaded->overflow = std::move(live);
+  loaded->tombstones = std::move(tombstones);
+  loaded->used_bytes_at_load = used_bytes;
   *deserialize_us += timer.elapsed_us();
   return LoadedClusterPtr(std::move(loaded));
 }
@@ -359,6 +468,7 @@ std::vector<ComputeNode::PendingLoad> ComputeNode::PostRoundReads(
     return table_[a].node_slot < table_[b].node_slot;
   });
 
+  const bool pq_mode = options_.payload != PayloadMode::kRaw;
   const uint32_t doorbell = DoorbellWindow();
   std::vector<PendingLoad> pending;
   pending.reserve(remaining->size());
@@ -371,10 +481,45 @@ std::vector<ComputeNode::PendingLoad> ComputeNode::PostRoundReads(
       in_ring = 0;
     }
     ring_slot = meta.node_slot;
+    const SlotRoute route = RouteFor(meta.node_slot);
+    if (pq_mode) {
+      // PQ prefix load: the buffer is uniformly [used overflow][pq prefix].
+      // A backward cluster's records end exactly where its blob begins, so
+      // one contiguous READ covers both; a forward cluster's overflow sits
+      // *after* the float rows the prefix read skips, so it needs a second
+      // READ in the same ring (elided while no inserts landed).
+      const uint64_t used = meta.overflow_used;
+      const uint64_t head = meta.pq_head_size;
+      pending.push_back(PendingLoad{cluster, AlignedBuffer(used + head, 64), used});
+      std::span<uint8_t> buf = pending.back().buffer.span();
+      if (meta.direction == OverflowDirection::kBackward) {
+        qp_.PostRead(route.rkey, meta.overflow_base - used, buf.first(used + head),
+                     cluster, route.epoch);
+        if (++in_ring == doorbell) {
+          ring();
+          in_ring = 0;
+        }
+      } else {
+        if (used > 0) {
+          qp_.PostRead(route.rkey, meta.overflow_base, buf.first(used), cluster,
+                       route.epoch);
+          if (++in_ring == doorbell) {
+            ring();
+            in_ring = 0;
+          }
+        }
+        qp_.PostRead(route.rkey, meta.blob_offset, buf.subspan(used, head), cluster,
+                     route.epoch);
+        if (++in_ring == doorbell) {
+          ring();
+          in_ring = 0;
+        }
+      }
+      continue;
+    }
     const ClusterMeta::Range range = meta.ReadRange(meta.overflow_used);
     pending.push_back(
         PendingLoad{cluster, AlignedBuffer(range.length, 64), meta.overflow_used});
-    const SlotRoute route = RouteFor(meta.node_slot);
     qp_.PostRead(route.rkey, range.offset, pending.back().buffer.span(), cluster,
                  route.epoch);
     if (++in_ring == doorbell) {
@@ -452,7 +597,7 @@ void ComputeNode::ProcessLoadRound(
     breakdown->clusters_loaded += 1;
     breakdown->bytes_read += load.buffer.size();
     if (options_.mode != EngineMode::kNaive) {
-      cache_.Put(load.cluster, loaded.value());
+      cache_.Put(load.cluster, loaded.value(), CacheWeight(load.buffer.size()));
     }
     out->emplace_back(load.cluster, std::move(loaded).value());
   }
@@ -583,8 +728,19 @@ std::unique_ptr<ComputeNode::WaveLoadState> ComputeNode::IssueWaveLoads(
     qp_.ExecuteAsyncBatch(raw->batch.get());
     const std::span<const rdma::Completion> comps = raw->batch->completions();
     for (size_t i = 0; i < raw->pending.size(); ++i) {
-      if (comps[i].status != rdma::WcStatus::kSuccess) continue;
-      raw->decoded[i] = DecodeLoaded(raw->pending[i].cluster, raw->pending[i].buffer.span(),
+      // Each WR carries its cluster id; a cluster may span several WRs (the
+      // PQ prefix + overflow pair), so decode only when every one succeeded.
+      const uint32_t cluster = raw->pending[i].cluster;
+      bool all_ok = true;
+      for (const rdma::Completion& c : comps) {
+        if (static_cast<uint32_t>(c.wr_id) == cluster &&
+            c.status != rdma::WcStatus::kSuccess) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) continue;
+      raw->decoded[i] = DecodeLoaded(cluster, raw->pending[i].buffer.span(),
                                      raw->pending[i].used_bytes, &raw->deserialize_us,
                                      /*traced=*/false);
     }
@@ -643,6 +799,124 @@ void ComputeNode::AbandonPrefetch(WaveLoadState* wave_load) {
   }
 }
 
+void ComputeNode::RunRerank(const VectorSet& queries, std::vector<RerankTask>& tasks,
+                            std::span<TopKHeap> heaps, BatchBreakdown* breakdown) {
+  if (tasks.empty()) return;
+  telemetry::TraceScope rerank_scope(trace_ctx_, "stage.rerank");
+
+  // Unique (cluster, local id) fetch set in deterministic first-use order —
+  // a vector that survived ADC for several queries is read once.
+  struct Fetch {
+    uint32_t cluster;
+    uint32_t local;
+  };
+  auto fetch_key = [](uint32_t cluster, uint32_t local) {
+    return (static_cast<uint64_t>(cluster) << 32) | local;
+  };
+  std::vector<Fetch> fetches;
+  std::unordered_map<uint64_t, uint32_t> fetch_index;
+  for (const RerankTask& t : tasks) {
+    breakdown->rerank_candidates += t.cands.size();
+    for (const Scored& c : t.cands) {
+      if (fetch_index.emplace(fetch_key(t.cluster, c.id),
+                              static_cast<uint32_t>(fetches.size()))
+              .second) {
+        fetches.push_back(Fetch{t.cluster, c.id});
+      }
+    }
+  }
+  // Group by owning memory instance so each doorbell ring targets one QP;
+  // stable, so the order stays deterministic.
+  std::stable_sort(fetches.begin(), fetches.end(), [this](const Fetch& a, const Fetch& b) {
+    return table_[a.cluster].node_slot < table_[b.cluster].node_slot;
+  });
+  for (uint32_t i = 0; i < fetches.size(); ++i) {
+    fetch_index[fetch_key(fetches[i].cluster, fetches[i].local)] = i;
+  }
+  rerank_scope.set_args(tasks.size(), fetches.size());
+
+  const uint32_t dim = header_.dim;
+  const size_t row_bytes = static_cast<size_t>(dim) * sizeof(float);
+  AlignedBuffer buf(fetches.size() * row_bytes, 64);
+  std::vector<uint8_t> fetched(fetches.size(), 0);
+
+  // Post/ring/drain with the load path's retry discipline. A vector whose
+  // READ still fails after the budget keeps its ADC score — re-rank degrades
+  // per candidate, it never fails the batch.
+  qp_.set_max_doorbell_wrs(DoorbellWindow());
+  const uint32_t doorbell = DoorbellWindow();
+  std::vector<uint32_t> remaining(fetches.size());
+  for (uint32_t i = 0; i < fetches.size(); ++i) remaining[i] = i;
+  RetryBudget budget(options_.retry, &clock_);
+  uint32_t failures = 0;
+  while (!remaining.empty()) {
+    uint32_t in_ring = 0;
+    uint32_t ring_slot = 0;
+    for (uint32_t fi : remaining) {
+      const Fetch& f = fetches[fi];
+      const ClusterMeta& meta = table_[f.cluster];
+      if (in_ring > 0 && meta.node_slot != ring_slot) {
+        qp_.RingDoorbell();
+        in_ring = 0;
+      }
+      ring_slot = meta.node_slot;
+      const SlotRoute route = RouteFor(meta.node_slot);
+      qp_.PostRead(route.rkey,
+                   meta.blob_offset + meta.pq_head_size +
+                       static_cast<uint64_t>(f.local) * row_bytes,
+                   buf.subspan(static_cast<size_t>(fi) * row_bytes, row_bytes), fi,
+                   route.epoch);
+      if (++in_ring == doorbell) {
+        qp_.RingDoorbell();
+        in_ring = 0;
+      }
+    }
+    if (in_ring > 0) qp_.RingDoorbell();
+    breakdown->rerank_reads += remaining.size();
+    breakdown->rerank_bytes += remaining.size() * row_bytes;
+
+    std::vector<uint32_t> failed;
+    Status first_error;
+    rdma::Completion c;
+    while (qp_.PollCompletion(&c)) {
+      if (c.status == rdma::WcStatus::kSuccess) {
+        fetched[c.wr_id] = 1;
+        continue;
+      }
+      failed.push_back(static_cast<uint32_t>(c.wr_id));
+      if (first_error.ok()) first_error = rdma::QueuePair::ToStatus(c);
+    }
+    if (failed.empty()) break;
+    uint64_t backoff = 0;
+    if (!IsRetryable(first_error) || !budget.AllowRetry(++failures, &backoff)) break;
+    breakdown->retries += failed.size();
+    breakdown->backoff_ns += backoff;
+    std::sort(failed.begin(), failed.end());
+    remaining = std::move(failed);
+  }
+
+  // Exact rescore; ADC fallback (already bias-adjusted and heap-comparable)
+  // for the fetches that never landed.
+  const Metric metric = options_.sub_hnsw_template.metric;
+  const PairKernel pair = ActiveKernels().Pair(metric);
+  for (const RerankTask& t : tasks) {
+    const std::span<const float> q = queries[t.query_row];
+    TopKHeap& heap = heaps[t.heap];
+    for (const Scored& cand : t.cands) {
+      const uint32_t fi = fetch_index[fetch_key(t.cluster, cand.id)];
+      const uint32_t gid = t.loaded->pq->global_ids[cand.id];
+      if (fetched[fi]) {
+        const float* vec =
+            reinterpret_cast<const float*>(buf.data() + static_cast<size_t>(fi) * row_bytes);
+        heap.Push(pair(q.data(), vec, dim), gid);
+      } else {
+        heap.Push(cand.distance, gid);
+        ++breakdown->rerank_fallbacks;
+      }
+    }
+  }
+}
+
 Status ComputeNode::NaiveSearch(const VectorSet& queries, size_t begin, size_t count,
                                 size_t k, uint32_t ef_search,
                                 const std::vector<std::vector<uint32_t>>& routes,
@@ -666,9 +940,33 @@ Status ComputeNode::NaiveSearch(const VectorSet& queries, size_t begin, size_t c
         continue;
       }
       WallTimer sub_timer;
-      loaded.front().second->Search(queries[begin + i], k, ef_search, metric,
-                                    options_.sub_search, &heap);
+      const LoadedClusterPtr& resident = loaded.front().second;
+      std::vector<RerankTask> tasks;
+      switch (options_.payload) {
+        case PayloadMode::kRaw:
+          resident->Search(queries[begin + i], k, ef_search, metric,
+                           options_.sub_search, &heap);
+          break;
+        case PayloadMode::kPq:
+          resident->SearchPq(queries[begin + i], k, ef_search, metric,
+                             options_.sub_search, 0, nullptr, &heap);
+          break;
+        case PayloadMode::kPqRerank:
+          tasks.emplace_back();
+          tasks.back().cluster = cluster;
+          tasks.back().loaded = resident.get();
+          tasks.back().query_row = begin + i;
+          tasks.back().heap = 0;
+          resident->SearchPq(queries[begin + i], k, ef_search, metric,
+                             options_.sub_search, options_.rerank_depth,
+                             &tasks.back().cands, &heap);
+          break;
+      }
       result->breakdown.sub_us += sub_timer.elapsed_us();
+      if (!tasks.empty()) {
+        RunRerank(queries, tasks, std::span<TopKHeap>(&heap, 1),
+                  &result->breakdown);
+      }
     }
     result->results[i] = heap.TakeSorted();
   }
@@ -786,7 +1084,11 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
     // those searches run. Issue/reap keeps all fabric accounting on this
     // thread in the blocking path's exact order, so results, statuses, the
     // cache, and the simulated timeline are bit-identical either way.
-    const bool pipelined = options_.pipeline_depth >= 2 && prune <= 0.0;
+    // kPqRerank also falls back to sequential: its owner-thread re-rank
+    // READs would interleave with a prefetched wave's WR sequence, breaking
+    // the deterministic fabric-op order replay and fault tests rely on.
+    const bool pipelined = options_.pipeline_depth >= 2 && prune <= 0.0 &&
+                           options_.payload != PayloadMode::kPqRerank;
 
     // Adaptive pruning: elide a cluster's load entirely when every query
     // that wanted it already has a full top-k that its representative
@@ -879,6 +1181,29 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
       telemetry::TraceScope sub_scope(trace_ctx_, "stage.sub");
       sub_scope.set_args(wave.work.size());
       std::atomic<uint64_t> pruned_searches{0};
+      const PayloadMode payload = options_.payload;
+      // kPqRerank: per-work-item ADC survivor lists, filled by the searches
+      // (possibly on pool threads) and drained by the owner-thread re-rank.
+      std::vector<std::vector<Scored>> item_cands;
+      if (payload == PayloadMode::kPqRerank) item_cands.resize(wave.work.size());
+      auto search_one = [&](size_t w, const WorkItem& item,
+                            const LoadedCluster* cluster) {
+        const std::span<const float> q = queries[begin + item.query_index];
+        TopKHeap* heap = &heaps[item.query_index];
+        switch (payload) {
+          case PayloadMode::kRaw:
+            cluster->Search(q, k, ef_search, metric, options_.sub_search, heap);
+            break;
+          case PayloadMode::kPq:
+            cluster->SearchPq(q, k, ef_search, metric, options_.sub_search, 0,
+                              nullptr, heap);
+            break;
+          case PayloadMode::kPqRerank:
+            cluster->SearchPq(q, k, ef_search, metric, options_.sub_search,
+                              options_.rerank_depth, &item_cands[w], heap);
+            break;
+        }
+      };
       if (options_.search_threads > 1) {
         // Work items are grouped by query, so parallelizing over disjoint
         // query ranges keeps each heap single-owner. The trace buffer is
@@ -906,13 +1231,13 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
             const LoadedCluster* cluster = wave_resident_[item.cluster];
             if (cluster != nullptr) {
               Compute().sub_searches->Add(1);
-              cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
-                              &heaps[item.query_index]);
+              search_one(w, item, cluster);
             }
           }
         });
       } else {
-        for (const WorkItem& item : wave.work) {
+        for (size_t w = 0; w < wave.work.size(); ++w) {
+          const WorkItem& item = wave.work[w];
           if (prunable(item, heaps)) {
             pruned_searches.fetch_add(1, std::memory_order_relaxed);
             continue;
@@ -924,12 +1249,31 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
                                            static_cast<uint32_t>(item.query_index));
           item_scope.set_args(item.cluster);
           Compute().sub_searches->Add(1);
-          cluster->Search(queries[begin + item.query_index], k, ef_search, metric, options_.sub_search,
-                          &heaps[item.query_index]);
+          search_one(w, item, cluster);
         }
       }
       result.breakdown.pruned_searches += pruned_searches.load();
       result.breakdown.sub_us += sub_timer.elapsed_us();
+      sub_scope.Close();
+
+      // Exact re-rank of this wave's ADC survivors. Runs on the owner thread
+      // after every sub-search finished (its READs must not interleave with
+      // pool-thread work); `fresh`'s shared_ptrs and the untouched cache keep
+      // every `loaded` pointer alive until the heaps are updated.
+      if (payload == PayloadMode::kPqRerank) {
+        std::vector<RerankTask> tasks;
+        for (size_t w = 0; w < wave.work.size(); ++w) {
+          if (item_cands[w].empty()) continue;
+          const WorkItem& item = wave.work[w];
+          tasks.emplace_back();
+          tasks.back().cluster = item.cluster;
+          tasks.back().loaded = wave_resident_[item.cluster];
+          tasks.back().query_row = begin + item.query_index;
+          tasks.back().heap = item.query_index;
+          tasks.back().cands = std::move(item_cands[w]);
+        }
+        RunRerank(queries, tasks, heaps, &result.breakdown);
+      }
     }
 
     {
@@ -952,6 +1296,10 @@ Result<BatchResult> ComputeNode::SearchBatch(const VectorSet& queries, size_t be
   metrics.retries->Add(result.breakdown.retries);
   metrics.failed_loads->Add(result.breakdown.failed_loads);
   metrics.backoff_ns->Add(result.breakdown.backoff_ns);
+  metrics.rerank_candidates->Add(result.breakdown.rerank_candidates);
+  metrics.rerank_reads->Add(result.breakdown.rerank_reads);
+  metrics.rerank_bytes->Add(result.breakdown.rerank_bytes);
+  metrics.rerank_fallbacks->Add(result.breakdown.rerank_fallbacks);
   metrics.batch_round_trips->Record(delta.round_trips);
   metrics.batch_network_ns->Record(delta.sim_network_ns);
   return result;

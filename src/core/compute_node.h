@@ -48,6 +48,18 @@ enum class SubSearchMode : uint8_t {
                   ///< "d-IVF" ablation isolating the graph's contribution
 };
 
+/// What a cluster load transfers over the fabric.
+enum class PayloadMode : uint8_t {
+  kRaw = 0,       ///< full blob + overflow (the seed behaviour)
+  kPq = 1,        ///< PQ prefix only (graph + codes, no float rows); sub-
+                  ///< searches score with SIMD ADC against the shared codebook
+  kPqRerank = 2,  ///< kPq plus exact re-rank: the top rerank_depth ADC
+                  ///< survivors per (query, cluster) fetch their raw vectors
+                  ///< with doorbell-batched READs and are rescored exactly
+};
+
+std::string_view PayloadModeName(PayloadMode mode) noexcept;
+
 struct ComputeOptions {
   EngineMode mode = EngineMode::kFull;
   uint32_t clusters_per_query = 2;  ///< b: sub-HNSWs searched per query
@@ -70,8 +82,25 @@ struct ComputeOptions {
   uint32_t pipeline_depth = 2;
   /// When true, overflow vectors are inserted into the decoded sub-HNSW at
   /// load time (CPU cost once per load) instead of being linearly scanned on
-  /// every query against that cluster. Worth it once overflow grows.
+  /// every query against that cluster. Worth it once overflow grows. Ignored
+  /// under PQ payloads: there is no raw graph to link into, so overflow
+  /// records (which arrive raw either way) are always scanned exactly.
   bool link_overflow_on_load = false;
+  /// Compressed cluster payloads (DESIGN.md "PQ payloads"). Non-raw modes
+  /// require a deployment built with PqConfig.enabled — Connect() fails
+  /// otherwise — and a non-cosine metric. kPqRerank additionally disables
+  /// pipelined waves: its owner-thread raw-vector READs interleave with the
+  /// wave sequence, which must stay deterministic for replay/fault purity.
+  PayloadMode payload = PayloadMode::kRaw;
+  /// R: ADC survivors per (query, cluster) re-ranked exactly (kPqRerank).
+  /// The effective depth is max(k, rerank_depth).
+  uint32_t rerank_depth = 32;
+  /// When > 0 the cluster cache is byte-budgeted: capacity becomes this many
+  /// bytes of loaded transfer buffers, every entry weighted by its transfer
+  /// size — so PQ-compressed clusters pack proportionally more entries into
+  /// the same DRAM. 0 keeps entry-count semantics (cache_capacity entries).
+  /// Wave planning still uses cache_capacity as its working-set bound.
+  size_t cache_budget_bytes = 0;
   /// Adaptive cluster pruning (cf. the paper's related work [12, 43]): when
   /// > 0, a query whose top-k is already full skips any remaining routed
   /// cluster whose *representative* distance exceeds
@@ -118,6 +147,10 @@ struct BatchBreakdown {
   /// the observable win of pipeline_depth >= 2. Wall-clock derived: it never
   /// feeds spans or the simulated timeline, which stay deterministic.
   uint64_t pipeline_overlap_ns = 0;
+  uint64_t rerank_candidates = 0;  ///< ADC survivors submitted for re-rank
+  uint64_t rerank_reads = 0;       ///< raw-vector READs posted (incl. retries)
+  uint64_t rerank_bytes = 0;       ///< bytes those READs moved
+  uint64_t rerank_fallbacks = 0;   ///< candidates kept at ADC score after failed reads
   size_t num_queries = 0;
 
   BatchBreakdown& operator+=(const BatchBreakdown& rhs) noexcept;
@@ -237,20 +270,33 @@ class ComputeNode {
   const std::string& name() const noexcept { return name_; }
 
  private:
-  /// A cluster resident in compute DRAM: decoded graph + overflow records
-  /// (live inserts either linearly scanned or linked into the graph at load
-  /// time) + the set of tombstoned ids to suppress.
+  /// A cluster resident in compute DRAM: either the decoded raw graph
+  /// (payload=raw) or the PQ prefix (graph + codes + centroid/codebook refs,
+  /// payload=pq*), plus overflow records (live inserts, always raw) and the
+  /// set of tombstoned ids to suppress.
   struct LoadedCluster {
-    Cluster cluster;
+    std::optional<Cluster> cluster;            ///< raw payload
+    std::optional<PqCluster> pq;               ///< PQ prefix payload
+    std::vector<float> centroid;               ///< pq: partition representative
+    const ProductQuantizer* quantizer = nullptr;  ///< pq: meta-owned codebook
     std::vector<OverflowRecord> overflow;      ///< live records (unlinked mode)
     std::vector<uint32_t> tombstones;          ///< deleted global ids (sorted)
     uint64_t used_bytes_at_load = 0;
 
     bool IsDeleted(uint32_t global_id) const noexcept;
 
-    /// Searches graph + overflow, pushing *global* ids into `out`.
+    /// Searches graph + overflow, pushing *global* ids into `out` (raw).
     void Search(std::span<const float> q, size_t k, uint32_t ef, Metric metric,
                 SubSearchMode mode, TopKHeap* out) const;
+    /// ADC search over the PQ payload. With `rerank_cands` null, ADC scores
+    /// go straight into `out` (payload=pq). Non-null (payload=pq+rerank) the
+    /// top max(k, rerank) tombstone-filtered survivors are collected as
+    /// (local id, ADC distance) for the caller's exact re-rank instead.
+    /// Overflow records arrive raw either way and are scored exactly into
+    /// `out`.
+    void SearchPq(std::span<const float> q, size_t k, uint32_t ef, Metric metric,
+                  SubSearchMode mode, uint32_t rerank,
+                  std::vector<Scored>* rerank_cands, TopKHeap* out) const;
   };
   using LoadedClusterPtr = std::shared_ptr<const LoadedCluster>;
 
@@ -401,6 +447,29 @@ class ComputeNode {
                      uint32_t ef_search,
                      const std::vector<std::vector<uint32_t>>& routes,
                      BatchResult* result);
+
+  /// Cache weight of a load: its transfer size under a byte budget, 1 entry
+  /// otherwise.
+  size_t CacheWeight(size_t transfer_bytes) const noexcept {
+    return options_.cache_budget_bytes > 0 ? transfer_bytes : 1;
+  }
+
+  /// One (query, cluster) re-rank unit: the ADC survivors of a sub-search
+  /// awaiting exact rescoring against their fetched raw vectors.
+  struct RerankTask {
+    uint32_t cluster = 0;
+    const LoadedCluster* loaded = nullptr;
+    size_t query_row = 0;  ///< row in the batch's VectorSet
+    size_t heap = 0;       ///< index into the heaps span
+    std::vector<Scored> cands;  ///< local ids + ADC distances
+  };
+  /// Exact re-rank (payload=pq+rerank): dedups the tasks' candidates into
+  /// unique (cluster, local id) raw-vector READs, posts them doorbell-batched
+  /// under a "stage.rerank" span, and rescores with the pair kernel into the
+  /// query heaps. A vector whose READ permanently fails keeps its ADC score
+  /// (counted in rerank_fallbacks) — re-rank degrades, never fails a batch.
+  void RunRerank(const VectorSet& queries, std::vector<RerankTask>& tasks,
+                 std::span<TopKHeap> heaps, BatchBreakdown* breakdown);
 
   /// Where ops against `slot` go right now: the replica manager's primary
   /// route (rkey + fence epoch) when attached, else the provisioning-time

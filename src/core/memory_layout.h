@@ -58,16 +58,16 @@ enum class OverflowDirection : uint32_t {
   kBackward = 1,  ///< "B" side: records grow downward before the blob
 };
 
-/// Fixed 64-byte per-cluster metadata entry. The final padding word carries a
-/// CRC32C over the *static* fields — bytes [0, 32) and [40, 60) — skipping
+/// Fixed 72-byte per-cluster metadata entry. The final word carries a CRC32C
+/// over the *static* fields — bytes [0, 32) and [40, 68) — skipping
 /// `overflow_used` at [32, 40), which the insert protocol mutates in place
 /// with remote FAA and therefore cannot be covered by a write-once checksum.
 struct ClusterMeta {
-  static constexpr size_t kEncodedSize = 64;
+  static constexpr size_t kEncodedSize = 72;
   /// Byte offset of `overflow_used` inside an encoded entry (FAA target).
   static constexpr uint64_t kUsedFieldOffset = 32;
   /// Byte offset of the static-field CRC32C inside an encoded entry.
-  static constexpr size_t kCrcOffset = 60;
+  static constexpr size_t kCrcOffset = 68;
 
   uint64_t blob_offset = 0;        ///< within the owning shard's region
   uint64_t blob_size = 0;
@@ -86,6 +86,12 @@ struct ClusterMeta {
   /// sound triangle-inequality pruning: no member can be closer to a query
   /// than dist(q, rep) - radius. 0 when unknown / non-L2 metric.
   float radius = 0.0f;
+  /// Byte length of the blob's PQ prefix (header + extension sections +
+  /// payload up to the float rows). A `payload=pq` reader fetches exactly
+  /// [blob_offset, blob_offset + pq_head_size); raw vector i for re-rank
+  /// lives at blob_offset + pq_head_size + i*dim*4. 0 when the region was
+  /// provisioned without PQ codes.
+  uint64_t pq_head_size = 0;
 
   static constexpr uint32_t kNoPartner = 0xFFFFFFFFu;
 

@@ -21,14 +21,42 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
   if (clusters.empty()) return Status::InvalidArgument("Provision: no clusters");
   WallTimer provision_timer;
 
-  // Serialize everything first so the layout knows exact sizes.
+  const ProductQuantizer* pq = meta.quantizer();
+  if (pq != nullptr && pq->dim() != meta.dim()) {
+    return Status::InvalidArgument("Provision: quantizer dim mismatch");
+  }
+
+  // Serialize everything first so the layout knows exact sizes. When the meta
+  // carries a PQ codebook, every cluster blob additionally gets a codes
+  // extension section: residuals against the partition's representative,
+  // re-encoded here — so compaction (which replays Provision with the decoded
+  // meta) preserves PQ for free.
   const std::vector<uint8_t> meta_blob = meta.ToBlob();
   std::vector<std::vector<uint8_t>> blobs;
   std::vector<uint64_t> blob_sizes;
+  std::vector<uint64_t> head_sizes(clusters.size(), 0);
   blobs.reserve(clusters.size());
   blob_sizes.reserve(clusters.size());
-  for (const Cluster& c : clusters) {
-    blobs.push_back(EncodeCluster(c));
+  for (uint32_t c = 0; c < clusters.size(); ++c) {
+    if (pq == nullptr) {
+      blobs.push_back(EncodeCluster(clusters[c]));
+    } else {
+      const std::span<const float> center = meta.index().vector(c);
+      const uint32_t count = clusters[c].index.size();
+      std::vector<uint8_t> codes(static_cast<size_t>(count) * pq->m());
+      std::vector<float> residual(pq->dim());
+      for (uint32_t local = 0; local < count; ++local) {
+        const std::span<const float> v = clusters[c].index.vector(local);
+        for (uint32_t d = 0; d < pq->dim(); ++d) residual[d] = v[d] - center[d];
+        pq->Encode(residual,
+                   std::span<uint8_t>(codes).subspan(
+                       static_cast<size_t>(local) * pq->m(), pq->m()));
+      }
+      ClusterPqExtensions ext;
+      ext.codes = codes;
+      ext.code_m = pq->m();
+      blobs.push_back(EncodeCluster(clusters[c], ext, &head_sizes[c]));
+    }
     blob_sizes.push_back(blobs.back().size());
   }
 
@@ -39,6 +67,9 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
       plan_, PlanLayout(dim, metric, record_size, meta_blob.size(), blob_sizes, config,
                         num_shards));
   plan_.header.layout_version = layout_version;
+  for (uint32_t c = 0; c < head_sizes.size(); ++c) {
+    plan_.entries[c].pq_head_size = head_sizes[c];
+  }
 
   // Covering radius per cluster (L2 only): max distance from the partition's
   // representative to any member. Powers compute-side adaptive pruning.

@@ -146,9 +146,13 @@ Result<MetaHnsw> MetaHnsw::FromBlob(std::span<const uint8_t> blob) {
   if (cluster.partition_id != kMetaPartitionId) {
     return Status::Corruption("blob is not a meta-HNSW");
   }
+  DHNSW_ASSIGN_OR_RETURN(std::optional<ProductQuantizer> codebook,
+                         DecodeClusterCodebook(blob));
   // ef_route is a local search knob, not graph state; start from the default.
-  return MetaHnsw(std::move(cluster.index), std::move(cluster.global_ids),
-                  MetaHnswOptions{}.ef_route);
+  MetaHnsw meta(std::move(cluster.index), std::move(cluster.global_ids),
+                MetaHnswOptions{}.ef_route);
+  if (codebook) meta.set_quantizer(*std::move(codebook));
+  return meta;
 }
 
 std::vector<uint8_t> MetaHnsw::ToBlob() const {
@@ -170,7 +174,9 @@ std::vector<uint8_t> MetaHnsw::ToBlob() const {
       std::vector<float>(index_.vectors().begin(), index_.vectors().end()),
       std::move(levels), std::move(links), index_.entry_point());
   Cluster view(kMetaPartitionId, std::move(copy).value(), rep_global_ids_);
-  return EncodeCluster(view);
+  ClusterPqExtensions ext;
+  if (quantizer_) ext.codebook = &*quantizer_;
+  return EncodeCluster(view, ext, nullptr);
 }
 
 uint32_t MetaHnsw::RouteOne(std::span<const float> v) const {

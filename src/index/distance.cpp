@@ -102,6 +102,9 @@ const KernelTable& ScalarKernels() noexcept {
       &RowsImpl<&L2SqScalar>,
       &RowsImpl<&IpScalar>,
       &RowsImpl<&CosineScalar>,
+      &AdcScalarBody,
+      &AdcGatherImpl<&AdcScalarBody>,
+      &AdcRowsImpl<&AdcScalarBody>,
   };
   return table;
 }

@@ -101,6 +101,9 @@ const KernelTable& NeonKernels() noexcept {
       &RowsImpl<&L2SqNeon>,
       &RowsImpl<&IpNeon>,
       &RowsImpl<&CosineNeon>,
+      &AdcScalarBody,
+      &AdcGatherImpl<&AdcScalarBody>,
+      &AdcRowsImpl<&AdcScalarBody>,
   };
   return table;
 }

@@ -1,0 +1,331 @@
+#include "index/pq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+
+namespace dhnsw {
+namespace {
+
+/// Partial Fisher-Yates: `count` distinct indices from [0, n), sorted.
+std::vector<uint32_t> SampleRows(size_t n, uint32_t count, uint64_t seed) {
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  Xoshiro256 rng(seed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t j = i + rng.NextBounded(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+/// Lloyd's k-means over one subspace (rows: n x dsub contiguous), writing
+/// kKs centroid rows into `centroids`. Deterministic: seeded init, strict-<
+/// argmin (first minimum wins), empty clusters keep their previous centroid.
+void KmeansSubspace(std::span<const float> rows, size_t n, uint32_t dsub,
+                    uint32_t iterations, uint64_t seed, float* centroids) {
+  constexpr uint32_t ks = ProductQuantizer::kKs;
+  if (n >= ks) {
+    const std::vector<uint32_t> init = SampleRows(n, ks, seed);
+    for (uint32_t c = 0; c < ks; ++c) {
+      std::copy_n(rows.data() + static_cast<size_t>(init[c]) * dsub, dsub,
+                  centroids + static_cast<size_t>(c) * dsub);
+    }
+  } else {
+    // Fewer samples than centroid slots: seed cyclically; duplicates are
+    // harmless (encode's strict-< argmin always picks the lowest index).
+    for (uint32_t c = 0; c < ks; ++c) {
+      std::copy_n(rows.data() + (c % n) * dsub, dsub,
+                  centroids + static_cast<size_t>(c) * dsub);
+    }
+  }
+
+  const RowsKernel l2_rows = ActiveKernels().l2_rows;
+  std::vector<float> dists(ks);
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(static_cast<size_t>(ks) * dsub);
+  std::vector<uint32_t> counts(ks);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      l2_rows(rows.data() + i * dsub, centroids, dsub, ks, dists.data());
+      float best = std::numeric_limits<float>::max();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < ks; ++c) {
+        if (dists[c] < best) {
+          best = dists[c];
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      double* sum = sums.data() + static_cast<size_t>(assign[i]) * dsub;
+      const float* row = rows.data() + i * dsub;
+      for (uint32_t d = 0; d < dsub; ++d) sum[d] += row[d];
+      ++counts[assign[i]];
+    }
+    for (uint32_t c = 0; c < ks; ++c) {
+      if (counts[c] == 0) continue;
+      float* centroid = centroids + static_cast<size_t>(c) * dsub;
+      const double* sum = sums.data() + static_cast<size_t>(c) * dsub;
+      for (uint32_t d = 0; d < dsub; ++d) {
+        centroid[d] = static_cast<float>(sum[d] / counts[c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<ProductQuantizer> ProductQuantizer::Train(uint32_t dim, uint32_t m,
+                                                 std::span<const float> residuals,
+                                                 uint32_t iterations,
+                                                 uint64_t seed) {
+  if (m == 0 || dim == 0 || dim % m != 0) {
+    return Status::InvalidArgument("pq: m must be > 0 and divide dim");
+  }
+  if (residuals.empty() || residuals.size() % dim != 0) {
+    return Status::InvalidArgument("pq: residual matrix empty or not n x dim");
+  }
+  const size_t n = residuals.size() / dim;
+  const uint32_t dsub = dim / m;
+
+  std::vector<float> centroids(static_cast<size_t>(m) * kKs * dsub);
+  std::vector<float> sub(n * dsub);
+  SplitMix64 sub_seeds(seed);
+  for (uint32_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      std::copy_n(residuals.data() + i * dim + static_cast<size_t>(j) * dsub,
+                  dsub, sub.data() + i * dsub);
+    }
+    KmeansSubspace(sub, n, dsub, iterations, sub_seeds.Next(),
+                   centroids.data() + static_cast<size_t>(j) * kKs * dsub);
+  }
+  return ProductQuantizer(dim, m, std::move(centroids));
+}
+
+void ProductQuantizer::Encode(std::span<const float> residual,
+                              std::span<uint8_t> code) const {
+  assert(residual.size() == dim_ && code.size() == m_);
+  const uint32_t ds = dsub();
+  const RowsKernel l2_rows = ActiveKernels().l2_rows;
+  float dists[kKs];
+  for (uint32_t j = 0; j < m_; ++j) {
+    l2_rows(residual.data() + static_cast<size_t>(j) * ds, codewords(j).data(),
+            ds, kKs, dists);
+    float best = std::numeric_limits<float>::max();
+    uint32_t best_c = 0;
+    for (uint32_t c = 0; c < kKs; ++c) {
+      if (dists[c] < best) {
+        best = dists[c];
+        best_c = c;
+      }
+    }
+    code[j] = static_cast<uint8_t>(best_c);
+  }
+}
+
+void ProductQuantizer::Decode(std::span<const uint8_t> code,
+                              std::span<float> residual) const {
+  assert(code.size() == m_ && residual.size() == dim_);
+  const uint32_t ds = dsub();
+  for (uint32_t j = 0; j < m_; ++j) {
+    const float* cw = codewords(j).data() + static_cast<size_t>(code[j]) * ds;
+    std::copy_n(cw, ds, residual.data() + static_cast<size_t>(j) * ds);
+  }
+}
+
+float ProductQuantizer::BuildAdcLut(Metric metric, std::span<const float> query,
+                                    std::span<const float> centroid, float* lut,
+                                    float* scratch) const {
+  assert(query.size() == dim_ && centroid.size() == dim_);
+  assert(metric != Metric::kCosine && "cosine is not supported over PQ codes");
+  const uint32_t ds = dsub();
+  const KernelTable& kt = ActiveKernels();
+  if (metric == Metric::kL2) {
+    // lut[j][c] = ||(q - centroid)_j - codeword_jc||^2, so the ADC sum is the
+    // exact squared distance to the reconstructed vector.
+    for (uint32_t d = 0; d < dim_; ++d) scratch[d] = query[d] - centroid[d];
+    for (uint32_t j = 0; j < m_; ++j) {
+      kt.l2_rows(scratch + static_cast<size_t>(j) * ds, codewords(j).data(), ds,
+                 kKs, lut + static_cast<size_t>(j) * kKs);
+    }
+    return 0.0f;
+  }
+  // Inner product: -(q . x) = -(q . centroid) - sum_j q_j . codeword_jc.
+  // The ip kernels already negate, so LUT entries are the per-sub terms and
+  // the centroid term is the returned bias.
+  for (uint32_t j = 0; j < m_; ++j) {
+    kt.ip_rows(query.data() + static_cast<size_t>(j) * ds, codewords(j).data(),
+               ds, kKs, lut + static_cast<size_t>(j) * kKs);
+  }
+  return kt.ip(query.data(), centroid.data(), dim_);
+}
+
+std::vector<uint8_t> ProductQuantizer::ToBytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(8 + centroids_.size() * 4);
+  BinaryWriter w(&out);
+  w.PutU16(static_cast<uint16_t>(m_));
+  w.PutU16(static_cast<uint16_t>(kKs));
+  w.PutU32(dim_);
+  w.PutF32Array(centroids_);
+  return out;
+}
+
+Result<ProductQuantizer> ProductQuantizer::FromBytes(std::span<const uint8_t> bytes) {
+  BinaryReader r(bytes);
+  uint16_t m = 0, ks = 0;
+  uint32_t dim = 0;
+  DHNSW_RETURN_IF_ERROR(r.GetU16(&m));
+  DHNSW_RETURN_IF_ERROR(r.GetU16(&ks));
+  DHNSW_RETURN_IF_ERROR(r.GetU32(&dim));
+  if (m == 0 || ks != kKs || dim == 0 || dim % m != 0) {
+    return Status::Corruption("pq codebook: implausible geometry");
+  }
+  const size_t floats = static_cast<size_t>(m) * kKs * (dim / m);
+  if (r.remaining() != floats * 4) {
+    return Status::Corruption("pq codebook: centroid table size mismatch");
+  }
+  std::vector<float> centroids(floats);
+  DHNSW_RETURN_IF_ERROR(r.GetF32Array(centroids));
+  return ProductQuantizer(dim, m, std::move(centroids));
+}
+
+namespace {
+
+/// Epoch-stamped visited set + reusable heap storage for the ADC graph
+/// search; thread_local so pool workers never share or allocate per query.
+struct AdcScratch {
+  std::vector<uint32_t> visited;
+  uint32_t epoch = 0;
+  std::vector<float> dists;
+  std::vector<Scored> frontier;  ///< min-heap storage (std::greater order)
+
+  void Arm(uint32_t count) {
+    if (visited.size() < count) visited.assign(count, 0);
+    if (++epoch == 0) {  // wrap: restamp
+      std::fill(visited.begin(), visited.end(), 0u);
+      epoch = 1;
+    }
+    frontier.clear();
+  }
+  bool Visit(uint32_t id) {
+    if (visited[id] == epoch) return false;
+    visited[id] = epoch;
+    return true;
+  }
+};
+
+struct MinOrder {
+  bool operator()(const Scored& a, const Scored& b) const noexcept {
+    return b < a;  // reverse the max-heap ordering
+  }
+};
+
+}  // namespace
+
+void SearchPqCluster(const PqCluster& cluster, const float* lut, float bias,
+                     uint32_t k, uint32_t ef, bool flat_scan,
+                     std::vector<Scored>* out) {
+  out->clear();
+  if (cluster.count == 0 || k == 0) return;
+  const KernelTable& kt = ActiveKernels();
+  const size_t m = cluster.m;
+  const uint8_t* codes = cluster.codes.data();
+
+  if (flat_scan) {
+    constexpr size_t kChunk = 256;
+    thread_local std::vector<float> buf;
+    thread_local TopKHeap heap(0);
+    buf.resize(std::min<size_t>(kChunk, cluster.count));
+    heap.Reset(k);
+    for (size_t start = 0; start < cluster.count; start += kChunk) {
+      const size_t n = std::min<size_t>(kChunk, cluster.count - start);
+      kt.adc_rows(lut, codes + start * m, m, n, buf.data());
+      for (size_t i = 0; i < n; ++i) {
+        heap.Push(buf[i] + bias, static_cast<uint32_t>(start + i));
+      }
+    }
+    const std::span<const Scored> sorted = heap.SortAscending();
+    out->assign(sorted.begin(), sorted.end());
+    return;
+  }
+
+  thread_local AdcScratch scratch;
+  thread_local TopKHeap results(0);
+  scratch.Arm(cluster.count);
+  const uint32_t ef_search = std::max(ef, k);
+  results.Reset(ef_search);
+
+  const AdcKernel adc = kt.adc;
+  const AdcGatherKernel adc_gather = kt.adc_gather;
+
+  // Greedy descent through the upper layers.
+  uint32_t cur = cluster.entry_point < cluster.count ? cluster.entry_point : 0;
+  float cur_d = adc(lut, codes + static_cast<size_t>(cur) * m, m);
+  for (uint32_t layer = cluster.max_level; layer > 0; --layer) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (layer > cluster.levels[cur]) break;
+      const std::span<const uint32_t> nbs = cluster.neighbors(cur, layer);
+      if (nbs.empty()) break;
+      if (scratch.dists.size() < nbs.size()) scratch.dists.resize(nbs.size());
+      adc_gather(lut, codes, m, nbs.data(), nbs.size(), scratch.dists.data());
+      for (size_t i = 0; i < nbs.size(); ++i) {
+        if (scratch.dists[i] < cur_d) {
+          cur_d = scratch.dists[i];
+          cur = nbs[i];
+          improved = true;
+        }
+      }
+    }
+  }
+
+  // ef-bounded best-first expansion on layer 0.
+  std::vector<Scored>& frontier = scratch.frontier;
+  scratch.Visit(cur);
+  frontier.push_back({cur_d, cur});
+  results.Push(cur_d, cur);
+  thread_local std::vector<uint32_t> fresh;
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), MinOrder{});
+    const Scored best = frontier.back();
+    frontier.pop_back();
+    if (results.full() && best.distance > results.worst()) break;
+
+    const std::span<const uint32_t> nbs = cluster.neighbors(best.id, 0);
+    fresh.clear();
+    for (uint32_t nb : nbs) {
+      if (scratch.Visit(nb)) fresh.push_back(nb);
+    }
+    if (fresh.empty()) continue;
+    if (scratch.dists.size() < fresh.size()) scratch.dists.resize(fresh.size());
+    adc_gather(lut, codes, m, fresh.data(), fresh.size(), scratch.dists.data());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      const float d = scratch.dists[i];
+      if (!results.full() || d < results.worst()) {
+        results.Push(d, fresh[i]);
+        frontier.push_back({d, fresh[i]});
+        std::push_heap(frontier.begin(), frontier.end(), MinOrder{});
+      }
+    }
+  }
+
+  const std::span<const Scored> sorted = results.SortAscending();
+  const size_t take = std::min<size_t>(k, sorted.size());
+  out->reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back({sorted[i].distance + bias, sorted[i].id});
+  }
+}
+
+}  // namespace dhnsw

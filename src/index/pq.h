@@ -1,0 +1,132 @@
+// Product quantization for compressed cluster payloads (ivf-hnsw recipe,
+// ROADMAP "PQ-compressed cluster payloads"): vectors are encoded as m-byte
+// codes of their *residual* against the owning cluster's representative, one
+// shared codebook (m subquantizers x 256 centroids x dsub floats) trained by
+// k-means over sampled residuals. Search scores codes with asymmetric
+// distance computation (ADC): per (query, cluster) a LUT of m x 256 partial
+// distances is built once, then every candidate costs m table lookups — the
+// `adc*` kernels in the dispatch table (distance.h).
+//
+// Exactness: for L2 the ADC sum equals the squared distance between the
+// query and the *reconstructed* vector (centroid + decoded residual), so the
+// only error is quantization error. For inner product the LUT carries the
+// residual term and BuildAdcLut returns the -(q . centroid) bias to add to
+// every sum. Cosine is not supported over PQ codes (the norm of the
+// reconstruction is not decomposable per subquantizer); callers reject it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/topk.h"
+#include "index/distance.h"
+
+namespace dhnsw {
+
+/// One shared codebook: m subquantizers, 256 centroids each, over
+/// dsub = dim/m float slices. Trained once per engine build on residuals;
+/// serialized into the meta-HNSW blob so every compute node gets it at
+/// connect time.
+class ProductQuantizer {
+ public:
+  static constexpr uint32_t kKs = 256;  ///< centroids per subquantizer (u8 codes)
+
+  /// Trains the codebook with seeded Lloyd's k-means per subspace.
+  /// `residuals` is n x dim row-major; n may be smaller than kKs (centroid
+  /// slots are then seeded cyclically from the samples). `m` must divide
+  /// `dim` and n must be > 0.
+  static Result<ProductQuantizer> Train(uint32_t dim, uint32_t m,
+                                        std::span<const float> residuals,
+                                        uint32_t iterations, uint64_t seed);
+
+  uint32_t dim() const noexcept { return dim_; }
+  uint32_t m() const noexcept { return m_; }
+  uint32_t dsub() const noexcept { return dim_ / m_; }
+  size_t code_size() const noexcept { return m_; }          ///< bytes per vector
+  size_t lut_floats() const noexcept { return static_cast<size_t>(m_) * kKs; }
+
+  /// The full centroid table, m * kKs * dsub floats; subquantizer j's kKs
+  /// codewords are the contiguous rows at [j*kKs*dsub, (j+1)*kKs*dsub).
+  std::span<const float> centroids() const noexcept { return centroids_; }
+  std::span<const float> codewords(uint32_t sub) const noexcept {
+    const size_t block = static_cast<size_t>(kKs) * dsub();
+    return std::span<const float>(centroids_).subspan(sub * block, block);
+  }
+
+  /// Nearest-codeword encode of one residual (dim floats) into m bytes.
+  void Encode(std::span<const float> residual, std::span<uint8_t> code) const;
+  /// Reconstructs the residual approximation from a code.
+  void Decode(std::span<const uint8_t> code, std::span<float> residual) const;
+
+  /// Builds the per-(query, cluster) ADC LUT (lut_floats() floats) and
+  /// returns the additive bias for this metric: 0 for L2, -(q . centroid)
+  /// for inner product. `scratch` must hold dim floats.
+  /// adc(lut, code) + bias == Pair(metric)(query, centroid + Decode(code))
+  /// up to summation-order ULPs. Cosine is a caller error (asserts).
+  float BuildAdcLut(Metric metric, std::span<const float> query,
+                    std::span<const float> centroid, float* lut,
+                    float* scratch) const;
+
+  /// Codebook body serialization (framed + CRC'd by the cluster-blob
+  /// extension codec, serialize/cluster_blob.h).
+  std::vector<uint8_t> ToBytes() const;
+  static Result<ProductQuantizer> FromBytes(std::span<const uint8_t> bytes);
+
+ private:
+  ProductQuantizer(uint32_t dim, uint32_t m, std::vector<float> centroids)
+      : dim_(dim), m_(m), centroids_(std::move(centroids)) {}
+
+  uint32_t dim_ = 0;
+  uint32_t m_ = 0;
+  std::vector<float> centroids_;  ///< m * kKs * dsub
+};
+
+/// A cluster decoded from a PQ *prefix* read: the graph (ids, levels,
+/// adjacency) plus PQ codes — no float vectors. Adjacency is stored flat
+/// (CSR-style) so the ADC graph search chases no nested-vector pointers.
+struct PqCluster {
+  uint32_t partition_id = 0;
+  uint32_t dim = 0;
+  uint32_t count = 0;
+  uint32_t m = 0;            ///< PQ subquantizers (code bytes per vector)
+  uint32_t hnsw_m = 0;       ///< HNSW M of the serialized graph
+  uint32_t entry_point = 0;
+  uint32_t max_level = 0;
+  Metric metric = Metric::kL2;
+  std::vector<uint32_t> global_ids;   ///< local id -> global id
+  std::vector<uint32_t> levels;       ///< local id -> top layer
+  std::vector<uint32_t> span_index;   ///< node -> first (node,layer) slot
+  std::vector<uint32_t> span_offsets; ///< slot -> start in neighbor_ids; +1 sentinel
+  std::vector<uint32_t> neighbor_ids; ///< flat adjacency
+  std::vector<uint8_t> codes;         ///< count x m
+  /// Offset of the float-vector rows inside the *payload* — rerank reads
+  /// fetch raw vector i at blob_offset + pq_head_size + i*dim*4, where
+  /// pq_head_size = header + extensions + vectors_offset.
+  uint64_t vectors_offset = 0;
+
+  std::span<const uint32_t> neighbors(uint32_t id, uint32_t layer) const noexcept {
+    const uint32_t slot = span_index[id] + layer;
+    return std::span<const uint32_t>(neighbor_ids)
+        .subspan(span_offsets[slot], span_offsets[slot + 1] - span_offsets[slot]);
+  }
+
+  size_t memory_bytes() const noexcept {
+    return codes.size() + 4 * (global_ids.size() + levels.size() +
+                               span_index.size() + span_offsets.size() +
+                               neighbor_ids.size());
+  }
+};
+
+/// ADC search over a PqCluster. Emits up to `k` results ordered by ascending
+/// (distance, local id); distances are ADC sums + `bias`. `flat_scan` scores
+/// every code (naive / kFlatScan sub-search); otherwise a greedy layered
+/// descent plus an ef-bounded layer-0 expansion mirrors HnswIndex::Search.
+/// Deterministic for fixed inputs; uses thread-local scratch (safe to call
+/// from pool workers, not reentrant).
+void SearchPqCluster(const PqCluster& cluster, const float* lut, float bias,
+                     uint32_t k, uint32_t ef, bool flat_scan,
+                     std::vector<Scored>* out);
+
+}  // namespace dhnsw

@@ -128,12 +128,17 @@ class TraceScope {
     event_.b = b;
   }
 
-  ~TraceScope() {
+  /// Closes + appends the span now; destruction becomes a no-op. For a stage
+  /// that must end before a sibling stage opens in the same block.
+  void Close() noexcept {
     if (!live_) return;
+    live_ = false;
     event_.sim_end_ns = context_.now_ns();
     event_.wall_ns = timer_.elapsed_ns();
     context_.buffer->Append(event_);
   }
+
+  ~TraceScope() { Close(); }
 
  private:
   TraceContext context_;

@@ -196,6 +196,93 @@ TEST(LruCacheTest, RecencyOrderIsMruFirst) {
   EXPECT_EQ(keys.back(), 2);
 }
 
+// --- Weighted (byte-budget) mode -------------------------------------------
+
+TEST(LruCacheWeightTest, WeightedPutsEvictByTotalWeightNotCount) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 40);
+  cache.Put(2, 20, 40);
+  EXPECT_EQ(cache.total_weight(), 80u);
+  cache.Put(3, 30, 40);  // 120 > 100: evicts LRU (1)
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.total_weight(), 80u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheWeightTest, EntryHeavierThanBudgetIsNotStored) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 60);
+  EXPECT_EQ(cache.Put(2, 20, 101), nullptr);
+  // The oversize put must not have evicted anything either.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.total_weight(), 60u);
+}
+
+TEST(LruCacheWeightTest, OneHeavyEntryEvictsManyLightOnes) {
+  LruCache<int, int> cache(100);
+  for (int i = 0; i < 10; ++i) cache.Put(i, i, 10);
+  EXPECT_EQ(cache.size(), 10u);
+  cache.Put(99, 99, 95);  // displaces 10 light entries, keeps itself
+  EXPECT_TRUE(cache.Contains(99));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.total_weight(), 95u);
+}
+
+TEST(LruCacheWeightTest, HeavierReplacementEvictsOthersNotItself) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 50);
+  cache.Put(2, 20, 40);
+  cache.Put(1, 11, 60);  // replacement grows 1 to 60: total 100, still fits
+  EXPECT_EQ(cache.total_weight(), 100u);
+  cache.Put(1, 12, 70);  // total would be 110: evicts 2, never evicts 1 itself
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(*cache.Peek(1), 12);
+  EXPECT_EQ(cache.total_weight(), 70u);
+}
+
+TEST(LruCacheWeightTest, ShrinkDefersEvictionWhilePinnedThenCompletesOnUnpin) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 50);
+  cache.Put(2, 20, 50);
+  ASSERT_TRUE(cache.Pin(1));
+  ASSERT_TRUE(cache.Pin(2));
+  cache.set_capacity(40);  // both pinned: nothing evictable yet
+  EXPECT_EQ(cache.total_weight(), 100u);
+  EXPECT_TRUE(cache.Unpin(1));  // 1 becomes evictable; 100 > 40 resumes shrink
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));  // still pinned, survives over budget
+  EXPECT_EQ(cache.total_weight(), 50u);
+  EXPECT_TRUE(cache.Unpin(2));
+  EXPECT_FALSE(cache.Contains(2));  // 50 > 40: deferred shrink finishes
+  EXPECT_EQ(cache.total_weight(), 0u);
+}
+
+TEST(LruCacheWeightTest, EraseAndClearRestoreWeightAccounting) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 10, 30);
+  cache.Put(2, 20, 30);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_EQ(cache.total_weight(), 30u);
+  cache.Clear();
+  EXPECT_EQ(cache.total_weight(), 0u);
+  // Freed budget is reusable.
+  cache.Put(3, 30, 100);
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCacheWeightTest, DefaultWeightKeepsEntryCountSemantics) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_weight(), cache.size());
+}
+
 /// Property sweep over capacities: after any sequence of puts, size never
 /// exceeds capacity (nothing pinned), and the retained set is exactly the
 /// `capacity` most recently used keys.
