@@ -269,6 +269,11 @@ void RunBreakdownTable(const std::string& title, const BenchConfig& config) {
               cfg.workload == Workload::kSiftLike ? "SIFT1M" : "GIST1M");
 }
 
+JsonWriter& LabelNic(JsonWriter& row, DhnswEngine& engine) {
+  return row.Label("nic_source", engine.fabric().nic_config().source)
+      .Label("transport", std::string(engine.fabric().transport().name()));
+}
+
 JsonWriter& JsonWriter::Row(const std::string& name) {
   rows_.emplace_back();
   rows_.back().labels.emplace_back("name", name);

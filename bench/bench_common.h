@@ -99,6 +99,13 @@ class JsonWriter {
   std::vector<RowData> rows_;
 };
 
+/// Stamps the engine's NIC cost-model provenance onto a bench JSON row:
+/// `nic_source` ("connectx6-datasheet" by default, "calibrated-<backend>"
+/// after `dhnsw_cli calibrate`) and the `transport` backend that produced
+/// the numbers. Archived artifacts then record which cost model they were
+/// measured under. Returns the row for further chaining.
+JsonWriter& LabelNic(JsonWriter& row, DhnswEngine& engine);
+
 /// Runs a whole Fig.6-style experiment: 3 schemes x ef sweep; prints tables
 /// and the headline speedup (naive vs d-HNSW at the largest ef).
 void RunLatencyRecallFigure(const std::string& title, const BenchConfig& config, size_t k);

@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
                   static_cast<double>(PayloadBytes(p.breakdown)) / per_query,
                   static_cast<double>(p.breakdown.rerank_bytes) / per_query,
                   static_cast<unsigned long long>(p.breakdown.rerank_fallbacks));
-      json.Row("pq_payload_sweep")
+      LabelNic(json.Row("pq_payload_sweep"), engine)
           .Label("payload", scheme.name)
           .Label("dataset", ds.name)
           .Field("ef_search", p.ef_search)

@@ -198,7 +198,7 @@ int main(int argc, char** argv) {
     std::printf("%8zu %12.0f %12.0f %11.2fx %12.2f %10.4f\n", n,
                 stats.achieved_qps, modeled_qps, modeled_speedup, efficiency,
                 recall);
-    json.Row("scaleout_capacity")
+    LabelNic(json.Row("scaleout_capacity"), engine)
         .Label("nodes", std::to_string(n))
         .Field("wall_qps", stats.achieved_qps)
         .Field("modeled_qps", modeled_qps)
@@ -231,7 +231,7 @@ int main(int argc, char** argv) {
                   level, target, stats.achieved_qps, stats.latency_us.p50(),
                   stats.latency_us.p99(), stats.latency_us.percentile(99.9),
                   (unsigned long long)stats.dropped());
-      json.Row("scaleout_paced")
+      LabelNic(json.Row("scaleout_paced"), engine)
           .Label("nodes", std::to_string(n))
           .Label("level", std::to_string(level))
           .Field("target_qps", target)
@@ -256,7 +256,7 @@ int main(int argc, char** argv) {
         "# workers on a shared core; the modeled column (sequential replay,\n"
         "# bottleneck-node busy time) is the N-core deployment number.\n");
   }
-  json.Row("scaleout_summary")
+  LabelNic(json.Row("scaleout_summary"), engine)
       .Field("modeled_speedup_n4_vs_n1", modeled_speedup_n4)
       .Field("n1_capacity_qps", base_qps)
       .Field("n1_modeled_qps", base_modeled_qps)

@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
       grid[depth - 1][ti] = p;
       std::printf("%8u %10zu %16.1f %16.0f %10.4f %14.2f\n", depth, kThreads[ti],
                   p.latency_us, p.throughput_qps, p.recall, p.overlap_ms);
-      json.Row("pipeline_grid")
+      LabelNic(json.Row("pipeline_grid"), engine)
           .Label("pipeline_depth", std::to_string(depth))
           .Label("search_threads", std::to_string(kThreads[ti]))
           .Field("batch_latency_us", p.latency_us)

@@ -10,11 +10,17 @@
 //
 // Backoff is charged to the instance's SimClock, so recovery cost shows up in
 // the same simulated-latency accounting as the verbs themselves, and results
-// stay deterministic: no wall-clock sleeping, no timers.
+// stay deterministic: no wall-clock sleeping, no timers. That is the
+// simulator contract; on a real transport (tcp/verbs) the budget is
+// constructed with real_sleep = true and the backoff actually sleeps —
+// charging simulated time instead of waiting would retry a still-down server
+// instantly. SimClock-charged backoff is thus sim-only by construction.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -80,8 +86,13 @@ inline bool IsRetryable(const Status& st) noexcept { return IsRetryable(st.code(
 /// tests/test_scaleout.cpp's cross-inflation regression pins this down.
 class RetryBudget {
  public:
-  RetryBudget(const RetryPolicy& policy, SimClock* clock) noexcept
-      : policy_(policy), clock_(clock),
+  /// `real_sleep` selects the backoff mechanism: false (sim) advances the
+  /// clock by the backoff; true (real transports) sleeps the backoff for
+  /// real — the clock is NOT advanced by the budget then, because on real
+  /// transports the QueuePair already charges measured wall time, and the
+  /// deadline check reads that measured elapsed time.
+  RetryBudget(const RetryPolicy& policy, SimClock* clock, bool real_sleep = false) noexcept
+      : policy_(policy), clock_(clock), real_sleep_(real_sleep),
         start_ns_(clock != nullptr ? clock->now_ns() : 0) {}
 
   /// Decides whether a retry is allowed after `failures` failed attempts
@@ -99,7 +110,11 @@ class RetryBudget {
       const uint64_t elapsed = now >= start_ns_ ? now - start_ns_ : 0;
       if (elapsed + backoff > policy_.deadline_ns) return false;
     }
-    if (clock_ != nullptr) clock_->Advance(backoff);
+    if (real_sleep_) {
+      if (backoff > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    } else if (clock_ != nullptr) {
+      clock_->Advance(backoff);
+    }
     if (backoff_out != nullptr) *backoff_out = backoff;
     return true;
   }
@@ -107,6 +122,7 @@ class RetryBudget {
  private:
   RetryPolicy policy_;
   SimClock* clock_;
+  bool real_sleep_ = false;
   uint64_t start_ns_;
 };
 

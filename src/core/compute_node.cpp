@@ -138,6 +138,12 @@ ComputeNode::ComputeNode(rdma::Fabric* fabric, MemoryNodeHandle memory,
                  : (options.cache_budget_bytes > 0 ? options.cache_budget_bytes
                                                    : options.cache_capacity)) {
   fabric_->AddNode(name_);
+  if (!fabric_->transport().is_sim()) {
+    real_backoff_ = true;
+    // Spans from this instance carry the backend name; the simulator leaves
+    // the label empty so its trace JSONL stays byte-identical.
+    trace_buffer_.set_transport_label(std::string(fabric_->transport().name()));
+  }
   telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
   cache_.AttachTelemetry(registry.GetCounter("dhnsw_compute_cache_ref_hits_total"),
                          registry.GetCounter("dhnsw_compute_cache_ref_misses_total"),
@@ -662,7 +668,7 @@ Status ComputeNode::LoadClusters(std::span<const uint32_t> ids,
   for (uint32_t cluster : ids) {
     if (cluster >= table_.size()) return Status::InvalidArgument("LoadClusters: bad id");
   }
-  LoadRoundState state(options_.retry, &clock_);
+  LoadRoundState state(options_.retry, &clock_, real_backoff_);
   state.remaining.assign(ids.begin(), ids.end());
   RunLoadRounds(&state, out, breakdown);
   return FinalizeLoads(&state, *out, breakdown, failed);
@@ -768,7 +774,7 @@ Status ComputeNode::ReapWaveLoads(WaveLoadState* wave_load,
 
   // Budget starts before the deferred charge lands, mirroring the blocking
   // path where RetryBudget is constructed before round 1's network time.
-  LoadRoundState state(options_.retry, &clock_);
+  LoadRoundState state(options_.retry, &clock_, real_backoff_);
   qp_.ReapAsyncBatch(wave_load->batch.get());
   const std::vector<std::pair<uint32_t, Status>> read_errors = DrainReadErrors();
   ReportLoadFailures(read_errors, breakdown);
@@ -847,7 +853,7 @@ void ComputeNode::RunRerank(const VectorSet& queries, std::vector<RerankTask>& t
   const uint32_t doorbell = DoorbellWindow();
   std::vector<uint32_t> remaining(fetches.size());
   for (uint32_t i = 0; i < fetches.size(); ++i) remaining[i] = i;
-  RetryBudget budget(options_.retry, &clock_);
+  RetryBudget budget(options_.retry, &clock_, real_backoff_);
   uint32_t failures = 0;
   while (!remaining.empty()) {
     uint32_t in_ring = 0;
@@ -1332,7 +1338,7 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   uint64_t old_used = 0;
   AlignedBuffer partner_buf(8, 64);
   {
-    RetryBudget budget(options_.retry, &clock_);
+    RetryBudget budget(options_.retry, &clock_, real_backoff_);
     uint32_t failures = 0;
     bool faa_done = false;
     for (;;) {
@@ -1497,7 +1503,7 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     uint64_t old_used = 0;
     AlignedBuffer partner_buf(8, 64);
     {
-      RetryBudget budget(options_.retry, &clock_);
+      RetryBudget budget(options_.retry, &clock_, real_backoff_);
       uint32_t failures = 0;
       bool faa_done = false;
       for (;;) {
@@ -1575,7 +1581,7 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
       const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
       std::vector<size_t> to_write(members.size());
       for (size_t j = 0; j < members.size(); ++j) to_write[j] = j;
-      RetryBudget budget(options_.retry, &clock_);
+      RetryBudget budget(options_.retry, &clock_, real_backoff_);
       uint32_t failures = 0;
       for (;;) {
         for (size_t j : to_write) {
@@ -1677,7 +1683,7 @@ Status ComputeNode::ReplicateGroupWrites(uint32_t slot, const std::vector<uint64
     const bool primary = i == 0;
     std::vector<size_t> to_write(records.size());
     for (size_t j = 0; j < records.size(); ++j) to_write[j] = j;
-    RetryBudget budget(options_.retry, &clock_);
+    RetryBudget budget(options_.retry, &clock_, real_backoff_);
     uint32_t failures = 0;
     Status replica_status;
     for (;;) {

@@ -341,7 +341,8 @@ class ComputeNode {
   /// same machinery — so retry counting, backoff, failover reporting, and
   /// final error attribution are one code path regardless of executor.
   struct LoadRoundState {
-    LoadRoundState(const RetryPolicy& policy, SimClock* clock) : budget(policy, clock) {}
+    LoadRoundState(const RetryPolicy& policy, SimClock* clock, bool real_sleep = false)
+        : budget(policy, clock, real_sleep) {}
     RetryBudget budget;
     uint32_t round_failures = 0;
     std::vector<uint32_t> remaining;
@@ -431,7 +432,7 @@ class ComputeNode {
   template <typename Fn>
   Status WithRetry(Fn&& fn, uint64_t* retries_out = nullptr,
                    uint64_t* backoff_out = nullptr) {
-    RetryBudget budget(options_.retry, &clock_);
+    RetryBudget budget(options_.retry, &clock_, real_backoff_);
     uint32_t failures = 0;
     for (;;) {
       Status st = fn();
@@ -515,6 +516,9 @@ class ComputeNode {
   ComputeOptions options_;
   std::string name_;
   ReplicaManager* replication_ = nullptr;  ///< not owned; may be null
+  /// True on real transports (tcp/verbs): retry backoff then sleeps for real
+  /// instead of charging the SimClock (see RetryBudget).
+  bool real_backoff_ = false;
 
   SimClock clock_;
   rdma::QueuePair qp_;

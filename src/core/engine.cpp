@@ -100,7 +100,7 @@ Result<DhnswEngine> DhnswEngine::Build(const VectorSet& base, DhnswConfig config
   }
 
   // 3. Fabric + memory instance + RDMA-friendly layout (§3.2).
-  engine.fabric_ = std::make_unique<rdma::Fabric>(config.nic);
+  engine.fabric_ = std::make_unique<rdma::Fabric>(config.nic, config.transport);
   engine.memory_ = std::make_unique<MemoryNode>(engine.fabric_.get());
   DHNSW_RETURN_IF_ERROR(engine.memory_->Provision(
       meta, parts.clusters, config.layout, /*layout_version=*/0,
@@ -127,7 +127,7 @@ Result<DhnswEngine> DhnswEngine::BuildFromSnapshot(const std::string& path,
                                                    uint32_t next_global_id) {
   DhnswEngine engine;
   engine.config_ = config;
-  engine.fabric_ = std::make_unique<rdma::Fabric>(config.nic);
+  engine.fabric_ = std::make_unique<rdma::Fabric>(config.nic, config.transport);
   DHNSW_ASSIGN_OR_RETURN(engine.memory_handle_,
                          LoadRegionSnapshot(engine.fabric_.get(), path));
   engine.next_global_id_ = next_global_id;

@@ -50,6 +50,11 @@ struct DhnswConfig {
   HnswOptions sub_hnsw;          ///< per-partition graph build parameters
   LayoutConfig layout;           ///< remote-memory layout (overflow sizing)
   rdma::NicModelConfig nic;      ///< fabric cost model
+  /// Fabric backend: the deterministic simulator by default, or the real TCP
+  /// / verbs transport (transport.h). Leaving the kind unset also honours the
+  /// DHNSW_TRANSPORT environment variable; tests that assert simulator-only
+  /// semantics pin `transport.kind = rdma::TransportKind::kSim` explicitly.
+  rdma::TransportOptions transport;
   ComputeOptions compute;        ///< per-instance query options
   PqConfig pq;                   ///< product-quantized payload sections
   size_t num_compute_nodes = 1;  ///< instances in the compute pool

@@ -68,6 +68,9 @@ ReplicaManager::ReplicaManager(rdma::Fabric* fabric, ReplicationOptions options)
     options_.dead_after_misses = options_.suspect_after_misses;
   }
   trace_ctx_ = telemetry::TraceContext{&trace_buffer_, &clock_, 0};
+  if (!fabric_->transport().is_sim()) {
+    trace_buffer_.set_transport_label(std::string(fabric_->transport().name()));
+  }
 }
 
 Status ReplicaManager::ProvisionReplicas(const MemoryNodeHandle& handle) {

@@ -1,5 +1,7 @@
 #include "rdma/fabric.h"
 
+#include "common/logging.h"
+#include "rdma/sim_transport.h"
 #include "telemetry/metrics.h"
 
 namespace dhnsw::rdma {
@@ -37,113 +39,82 @@ const FabricInstruments& Instruments() {
 
 }  // namespace
 
+Fabric::Fabric(NicModelConfig nic, TransportOptions options) : nic_(nic) {
+  Result<std::unique_ptr<Transport>> made = MakeTransport(options);
+  if (made.ok()) {
+    transport_ = std::move(made.value());
+  } else {
+    DHNSW_LOG(kError) << "transport \"" << TransportKindName(options.Resolve())
+                      << "\" failed to initialise (" << made.status().message()
+                      << "); falling back to the simulator";
+    transport_ = std::make_unique<SimTransport>();
+  }
+}
+
 NodeId Fabric::AddNode(std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto node = std::make_unique<Node>();
-  node->name = std::move(name);
-  nodes_.push_back(std::move(node));
+  const NodeId node = transport_->AddNode(std::move(name));
   Instruments().nodes->Add(1);
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return node;
 }
 
-size_t Fabric::num_nodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return nodes_.size();
-}
+size_t Fabric::num_nodes() const { return transport_->num_nodes(); }
 
-std::string Fabric::NodeName(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return node < nodes_.size() ? nodes_[node]->name : std::string("<unknown>");
-}
+std::string Fabric::NodeName(NodeId node) const { return transport_->NodeName(node); }
 
 Result<RKey> Fabric::RegisterMemory(NodeId node, size_t size, size_t alignment) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (node >= nodes_.size()) {
-    return Status::InvalidArgument("RegisterMemory: unknown node");
-  }
-  if (size == 0) {
-    return Status::InvalidArgument("RegisterMemory: zero-size region");
-  }
-  const RKey rkey = next_rkey_++;
-  regions_.emplace(rkey, std::make_pair(node, std::make_unique<MemoryRegion>(rkey, size, alignment)));
+  DHNSW_ASSIGN_OR_RETURN(RKey rkey, transport_->RegisterMemory(node, size, alignment));
   Instruments().regions->Add(1);
   Instruments().region_bytes->Add(static_cast<int64_t>(size));
   return rkey;
 }
 
-MemoryRegion* Fabric::FindRegion(RKey rkey) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = regions_.find(rkey);
-  return it == regions_.end() ? nullptr : it->second.second.get();
-}
+MemoryRegion* Fabric::FindRegion(RKey rkey) { return transport_->FindRegion(rkey); }
 
-const MemoryRegion* Fabric::FindRegion(RKey rkey) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = regions_.find(rkey);
-  return it == regions_.end() ? nullptr : it->second.second.get();
-}
+const MemoryRegion* Fabric::FindRegion(RKey rkey) const { return transport_->FindRegion(rkey); }
 
-Result<NodeId> Fabric::OwnerOf(RKey rkey) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = regions_.find(rkey);
-  if (it == regions_.end()) return Status::NotFound("unknown rkey");
-  return it->second.first;
-}
+Result<NodeId> Fabric::OwnerOf(RKey rkey) const { return transport_->OwnerOf(rkey); }
 
 void Fabric::SetNodeReachable(NodeId node, bool reachable) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (node < nodes_.size() && nodes_[node]->reachable.load() != reachable) {
-    nodes_[node]->reachable.store(reachable);
+  // Count a flip only when the setting actually changes, matching the
+  // pre-transport metric semantics.
+  if (node < transport_->num_nodes() && transport_->IsNodeReachable(node) != reachable) {
     Instruments().reachability_flips->Add(1);
   }
+  transport_->SetNodeReachable(node, reachable);
 }
 
-bool Fabric::IsNodeReachable(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return node < nodes_.size() && nodes_[node]->reachable.load();
-}
+bool Fabric::IsNodeReachable(NodeId node) const { return transport_->IsNodeReachable(node); }
 
 void Fabric::SetRegionEpoch(RKey rkey, uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (regions_.find(rkey) == regions_.end()) return;
-  fences_[rkey].epoch = epoch;
-  Instruments().epoch_bumps->Add(1);
+  if (transport_->FindRegion(rkey) != nullptr) Instruments().epoch_bumps->Add(1);
+  transport_->SetRegionEpoch(rkey, epoch);
 }
 
-uint64_t Fabric::RegionEpoch(RKey rkey) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = fences_.find(rkey);
-  return it == fences_.end() ? 0 : it->second.epoch;
-}
+uint64_t Fabric::RegionEpoch(RKey rkey) const { return transport_->RegionEpoch(rkey); }
 
 void Fabric::RevokeRegion(RKey rkey) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (regions_.find(rkey) == regions_.end()) return;
-  FenceState& fence = fences_[rkey];
-  if (!fence.revoked) {
-    fence.revoked = true;
+  if (transport_->FindRegion(rkey) != nullptr && !transport_->IsRegionRevoked(rkey)) {
     Instruments().revocations->Add(1);
   }
+  transport_->RevokeRegion(rkey);
 }
 
-bool Fabric::IsRegionRevoked(RKey rkey) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = fences_.find(rkey);
-  return it != fences_.end() && it->second.revoked;
-}
+bool Fabric::IsRegionRevoked(RKey rkey) const { return transport_->IsRegionRevoked(rkey); }
 
 bool Fabric::AdmitAccess(RKey rkey, uint64_t expected_epoch) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = fences_.find(rkey);
-  if (it == fences_.end()) return true;  // never fenced: all traffic admitted
-  if (it->second.revoked) return false;
-  return expected_epoch == 0 || expected_epoch == it->second.epoch;
+  return transport_->AdmitAccess(rkey, expected_epoch);
 }
 
-void Fabric::ArmFaults(FaultPlan plan) {
+Status Fabric::ArmFaults(FaultPlan plan) {
+  if (!transport_->is_sim()) {
+    return Status::Unimplemented(
+        "ArmFaults: fault injection is sim-only; the \"" + std::string(transport_->name()) +
+        "\" transport surfaces real wire failures instead");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
   Instruments().fault_plans_armed->Add(1);
+  return Status::Ok();
 }
 
 void Fabric::ClearFaults() {

@@ -1,13 +1,22 @@
-// The simulated RDMA fabric: a set of nodes, each owning registered memory
-// regions, connected by a modeled 100 Gb/s network. Compute instances talk to
-// the fabric through QueuePair objects (see queue_pair.h).
+// The RDMA fabric: a set of nodes, each owning registered memory regions,
+// connected by a pluggable transport backend (transport.h). Compute instances
+// talk to the fabric through QueuePair objects (see queue_pair.h).
+//
+// By default the backend is the deterministic simulator (a modeled 100 Gb/s
+// network); `DhnswConfig::transport` or the DHNSW_TRANSPORT environment
+// variable selects the real TCP or verbs backend instead. Fabric itself is a
+// façade: control-plane calls delegate to the transport's shared registry, so
+// existing callers (memory nodes, snapshots, replication) are agnostic to the
+// backend in use.
 //
 // Fault injection: tests can arm per-node failures so completions surface
 // kRemoteUnreachable, exercising error paths that real deployments hit when a
 // memory node reboots. Beyond the whole-node SetNodeReachable switch, a
 // seedable FaultPlan (fault_injection.h) can be armed to inject per-verb
 // transient/permanent failures, timeouts, latency spikes, and payload
-// bit-flips deterministically.
+// bit-flips deterministically. FaultPlans are sim-only by construction:
+// ArmFaults returns FailedPrecondition on a real transport, where failures
+// come from the wire instead.
 #pragma once
 
 #include <atomic>
@@ -15,22 +24,30 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "common/status.h"
 #include "rdma/fault_injection.h"
 #include "rdma/memory_region.h"
 #include "rdma/nic_model.h"
 #include "rdma/rdma_types.h"
+#include "rdma/transport.h"
 
 namespace dhnsw::rdma {
 
 class Fabric {
  public:
-  explicit Fabric(NicModelConfig nic = NicModelConfig{}) : nic_(nic) {}
+  /// Builds the fabric over the transport `options` select (sim when
+  /// defaulted). If the requested backend fails to initialise (e.g. the TCP
+  /// server cannot bind), the fabric logs the error and falls back to the
+  /// simulator rather than leaving callers with a null fabric.
+  explicit Fabric(NicModelConfig nic = NicModelConfig{},
+                  TransportOptions options = TransportOptions{});
 
   const NicModelConfig& nic_config() const noexcept { return nic_; }
+
+  /// The backend this fabric runs on. Never null.
+  Transport& transport() noexcept { return *transport_; }
+  const Transport& transport() const noexcept { return *transport_; }
 
   /// Adds a node (memory or compute instance) to the fabric.
   NodeId AddNode(std::string name);
@@ -76,8 +93,10 @@ class Fabric {
 
   /// Arms a fault schedule: every queue pair on this fabric starts consulting
   /// it (each with fresh per-QP trigger state). Re-arming — even with an
-  /// identical plan — resets all injector state.
-  void ArmFaults(FaultPlan plan);
+  /// identical plan — resets all injector state. Sim-only: returns
+  /// Unimplemented (and arms nothing) on a real transport, whose faults
+  /// come from the wire.
+  [[nodiscard]] Status ArmFaults(FaultPlan plan);
   /// Removes the armed plan; subsequent verbs execute fault-free.
   void ClearFaults();
   /// The armed plan, or nullptr. Queue pairs detect re-arming by pointer
@@ -89,23 +108,9 @@ class Fabric {
   uint32_t AllocateQpId() noexcept { return next_qp_id_.fetch_add(1); }
 
  private:
-  struct Node {
-    std::string name;
-    std::atomic<bool> reachable{true};
-  };
-
-  /// Fence state per region. Absent entry = unfenced, never revoked.
-  struct FenceState {
-    uint64_t epoch = 0;
-    bool revoked = false;
-  };
-
   NicModelConfig nic_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<RKey, std::pair<NodeId, std::unique_ptr<MemoryRegion>>> regions_;
-  std::unordered_map<RKey, FenceState> fences_;
-  RKey next_rkey_ = 1;
+  std::unique_ptr<Transport> transport_;
+  mutable std::mutex mutex_;  ///< guards fault_plan_
   std::shared_ptr<const FaultPlan> fault_plan_;
   std::atomic<uint32_t> next_qp_id_{0};
 };

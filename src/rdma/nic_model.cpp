@@ -1,6 +1,68 @@
 #include "rdma/nic_model.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace dhnsw::rdma {
+
+namespace {
+
+/// Finds `"key":` in a flat JSON object and returns the raw value text after
+/// it (up to but excluding the next ',' or '}'), or empty if absent.
+std::string_view RawValue(std::string_view json, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle.push_back('"');
+  needle.append(key);
+  needle.push_back('"');
+  size_t pos = json.find(needle);
+  if (pos == std::string_view::npos) return {};
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string_view::npos) return {};
+  ++pos;
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\t' || json[pos] == '\n')) ++pos;
+  size_t end = pos;
+  if (pos < json.size() && json[pos] == '"') {
+    end = json.find('"', pos + 1);
+    if (end == std::string_view::npos) return {};
+    ++end;  // include the closing quote
+  } else {
+    while (end < json.size() && json[end] != ',' && json[end] != '}' && json[end] != '\n') ++end;
+  }
+  return json.substr(pos, end - pos);
+}
+
+bool ParseU64(std::string_view json, std::string_view key, uint64_t* out) {
+  const std::string_view raw = RawValue(json, key);
+  if (raw.empty()) return true;  // absent: keep default
+  char* end = nullptr;
+  const std::string text(raw);
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view json, std::string_view key, double* out) {
+  const std::string_view raw = RawValue(json, key);
+  if (raw.empty()) return true;
+  char* end = nullptr;
+  const std::string text(raw);
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseString(std::string_view json, std::string_view key, std::string* out) {
+  const std::string_view raw = RawValue(json, key);
+  if (raw.empty()) return true;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = std::string(raw.substr(1, raw.size() - 2));
+  return true;
+}
+
+}  // namespace
 
 uint64_t NicModelConfig::PayloadNs(uint64_t bytes) const noexcept {
   if (bytes == 0 || bandwidth_gbps <= 0.0) return 0;
@@ -21,6 +83,43 @@ uint64_t CostOfBatch(const NicModelConfig& config, const BatchShape& shape) noex
   }
   cost += static_cast<uint64_t>(shape.num_atomics) * config.atomic_extra_ns;
   return cost;
+}
+
+std::string NicModelConfig::ToJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"base_round_trip_ns\":%llu,\"bandwidth_gbps\":%.6f,"
+                "\"per_wr_dma_ns\":%llu,\"doorbell_linear_limit\":%u,"
+                "\"doorbell_saturated_ns\":%llu,\"atomic_extra_ns\":%llu,"
+                "\"source\":\"%s\"}",
+                static_cast<unsigned long long>(base_round_trip_ns), bandwidth_gbps,
+                static_cast<unsigned long long>(per_wr_dma_ns), doorbell_linear_limit,
+                static_cast<unsigned long long>(doorbell_saturated_ns),
+                static_cast<unsigned long long>(atomic_extra_ns), source.c_str());
+  return buf;
+}
+
+Result<NicModelConfig> NicModelConfig::LoadFromJson(std::string_view json) {
+  if (json.find('{') == std::string_view::npos || json.find('}') == std::string_view::npos) {
+    return Status::InvalidArgument("NicModelConfig: not a JSON object");
+  }
+  NicModelConfig config;
+  uint64_t linear_limit = config.doorbell_linear_limit;
+  const bool ok = ParseU64(json, "base_round_trip_ns", &config.base_round_trip_ns) &&
+                  ParseDouble(json, "bandwidth_gbps", &config.bandwidth_gbps) &&
+                  ParseU64(json, "per_wr_dma_ns", &config.per_wr_dma_ns) &&
+                  ParseU64(json, "doorbell_linear_limit", &linear_limit) &&
+                  ParseU64(json, "doorbell_saturated_ns", &config.doorbell_saturated_ns) &&
+                  ParseU64(json, "atomic_extra_ns", &config.atomic_extra_ns) &&
+                  ParseString(json, "source", &config.source);
+  if (!ok) {
+    return Status::InvalidArgument("NicModelConfig: malformed field value");
+  }
+  config.doorbell_linear_limit = static_cast<uint32_t>(linear_limit);
+  if (config.bandwidth_gbps <= 0.0) {
+    return Status::InvalidArgument("NicModelConfig: bandwidth_gbps must be positive");
+  }
+  return config;
 }
 
 }  // namespace dhnsw::rdma

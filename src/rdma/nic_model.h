@@ -12,10 +12,19 @@
 //   - beyond `doorbell_linear_limit` WRs per ring the NIC's WR-processing
 //     pipeline saturates and each extra WR costs `doorbell_saturated_ns`
 //     (the "scalability of the RDMA NIC" tradeoff in paper §3.2).
+// The constants can also be measured instead of assumed: `dhnsw_cli
+// calibrate` runs a microbenchmark over a real transport (tcp/verbs) and
+// writes the fitted constants as a JSON artifact (ToJson), which LoadFromJson
+// reads back into a NicModelConfig — grounding the simulated cost model in
+// the hardware the calibration ran on. `source` records the provenance.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
 
 namespace dhnsw::rdma {
 
@@ -26,9 +35,19 @@ struct NicModelConfig {
   uint32_t doorbell_linear_limit = 16;  ///< WRs per ring before saturation
   uint64_t doorbell_saturated_ns = 900; ///< per-WR cost beyond the linear limit
   uint64_t atomic_extra_ns = 400;       ///< extra latency of a remote atomic
+  /// Where these constants came from: the default is the datasheet-derived
+  /// ConnectX-6 model above; `dhnsw_cli calibrate` overwrites it with e.g.
+  /// "calibrated-tcp" when the constants were measured on a real transport.
+  std::string source = "connectx6-datasheet";
 
   /// Wire time for `bytes` of payload at the configured bandwidth.
   uint64_t PayloadNs(uint64_t bytes) const noexcept;
+
+  /// Serializes every field as a flat JSON object (the calibration artifact).
+  std::string ToJson() const;
+  /// Parses a ToJson artifact. Unknown keys are ignored; missing keys keep
+  /// their defaults; a malformed document is an error.
+  static Result<NicModelConfig> LoadFromJson(std::string_view json);
 };
 
 /// Summary of one doorbell ring, fed to the model.

@@ -11,8 +11,11 @@ namespace dhnsw::rdma {
 namespace {
 
 // Registry instruments mirroring QpStats across every QP in the process.
-// Resolved once (first ring pays the registration); the record path is pure
-// relaxed atomics and never allocates.
+// Resolved once per transport kind (first ring pays the registration); the
+// record path is pure relaxed atomics and never allocates. The simulator
+// keeps the historical bare metric names; real backends register a separate
+// `{transport="..."}`-labeled set, so sim metric output stays byte-identical
+// while mixed-backend processes keep their streams apart.
 struct RdmaInstruments {
   telemetry::Counter* round_trips;
   telemetry::Counter* work_requests;
@@ -27,34 +30,51 @@ struct RdmaInstruments {
   telemetry::Histogram* ring_wrs;
 };
 
-const RdmaInstruments& Rdma() {
-  static const RdmaInstruments instruments = [] {
-    telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
-    return RdmaInstruments{
-        r.GetCounter("dhnsw_rdma_round_trips_total"),
-        r.GetCounter("dhnsw_rdma_work_requests_total"),
-        r.GetCounter("dhnsw_rdma_reads_total"),
-        r.GetCounter("dhnsw_rdma_writes_total"),
-        r.GetCounter("dhnsw_rdma_atomics_total"),
-        r.GetCounter("dhnsw_rdma_bytes_read_total"),
-        r.GetCounter("dhnsw_rdma_bytes_written_total"),
-        r.GetCounter("dhnsw_rdma_sim_network_ns_total"),
-        r.GetCounter("dhnsw_rdma_injected_faults_total"),
-        r.GetCounter("dhnsw_rdma_fenced_ops_total"),
-        r.GetHistogram("dhnsw_rdma_ring_wrs"),
-    };
-  }();
-  return instruments;
+RdmaInstruments MakeInstruments(const std::string& label) {
+  telemetry::MetricRegistry& r = telemetry::DefaultRegistry();
+  auto name = [&label](const char* base) { return std::string(base) + label; };
+  return RdmaInstruments{
+      r.GetCounter(name("dhnsw_rdma_round_trips_total")),
+      r.GetCounter(name("dhnsw_rdma_work_requests_total")),
+      r.GetCounter(name("dhnsw_rdma_reads_total")),
+      r.GetCounter(name("dhnsw_rdma_writes_total")),
+      r.GetCounter(name("dhnsw_rdma_atomics_total")),
+      r.GetCounter(name("dhnsw_rdma_bytes_read_total")),
+      r.GetCounter(name("dhnsw_rdma_bytes_written_total")),
+      r.GetCounter(name("dhnsw_rdma_sim_network_ns_total")),
+      r.GetCounter(name("dhnsw_rdma_injected_faults_total")),
+      r.GetCounter(name("dhnsw_rdma_fenced_ops_total")),
+      r.GetHistogram(name("dhnsw_rdma_ring_wrs")),
+  };
+}
+
+const RdmaInstruments& Rdma(TransportKind kind) {
+  static const RdmaInstruments sim = MakeInstruments("");
+  static const RdmaInstruments tcp = MakeInstruments("{transport=\"tcp\"}");
+  static const RdmaInstruments verbs = MakeInstruments("{transport=\"verbs\"}");
+  switch (kind) {
+    case TransportKind::kTcp:
+      return tcp;
+    case TransportKind::kVerbs:
+      return verbs;
+    case TransportKind::kSim:
+      break;
+  }
+  return sim;
 }
 
 }  // namespace
 
 QueuePair::QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs)
     : fabric_(fabric), clock_(clock),
+      channel_(fabric->transport().CreateChannel()),
+      kind_(fabric->transport().kind()),
+      sim_(kind_ == TransportKind::kSim),
       max_doorbell_wrs_(max_doorbell_wrs == 0 ? 1 : max_doorbell_wrs),
       qp_id_(fabric->AllocateQpId()) {}
 
 void QueuePair::RefreshInjector() {
+  if (!sim_) return;  // ArmFaults refuses on real transports; keep null
   std::shared_ptr<const FaultPlan> plan = fabric_->fault_plan();
   if (plan == armed_plan_) return;
   armed_plan_ = std::move(plan);
@@ -100,117 +120,26 @@ void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, ui
       .expected_epoch = expected_epoch});
 }
 
-Completion QueuePair::ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns,
-                                 uint64_t* injected_faults) {
-  Completion c;
-  c.wr_id = wr.wr_id;
-  c.opcode = wr.opcode;
-
-  MemoryRegion* region = fabric_->FindRegion(wr.rkey);
-  if (region == nullptr) {
-    c.status = WcStatus::kRemoteAccessError;
-    return c;
-  }
-  auto owner = fabric_->OwnerOf(wr.rkey);
-  if (!owner.ok() || !fabric_->IsNodeReachable(owner.value())) {
-    c.status = WcStatus::kRemoteUnreachable;
-    return c;
-  }
-  // Epoch fence (replication failover): checked before fault injection — a
-  // revoked/stale-epoch rejection is a deterministic connection-manager
-  // property, not a wire event, so it must not consume fault triggers.
-  if (!fabric_->AdmitAccess(wr.rkey, wr.expected_epoch)) {
-    Rdma().fenced_ops->Add(1);
-    c.status = WcStatus::kFenced;
-    return c;
-  }
-
-  FaultDecision fault;
-  if (injector_ != nullptr) {
-    fault = injector_->Evaluate(owner.value(), wr);
-    if (fault.fired) {
-      ++*injected_faults;
-      *extra_ns += fault.extra_ns;
-      if (fault.kind == FaultKind::kUnreachable) {
-        c.status = WcStatus::kRemoteUnreachable;
-        return c;
-      }
-      if (fault.kind == FaultKind::kTimeout) {
-        c.status = WcStatus::kTimeout;
-        return c;
-      }
-      // kDelay / kBitFlip: the op still executes below.
-    }
-  }
-
-  switch (wr.opcode) {
-    case Opcode::kRead:
-    case Opcode::kWrite: {
-      if (!region->ValidateRange(wr.remote_offset, wr.local.size()).ok()) {
-        c.status = WcStatus::kRemoteAccessError;
-        return c;
-      }
-      if (wr.opcode == Opcode::kRead) {
-        region->DmaRead(wr.remote_offset, wr.local);
-      } else {
-        region->DmaWrite(wr.remote_offset, {wr.local.data(), wr.local.size()});
-      }
-      c.byte_len = static_cast<uint32_t>(wr.local.size());
-      break;
-    }
-    case Opcode::kCompareSwap: {
-      if (wr.remote_offset % 8 != 0 ||
-          !region->ValidateRange(wr.remote_offset, 8).ok()) {
-        c.status = WcStatus::kRemoteAccessError;
-        return c;
-      }
-      c.atomic_result = region->AtomicCompareSwap(wr.remote_offset, wr.compare, wr.swap_or_add);
-      c.byte_len = 8;
-      break;
-    }
-    case Opcode::kFetchAdd: {
-      if (wr.remote_offset % 8 != 0 ||
-          !region->ValidateRange(wr.remote_offset, 8).ok()) {
-        c.status = WcStatus::kRemoteAccessError;
-        return c;
-      }
-      c.atomic_result = region->AtomicFetchAdd(wr.remote_offset, wr.swap_or_add);
-      c.byte_len = 8;
-      break;
-    }
-  }
-
-  // Payload bit-flips model on-the-wire corruption that slips past link-level
-  // checks: a READ damages the local destination buffer, a WRITE damages the
-  // bytes that landed in the remote region. The caller's source buffer is
-  // never touched. CRC verification downstream is what catches these.
-  if (fault.fired && fault.kind == FaultKind::kBitFlip && !fault.flips.empty()) {
-    if (wr.opcode == Opcode::kRead) {
-      for (const auto& [byte, mask] : fault.flips) {
-        if (byte < wr.local.size()) wr.local[byte] ^= mask;
-      }
-    } else if (wr.opcode == Opcode::kWrite) {
-      std::span<uint8_t> host = region->host_span();
-      for (const auto& [byte, mask] : fault.flips) {
-        const uint64_t off = wr.remote_offset + byte;
-        if (off < host.size()) host[off] ^= mask;
-      }
-    }
-  }
-
-  c.status = WcStatus::kSuccess;
-  return c;
+uint64_t QueuePair::ExecuteRing(std::span<const WorkRequest> wrs,
+                                std::span<Completion> completions,
+                                uint64_t* injected_faults) {
+  // The injector is non-null only on the simulator (RefreshInjector no-ops
+  // elsewhere), so real channels always see a null fault context.
+  const RingFaultContext faults{injector_.get(), injected_faults};
+  return channel_->ExecuteRing(wrs, completions, faults);
 }
 
 void QueuePair::AccountRing(std::span<const WorkRequest> wrs,
-                            std::span<const Completion> completions, uint64_t extra_ns) {
+                            std::span<const Completion> completions, uint64_t charge_ns) {
   const uint64_t ring_sim_start = trace_ != nullptr ? trace_->now_ns() : 0;
   BatchShape shape;
+  uint64_t fenced = 0;
   for (size_t i = 0; i < wrs.size(); ++i) {
     const WorkRequest& wr = wrs[i];
     const Completion& c = completions[i];
     ++shape.num_wrs;
     ++stats_.work_requests;
+    if (c.status == WcStatus::kFenced) ++fenced;
     switch (wr.opcode) {
       case Opcode::kRead:
         ++stats_.reads;
@@ -230,11 +159,16 @@ void QueuePair::AccountRing(std::span<const WorkRequest> wrs,
         break;
     }
   }
-  const uint64_t cost_ns = CostOfBatch(fabric_->nic_config(), shape) + extra_ns;
+  // Sim: deterministic NicModel cost plus injected latency. Real backends:
+  // the measured wall time of the round trip, verbatim — no model on top of
+  // real hardware, so sim_network_ns holds real network ns there.
+  const uint64_t cost_ns =
+      sim_ ? CostOfBatch(fabric_->nic_config(), shape) + charge_ns : charge_ns;
   if (clock_ != nullptr) clock_->Advance(cost_ns);
   stats_.sim_network_ns += cost_ns;
   ++stats_.round_trips;
-  Rdma().ring_wrs->Record(shape.num_wrs);
+  if (fenced > 0) Rdma(kind_).fenced_ops->Add(fenced);
+  Rdma(kind_).ring_wrs->Record(shape.num_wrs);
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->buffer->Append(telemetry::TraceEvent{
         "rdma.ring", trace_->batch, telemetry::TraceEvent::kNoQuery, ring_sim_start,
@@ -243,7 +177,7 @@ void QueuePair::AccountRing(std::span<const WorkRequest> wrs,
 }
 
 void QueuePair::MirrorStatsDelta(const QpStats& before) {
-  const RdmaInstruments& rdma = Rdma();
+  const RdmaInstruments& rdma = Rdma(kind_);
   rdma.round_trips->Add(stats_.round_trips - before.round_trips);
   rdma.work_requests->Add(stats_.work_requests - before.work_requests);
   rdma.reads->Add(stats_.reads - before.reads);
@@ -268,13 +202,11 @@ uint32_t QueuePair::RingDoorbell() {
   while (begin < send_queue_.size()) {
     const size_t end = std::min(send_queue_.size(),
                                 begin + static_cast<size_t>(max_doorbell_wrs_));
-    chunk_completions.clear();
-    uint64_t extra_ns = 0;
-    for (size_t i = begin; i < end; ++i) {
-      chunk_completions.push_back(
-          ExecuteOne(send_queue_[i], &extra_ns, &stats_.injected_faults));
-    }
-    AccountRing({send_queue_.data() + begin, end - begin}, chunk_completions, extra_ns);
+    chunk_completions.resize(end - begin);
+    const uint64_t charge_ns =
+        ExecuteRing({send_queue_.data() + begin, end - begin}, chunk_completions,
+                    &stats_.injected_faults);
+    AccountRing({send_queue_.data() + begin, end - begin}, chunk_completions, charge_ns);
     completion_queue_.insert(completion_queue_.end(), chunk_completions.begin(),
                              chunk_completions.end());
     ++rings;
@@ -308,12 +240,23 @@ std::unique_ptr<AsyncBatch> QueuePair::TakeAsyncBatch() {
 
 void QueuePair::ExecuteAsyncBatch(AsyncBatch* batch) {
   assert(batch != nullptr && !batch->executed_);
-  batch->completions_.reserve(batch->wrs_.size());
-  batch->extra_ns_.reserve(batch->wrs_.size());
-  for (const WorkRequest& wr : batch->wrs_) {
-    uint64_t extra = 0;
-    batch->completions_.push_back(ExecuteOne(wr, &extra, &batch->injected_faults_));
-    batch->extra_ns_.push_back(extra);
+  batch->completions_.resize(batch->wrs_.size());
+  batch->extra_ns_.assign(batch->wrs_.size(), 0);
+  // Execute per doorbell chunk — the same chunking ReapAsyncBatch will use
+  // (window captured at take time) — so each chunk is one transport round
+  // trip, and its raw charge lands at the chunk's first WR index where the
+  // reap-side per-chunk summation recovers it.
+  for (const AsyncBatch::RingGroup& group : batch->groups_) {
+    size_t begin = group.begin;
+    while (begin < group.end) {
+      const size_t end =
+          std::min(group.end, begin + static_cast<size_t>(batch->window_));
+      batch->extra_ns_[begin] =
+          ExecuteRing({batch->wrs_.data() + begin, end - begin},
+                      {batch->completions_.data() + begin, end - begin},
+                      &batch->injected_faults_);
+      begin = end;
+    }
   }
   batch->executed_ = true;
 }

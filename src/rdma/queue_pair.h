@@ -3,8 +3,13 @@
 // Usage mirrors ibverbs: post one or more work requests, then ring the
 // doorbell. All WRs posted before a ring execute in a single network round
 // trip (doorbell batching); completions are polled from the completion queue.
-// A QP charges simulated network time to the SimClock it was created with —
-// that clock is the "network" column of the paper's latency breakdown.
+// A QP charges network time to the SimClock it was created with — that clock
+// is the "network" column of the paper's latency breakdown. Each doorbell
+// chunk executes through one TransportChannel (transport.h): on the simulator
+// the charge is the deterministic NicModel cost plus injected latency,
+// exactly as before transports existed; on a real backend (tcp/verbs) it is
+// the measured wall time of the round trip, so the clock tracks real elapsed
+// network time and retry deadlines keep working.
 //
 // Concurrency: one QP belongs to one compute instance thread, as in the
 // paper's per-instance worker design. Different QPs may be used from
@@ -62,7 +67,11 @@ class AsyncBatch {
   std::vector<RingGroup> groups_;
   uint32_t window_ = 1;
   std::vector<Completion> completions_;  ///< aligned with wrs_
-  std::vector<uint64_t> extra_ns_;       ///< injected latency, aligned with wrs_
+  /// Raw ring charges (injected latency on sim, measured wall ns on real
+  /// backends), aligned with wrs_: each doorbell chunk's charge is stored at
+  /// the chunk's first WR index, zeros elsewhere, so reap-side per-chunk
+  /// summation recovers exactly one charge per ring.
+  std::vector<uint64_t> extra_ns_;
   uint64_t injected_faults_ = 0;
   bool executed_ = false;
 };
@@ -157,22 +166,31 @@ class QueuePair {
   uint32_t qp_id() const noexcept { return qp_id_; }
 
  private:
-  /// Pure data movement + fault evaluation for one WR. Mutates no QP state
-  /// besides the injector's own deterministic stream; fault hits are counted
-  /// into `*injected_faults` (the sync path passes &stats_.injected_faults,
-  /// the async path a batch-local count folded in at reap).
-  Completion ExecuteOne(const WorkRequest& wr, uint64_t* extra_ns, uint64_t* injected_faults);
+  /// Executes one doorbell chunk through the transport channel: data movement
+  /// and (sim-only) fault evaluation, no QP accounting. Returns the chunk's
+  /// raw charge — injected latency on sim, measured wall ns on real backends.
+  /// Fault hits are counted into `*injected_faults` (the sync path passes
+  /// &stats_.injected_faults, the async path a batch-local count folded in at
+  /// reap).
+  uint64_t ExecuteRing(std::span<const WorkRequest> wrs, std::span<Completion> completions,
+                       uint64_t* injected_faults);
   /// Shared reap-side accounting for one doorbell chunk whose WRs already
-  /// executed: QpStats, sim-clock charge, ring histogram, "rdma.ring" span.
+  /// executed: QpStats, clock charge (NicModel cost + `charge_ns` on sim,
+  /// `charge_ns` verbatim on real backends), ring histogram, "rdma.ring"
+  /// span, fenced-op counting.
   void AccountRing(std::span<const WorkRequest> wrs, std::span<const Completion> completions,
-                   uint64_t extra_ns);
+                   uint64_t charge_ns);
   /// Mirrors the QpStats delta since `before` into the process registry.
   void MirrorStatsDelta(const QpStats& before);
   /// Installs/refreshes the injector when the fabric's armed plan changed.
+  /// No-op on real transports (ArmFaults refuses there anyway).
   void RefreshInjector();
 
   Fabric* fabric_;
   SimClock* clock_;
+  std::unique_ptr<TransportChannel> channel_;  ///< this QP's data-plane connection
+  TransportKind kind_;
+  bool sim_;
   uint32_t max_doorbell_wrs_;
   uint32_t qp_id_;
   std::vector<WorkRequest> send_queue_;

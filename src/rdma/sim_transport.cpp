@@ -1,0 +1,28 @@
+#include "rdma/sim_transport.h"
+
+namespace dhnsw::rdma {
+
+namespace {
+
+class SimChannel final : public TransportChannel {
+ public:
+  explicit SimChannel(SimTransport* transport) : transport_(transport) {}
+
+  uint64_t ExecuteRing(std::span<const WorkRequest> wrs, std::span<Completion> completions,
+                       const RingFaultContext& faults) override {
+    // Returned ns = injected fault latency only; the QueuePair adds the
+    // NicModel cost of the ring, exactly as the pre-transport simulator did.
+    return transport_->ExecuteRingLocal(wrs, completions, faults);
+  }
+
+ private:
+  SimTransport* transport_;
+};
+
+}  // namespace
+
+std::unique_ptr<TransportChannel> SimTransport::CreateChannel() {
+  return std::make_unique<SimChannel>(this);
+}
+
+}  // namespace dhnsw::rdma

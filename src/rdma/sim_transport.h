@@ -1,0 +1,24 @@
+// The simulated backend: the default transport, preserving the pre-transport
+// fabric behaviour byte-for-byte. Data movement executes in-process against
+// the local region registry; ExecuteRing returns only injected fault latency,
+// so the owning QueuePair charges the deterministic NicModel cost — same-seed
+// wall-free traces and QpStats are identical to the original simulator.
+//
+// This is the only backend that evaluates FaultPlans: the injector decision
+// stream stays a pure function of the QP's WR sequence because execution is
+// an ordinary in-process call.
+#pragma once
+
+#include <memory>
+
+#include "rdma/transport.h"
+
+namespace dhnsw::rdma {
+
+class SimTransport final : public LocalTransport {
+ public:
+  TransportKind kind() const noexcept override { return TransportKind::kSim; }
+  std::unique_ptr<TransportChannel> CreateChannel() override;
+};
+
+}  // namespace dhnsw::rdma

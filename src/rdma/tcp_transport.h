@@ -1,0 +1,75 @@
+// Real TCP backend: doorbell-batched one-sided ops over loopback sockets.
+//
+// A memory-node server thread owns the registered regions (it shares the
+// LocalTransport registry with the control plane) and serves a framed binary
+// protocol: one request frame per doorbell ring carrying every WR descriptor
+// plus WRITE payloads, one response frame carrying per-WR statuses, atomic
+// results, and READ payloads. One ring == one send+recv == one real network
+// round trip, so the doorbell-batching contract of the paper (§3.2) holds on
+// the wire, and every payload byte actually crosses the socket — which is
+// what `dhnsw_cli calibrate` measures.
+//
+// Channels are one TCP connection each (the QueuePair's "RC connection");
+// the server handles each connection on its own thread, serializing remote
+// atomics through the MemoryRegion mutex exactly like the simulator.
+//
+// Error model: real socket failures surface as WcStatus — a broken/refused
+// connection completes the ring's WRs with kRemoteUnreachable, a receive
+// timeout with kTimeout. FaultPlan injection is NOT supported here by
+// construction (Fabric::ArmFaults refuses on non-sim transports).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rdma/transport.h"
+
+namespace dhnsw::rdma {
+
+class TcpTransport final : public LocalTransport {
+ public:
+  /// Binds the loopback listener (ephemeral port when options.tcp_port == 0,
+  /// with a short retry loop so parallel test processes never flake on a
+  /// transient bind failure) and starts the server thread.
+  static Result<std::unique_ptr<TcpTransport>> Create(const TransportOptions& options);
+
+  ~TcpTransport() override;
+
+  TransportKind kind() const noexcept override { return TransportKind::kTcp; }
+  std::unique_ptr<TransportChannel> CreateChannel() override;
+
+  uint16_t port() const noexcept { return port_; }
+
+ private:
+  explicit TcpTransport(const TransportOptions& options) : options_(options) {}
+
+  /// One accepted connection. The handler thread never closes the fd itself
+  /// (only half-closes it with shutdown(2) on exit); Shutdown() owns the
+  /// close after the join. That keeps the fd number valid for the whole
+  /// connection lifetime, so Shutdown() can always shutdown(2) it to unblock
+  /// a handler parked in recv() — without that, destroying the transport
+  /// while a client keeps its end open would deadlock the join forever.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  Status Start();
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void Shutdown();
+
+  TransportOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex handler_mutex_;
+  std::vector<std::unique_ptr<Conn>> handlers_;
+};
+
+}  // namespace dhnsw::rdma

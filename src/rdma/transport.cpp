@@ -1,0 +1,268 @@
+#include "rdma/transport.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "rdma/fault_injection.h"
+#include "rdma/sim_transport.h"
+#include "rdma/tcp_transport.h"
+#include "rdma/verbs_transport.h"
+
+namespace dhnsw::rdma {
+
+std::string_view TransportKindName(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kVerbs:
+      return "verbs";
+  }
+  return "unknown";
+}
+
+Result<TransportKind> ParseTransportKind(std::string_view name) {
+  if (name == "sim") return TransportKind::kSim;
+  if (name == "tcp") return TransportKind::kTcp;
+  if (name == "verbs") return TransportKind::kVerbs;
+  return Status::InvalidArgument("unknown transport kind: \"" + std::string(name) +
+                                 "\" (expected sim|tcp|verbs)");
+}
+
+TransportKind TransportOptions::Resolve() const {
+  if (kind.has_value()) return *kind;
+  const char* env = std::getenv("DHNSW_TRANSPORT");
+  if (env != nullptr && env[0] != '\0') {
+    Result<TransportKind> parsed = ParseTransportKind(env);
+    if (parsed.ok()) return parsed.value();
+    DHNSW_LOG(kWarn) << "ignoring invalid DHNSW_TRANSPORT=\"" << env
+                     << "\": " << parsed.status().message();
+  }
+  return TransportKind::kSim;
+}
+
+NodeId LocalTransport::AddNode(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.push_back(NodeState{std::move(name), /*reachable=*/true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+size_t LocalTransport::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+std::string LocalTransport::NodeName(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < nodes_.size() ? nodes_[node].name : std::string("<unknown>");
+}
+
+Result<RKey> LocalTransport::RegisterMemory(NodeId node, size_t size, size_t alignment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("RegisterMemory: unknown node");
+  }
+  if (size == 0) {
+    return Status::InvalidArgument("RegisterMemory: zero-size region");
+  }
+  const RKey rkey = next_rkey_++;
+  regions_.emplace(rkey,
+                   std::make_pair(node, std::make_unique<MemoryRegion>(rkey, size, alignment)));
+  return rkey;
+}
+
+MemoryRegion* LocalTransport::FindRegion(RKey rkey) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.second.get();
+}
+
+const MemoryRegion* LocalTransport::FindRegion(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.second.get();
+}
+
+Result<NodeId> LocalTransport::OwnerOf(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(rkey);
+  if (it == regions_.end()) return Status::NotFound("unknown rkey");
+  return it->second.first;
+}
+
+void LocalTransport::SetNodeReachable(NodeId node, bool reachable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (node < nodes_.size()) nodes_[node].reachable = reachable;
+}
+
+bool LocalTransport::IsNodeReachable(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < nodes_.size() && nodes_[node].reachable;
+}
+
+void LocalTransport::SetRegionEpoch(RKey rkey, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.find(rkey) == regions_.end()) return;
+  fences_[rkey].epoch = epoch;
+}
+
+uint64_t LocalTransport::RegionEpoch(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  return it == fences_.end() ? 0 : it->second.epoch;
+}
+
+void LocalTransport::RevokeRegion(RKey rkey) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.find(rkey) == regions_.end()) return;
+  fences_[rkey].revoked = true;
+}
+
+bool LocalTransport::IsRegionRevoked(RKey rkey) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  return it != fences_.end() && it->second.revoked;
+}
+
+bool LocalTransport::AdmitAccess(RKey rkey, uint64_t expected_epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fences_.find(rkey);
+  if (it == fences_.end()) return true;  // never fenced: all traffic admitted
+  if (it->second.revoked) return false;
+  return expected_epoch == 0 || expected_epoch == it->second.epoch;
+}
+
+uint64_t LocalTransport::ExecuteRingLocal(std::span<const WorkRequest> wrs,
+                                          std::span<Completion> completions,
+                                          const RingFaultContext& faults) {
+  uint64_t extra_ns = 0;
+  for (size_t i = 0; i < wrs.size(); ++i) {
+    completions[i] = ExecuteWr(wrs[i], faults, &extra_ns);
+  }
+  return extra_ns;
+}
+
+Completion LocalTransport::ExecuteWr(const WorkRequest& wr, const RingFaultContext& faults,
+                                     uint64_t* extra_ns) {
+  Completion c;
+  c.wr_id = wr.wr_id;
+  c.opcode = wr.opcode;
+
+  MemoryRegion* region = FindRegion(wr.rkey);
+  if (region == nullptr) {
+    c.status = WcStatus::kRemoteAccessError;
+    return c;
+  }
+  auto owner = OwnerOf(wr.rkey);
+  if (!owner.ok() || !IsNodeReachable(owner.value())) {
+    c.status = WcStatus::kRemoteUnreachable;
+    return c;
+  }
+  // Epoch fence (replication failover): checked before fault injection — a
+  // revoked/stale-epoch rejection is a deterministic connection-manager
+  // property, not a wire event, so it must not consume fault triggers.
+  if (!AdmitAccess(wr.rkey, wr.expected_epoch)) {
+    c.status = WcStatus::kFenced;
+    return c;
+  }
+
+  FaultDecision fault;
+  if (faults.injector != nullptr) {
+    fault = faults.injector->Evaluate(owner.value(), wr);
+    if (fault.fired) {
+      if (faults.injected_faults != nullptr) ++*faults.injected_faults;
+      *extra_ns += fault.extra_ns;
+      if (fault.kind == FaultKind::kUnreachable) {
+        c.status = WcStatus::kRemoteUnreachable;
+        return c;
+      }
+      if (fault.kind == FaultKind::kTimeout) {
+        c.status = WcStatus::kTimeout;
+        return c;
+      }
+      // kDelay / kBitFlip: the op still executes below.
+    }
+  }
+
+  switch (wr.opcode) {
+    case Opcode::kRead:
+    case Opcode::kWrite: {
+      if (!region->ValidateRange(wr.remote_offset, wr.local.size()).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      if (wr.opcode == Opcode::kRead) {
+        region->DmaRead(wr.remote_offset, wr.local);
+      } else {
+        region->DmaWrite(wr.remote_offset, {wr.local.data(), wr.local.size()});
+      }
+      c.byte_len = static_cast<uint32_t>(wr.local.size());
+      break;
+    }
+    case Opcode::kCompareSwap: {
+      if (wr.remote_offset % 8 != 0 || !region->ValidateRange(wr.remote_offset, 8).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      c.atomic_result = region->AtomicCompareSwap(wr.remote_offset, wr.compare, wr.swap_or_add);
+      c.byte_len = 8;
+      break;
+    }
+    case Opcode::kFetchAdd: {
+      if (wr.remote_offset % 8 != 0 || !region->ValidateRange(wr.remote_offset, 8).ok()) {
+        c.status = WcStatus::kRemoteAccessError;
+        return c;
+      }
+      c.atomic_result = region->AtomicFetchAdd(wr.remote_offset, wr.swap_or_add);
+      c.byte_len = 8;
+      break;
+    }
+  }
+
+  // Payload bit-flips model on-the-wire corruption that slips past link-level
+  // checks: a READ damages the local destination buffer, a WRITE damages the
+  // bytes that landed in the remote region. The caller's source buffer is
+  // never touched. CRC verification downstream is what catches these.
+  if (fault.fired && fault.kind == FaultKind::kBitFlip && !fault.flips.empty()) {
+    if (wr.opcode == Opcode::kRead) {
+      for (const auto& [byte, mask] : fault.flips) {
+        if (byte < wr.local.size()) wr.local[byte] ^= mask;
+      }
+    } else if (wr.opcode == Opcode::kWrite) {
+      std::span<uint8_t> host = region->host_span();
+      for (const auto& [byte, mask] : fault.flips) {
+        const uint64_t off = wr.remote_offset + byte;
+        if (off < host.size()) host[off] ^= mask;
+      }
+    }
+  }
+
+  c.status = WcStatus::kSuccess;
+  return c;
+}
+
+Result<std::unique_ptr<Transport>> MakeTransport(const TransportOptions& options) {
+  const TransportKind kind = options.Resolve();
+  switch (kind) {
+    case TransportKind::kSim:
+      return {std::unique_ptr<Transport>(std::make_unique<SimTransport>())};
+    case TransportKind::kTcp: {
+      DHNSW_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> tcp,
+                             TcpTransport::Create(options));
+      return {std::unique_ptr<Transport>(std::move(tcp))};
+    }
+    case TransportKind::kVerbs: {
+      std::unique_ptr<Transport> verbs = TryCreateVerbsTransport(options);
+      if (verbs != nullptr) return {std::move(verbs)};
+      DHNSW_LOG(kWarn) << "verbs transport unavailable (not compiled in or no "
+                          "RDMA device); falling back to tcp";
+      DHNSW_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> tcp,
+                             TcpTransport::Create(options));
+      return {std::unique_ptr<Transport>(std::move(tcp))};
+    }
+  }
+  return Status::InvalidArgument("MakeTransport: unknown transport kind");
+}
+
+}  // namespace dhnsw::rdma

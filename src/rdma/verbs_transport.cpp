@@ -1,0 +1,380 @@
+#include "rdma/verbs_transport.h"
+
+#if !DHNSW_HAVE_VERBS
+
+namespace dhnsw::rdma {
+
+std::unique_ptr<Transport> TryCreateVerbsTransport(const TransportOptions&) { return nullptr; }
+
+}  // namespace dhnsw::rdma
+
+#else  // DHNSW_HAVE_VERBS
+
+#include <infiniband/verbs.h>
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dhnsw::rdma {
+
+namespace {
+
+constexpr uint32_t kQpDepth = 128;
+constexpr size_t kBounceBytes = 8u << 20;  // per-channel staging MR
+constexpr uint8_t kIbPort = 1;
+
+class VerbsTransport;
+
+/// A self-connected RC QP pair plus a staging MR. One per QueuePair.
+class VerbsChannel final : public TransportChannel {
+ public:
+  VerbsChannel(VerbsTransport* transport, ibv_context* ctx, ibv_pd* pd)
+      : transport_(transport), ctx_(ctx), pd_(pd) {}
+
+  ~VerbsChannel() override {
+    if (qp_client_ != nullptr) ibv_destroy_qp(qp_client_);
+    if (qp_server_ != nullptr) ibv_destroy_qp(qp_server_);
+    if (cq_ != nullptr) ibv_destroy_cq(cq_);
+    if (bounce_mr_ != nullptr) ibv_dereg_mr(bounce_mr_);
+  }
+
+  bool Init();
+
+  uint64_t ExecuteRing(std::span<const WorkRequest> wrs, std::span<Completion> completions,
+                       const RingFaultContext& faults) override;
+
+ private:
+  bool ConnectLoopback();
+
+  VerbsTransport* transport_;
+  ibv_context* ctx_;
+  ibv_pd* pd_;
+  ibv_cq* cq_ = nullptr;
+  ibv_qp* qp_client_ = nullptr;
+  ibv_qp* qp_server_ = nullptr;
+  ibv_mr* bounce_mr_ = nullptr;
+  bool connected_ = false;
+  std::vector<uint8_t> bounce_;
+};
+
+class VerbsTransport final : public LocalTransport {
+ public:
+  static std::unique_ptr<VerbsTransport> TryCreate();
+
+  ~VerbsTransport() override {
+    {
+      std::lock_guard<std::mutex> lock(mr_mutex_);
+      for (auto& [rkey, mr] : mrs_) ibv_dereg_mr(mr);
+      mrs_.clear();
+    }
+    if (pd_ != nullptr) ibv_dealloc_pd(pd_);
+    if (ctx_ != nullptr) ibv_close_device(ctx_);
+  }
+
+  TransportKind kind() const noexcept override { return TransportKind::kVerbs; }
+
+  Result<RKey> RegisterMemory(NodeId node, size_t size, size_t alignment) override {
+    DHNSW_ASSIGN_OR_RETURN(RKey rkey, LocalTransport::RegisterMemory(node, size, alignment));
+    MemoryRegion* region = FindRegion(rkey);
+    std::span<uint8_t> host = region->host_span();
+    ibv_mr* mr = ibv_reg_mr(pd_, host.data(), host.size(),
+                            IBV_ACCESS_LOCAL_WRITE | IBV_ACCESS_REMOTE_READ |
+                                IBV_ACCESS_REMOTE_WRITE | IBV_ACCESS_REMOTE_ATOMIC);
+    if (mr == nullptr) {
+      return Status::Internal("verbs: ibv_reg_mr failed for region");
+    }
+    std::lock_guard<std::mutex> lock(mr_mutex_);
+    mrs_.emplace(rkey, mr);
+    return rkey;
+  }
+
+  /// The verbs MR backing a fabric rkey, or nullptr.
+  ibv_mr* VerbsMr(RKey rkey) const {
+    std::lock_guard<std::mutex> lock(mr_mutex_);
+    auto it = mrs_.find(rkey);
+    return it == mrs_.end() ? nullptr : it->second;
+  }
+
+  std::unique_ptr<TransportChannel> CreateChannel() override {
+    auto channel = std::make_unique<VerbsChannel>(this, ctx_, pd_);
+    if (!channel->Init()) {
+      DHNSW_LOG(kWarn) << "verbs: channel setup failed; ring ops will complete "
+                          "as unreachable";
+      // Returning the channel anyway keeps the QueuePair API total; every
+      // ring on it completes kRemoteUnreachable.
+    }
+    return channel;
+  }
+
+  ibv_context* ctx_ = nullptr;
+  ibv_pd* pd_ = nullptr;
+
+ private:
+  mutable std::mutex mr_mutex_;
+  std::unordered_map<RKey, ibv_mr*> mrs_;
+};
+
+std::unique_ptr<VerbsTransport> VerbsTransport::TryCreate() {
+  int num_devices = 0;
+  ibv_device** devices = ibv_get_device_list(&num_devices);
+  if (devices == nullptr || num_devices == 0) {
+    if (devices != nullptr) ibv_free_device_list(devices);
+    return nullptr;
+  }
+  auto transport = std::make_unique<VerbsTransport>();
+  transport->ctx_ = ibv_open_device(devices[0]);
+  ibv_free_device_list(devices);
+  if (transport->ctx_ == nullptr) return nullptr;
+  transport->pd_ = ibv_alloc_pd(transport->ctx_);
+  if (transport->pd_ == nullptr) return nullptr;
+  return transport;
+}
+
+bool VerbsChannel::Init() {
+  bounce_.resize(kBounceBytes);
+  bounce_mr_ = ibv_reg_mr(pd_, bounce_.data(), bounce_.size(), IBV_ACCESS_LOCAL_WRITE);
+  if (bounce_mr_ == nullptr) return false;
+  cq_ = ibv_create_cq(ctx_, static_cast<int>(kQpDepth) * 2, nullptr, nullptr, 0);
+  if (cq_ == nullptr) return false;
+
+  ibv_qp_init_attr init{};
+  init.send_cq = cq_;
+  init.recv_cq = cq_;
+  init.cap.max_send_wr = kQpDepth;
+  init.cap.max_recv_wr = 8;
+  init.cap.max_send_sge = 1;
+  init.cap.max_recv_sge = 1;
+  init.qp_type = IBV_QPT_RC;
+  qp_client_ = ibv_create_qp(pd_, &init);
+  qp_server_ = ibv_create_qp(pd_, &init);
+  if (qp_client_ == nullptr || qp_server_ == nullptr) return false;
+  return ConnectLoopback();
+}
+
+bool VerbsChannel::ConnectLoopback() {
+  ibv_port_attr port{};
+  if (ibv_query_port(ctx_, kIbPort, &port) != 0) return false;
+  ibv_gid gid{};
+  const bool roce = port.link_layer == IBV_LINK_LAYER_ETHERNET;
+  if (roce && ibv_query_gid(ctx_, kIbPort, 0, &gid) != 0) return false;
+
+  auto to_init = [](ibv_qp* qp) {
+    ibv_qp_attr attr{};
+    attr.qp_state = IBV_QPS_INIT;
+    attr.pkey_index = 0;
+    attr.port_num = kIbPort;
+    attr.qp_access_flags = IBV_ACCESS_LOCAL_WRITE | IBV_ACCESS_REMOTE_READ |
+                           IBV_ACCESS_REMOTE_WRITE | IBV_ACCESS_REMOTE_ATOMIC;
+    return ibv_modify_qp(qp, &attr,
+                         IBV_QP_STATE | IBV_QP_PKEY_INDEX | IBV_QP_PORT |
+                             IBV_QP_ACCESS_FLAGS) == 0;
+  };
+  auto to_rtr = [&](ibv_qp* qp, uint32_t dest_qpn) {
+    ibv_qp_attr attr{};
+    attr.qp_state = IBV_QPS_RTR;
+    attr.path_mtu = port.active_mtu;
+    attr.dest_qp_num = dest_qpn;
+    attr.rq_psn = 0;
+    attr.max_dest_rd_atomic = 16;
+    attr.min_rnr_timer = 12;
+    attr.ah_attr.port_num = kIbPort;
+    if (roce) {
+      attr.ah_attr.is_global = 1;
+      attr.ah_attr.grh.dgid = gid;
+      attr.ah_attr.grh.sgid_index = 0;
+      attr.ah_attr.grh.hop_limit = 1;
+    } else {
+      attr.ah_attr.dlid = port.lid;
+    }
+    return ibv_modify_qp(qp, &attr,
+                         IBV_QP_STATE | IBV_QP_AV | IBV_QP_PATH_MTU | IBV_QP_DEST_QPN |
+                             IBV_QP_RQ_PSN | IBV_QP_MAX_DEST_RD_ATOMIC |
+                             IBV_QP_MIN_RNR_TIMER) == 0;
+  };
+  auto to_rts = [](ibv_qp* qp) {
+    ibv_qp_attr attr{};
+    attr.qp_state = IBV_QPS_RTS;
+    attr.timeout = 14;
+    attr.retry_cnt = 7;
+    attr.rnr_retry = 7;
+    attr.sq_psn = 0;
+    attr.max_rd_atomic = 16;
+    return ibv_modify_qp(qp, &attr,
+                         IBV_QP_STATE | IBV_QP_TIMEOUT | IBV_QP_RETRY_CNT |
+                             IBV_QP_RNR_RETRY | IBV_QP_SQ_PSN | IBV_QP_MAX_QP_RD_ATOMIC) == 0;
+  };
+
+  connected_ = to_init(qp_client_) && to_init(qp_server_) &&
+               to_rtr(qp_client_, qp_server_->qp_num) &&
+               to_rtr(qp_server_, qp_client_->qp_num) && to_rts(qp_client_) &&
+               to_rts(qp_server_);
+  return connected_;
+}
+
+uint64_t VerbsChannel::ExecuteRing(std::span<const WorkRequest> wrs,
+                                   std::span<Completion> completions,
+                                   const RingFaultContext& faults) {
+  (void)faults;  // fault injection is sim-only by construction
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+  };
+
+  std::vector<ibv_send_wr> send_wrs(wrs.size());
+  std::vector<ibv_sge> sges(wrs.size());
+  // Index into wrs for each posted verb (fence/unreachable WRs are not posted).
+  std::vector<size_t> posted;
+  posted.reserve(wrs.size());
+  size_t bounce_off = 0;
+
+  for (size_t i = 0; i < wrs.size(); ++i) {
+    const WorkRequest& wr = wrs[i];
+    Completion& c = completions[i];
+    c = Completion{wr.wr_id, wr.opcode, WcStatus::kSuccess, 0, 0};
+
+    ibv_mr* mr = transport_->VerbsMr(wr.rkey);
+    MemoryRegion* region = transport_->FindRegion(wr.rkey);
+    if (!connected_ || mr == nullptr || region == nullptr) {
+      c.status = connected_ ? WcStatus::kRemoteAccessError : WcStatus::kRemoteUnreachable;
+      continue;
+    }
+    auto owner = transport_->OwnerOf(wr.rkey);
+    if (!owner.ok() || !transport_->IsNodeReachable(owner.value())) {
+      c.status = WcStatus::kRemoteUnreachable;
+      continue;
+    }
+    if (!transport_->AdmitAccess(wr.rkey, wr.expected_epoch)) {
+      c.status = WcStatus::kFenced;
+      continue;
+    }
+    const bool atomic = wr.opcode == Opcode::kCompareSwap || wr.opcode == Opcode::kFetchAdd;
+    const size_t need = atomic ? 8 : wr.local.size();
+    if (!region->ValidateRange(wr.remote_offset, need).ok() ||
+        (atomic && wr.remote_offset % 8 != 0)) {
+      c.status = WcStatus::kRemoteAccessError;
+      continue;
+    }
+    if (bounce_off + need > bounce_.size()) {
+      c.status = WcStatus::kLocalLengthError;  // ring exceeds staging MR
+      continue;
+    }
+
+    const size_t slot = posted.size();
+    posted.push_back(i);
+    ibv_sge& sge = sges[slot];
+    sge.addr = reinterpret_cast<uint64_t>(bounce_.data() + bounce_off);
+    sge.length = static_cast<uint32_t>(need);
+    sge.lkey = bounce_mr_->lkey;
+    ibv_send_wr& sw = send_wrs[slot];
+    std::memset(&sw, 0, sizeof sw);
+    sw.wr_id = i;
+    sw.sg_list = &sge;
+    sw.num_sge = 1;
+    sw.send_flags = IBV_SEND_SIGNALED;
+    const uint64_t remote_addr =
+        reinterpret_cast<uint64_t>(region->host_span().data()) + wr.remote_offset;
+    switch (wr.opcode) {
+      case Opcode::kRead:
+        sw.opcode = IBV_WR_RDMA_READ;
+        sw.wr.rdma.remote_addr = remote_addr;
+        sw.wr.rdma.rkey = mr->rkey;
+        break;
+      case Opcode::kWrite:
+        sw.opcode = IBV_WR_RDMA_WRITE;
+        sw.wr.rdma.remote_addr = remote_addr;
+        sw.wr.rdma.rkey = mr->rkey;
+        std::memcpy(bounce_.data() + bounce_off, wr.local.data(), wr.local.size());
+        break;
+      case Opcode::kCompareSwap:
+        sw.opcode = IBV_WR_ATOMIC_CMP_AND_SWP;
+        sw.wr.atomic.remote_addr = remote_addr;
+        sw.wr.atomic.rkey = mr->rkey;
+        sw.wr.atomic.compare_add = wr.compare;
+        sw.wr.atomic.swap = wr.swap_or_add;
+        break;
+      case Opcode::kFetchAdd:
+        sw.opcode = IBV_WR_ATOMIC_FETCH_AND_ADD;
+        sw.wr.atomic.remote_addr = remote_addr;
+        sw.wr.atomic.rkey = mr->rkey;
+        sw.wr.atomic.compare_add = wr.swap_or_add;
+        break;
+    }
+    if (slot > 0) send_wrs[slot - 1].next = &sw;
+    bounce_off += need;
+  }
+
+  if (posted.empty()) return elapsed();
+
+  ibv_send_wr* bad = nullptr;
+  if (ibv_post_send(qp_client_, &send_wrs[0], &bad) != 0) {
+    for (size_t i : posted) {
+      completions[i].status = WcStatus::kRemoteUnreachable;
+    }
+    return elapsed();
+  }
+
+  // One doorbell ring == one chained post; drain exactly |posted| completions.
+  size_t done = 0;
+  ibv_wc wc[16];
+  while (done < posted.size()) {
+    const int n = ibv_poll_cq(cq_, 16, wc);
+    if (n < 0) {
+      for (size_t j = done; j < posted.size(); ++j) {
+        completions[posted[j]].status = WcStatus::kRemoteUnreachable;
+      }
+      break;
+    }
+    for (int k = 0; k < n; ++k) {
+      Completion& c = completions[wc[k].wr_id];
+      if (wc[k].status != IBV_WC_SUCCESS) {
+        c.status = wc[k].status == IBV_WC_RETRY_EXC_ERR ? WcStatus::kTimeout
+                                                        : WcStatus::kRemoteAccessError;
+      }
+      ++done;
+    }
+  }
+
+  // Copy bounced results back out.
+  bounce_off = 0;
+  for (size_t i : posted) {
+    const WorkRequest& wr = wrs[i];
+    Completion& c = completions[i];
+    const bool atomic = wr.opcode == Opcode::kCompareSwap || wr.opcode == Opcode::kFetchAdd;
+    const size_t need = atomic ? 8 : wr.local.size();
+    if (c.status == WcStatus::kSuccess) {
+      if (wr.opcode == Opcode::kRead) {
+        std::memcpy(wr.local.data(), bounce_.data() + bounce_off, need);
+        c.byte_len = static_cast<uint32_t>(need);
+      } else if (wr.opcode == Opcode::kWrite) {
+        c.byte_len = static_cast<uint32_t>(need);
+      } else {
+        std::memcpy(&c.atomic_result, bounce_.data() + bounce_off, 8);
+        c.byte_len = 8;
+      }
+    }
+    bounce_off += need;
+  }
+  return elapsed();
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> TryCreateVerbsTransport(const TransportOptions& options) {
+  (void)options;
+  std::unique_ptr<VerbsTransport> transport = VerbsTransport::TryCreate();
+  if (transport == nullptr) return nullptr;
+  DHNSW_LOG(kInfo) << "verbs transport: using device "
+                   << ibv_get_device_name(transport->ctx_->device);
+  return transport;
+}
+
+}  // namespace dhnsw::rdma
+
+#endif  // DHNSW_HAVE_VERBS

@@ -1,0 +1,29 @@
+// Optional libibverbs backend: real one-sided RDMA over loopback RC queue
+// pairs when the build found <infiniband/verbs.h> AND the host exposes an
+// RDMA device (hardware NIC or a soft-RoCE/rxe device).
+//
+// Layout mirrors the simulator's: the region registry lives in this process
+// (LocalTransport), but every registered region is additionally pinned with
+// ibv_reg_mr, and each channel drives a self-connected RC QP pair so READ /
+// WRITE / CAS / FAA actually traverse the verbs stack — one ibv_post_send of
+// a chained WR list per doorbell ring. Local buffers are bounced through a
+// per-channel registered staging MR, since callers post arbitrary heap spans.
+//
+// Epoch fencing and reachability are enforced client-side before posting
+// (they model connection-manager state, not wire behaviour). FaultPlans are
+// NOT supported, same as TCP.
+//
+// TryCreateVerbsTransport returns nullptr whenever verbs is unavailable —
+// not compiled in (DHNSW_HAVE_VERBS undefined), no device, or any setup step
+// failing — and MakeTransport then falls back to the TCP backend.
+#pragma once
+
+#include <memory>
+
+#include "rdma/transport.h"
+
+namespace dhnsw::rdma {
+
+std::unique_ptr<Transport> TryCreateVerbsTransport(const TransportOptions& options);
+
+}  // namespace dhnsw::rdma

@@ -28,6 +28,13 @@ std::string TraceToJsonl(const TraceBuffer& buffer, const TraceExportOptions& op
       std::snprintf(line, sizeof line, ",\"wall_ns\":%" PRIu64, e.wall_ns);
       out += line;
     }
+    // Transport label ("tcp"/"verbs") only when set: simulator buffers leave
+    // it empty, keeping their JSONL byte-identical to the label-free format.
+    if (!buffer.transport_label().empty()) {
+      out += ",\"transport\":\"";
+      out += buffer.transport_label();
+      out += "\"";
+    }
     out += "}\n";
   }
   return out;

@@ -77,10 +77,18 @@ class TraceBuffer {
     dropped_ = 0;
   }
 
+  /// Transport backend label stamped on every exported span ("tcp",
+  /// "verbs"). Empty (the default, and what the simulator keeps) emits no
+  /// label field at all, so simulator trace JSONL stays byte-identical to
+  /// the pre-transport format.
+  void set_transport_label(std::string label) { transport_label_ = std::move(label); }
+  const std::string& transport_label() const noexcept { return transport_label_; }
+
  private:
   std::vector<TraceEvent> events_;
   size_t capacity_ = 0;
   uint64_t dropped_ = 0;
+  std::string transport_label_;
 };
 
 /// Identifies where spans land and which clock stamps them. Carried from the

@@ -26,6 +26,10 @@ DhnswConfig MakeConfig(const ChaosHarness::Config& c) {
   config.compute.cache_capacity = c.num_clusters;  // one cold load per cluster
   config.replication.factor = c.replication_factor;
   config.num_compute_nodes = c.num_compute_nodes;
+  // Chaos runs arm FaultPlans and byte-compare deterministic traces — both
+  // simulator-only contracts — so pin the sim backend even when the suite
+  // runs under DHNSW_TRANSPORT=tcp.
+  config.transport = rdma::TransportOptions::Sim();
   return config;
 }
 
@@ -56,7 +60,7 @@ Result<BatchResult> ChaosHarness::RunUnderPlan(const rdma::FaultPlan& plan,
   opts->retry = retry;
   opts->partial_results = partial_results;
 
-  engine_->fabric().ArmFaults(plan);  // fresh injector state per run
+  DHNSW_RETURN_IF_ERROR(engine_->fabric().ArmFaults(plan));  // fresh injector state per run
   auto result = node.SearchAll(dataset_.queries, config_.k, config_.ef_search);
   engine_->fabric().ClearFaults();
 

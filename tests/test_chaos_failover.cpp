@@ -207,7 +207,7 @@ TEST(ChaosFailoverTest, KillPrimaryUnderOpenLoopLoadShedsButNeverLosesAcks) {
   popt.admission.node_queue_capacity = 8;
   popt.admission.tenant_inflight_limit = 48;
 
-  h.engine().fabric().ArmFaults(h.MakeKillPrimaryPlan(/*skip_first=*/6));
+  ASSERT_TRUE(h.engine().fabric().ArmFaults(h.MakeKillPrimaryPlan(/*skip_first=*/6)).ok());
   std::vector<OpOutcome> outcomes;
   PoolRunStats stats;
   {

@@ -24,6 +24,8 @@ Rig BuildRig() {
   Dataset ds = MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 10,
                               .num_clusters = 5, .seed = 161});
   DhnswConfig config = DhnswConfig::Defaults();
+  // Wire bit-flips are injected via FaultPlan — simulator-only.
+  config.transport = rdma::TransportOptions::Sim();
   config.meta.num_representatives = 8;
   config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 40};
   config.compute.clusters_per_query = 3;
@@ -139,7 +141,7 @@ TEST(CorruptionPathTest, WireBitFlipInOverflowRecordIsDetectedThenRetried) {
   node.mutable_options()->clusters_per_query = rig.engine.num_partitions();
   node.mutable_options()->cache_capacity = rig.engine.num_partitions();
 
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule)).ok());
   node.InvalidateCache();
   const auto detected = rig.engine.SearchAll(rig.ds.queries, 5, 32);
   ASSERT_FALSE(detected.ok());
@@ -147,7 +149,7 @@ TEST(CorruptionPathTest, WireBitFlipInOverflowRecordIsDetectedThenRetried) {
 
   // Re-arm (fresh trigger budget) and enable retries: detect -> re-read ->
   // success, with the recovery visible in the breakdown.
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(1).Add(rule)).ok());
   node.mutable_options()->retry = RetryPolicy::Default();
   node.InvalidateCache();
   const auto healed = rig.engine.SearchAll(rig.ds.queries, 5, 32);
@@ -172,12 +174,12 @@ TEST(CorruptionPathTest, WireBitFlipInMetadataBlockIsDetectedThenRetried) {
   rule.offset_hi = plan.header.table_offset + 32;
   rule.max_triggers = 1;
 
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule)).ok());
   const auto detected = rig.engine.SearchAll(rig.ds.queries, 5, 32);
   ASSERT_FALSE(detected.ok());
   EXPECT_EQ(detected.status().code(), StatusCode::kCorruption);
 
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(2).Add(rule)).ok());
   node.mutable_options()->retry = RetryPolicy::Default();
   const auto healed = rig.engine.SearchAll(rig.ds.queries, 5, 32);
   rig.engine.fabric().ClearFaults();

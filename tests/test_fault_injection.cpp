@@ -31,7 +31,9 @@ class FaultInjectionTest : public ::testing::Test {
   }
 
   static constexpr size_t kRegionSize = 1 << 20;
-  Fabric fabric_;
+  // Fault injection is simulator-only by construction (Fabric::ArmFaults
+  // refuses on real transports): pin the sim backend for the whole suite.
+  Fabric fabric_{NicModelConfig{}, TransportOptions::Sim()};
   NodeId mem_node_ = 0;
   RKey rkey_ = 0;
   SimClock clock_;
@@ -39,7 +41,7 @@ class FaultInjectionTest : public ::testing::Test {
 
 TEST_F(FaultInjectionTest, ArmAndClearRoundTrip) {
   EXPECT_EQ(fabric_.fault_plan(), nullptr);
-  fabric_.ArmFaults(FaultPlan(42).Add(Permanent(FaultKind::kUnreachable)));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(42).Add(Permanent(FaultKind::kUnreachable))).ok());
   auto armed = fabric_.fault_plan();
   ASSERT_NE(armed, nullptr);
   EXPECT_EQ(armed->seed(), 42u);
@@ -55,7 +57,7 @@ TEST_F(FaultInjectionTest, UnreachableFaultDoesNotExecuteTheOp) {
 
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.opcode = Opcode::kWrite;
-  fabric_.ArmFaults(FaultPlan(1).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(1).Add(rule)).ok());
 
   std::vector<uint8_t> overwrite = {9, 9, 9, 9};
   Status st = qp.Write(rkey_, 64, overwrite);
@@ -76,7 +78,7 @@ TEST_F(FaultInjectionTest, TimeoutMapsToDeadlineExceededAndChargesTime) {
 
   FaultRule rule = Permanent(FaultKind::kTimeout);
   rule.delay_ns = 1'000'000;
-  fabric_.ArmFaults(FaultPlan(2).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(2).Add(rule)).ok());
 
   const uint64_t before = clock_.now_ns();
   EXPECT_EQ(qp.Read(rkey_, 0, buf).code(), StatusCode::kDeadlineExceeded);
@@ -92,7 +94,7 @@ TEST_F(FaultInjectionTest, DelayFaultSucceedsButChargesExtraTime) {
 
   FaultRule rule = Permanent(FaultKind::kDelay);
   rule.delay_ns = 777'000;
-  fabric_.ArmFaults(FaultPlan(3).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(3).Add(rule)).ok());
 
   const uint64_t before = clock_.now_ns();
   EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
@@ -108,7 +110,7 @@ TEST_F(FaultInjectionTest, ReadBitFlipCorruptsLocalBufferNotRemoteMemory) {
   FaultRule rule = Permanent(FaultKind::kBitFlip);
   rule.opcode = Opcode::kRead;
   rule.bit_flips = 1;
-  fabric_.ArmFaults(FaultPlan(4).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(4).Add(rule)).ok());
 
   std::vector<uint8_t> in(32, 0);
   ASSERT_TRUE(qp.Read(rkey_, 128, in).ok());  // bit-flips still "succeed"
@@ -127,7 +129,7 @@ TEST_F(FaultInjectionTest, WriteBitFlipCorruptsRemoteMemoryNotTheSource) {
   QueuePair qp(&fabric_, &clock_);
   FaultRule rule = Permanent(FaultKind::kBitFlip);
   rule.opcode = Opcode::kWrite;
-  fabric_.ArmFaults(FaultPlan(5).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(5).Add(rule)).ok());
 
   std::vector<uint8_t> payload(16, 0xAA);
   const std::vector<uint8_t> source_copy = payload;
@@ -149,7 +151,7 @@ TEST_F(FaultInjectionTest, FlushReportsPerWrStatusesIndependently) {
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.offset_lo = 512;
   rule.offset_hi = 1024;
-  fabric_.ArmFaults(FaultPlan(6).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(6).Add(rule)).ok());
 
   std::vector<std::vector<uint8_t>> bufs(8, std::vector<uint8_t>(64));
   for (size_t i = 0; i < bufs.size(); ++i) {
@@ -171,7 +173,7 @@ TEST_F(FaultInjectionTest, TransientBudgetExpiresAndSkipFirstDelays) {
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.skip_first = 2;
   rule.max_triggers = 3;
-  fabric_.ArmFaults(FaultPlan(7).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(7).Add(rule)).ok());
 
   std::vector<uint8_t> buf(8);
   for (int op = 0; op < 10; ++op) {
@@ -186,7 +188,7 @@ TEST_F(FaultInjectionTest, EveryNthFiresPeriodically) {
   QueuePair qp(&fabric_, &clock_);
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.every_nth = 3;
-  fabric_.ArmFaults(FaultPlan(8).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(8).Add(rule)).ok());
 
   std::vector<uint8_t> buf(8);
   int failures = 0;
@@ -198,7 +200,7 @@ TEST_F(FaultInjectionTest, ZeroProbabilityNeverFires) {
   QueuePair qp(&fabric_, &clock_);
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.probability = 0.0;
-  fabric_.ArmFaults(FaultPlan(9).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(9).Add(rule)).ok());
   std::vector<uint8_t> buf(8);
   for (int op = 0; op < 50; ++op) EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
   EXPECT_EQ(qp.stats().injected_faults, 0u);
@@ -208,7 +210,7 @@ TEST_F(FaultInjectionTest, ProbabilisticRuleIsDeterministicAcrossFabrics) {
   // Two independent fabrics with the same plan seed and the same op sequence
   // must make identical decisions — the whole determinism contract.
   auto run = [](uint64_t plan_seed) {
-    Fabric fabric;
+    Fabric fabric(NicModelConfig{}, TransportOptions::Sim());
     const NodeId mem = fabric.AddNode("mem");
     const RKey rkey = fabric.RegisterMemory(mem, 1 << 16).value();
     SimClock clock;
@@ -216,7 +218,7 @@ TEST_F(FaultInjectionTest, ProbabilisticRuleIsDeterministicAcrossFabrics) {
     FaultRule rule;
     rule.kind = FaultKind::kUnreachable;
     rule.probability = 0.4;
-    fabric.ArmFaults(FaultPlan(plan_seed).Add(rule));
+    EXPECT_TRUE(fabric.ArmFaults(FaultPlan(plan_seed).Add(rule)).ok());
     std::vector<uint8_t> buf(8);
     std::vector<bool> outcomes;
     for (int op = 0; op < 64; ++op) outcomes.push_back(qp.Read(rkey, 0, buf).ok());
@@ -235,11 +237,11 @@ TEST_F(FaultInjectionTest, ReArmingResetsTriggerBudgets) {
   rule.max_triggers = 1;
   std::vector<uint8_t> buf(8);
 
-  fabric_.ArmFaults(FaultPlan(10).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(10).Add(rule)).ok());
   EXPECT_FALSE(qp.Read(rkey_, 0, buf).ok());  // budget spent
   EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
 
-  fabric_.ArmFaults(FaultPlan(10).Add(rule));  // fresh plan object
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(10).Add(rule)).ok());  // fresh plan object
   EXPECT_FALSE(qp.Read(rkey_, 0, buf).ok());  // budget is back
 }
 
@@ -248,7 +250,7 @@ TEST_F(FaultInjectionTest, RkeyScopeLimitsTheBlastRadius) {
   ASSERT_TRUE(rkey2.ok());
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.rkey = rkey2.value();
-  fabric_.ArmFaults(FaultPlan(11).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(11).Add(rule)).ok());
 
   QueuePair qp(&fabric_, &clock_);
   std::vector<uint8_t> buf(8);
@@ -260,7 +262,7 @@ TEST_F(FaultInjectionTest, AtomicsCanFaultToo) {
   QueuePair qp(&fabric_, &clock_);
   FaultRule rule = Permanent(FaultKind::kUnreachable);
   rule.opcode = Opcode::kFetchAdd;
-  fabric_.ArmFaults(FaultPlan(12).Add(rule));
+  ASSERT_TRUE(fabric_.ArmFaults(FaultPlan(12).Add(rule)).ok());
 
   auto faa = qp.FetchAdd(rkey_, 0, 5);
   EXPECT_EQ(faa.status().code(), StatusCode::kUnavailable);

@@ -25,6 +25,9 @@ Rig BuildRig(EngineMode mode, size_t num_memory_nodes = 1) {
   Dataset ds = MakeSynthetic({.dim = 8, .num_base = 900, .num_queries = 16,
                               .num_clusters = 6, .seed = 424});
   DhnswConfig config = DhnswConfig::Defaults();
+  // The rig arms FaultPlans and asserts SimClock-charged backoff — both
+  // simulator-only contracts — so pin the sim backend.
+  config.transport = rdma::TransportOptions::Sim();
   config.meta.num_representatives = 6;
   config.compute.mode = mode;
   config.compute.clusters_per_query = 3;
@@ -168,7 +171,7 @@ TEST(FaultRecoveryTest, TransientFaultsHealViaBackoffChargedToSimClock) {
   rule.kind = rdma::FaultKind::kUnreachable;
   rule.opcode = rdma::Opcode::kRead;
   rule.max_triggers = 3;
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(5).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(5).Add(rule)).ok());
 
   node.InvalidateCache();
   node.mutable_options()->retry = RetryPolicy::Default();
@@ -200,7 +203,7 @@ TEST(FaultRecoveryTest, DeadlineBoundsTheRetryBudget) {
   rdma::FaultRule rule;
   rule.kind = rdma::FaultKind::kUnreachable;
   rule.opcode = rdma::Opcode::kRead;
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(6).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(6).Add(rule)).ok());
 
   node.InvalidateCache();
   RetryPolicy tight = RetryPolicy::Default();
@@ -228,7 +231,7 @@ TEST(FaultRecoveryTest, InsertRetriesThroughTransientFaults) {
   write.kind = rdma::FaultKind::kUnreachable;
   write.opcode = rdma::Opcode::kWrite;
   write.max_triggers = 1;
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(7).Add(faa).Add(write));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(7).Add(faa).Add(write)).ok());
 
   std::vector<float> v(rig.ds.base[0].begin(), rig.ds.base[0].end());
   auto id = rig.engine.Insert(v);
@@ -250,7 +253,7 @@ TEST(FaultRecoveryTest, InsertWithoutRetryFailsCleanly) {
   rdma::FaultRule rule;
   rule.kind = rdma::FaultKind::kUnreachable;
   rule.opcode = rdma::Opcode::kFetchAdd;
-  rig.engine.fabric().ArmFaults(rdma::FaultPlan(8).Add(rule));
+  ASSERT_TRUE(rig.engine.fabric().ArmFaults(rdma::FaultPlan(8).Add(rule)).ok());
 
   std::vector<float> v(rig.ds.base[0].begin(), rig.ds.base[0].end());
   auto id = rig.engine.Insert(v);

@@ -18,6 +18,10 @@ class IntegrationTest : public ::testing::Test {
     ComputeGroundTruth(ds_, 10);
 
     DhnswConfig config = DhnswConfig::Defaults();
+    // The suite compares modeled network_us across modes (doorbell vs not,
+    // warm vs cold cache) — deterministic only under the NicModel, so pin
+    // the sim backend; measured loopback wall time is too noisy to order.
+    config.transport = rdma::TransportOptions::Sim();
     config.meta.num_representatives = 50;
     config.sub_hnsw = HnswOptions{.M = 12, .ef_construction = 80};
     config.compute.clusters_per_query = 4;

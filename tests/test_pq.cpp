@@ -424,6 +424,8 @@ TEST(PqEngineTest, SameSeedTracesAreByteIdenticalUnderCompression) {
   for (PayloadMode mode : {PayloadMode::kPq, PayloadMode::kPqRerank}) {
     DhnswConfig config = PqEngineConfig(8);
     config.compute.payload = mode;
+    // Byte-identical same-seed traces are a simulator-only contract.
+    config.transport = rdma::TransportOptions::Sim();
     std::string first;
     for (int run = 0; run < 2; ++run) {
       auto engine = DhnswEngine::Build(ds.base, config);

@@ -20,7 +20,9 @@ class QueuePairTest : public ::testing::Test {
   }
 
   static constexpr size_t kRegionSize = 1 << 20;
-  Fabric fabric_;
+  // Exact NicModel cost assertions are a simulator-only contract: pin the
+  // sim backend so the suite stays valid under DHNSW_TRANSPORT=tcp.
+  Fabric fabric_{NicModelConfig{}, TransportOptions::Sim()};
   NodeId mem_node_ = 0;
   RKey rkey_ = 0;
   SimClock clock_;

@@ -238,7 +238,7 @@ TEST(ScaleoutTest, ConcurrentRetryBackoffDoesNotCrossInflateSimClocks) {
   for (size_t i = 0; i < kNodes; ++i) {
     ChaosHarness h({.num_compute_nodes = kNodes});
     prep_node(h, i);
-    h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed));
+    ASSERT_TRUE(h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed)).ok());
     auto run = h.engine().compute(i).SearchAll(h.dataset().queries, h.config().k,
                                                h.config().ef_search);
     h.engine().fabric().ClearFaults();
@@ -252,7 +252,7 @@ TEST(ScaleoutTest, ConcurrentRetryBackoffDoesNotCrossInflateSimClocks) {
   // Concurrent: all four nodes at once on one deployment.
   ChaosHarness h({.num_compute_nodes = kNodes});
   for (size_t i = 0; i < kNodes; ++i) prep_node(h, i);
-  h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed));
+  ASSERT_TRUE(h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed)).ok());
   std::vector<Result<BatchResult>> runs(kNodes, Status::Internal("never ran"));
   {
     std::vector<std::thread> threads;
@@ -432,7 +432,10 @@ TEST(ScaleoutTest, TraceJsonlByteIdenticalAcrossSameSeedDrainRuns) {
   const auto ops = ScaleOps(ds, /*read_fraction=*/1.0, /*num_ops=*/64);
 
   const auto run_traced = [&]() {
-    auto built = DhnswEngine::Build(ds.base, ScaleConfig(4));
+    // Byte-identical same-seed traces are a simulator-only contract.
+    DhnswConfig traced_config = ScaleConfig(4);
+    traced_config.transport = rdma::TransportOptions::Sim();
+    auto built = DhnswEngine::Build(ds.base, traced_config);
     EXPECT_TRUE(built.ok());
     DhnswEngine& engine = built.value();
     engine.EnableTracing(1 << 14);

@@ -302,7 +302,11 @@ TEST(TelemetryEngineTest, StageSpansCoverBatchLatency) {
 TEST(TelemetryEngineTest, MetricsSnapshotPublishesTopology) {
   Dataset ds = MakeSynthetic({.dim = 8, .num_base = 600, .num_queries = 10,
                               .num_clusters = 4, .seed = 213});
-  auto engine = DhnswEngine::Build(ds.base, SmallConfig());
+  // The topology assertions count the bare (sim) rdma instruments; real
+  // backends report under {transport="..."}-labelled names instead.
+  DhnswConfig topo_config = SmallConfig();
+  topo_config.transport = rdma::TransportOptions::Sim();
+  auto engine = DhnswEngine::Build(ds.base, topo_config);
   ASSERT_TRUE(engine.ok());
   ASSERT_TRUE(engine.value().SearchAll(ds.queries, 5, 32).ok());
 

@@ -1,0 +1,346 @@
+// Transport subsystem tests (DESIGN.md §14).
+//
+// Covers backend selection (config + DHNSW_TRANSPORT), the TCP backend's
+// one-sided semantics (round trips, doorbell batching, fencing, node
+// reachability), the sim-only fault-injection contract, NicModelConfig JSON
+// round-trips for the calibration artifact, and — the core guarantee — that
+// a snapshot restored under the TCP backend answers queries bit-identically
+// to the simulator.
+
+#include "rdma/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include "rdma/fabric.h"
+#include "rdma/nic_model.h"
+#include "rdma/queue_pair.h"
+#include "telemetry/trace.h"
+
+namespace dhnsw {
+namespace {
+
+using rdma::Fabric;
+using rdma::NicModelConfig;
+using rdma::ParseTransportKind;
+using rdma::TransportKind;
+using rdma::TransportKindName;
+using rdma::TransportOptions;
+
+TEST(TransportKindTest, ParseAndNameRoundTrip) {
+  for (TransportKind kind : {TransportKind::kSim, TransportKind::kTcp,
+                             TransportKind::kVerbs}) {
+    auto parsed = ParseTransportKind(TransportKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_EQ(ParseTransportKind("rocev2").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTransportKind("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TransportKindTest, EnvOverrideResolvesOnlyWhenKindUnset) {
+  const char* saved = std::getenv("DHNSW_TRANSPORT");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+
+  ::setenv("DHNSW_TRANSPORT", "tcp", 1);
+  EXPECT_EQ(TransportOptions{}.Resolve(), TransportKind::kTcp);
+  // An explicit kind always beats the environment: tests that pin the sim
+  // stay on the sim even under DHNSW_TRANSPORT=tcp.
+  EXPECT_EQ(TransportOptions::Sim().Resolve(), TransportKind::kSim);
+
+  ::setenv("DHNSW_TRANSPORT", "no-such-backend", 1);
+  EXPECT_EQ(TransportOptions{}.Resolve(), TransportKind::kSim);
+
+  ::unsetenv("DHNSW_TRANSPORT");
+  EXPECT_EQ(TransportOptions{}.Resolve(), TransportKind::kSim);
+
+  if (saved != nullptr) ::setenv("DHNSW_TRANSPORT", saved_copy.c_str(), 1);
+}
+
+TEST(TransportKindTest, VerbsFallsBackWhenNoDevice) {
+  TransportOptions options;
+  options.kind = TransportKind::kVerbs;
+  auto transport = rdma::MakeTransport(options);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  // With ibverbs headers + a device this is kVerbs; everywhere else the
+  // factory must degrade to the TCP backend rather than fail.
+  const TransportKind kind = transport.value()->kind();
+  EXPECT_TRUE(kind == TransportKind::kVerbs || kind == TransportKind::kTcp);
+}
+
+/// Fixture owning a TCP-backed fabric with one registered region, mirroring
+/// the sim-backed fixture in test_queue_pair.cpp.
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(fabric_.transport().kind(), TransportKind::kTcp);
+    mem_node_ = fabric_.AddNode("mem");
+    fabric_.AddNode("compute");
+    auto rkey = fabric_.RegisterMemory(mem_node_, kRegionSize);
+    ASSERT_TRUE(rkey.ok());
+    rkey_ = rkey.value();
+  }
+
+  static constexpr size_t kRegionSize = 1 << 20;
+  Fabric fabric_{NicModelConfig{}, TransportOptions::Tcp()};
+  rdma::NodeId mem_node_ = 0;
+  rdma::RKey rkey_ = 0;
+  SimClock clock_;
+};
+
+TEST_F(TcpTransportTest, WriteThenReadRoundTripsThroughSocket) {
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> out(256);
+  std::iota(out.begin(), out.end(), uint8_t{1});
+  ASSERT_TRUE(qp.Write(rkey_, 4096, out).ok());
+  std::vector<uint8_t> in(256, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 4096, in).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(qp.stats().round_trips, 2u);
+  // Real backend: the clock charge is measured wall time, not the NicModel.
+  EXPECT_GT(qp.stats().sim_network_ns, 0u);
+}
+
+TEST_F(TcpTransportTest, AtomicsExecuteOnTheServerSide) {
+  rdma::QueuePair qp(&fabric_, &clock_);
+  auto faa = qp.FetchAdd(rkey_, 128, 7);
+  ASSERT_TRUE(faa.ok());
+  EXPECT_EQ(faa.value(), 0u);  // returns the pre-add value
+  faa = qp.FetchAdd(rkey_, 128, 5);
+  ASSERT_TRUE(faa.ok());
+  EXPECT_EQ(faa.value(), 7u);
+
+  auto cas = qp.CompareSwap(rkey_, 128, /*compare=*/12, /*swap=*/99);
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(cas.value(), 12u);  // matched: swapped in 99
+  cas = qp.CompareSwap(rkey_, 128, /*compare=*/12, /*swap=*/1);
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(cas.value(), 99u);  // mismatch: returns current value
+}
+
+TEST_F(TcpTransportTest, DoorbellBatchIsOneSocketRoundTrip) {
+  rdma::QueuePair qp(&fabric_, &clock_, /*max_doorbell_wrs=*/16);
+  std::vector<std::vector<uint8_t>> bufs(8, std::vector<uint8_t>(64));
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    qp.PostRead(rkey_, i * 1024, bufs[i], i);
+  }
+  EXPECT_EQ(qp.RingDoorbell(), 1u);
+  EXPECT_EQ(qp.stats().round_trips, 1u);
+  EXPECT_EQ(qp.stats().work_requests, 8u);
+  rdma::Completion c;
+  size_t completions = 0;
+  while (qp.PollCompletion(&c)) {
+    EXPECT_EQ(c.status, rdma::WcStatus::kSuccess);
+    ++completions;
+  }
+  EXPECT_EQ(completions, 8u);
+}
+
+TEST_F(TcpTransportTest, EpochFenceEnforcedAcrossTheWire) {
+  rdma::QueuePair qp(&fabric_, &clock_);
+  fabric_.SetRegionEpoch(rkey_, 5);
+  std::vector<uint8_t> buf(8, 0);
+  EXPECT_FALSE(qp.Read(rkey_, 0, buf, /*expected_epoch=*/4).ok());
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf, /*expected_epoch=*/5).ok());
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());  // epoch 0 = unfenced op
+
+  fabric_.RevokeRegion(rkey_);
+  EXPECT_FALSE(qp.Read(rkey_, 0, buf, /*expected_epoch=*/5).ok());
+}
+
+TEST_F(TcpTransportTest, UnreachableNodeFailsThenRecovers) {
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(8, 0);
+  fabric_.SetNodeReachable(mem_node_, false);
+  EXPECT_FALSE(qp.Read(rkey_, 0, buf).ok());
+  fabric_.SetNodeReachable(mem_node_, true);
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+}
+
+TEST_F(TcpTransportTest, TwoTcpFabricsCoexistOnEphemeralPorts) {
+  // Both bind port 0; a fixed port here would collide under parallel ctest.
+  Fabric other(NicModelConfig{}, TransportOptions::Tcp());
+  ASSERT_EQ(other.transport().kind(), TransportKind::kTcp);
+  const rdma::NodeId node = other.AddNode("mem2");
+  auto rkey = other.RegisterMemory(node, 4096);
+  ASSERT_TRUE(rkey.ok());
+
+  SimClock clock2;
+  rdma::QueuePair qp1(&fabric_, &clock_);
+  rdma::QueuePair qp2(&other, &clock2);
+  std::vector<uint8_t> a(16, 0xAA);
+  std::vector<uint8_t> b(16, 0xBB);
+  ASSERT_TRUE(qp1.Write(rkey_, 0, a).ok());
+  ASSERT_TRUE(qp2.Write(rkey.value(), 0, b).ok());
+  std::vector<uint8_t> back(16, 0);
+  ASSERT_TRUE(qp2.Read(rkey.value(), 0, back).ok());
+  EXPECT_EQ(back, b);
+}
+
+TEST(TransportFaultTest, ArmFaultsIsSimOnlyByConstruction) {
+  rdma::FaultPlan plan(42);
+  rdma::FaultRule rule;
+  rule.kind = rdma::FaultKind::kUnreachable;
+  plan.Add(rule);
+
+  Fabric sim(NicModelConfig{}, TransportOptions::Sim());
+  EXPECT_TRUE(sim.ArmFaults(plan).ok());
+  sim.ClearFaults();
+
+  Fabric tcp(NicModelConfig{}, TransportOptions::Tcp());
+  const Status refused = tcp.ArmFaults(plan);
+  EXPECT_EQ(refused.code(), StatusCode::kUnimplemented);
+  tcp.ClearFaults();  // still safe to call
+}
+
+TEST(NicModelJsonTest, CalibrationArtifactRoundTrips) {
+  NicModelConfig config;
+  EXPECT_EQ(config.source, "connectx6-datasheet");
+
+  config.base_round_trip_ns = 2345;
+  config.bandwidth_gbps = 87.5;
+  config.per_wr_dma_ns = 199;
+  config.doorbell_linear_limit = 24;
+  config.doorbell_saturated_ns = 777;
+  config.atomic_extra_ns = 512;
+  config.source = "calibrated-tcp";
+
+  auto loaded = NicModelConfig::LoadFromJson(config.ToJson());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().base_round_trip_ns, 2345u);
+  EXPECT_DOUBLE_EQ(loaded.value().bandwidth_gbps, 87.5);
+  EXPECT_EQ(loaded.value().per_wr_dma_ns, 199u);
+  EXPECT_EQ(loaded.value().doorbell_linear_limit, 24u);
+  EXPECT_EQ(loaded.value().doorbell_saturated_ns, 777u);
+  EXPECT_EQ(loaded.value().atomic_extra_ns, 512u);
+  EXPECT_EQ(loaded.value().source, "calibrated-tcp");
+}
+
+TEST(NicModelJsonTest, MalformedJsonIsRejected) {
+  EXPECT_FALSE(NicModelConfig::LoadFromJson("not json at all").ok());
+  // Absent keys keep their defaults (forward-compatible artifact loading)...
+  auto empty = NicModelConfig::LoadFromJson("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().base_round_trip_ns, NicModelConfig{}.base_round_trip_ns);
+  // ...but a present key with a garbage value is an error.
+  EXPECT_FALSE(
+      NicModelConfig::LoadFromJson("{\"base_round_trip_ns\":\"fast\"}").ok());
+  EXPECT_FALSE(
+      NicModelConfig::LoadFromJson(
+          "{\"base_round_trip_ns\":1,\"bandwidth_gbps\":0,\"per_wr_dma_ns\":1,"
+          "\"doorbell_linear_limit\":1,\"doorbell_saturated_ns\":1,"
+          "\"atomic_extra_ns\":1,\"source\":\"x\"}")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: the TCP backend must answer bit-identically to the sim
+// for the same built index. Build once under the sim, snapshot, then restore
+// the same bytes under each backend and compare every result id + distance.
+// ---------------------------------------------------------------------------
+
+DhnswConfig DifferentialConfig(TransportKind kind) {
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = 8;
+  config.sub_hnsw = HnswOptions{.M = 8, .ef_construction = 50};
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = 4;
+  config.transport.kind = kind;
+  return config;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TransportDifferentialTest, TcpRestoreAnswersBitIdenticallyToSim) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 800, .num_queries = 16,
+                              .num_clusters = 6, .seed = 808});
+  auto built =
+      DhnswEngine::Build(ds.base, DifferentialConfig(TransportKind::kSim));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string path = TempPath("transport_diff.dsnp");
+  ASSERT_TRUE(built.value().SaveSnapshot(path).ok());
+  const auto num_base = static_cast<uint32_t>(ds.base.size());
+
+  auto sim = DhnswEngine::BuildFromSnapshot(
+      path, DifferentialConfig(TransportKind::kSim), num_base);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  auto tcp = DhnswEngine::BuildFromSnapshot(
+      path, DifferentialConfig(TransportKind::kTcp), num_base);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  ASSERT_EQ(tcp.value().fabric().transport().kind(), TransportKind::kTcp);
+
+  auto r_sim = sim.value().SearchAll(ds.queries, 5, 48);
+  auto r_tcp = tcp.value().SearchAll(ds.queries, 5, 48);
+  ASSERT_TRUE(r_sim.ok()) << r_sim.status().ToString();
+  ASSERT_TRUE(r_tcp.ok()) << r_tcp.status().ToString();
+  ASSERT_EQ(r_sim.value().results.size(), r_tcp.value().results.size());
+  for (size_t qi = 0; qi < r_sim.value().results.size(); ++qi) {
+    const auto& a = r_sim.value().results[qi];
+    const auto& b = r_tcp.value().results[qi];
+    ASSERT_EQ(a.size(), b.size()) << "query " << qi;
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id) << "query " << qi << " rank " << j;
+      EXPECT_EQ(a[j].distance, b[j].distance) << "query " << qi << " rank " << j;
+    }
+  }
+
+  // Mutation path: the same insert lands identically through either backend
+  // (exercises WRITE payloads and the overflow FAA over the socket).
+  std::vector<float> outlier(8, 123.0f);
+  auto id_sim = sim.value().Insert(outlier);
+  auto id_tcp = tcp.value().Insert(outlier);
+  ASSERT_TRUE(id_sim.ok()) << id_sim.status().ToString();
+  ASSERT_TRUE(id_tcp.ok()) << id_tcp.status().ToString();
+  EXPECT_EQ(id_sim.value(), id_tcp.value());
+
+  VectorSet probe(8);
+  probe.Append(outlier);
+  auto p_sim = sim.value().SearchAll(probe, 1, 32);
+  auto p_tcp = tcp.value().SearchAll(probe, 1, 32);
+  ASSERT_TRUE(p_sim.ok());
+  ASSERT_TRUE(p_tcp.ok());
+  ASSERT_FALSE(p_sim.value().results[0].empty());
+  ASSERT_FALSE(p_tcp.value().results[0].empty());
+  EXPECT_EQ(p_sim.value().results[0][0].id, id_sim.value());
+  EXPECT_EQ(p_tcp.value().results[0][0].id, id_tcp.value());
+
+  std::remove(path.c_str());
+}
+
+TEST(TransportDifferentialTest, TraceSpansCarryTransportLabelOnTcpOnly) {
+  Dataset ds = MakeSynthetic({.dim = 8, .num_base = 400, .num_queries = 4,
+                              .num_clusters = 4, .seed = 909});
+
+  auto run = [&](TransportKind kind) -> std::string {
+    auto engine = DhnswEngine::Build(ds.base, DifferentialConfig(kind));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    engine.value().compute(0).EnableTracing(512);
+    auto r = engine.value().SearchAll(ds.queries, 3, 32);
+    EXPECT_TRUE(r.ok());
+    return telemetry::TraceToJsonl(engine.value().compute(0).trace());
+  };
+
+  const std::string sim_trace = run(TransportKind::kSim);
+  const std::string tcp_trace = run(TransportKind::kTcp);
+  ASSERT_FALSE(sim_trace.empty());
+  ASSERT_FALSE(tcp_trace.empty());
+  // Sim traces stay byte-compatible with the pre-transport format: no label.
+  EXPECT_EQ(sim_trace.find("\"transport\""), std::string::npos);
+  EXPECT_NE(tcp_trace.find("\"transport\":\"tcp\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -9,6 +9,7 @@
 #include "core/compute_pool.h"
 #include "core/engine.h"
 #include "core/workload_gen.h"
+#include "rdma/queue_pair.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
 #include "dataset/vecs_io.h"
@@ -391,8 +392,119 @@ Status CmdScaleout(const Flags& flags, std::string* out) {
   return Status::Ok();
 }
 
+/// Runs `iters` identical rings built by `post` and returns the median
+/// per-ring network charge in ns — the NicModel cost on the simulator, the
+/// measured wall time of the round trip on a real transport (tcp/verbs).
+template <typename PostFn>
+uint64_t MedianRingNs(rdma::QueuePair& qp, uint32_t iters, PostFn&& post) {
+  std::vector<uint64_t> samples;
+  samples.reserve(iters);
+  for (uint32_t i = 0; i < iters + 1; ++i) {
+    const uint64_t before = qp.stats().sim_network_ns;
+    post();
+    qp.RingDoorbell();
+    rdma::Completion c;
+    while (qp.PollCompletion(&c)) {
+    }
+    if (i == 0) continue;  // warm-up ring: connection setup, cold caches
+    samples.push_back(qp.stats().sim_network_ns - before);
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  return samples[samples.size() / 2];
+}
+
+Status CmdCalibrate(const Flags& flags, std::string* out) {
+  DHNSW_ASSIGN_OR_RETURN(const rdma::TransportKind kind,
+                         rdma::ParseTransportKind(flags.Get("transport", "tcp")));
+  const uint32_t iters =
+      static_cast<uint32_t>(std::max<uint64_t>(3, flags.GetU64("iters", 33)));
+  const size_t large_bytes = std::max<uint64_t>(4096, flags.GetU64("bytes", 1u << 20));
+
+  rdma::TransportOptions options;
+  options.kind = kind;
+  rdma::Fabric fabric(rdma::NicModelConfig{}, options);
+  if (fabric.transport().kind() != kind) {
+    return Status::Unavailable("requested transport failed to initialise");
+  }
+  const rdma::NodeId mem = fabric.AddNode("calib-mem");
+  fabric.AddNode("calib-compute");
+  DHNSW_ASSIGN_OR_RETURN(const rdma::RKey rkey,
+                         fabric.RegisterMemory(mem, large_bytes + 4096));
+  SimClock clock;
+  rdma::QueuePair qp(&fabric, &clock);
+  std::vector<uint8_t> buf(large_bytes);
+  Emit(out, "calibrating on transport=%s iters=%u payload=%zuB",
+       std::string(fabric.transport().name()).c_str(), iters, large_bytes);
+
+  // 1. Base round trip: a single 8-byte READ per ring.
+  const uint64_t t_small = MedianRingNs(
+      qp, iters, [&] { qp.PostRead(rkey, 0, {buf.data(), 8}); });
+  // 2. Per-byte bandwidth: one large READ per ring; the delta over the base
+  //    round trip is pure payload time.
+  const uint64_t t_large = MedianRingNs(
+      qp, iters, [&] { qp.PostRead(rkey, 0, {buf.data(), large_bytes}); });
+  // 3. Doorbell amortization, linear region: 16 small READs in one ring.
+  const uint64_t t_batch16 = MedianRingNs(qp, iters, [&] {
+    for (uint32_t w = 0; w < 16; ++w) qp.PostRead(rkey, w * 8, {buf.data() + w * 8, 8});
+  });
+  // 4. Saturated region: 64 small READs in one ring.
+  const uint64_t t_batch64 = MedianRingNs(qp, iters, [&] {
+    for (uint32_t w = 0; w < 64; ++w) qp.PostRead(rkey, w * 8, {buf.data() + w * 8, 8});
+  });
+  // 5. Atomic surcharge: one FAA per ring (offset 0 is 8-aligned).
+  const uint64_t t_atomic = MedianRingNs(
+      qp, iters, [&] { qp.PostFetchAdd(rkey, large_bytes, 0); });
+
+  rdma::NicModelConfig fitted;
+  fitted.base_round_trip_ns = t_small;
+  const uint64_t payload_ns = t_large > t_small ? t_large - t_small : 1;
+  fitted.bandwidth_gbps =
+      static_cast<double>(large_bytes) * 8.0 / static_cast<double>(payload_ns);
+  fitted.per_wr_dma_ns = t_batch16 > t_small ? (t_batch16 - t_small) / 15 : 0;
+  // Model: cost(64) = base + 63*per_wr + (64 - limit)*saturated (+ payload,
+  // negligible at 8B/WR). Anything the linear terms do not explain is the
+  // saturated per-WR cost beyond the default window of 16.
+  const uint64_t linear64 = t_small + 63 * fitted.per_wr_dma_ns;
+  fitted.doorbell_saturated_ns = t_batch64 > linear64 ? (t_batch64 - linear64) / 48 : 0;
+  fitted.atomic_extra_ns = t_atomic > t_small ? t_atomic - t_small : 0;
+  fitted.source = "calibrated-" + std::string(rdma::TransportKindName(kind));
+
+  Emit(out, "base_round_trip_ns=%llu bandwidth_gbps=%.3f per_wr_dma_ns=%llu",
+       static_cast<unsigned long long>(fitted.base_round_trip_ns), fitted.bandwidth_gbps,
+       static_cast<unsigned long long>(fitted.per_wr_dma_ns));
+  Emit(out, "doorbell_saturated_ns=%llu atomic_extra_ns=%llu source=%s",
+       static_cast<unsigned long long>(fitted.doorbell_saturated_ns),
+       static_cast<unsigned long long>(fitted.atomic_extra_ns), fitted.source.c_str());
+
+  const std::string json = fitted.ToJson();
+  const std::string out_path = flags.Get("out", "nic_calibration.json");
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + out_path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to " + out_path);
+  }
+  Emit(out, "wrote %s", out_path.c_str());
+
+  // Round-trip the artifact through the load path and drive one simulated
+  // ring under the fitted constants — proof the simulator accepts them.
+  DHNSW_ASSIGN_OR_RETURN(const rdma::NicModelConfig loaded,
+                         rdma::NicModelConfig::LoadFromJson(json));
+  rdma::Fabric sim(loaded, rdma::TransportOptions::Sim());
+  const rdma::NodeId sim_mem = sim.AddNode("sim-mem");
+  DHNSW_ASSIGN_OR_RETURN(const rdma::RKey sim_rkey, sim.RegisterMemory(sim_mem, 4096));
+  SimClock sim_clock;
+  rdma::QueuePair sim_qp(&sim, &sim_clock);
+  DHNSW_RETURN_IF_ERROR(sim_qp.Read(sim_rkey, 0, {buf.data(), 8}));
+  Emit(out, "sim reload check: 8B read costs %llu ns under source=%s",
+       static_cast<unsigned long long>(sim_qp.stats().sim_network_ns),
+       loaded.source.c_str());
+  return Status::Ok();
+}
+
 const char kUsage[] =
-    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology|scaleout> --key=value ...\n"
+    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology|scaleout|calibrate> --key=value ...\n"
     "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
     "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
     "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
@@ -405,7 +517,9 @@ const char kUsage[] =
     "          --seed]  (per-node replica health/epoch table on a synthetic pool)\n"
     "  scaleout [--nodes=4 --ops=2000 --qps=20000 --read_fraction=0.9 --zipf=1.1\n"
     "          --tenants=2 --drain=1 --queue_capacity --tenant_limit --k --ef --dim\n"
-    "          --rows --clusters --seed]  (compute-pool run on a synthetic pool)";
+    "          --rows --clusters --seed]  (compute-pool run on a synthetic pool)\n"
+    "  calibrate [--transport=tcp --iters=33 --bytes=1048576 --out=nic_calibration.json]\n"
+    "          (measure real per-RT latency/bandwidth; write NicModelConfig JSON)";
 
 }  // namespace
 
@@ -440,6 +554,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdTopology(flags.value(), out);
   } else if (command == "scaleout") {
     st = CmdScaleout(flags.value(), out);
+  } else if (command == "calibrate") {
+    st = CmdCalibrate(flags.value(), out);
   } else {
     Emit(out, "unknown command: %s\n%s", command.c_str(), kUsage);
     return 2;
