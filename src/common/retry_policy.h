@@ -8,13 +8,24 @@
 //   kCorruption        — a CRC mismatch on decoded bytes; re-reading fetches
 //                        a fresh, hopefully undamaged copy
 //
-// Backoff is charged to the instance's SimClock, so recovery cost shows up in
-// the same simulated-latency accounting as the verbs themselves, and results
-// stay deterministic: no wall-clock sleeping, no timers. That is the
-// simulator contract; on a real transport (tcp/verbs) the budget is
-// constructed with real_sleep = true and the backoff actually sleeps —
-// charging simulated time instead of waiting would retry a still-down server
-// instantly. SimClock-charged backoff is thus sim-only by construction.
+// Dual-clock contract (one budget, two time bases — DESIGN.md §15):
+//
+//   sim  (real_sleep = false) — backoff is charged to the instance's
+//     SimClock, so recovery cost shows up in the same simulated-latency
+//     accounting as the verbs themselves, and results stay deterministic:
+//     no wall-clock sleeping, no timers. The deadline is simulated-ns
+//     elapsed on that clock.
+//
+//   real (real_sleep = true) — the backoff actually sleeps (charging
+//     simulated time instead of waiting would retry a still-down server
+//     instantly), and the deadline is measured WALL ns since the budget was
+//     constructed — covering ring round trips, backoff sleeps, and
+//     everything between. A hung TCP server therefore cannot outlive the
+//     deadline: each stalled ring burns real time the next AllowRetry sees
+//     (tests/test_chaos_transport.cpp pins this with a hung-server
+//     regression). The SimClock, when present, still accumulates the
+//     QueuePair's measured ring charges for reporting, but deadline
+//     decisions never read it in this mode.
 #pragma once
 
 #include <algorithm>
@@ -38,9 +49,11 @@ struct RetryPolicy {
   uint64_t initial_backoff_ns = 20'000;
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_ns = 5'000'000;
-  /// Simulated-ns budget for one logical operation (e.g. one batch's cluster
-  /// loads), measured from RetryBudget construction. 0 = unbounded. When the
-  /// budget is exhausted, AllowRetry refuses and the last error stands.
+  /// Deadline budget for one logical operation (e.g. one batch's cluster
+  /// loads), measured from RetryBudget construction: simulated ns on sim,
+  /// wall ns on real transports (see the dual-clock contract above).
+  /// 0 = unbounded. When the budget is exhausted, AllowRetry refuses and the
+  /// last error stands.
   uint64_t deadline_ns = 0;
 
   bool enabled() const noexcept { return max_attempts > 1; }
@@ -86,14 +99,16 @@ inline bool IsRetryable(const Status& st) noexcept { return IsRetryable(st.code(
 /// tests/test_scaleout.cpp's cross-inflation regression pins this down.
 class RetryBudget {
  public:
-  /// `real_sleep` selects the backoff mechanism: false (sim) advances the
-  /// clock by the backoff; true (real transports) sleeps the backoff for
-  /// real — the clock is NOT advanced by the budget then, because on real
-  /// transports the QueuePair already charges measured wall time, and the
-  /// deadline check reads that measured elapsed time.
+  /// `real_sleep` selects the time base: false (sim) advances the clock by
+  /// the backoff and enforces the deadline in simulated ns; true (real
+  /// transports) sleeps the backoff for real and enforces the deadline in
+  /// wall ns since construction — the SimClock (which may be null here) is
+  /// never consulted for deadline decisions.
   RetryBudget(const RetryPolicy& policy, SimClock* clock, bool real_sleep = false) noexcept
       : policy_(policy), clock_(clock), real_sleep_(real_sleep),
-        start_ns_(clock != nullptr ? clock->now_ns() : 0) {}
+        start_ns_(clock != nullptr ? clock->now_ns() : 0),
+        wall_start_(real_sleep ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}) {}
 
   /// Decides whether a retry is allowed after `failures` failed attempts
   /// (1-based: pass 1 after the first failure). On true, the backoff has been
@@ -102,12 +117,22 @@ class RetryBudget {
     if (backoff_out != nullptr) *backoff_out = 0;
     if (failures + 1 > policy_.max_attempts) return false;
     const uint64_t backoff = policy_.BackoffNs(failures);
-    if (policy_.deadline_ns > 0 && clock_ != nullptr) {
-      // Saturating elapsed: a clock Reset() between construction and this
-      // check would otherwise wrap (now < start) to a huge unsigned elapsed
-      // and falsely exhaust the deadline forever.
-      const uint64_t now = clock_->now_ns();
-      const uint64_t elapsed = now >= start_ns_ ? now - start_ns_ : 0;
+    if (policy_.deadline_ns > 0) {
+      uint64_t elapsed = 0;
+      if (real_sleep_) {
+        // Wall-clock accounting: ring round trips, earlier backoff sleeps,
+        // and compute all count, so a hung server exhausts the deadline.
+        elapsed = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start_)
+                .count());
+      } else if (clock_ != nullptr) {
+        // Saturating elapsed: a clock Reset() between construction and this
+        // check would otherwise wrap (now < start) to a huge unsigned
+        // elapsed and falsely exhaust the deadline forever.
+        const uint64_t now = clock_->now_ns();
+        elapsed = now >= start_ns_ ? now - start_ns_ : 0;
+      }
       if (elapsed + backoff > policy_.deadline_ns) return false;
     }
     if (real_sleep_) {
@@ -124,6 +149,7 @@ class RetryBudget {
   SimClock* clock_;
   bool real_sleep_ = false;
   uint64_t start_ns_;
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 }  // namespace dhnsw

@@ -1337,10 +1337,24 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   uint64_t partner_used = 0;
   uint64_t old_used = 0;
   AlignedBuffer partner_buf(8, 64);
+  // Allocation era, captured when the FAA lands: every ring-2 WR is fenced
+  // with these epochs, never freshly resolved ones. Otherwise a failover
+  // between allocation and fan-out lets the record land at its stale offset
+  // on the promoted replica — whose counter hands the same slot to another
+  // insert before the dead primary's delta is mirrored — and an ACKED insert
+  // silently vanishes under the collision. With captured epochs the stale
+  // write fences out and the whole allocation restarts in the new era.
+  uint64_t faa_epoch = 0;
+  uint64_t record_epoch = 0;
+  rdma::RKey faa_rkey{};
+  bool faa_done = false;
+  RetryBudget era_budget(options_.retry, &clock_, real_backoff_);
+  uint32_t era_failures = 0;
+  uint64_t remote_offset = 0;
+  for (;;) {  // one iteration per allocation era
   {
     RetryBudget budget(options_.retry, &clock_, real_backoff_);
     uint32_t failures = 0;
-    bool faa_done = false;
     for (;;) {
       // Re-resolved every attempt: a failover (or re-replication admission)
       // between attempts moves the ring to the promoted primary / new epoch.
@@ -1367,6 +1381,10 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
         }
         if (faa_status.ok()) {
           faa_done = true;
+          faa_epoch = ctrl.epoch;
+          faa_rkey = ctrl.rkey;
+          record_epoch =
+              replication_ != nullptr ? replication_->SlotEpoch(meta.node_slot) : 0;
           if (partner_status.ok()) break;
           ring_status = std::move(partner_status);
         } else {
@@ -1418,19 +1436,41 @@ Result<InsertReceipt> ComputeNode::AppendRecord(uint32_t partition,
   // is NOT rolled back: concurrent inserts may have FAAed past us, and a
   // decrement now could hand two writers the same slot — an uncommitted
   // zero slot is benign (readers skip it), a collided slot is not.
-  const uint64_t remote_offset = meta.RecordOffset(old_used);
+  remote_offset = meta.RecordOffset(old_used);
   if (replication_ == nullptr) {
     DHNSW_RETURN_IF_ERROR(WithRetry([&] {
       return qp_.Write(memory_.rkey_for_slot(meta.node_slot), remote_offset, record);
     }));
-  } else {
-    DHNSW_RETURN_IF_ERROR(ReplicateRecordWrite(meta.node_slot, remote_offset, record));
-    // The FAA above advanced only the primary's counter; mirror the delta
-    // onto slot 0's secondaries so a later failover hands out a converged
-    // counter, and count the primary's authoritative FAA as its ack.
-    ReplicateCounterAdd(used_counter_offset(partition), rec);
-    Compute().replica_faa_acks->Add(1);
+    break;
   }
+  const Status fanout =
+      ReplicateRecordWrite(meta.node_slot, remote_offset, record, record_epoch);
+  // The FAA above advanced only the primary's counter; mirror the delta
+  // onto slot 0's secondaries so a later failover hands out a converged
+  // counter, and count the primary's authoritative FAA as its ack.
+  const bool counters_converged =
+      fanout.ok() &&
+      ReplicateCounterAdd(used_counter_offset(partition), rec, faa_epoch);
+  if (fanout.ok() && counters_converged) {
+    Compute().replica_faa_acks->Add(1);
+    break;
+  }
+  const bool era_moved = replication_->SlotEpoch(0) != faa_epoch ||
+                         replication_->SlotEpoch(meta.node_slot) != record_epoch;
+  if (!era_moved) return fanout;  // genuine failure in a stable era: no ack
+  if (!era_budget.AllowRetry(++era_failures)) {
+    return fanout.ok()
+               ? Status::Unavailable("insert: slot epoch moved before counter catch-up")
+               : fanout;
+  }
+  // Restart. If the slot-0 primary changed, our claim sits behind the
+  // revoked rkey — re-run the FAA on the promoted primary (counter deltas
+  // already mirrored leak a little overflow space there; readers skip the
+  // uncommitted slots). Same primary (re-replication admission bumped the
+  // epoch): the claim stands, refresh the era and re-issue the fan-out —
+  // re-writing the same bytes at the same offset is idempotent.
+  if (RouteFor(0).rkey != faa_rkey) faa_done = false;
+  }  // era loop
 
   // Local bookkeeping: our cached table entry advances; a cached decoded
   // cluster is now stale and must be re-fetched on next use.
@@ -1502,10 +1542,27 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     uint64_t partner_used = 0;
     uint64_t old_used = 0;
     AlignedBuffer partner_buf(8, 64);
+    // Records don't depend on the allocation; encode once per partition.
+    std::vector<std::vector<uint8_t>> records(members.size());
+    for (size_t j = 0; j < members.size(); ++j) {
+      records[j].resize(rec);
+      EncodeOverflowRecord(global_ids[members[j]], vectors[members[j]], records[j]);
+    }
+    // Allocation era (see AppendRecord): the group's ring-2 WRs are fenced
+    // with the epochs captured when the FAA landed; a failover mid-fan-out
+    // fences the stale writes out and restarts the allocation instead of
+    // letting them collide on the promoted replica.
+    uint64_t faa_epoch = 0;
+    uint64_t record_epoch = 0;
+    rdma::RKey faa_rkey{};
+    bool faa_done = false;
+    bool partition_rejected = false;
+    RetryBudget era_budget(options_.retry, &clock_, real_backoff_);
+    uint32_t era_failures = 0;
+    for (;;) {  // one iteration per allocation era
     {
       RetryBudget budget(options_.retry, &clock_, real_backoff_);
       uint32_t failures = 0;
-      bool faa_done = false;
       for (;;) {
         const SlotRoute ctrl = RouteFor(0);
         Status ring_status;
@@ -1529,6 +1586,10 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
           }
           if (faa_status.ok()) {
             faa_done = true;
+            faa_epoch = ctrl.epoch;
+            faa_rkey = ctrl.rkey;
+            record_epoch =
+                replication_ != nullptr ? replication_->SlotEpoch(meta.node_slot) : 0;
             if (partner_status.ok()) break;
             ring_status = std::move(partner_status);
           } else {
@@ -1562,7 +1623,8 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
                                    static_cast<uint64_t>(-static_cast<int64_t>(want)), ctrl.epoch);
       if (!rollback.ok()) return rollback.status();
       for (size_t i : members) result.rejected.push_back(i);
-      continue;
+      partition_rejected = true;
+      break;
     }
 
     // Ring(s) 2: doorbell-batched WRITEs of the group's records. Records of
@@ -1572,11 +1634,6 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
     // re-issued — dropped WRITEs left their slots zero-filled, making the
     // replay idempotent. Permanent failures leave uncommitted slots that
     // readers skip (see AppendRecord for why no rollback).
-    std::vector<std::vector<uint8_t>> records(members.size());
-    for (size_t j = 0; j < members.size(); ++j) {
-      records[j].resize(rec);
-      EncodeOverflowRecord(global_ids[members[j]], vectors[members[j]], records[j]);
-    }
     if (replication_ == nullptr) {
       const rdma::RKey shard_rkey = memory_.rkey_for_slot(meta.node_slot);
       std::vector<size_t> to_write(members.size());
@@ -1603,17 +1660,35 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
         }
         to_write = std::move(failed_writes);
       }
-    } else {
-      // Replicated fan-out: the whole group lands on every live replica of
-      // the owning slot, each WRITE acked by a same-ring read-back.
-      std::vector<uint64_t> offsets(members.size());
-      for (size_t j = 0; j < members.size(); ++j) {
-        offsets[j] = meta.RecordOffset(old_used + j * rec);
-      }
-      DHNSW_RETURN_IF_ERROR(ReplicateGroupWrites(meta.node_slot, offsets, records));
-      ReplicateCounterAdd(used_counter_offset(partition), want);
-      Compute().replica_faa_acks->Add(1);  // the group's authoritative FAA
+      break;
     }
+    // Replicated fan-out: the whole group lands on every live replica of
+    // the owning slot, each WRITE acked by a same-ring read-back.
+    std::vector<uint64_t> offsets(members.size());
+    for (size_t j = 0; j < members.size(); ++j) {
+      offsets[j] = meta.RecordOffset(old_used + j * rec);
+    }
+    const Status fanout =
+        ReplicateGroupWrites(meta.node_slot, offsets, records, record_epoch);
+    const bool counters_converged =
+        fanout.ok() &&
+        ReplicateCounterAdd(used_counter_offset(partition), want, faa_epoch);
+    if (fanout.ok() && counters_converged) {
+      Compute().replica_faa_acks->Add(1);  // the group's authoritative FAA
+      break;
+    }
+    const bool era_moved = replication_->SlotEpoch(0) != faa_epoch ||
+                           replication_->SlotEpoch(meta.node_slot) != record_epoch;
+    if (!era_moved) return fanout;  // genuine failure in a stable era: no ack
+    if (!era_budget.AllowRetry(++era_failures)) {
+      return fanout.ok()
+                 ? Status::Unavailable("insert: slot epoch moved before counter catch-up")
+                 : fanout;
+    }
+    // See AppendRecord: re-FAA only when the slot-0 primary changed.
+    if (RouteFor(0).rkey != faa_rkey) faa_done = false;
+    }  // era loop
+    if (partition_rejected) continue;
 
     meta.overflow_used = old_used + want;
     cache_.Erase(partition);
@@ -1626,7 +1701,8 @@ Result<ComputeNode::BatchInsertResult> ComputeNode::InsertBatch(
 }
 
 Status ComputeNode::ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
-                                         std::span<const uint8_t> record) {
+                                         std::span<const uint8_t> record,
+                                         uint64_t fence_epoch) {
   const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(slot);
   AlignedBuffer readback(record.size(), 64);
   for (size_t i = 0; i < routes.size(); ++i) {
@@ -1636,14 +1712,18 @@ Status ComputeNode::ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
     // post order, so the READ returns exactly what the WRITE stored. The
     // record bytes carry their own CRC, so byte-identity is the ack.
     Status st = WithRetry([&] {
+      if (replication_->SlotEpoch(slot) != fence_epoch) {
+        // Non-retryable: retrying the captured epoch against a moved slot
+        // only fences out again. The caller restarts the allocation.
+        return Status::NotFound("slot epoch moved during write fan-out");
+      }
       if (replication_->health(slot, route.replica) == ReplicaHealth::kDead) {
         // Deliberately non-retryable: a replica that died mid-fan-out is
         // skipped (secondary) or fails the insert (primary).
         return Status::NotFound("replica died during write fan-out");
       }
-      const uint64_t epoch = replication_->SlotEpoch(slot);
-      qp_.PostWrite(route.rkey, remote_offset, record, /*wr_id=*/1, epoch);
-      qp_.PostRead(route.rkey, remote_offset, readback.span(), /*wr_id=*/2, epoch);
+      qp_.PostWrite(route.rkey, remote_offset, record, /*wr_id=*/1, fence_epoch);
+      qp_.PostRead(route.rkey, remote_offset, readback.span(), /*wr_id=*/2, fence_epoch);
       qp_.RingDoorbell();
       Status write_status, read_status;
       rdma::Completion c;
@@ -1673,7 +1753,8 @@ Status ComputeNode::ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
 }
 
 Status ComputeNode::ReplicateGroupWrites(uint32_t slot, const std::vector<uint64_t>& offsets,
-                                         const std::vector<std::vector<uint8_t>>& records) {
+                                         const std::vector<std::vector<uint8_t>>& records,
+                                         uint64_t fence_epoch) {
   const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(slot);
   std::vector<AlignedBuffer> readbacks;
   readbacks.reserve(records.size());
@@ -1687,16 +1768,22 @@ Status ComputeNode::ReplicateGroupWrites(uint32_t slot, const std::vector<uint64
     uint32_t failures = 0;
     Status replica_status;
     for (;;) {
+      if (replication_->SlotEpoch(slot) != fence_epoch) {
+        // See ReplicateRecordWrite: stale-offset writes must fence out, and
+        // retrying the captured epoch cannot succeed — restart upstream.
+        replica_status = Status::NotFound("slot epoch moved during write fan-out");
+        break;
+      }
       if (replication_->health(slot, route.replica) == ReplicaHealth::kDead) {
         replica_status = Status::NotFound("replica died during write fan-out");
         break;
       }
       // Interleaved WRITE (wr 2j) / READ-back (wr 2j+1) pairs; the doorbell
       // window coalesces them, in-order execution keeps each pair adjacent.
-      const uint64_t epoch = replication_->SlotEpoch(slot);
       for (size_t j : to_write) {
-        qp_.PostWrite(route.rkey, offsets[j], records[j], /*wr_id=*/2 * j, epoch);
-        qp_.PostRead(route.rkey, offsets[j], readbacks[j].span(), /*wr_id=*/2 * j + 1, epoch);
+        qp_.PostWrite(route.rkey, offsets[j], records[j], /*wr_id=*/2 * j, fence_epoch);
+        qp_.PostRead(route.rkey, offsets[j], readbacks[j].span(), /*wr_id=*/2 * j + 1,
+                     fence_epoch);
       }
       qp_.RingDoorbell();
       std::vector<size_t> failed;
@@ -1737,26 +1824,38 @@ Status ComputeNode::ReplicateGroupWrites(uint32_t slot, const std::vector<uint64
   return Status::Ok();
 }
 
-void ComputeNode::ReplicateCounterAdd(uint64_t remote_offset, uint64_t add) {
+bool ComputeNode::ReplicateCounterAdd(uint64_t remote_offset, uint64_t add,
+                                      uint64_t fence_epoch) {
   const std::vector<ReplicaManager::Route> routes = replication_->WriteRoutes(0);
   for (size_t i = 1; i < routes.size(); ++i) {
     const ReplicaManager::Route& route = routes[i];
     // FAA (not WRITE): commutative with concurrent inserts from other
     // compute nodes, so catch-ups never lose deltas.
     Status st = WithRetry([&] {
+      if (replication_->SlotEpoch(0) != fence_epoch) {
+        return Status::NotFound("slot epoch moved during counter catch-up");
+      }
       if (replication_->health(0, route.replica) == ReplicaHealth::kDead) {
         return Status::NotFound("replica died during counter catch-up");
       }
-      return qp_.FetchAdd(route.rkey, remote_offset, add, replication_->SlotEpoch(0)).status();
+      return qp_.FetchAdd(route.rkey, remote_offset, add, fence_epoch).status();
     });
     if (st.ok()) {
       Compute().replica_faa_acks->Add(1);
-    } else {
-      // A secondary that cannot absorb the catch-up is degraded, never a
-      // reason to fail the insert the primary already committed.
-      replication_->ReportReplicaFailure(0, route.replica);
+      continue;
     }
+    if (replication_->SlotEpoch(0) != fence_epoch) {
+      // Failover (or re-replication admission) moved the slot before this
+      // secondary absorbed the delta: the promoted counter may lag the
+      // allocation the caller is about to ack. Not survivable by degrading
+      // a replica — the caller must restart the allocation in the new epoch.
+      return false;
+    }
+    // A secondary that cannot absorb the catch-up is degraded, never a
+    // reason to fail the insert the primary already committed.
+    replication_->ReportReplicaFailure(0, route.replica);
   }
+  return true;
 }
 
 Status ComputeNode::Reconnect(MemoryNodeHandle memory) {

@@ -495,15 +495,30 @@ class ComputeNode {
   /// identical (the per-replica ack). Primary failure fails the call;
   /// a secondary that cannot ack is reported to the failure detector and
   /// skipped. Requires an attached manager.
+  ///
+  /// Every WR is fenced with `fence_epoch` — the slot's epoch captured when
+  /// the record's offset was FAA-allocated — NOT a freshly resolved one. A
+  /// failover between allocation and fan-out otherwise lands the record at a
+  /// stale offset on the promoted replica, colliding with slots its counter
+  /// hands out before the dead primary's delta is mirrored (an acked insert
+  /// then silently vanishes). With the captured epoch the stale write fences
+  /// out instead; the caller observes the epoch moved and restarts the whole
+  /// allocation.
   Status ReplicateRecordWrite(uint32_t slot, uint64_t remote_offset,
-                              std::span<const uint8_t> record);
+                              std::span<const uint8_t> record, uint64_t fence_epoch);
   /// Batched form: all records of one partition group, per-replica doorbell
-  /// rings of interleaved WRITE/READ-back pairs.
+  /// rings of interleaved WRITE/READ-back pairs. Same fencing contract.
   Status ReplicateGroupWrites(uint32_t slot, const std::vector<uint64_t>& offsets,
-                              const std::vector<std::vector<uint8_t>>& records);
+                              const std::vector<std::vector<uint8_t>>& records,
+                              uint64_t fence_epoch);
   /// Catch-up FAAs: mirrors a counter delta onto slot 0's secondaries so
   /// their overflow counters converge with the primary's authoritative one.
-  void ReplicateCounterAdd(uint64_t remote_offset, uint64_t add);
+  /// Fenced with the allocation-time epoch like ReplicateRecordWrite.
+  /// Returns false when slot 0's epoch moved past `fence_epoch` before every
+  /// live secondary absorbed the delta — the caller must restart the
+  /// allocation on the new primary; true otherwise (secondaries that are
+  /// simply dead are reported and skipped, never a reason to restart).
+  bool ReplicateCounterAdd(uint64_t remote_offset, uint64_t add, uint64_t fence_epoch);
 
   /// Shared tail of Insert/Remove: FAA-allocate a record slot in `partition`
   /// (validating the shared group budget against the partner), then WRITE

@@ -1,0 +1,188 @@
+#include "rdma/chaos_transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rdma/fault_injection.h"
+#include "telemetry/metrics.h"
+
+namespace dhnsw::rdma {
+
+namespace {
+
+// Injection counters, one per (transport, fault kind). Faults are cold by
+// definition, so the per-injection registry lookup (a sharded hash probe)
+// is fine; the hot no-fault path never touches the registry.
+void CountInjection(TransportKind transport, FaultKind kind) {
+  std::string name = "dhnsw_chaos_injected_total{transport=\"";
+  name += TransportKindName(transport);
+  name += "\",kind=\"";
+  name += FaultKindName(kind);
+  name += "\"}";
+  telemetry::DefaultRegistry().GetCounter(name)->Add(1);
+}
+
+// A real stall on a real backend: the charge model for non-sim transports is
+// measured wall time, so injected latency must actually elapse.
+void StallNs(uint64_t ns) {
+  if (ns == 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+class ChaosChannel final : public TransportChannel {
+ public:
+  ChaosChannel(std::unique_ptr<TransportChannel> inner, Transport* transport)
+      : inner_(std::move(inner)), transport_(transport) {}
+
+  uint64_t ExecuteRing(std::span<const WorkRequest> wrs,
+                       std::span<Completion> completions,
+                       const RingFaultContext& faults) override;
+
+  void Disconnect() override { inner_->Disconnect(); }
+
+ private:
+  std::unique_ptr<TransportChannel> inner_;
+  Transport* transport_;  ///< the wrapping ChaosTransport's control plane
+};
+
+uint64_t ChaosChannel::ExecuteRing(std::span<const WorkRequest> wrs,
+                                   std::span<Completion> completions,
+                                   const RingFaultContext& faults) {
+  // No plan armed on this QP: pure passthrough, zero overhead beyond the
+  // virtual call. The inner channel always sees a null injector.
+  if (faults.injector == nullptr) {
+    return inner_->ExecuteRing(wrs, completions, RingFaultContext{});
+  }
+
+  const TransportKind kind = transport_->kind();
+  uint64_t charge_ns = 0;
+  size_t seg_start = 0;   // first WR of the pending passthrough segment
+  bool disconnected = false;
+  // Bit-flips recorded during evaluation, applied only after the inner
+  // execution succeeded (a corrupted payload implies the bytes moved).
+  struct PendingFlip {
+    size_t index;
+    std::vector<std::pair<uint32_t, uint8_t>> flips;
+  };
+  std::vector<PendingFlip> pending_flips;
+
+  // Executes WRs [seg_start, end) through the inner channel as one wire
+  // trip. Faults split a doorbell into contiguous posted-order segments;
+  // WR order within and across segments is preserved.
+  auto flush = [&](size_t end) {
+    if (seg_start >= end) return;
+    charge_ns += inner_->ExecuteRing(wrs.subspan(seg_start, end - seg_start),
+                                     completions.subspan(seg_start, end - seg_start),
+                                     RingFaultContext{});
+  };
+
+  auto complete_here = [&](size_t i, WcStatus status) {
+    completions[i] = Completion{};
+    completions[i].wr_id = wrs[i].wr_id;
+    completions[i].opcode = wrs[i].opcode;
+    completions[i].status = status;
+  };
+
+  auto count = [&](size_t, FaultKind fault_kind) {
+    if (faults.injected_faults != nullptr) ++*faults.injected_faults;
+    CountInjection(kind, fault_kind);
+  };
+
+  for (size_t i = 0; i < wrs.size(); ++i) {
+    const WorkRequest& wr = wrs[i];
+
+    if (disconnected) {
+      // The connection died earlier in this ring; everything after the
+      // severing WR fails without being evaluated (it never reached the
+      // wire, and a dead wire consumes no fault triggers).
+      complete_here(i, WcStatus::kRemoteUnreachable);
+      continue;
+    }
+
+    // Connection-manager pre-checks, in the same order the sim applies them
+    // (region -> reachability -> epoch fence): a WR the control plane would
+    // reject is forwarded untouched — the inner backend produces the
+    // authoritative error completion — and must not consume fault triggers.
+    Result<NodeId> owner = transport_->OwnerOf(wr.rkey);
+    if (!owner.ok() || transport_->FindRegion(wr.rkey) == nullptr ||
+        !transport_->IsNodeReachable(owner.value()) ||
+        !transport_->AdmitAccess(wr.rkey, wr.expected_epoch)) {
+      continue;
+    }
+
+    FaultDecision d = faults.injector->Evaluate(owner.value(), wr);
+    if (!d.fired) continue;
+
+    switch (d.kind) {
+      case FaultKind::kUnreachable:
+        flush(i);
+        complete_here(i, WcStatus::kRemoteUnreachable);
+        count(i, d.kind);
+        seg_start = i + 1;
+        break;
+      case FaultKind::kTimeout:
+        flush(i);
+        StallNs(d.extra_ns);
+        charge_ns += d.extra_ns;
+        complete_here(i, WcStatus::kTimeout);
+        count(i, d.kind);
+        seg_start = i + 1;
+        break;
+      case FaultKind::kDelay:
+        // The op still executes (stays in the segment); the link was just
+        // slow. Stall now so the measured charge reflects the spike.
+        StallNs(d.extra_ns);
+        charge_ns += d.extra_ns;
+        count(i, d.kind);
+        break;
+      case FaultKind::kBitFlip:
+        pending_flips.push_back(PendingFlip{i, std::move(d.flips)});
+        count(i, d.kind);
+        break;
+      case FaultKind::kDisconnect:
+        flush(i);
+        inner_->Disconnect();
+        complete_here(i, WcStatus::kRemoteUnreachable);
+        count(i, d.kind);
+        seg_start = i + 1;
+        disconnected = true;
+        break;
+    }
+  }
+  if (!disconnected) flush(wrs.size());
+
+  // On-the-wire corruption that slipped past link-level checks, applied the
+  // same way the sim does: a READ damages the local destination buffer, a
+  // WRITE damages the bytes that landed in the remote region (reached
+  // through the shared in-process registry — the loopback memory node's own
+  // DRAM). Downstream CRC verification is what catches these.
+  for (const PendingFlip& pf : pending_flips) {
+    if (completions[pf.index].status != WcStatus::kSuccess) continue;
+    const WorkRequest& wr = wrs[pf.index];
+    if (wr.opcode == Opcode::kRead) {
+      for (const auto& [byte, mask] : pf.flips) {
+        if (byte < wr.local.size()) wr.local[byte] ^= mask;
+      }
+    } else if (wr.opcode == Opcode::kWrite) {
+      MemoryRegion* region = transport_->FindRegion(wr.rkey);
+      if (region == nullptr) continue;
+      std::span<uint8_t> host = region->host_span();
+      for (const auto& [byte, mask] : pf.flips) {
+        const uint64_t off = wr.remote_offset + byte;
+        if (off < host.size()) host[off] ^= mask;
+      }
+    }
+  }
+
+  return charge_ns;
+}
+
+}  // namespace
+
+std::unique_ptr<TransportChannel> ChaosTransport::CreateChannel() {
+  return std::make_unique<ChaosChannel>(inner_->CreateChannel(), this);
+}
+
+}  // namespace dhnsw::rdma

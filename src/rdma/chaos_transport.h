@@ -1,0 +1,98 @@
+// Transport-agnostic chaos decorator (DESIGN.md §15).
+//
+// ChaosTransport wraps any real backend (tcp, verbs) and makes the seeded
+// FaultPlan machinery — previously sim-by-construction — fire on real
+// connections. The decorator sits between QueuePair and the wire:
+//
+//   QueuePair -> ChaosChannel -> TcpChannel/VerbsChannel -> socket/NIC
+//
+// The simulator does NOT get wrapped: it keeps its byte-identical per-WR
+// injector inside LocalTransport::ExecuteWr, so same-seed wall-free traces
+// are unchanged. On real backends the decorator evaluates each WR of a
+// doorbell ring client-side, in posted order, against the armed
+// FaultInjector (same determinism contract: plan seed × qp id × the QP's own
+// WR sequence) and translates decisions into connection-level events:
+//
+//   kUnreachable — the WR never reaches the wire; completes
+//                  kRemoteUnreachable (a black-holed ring).
+//   kTimeout     — the WR never reaches the wire; the thread stalls for
+//                  delay_ns of real wall time, then completes kTimeout
+//                  (a lost response).
+//   kDelay       — real wall-clock stall of delay_ns, then the WR executes
+//                  normally (a slow link).
+//   kBitFlip     — the WR executes; the moved payload is then corrupted
+//                  exactly like the sim (READ: local destination buffer,
+//                  WRITE: the bytes that landed remotely) so CRC paths fire.
+//   kDisconnect  — the underlying connection is torn down mid-ring: the
+//                  triggering WR and every later WR of the same doorbell
+//                  complete kRemoteUnreachable without executing. The next
+//                  ring reconnects (with jittered backoff on TCP).
+//
+// Ordering contract, mirrored from the sim: connection-manager rejections
+// (unknown rkey, unreachable node, epoch fence) are checked BEFORE fault
+// evaluation, so they never consume fault triggers; WRs the injector lets
+// pass are forwarded to the inner channel in contiguous posted-order
+// segments (a fault that kills WR i never reorders WRs around it).
+//
+// Injections are counted per (transport, kind) in
+// dhnsw_chaos_injected_total{transport="...",kind="..."} and in the owning
+// QP's injected_faults stat, same as the sim path.
+#pragma once
+
+#include <memory>
+
+#include "rdma/transport.h"
+
+namespace dhnsw::rdma {
+
+class ChaosTransport final : public Transport {
+ public:
+  explicit ChaosTransport(std::unique_ptr<Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Reports the wrapped backend's kind: the decorator is invisible to
+  /// callers that dispatch on kind()/is_sim()/name().
+  TransportKind kind() const noexcept override { return inner_->kind(); }
+
+  /// The wrapped backend (tests and backend-specific hooks).
+  Transport& inner() noexcept { return *inner_; }
+  const Transport& inner() const noexcept { return *inner_; }
+
+  // --- control plane: pure forwarding ---
+  NodeId AddNode(std::string name) override { return inner_->AddNode(std::move(name)); }
+  size_t num_nodes() const override { return inner_->num_nodes(); }
+  std::string NodeName(NodeId node) const override { return inner_->NodeName(node); }
+  Result<RKey> RegisterMemory(NodeId node, size_t size, size_t alignment) override {
+    return inner_->RegisterMemory(node, size, alignment);
+  }
+  MemoryRegion* FindRegion(RKey rkey) override { return inner_->FindRegion(rkey); }
+  const MemoryRegion* FindRegion(RKey rkey) const override {
+    return inner_->FindRegion(rkey);
+  }
+  Result<NodeId> OwnerOf(RKey rkey) const override { return inner_->OwnerOf(rkey); }
+  void SetNodeReachable(NodeId node, bool reachable) override {
+    inner_->SetNodeReachable(node, reachable);
+  }
+  bool IsNodeReachable(NodeId node) const override {
+    return inner_->IsNodeReachable(node);
+  }
+  void SetRegionEpoch(RKey rkey, uint64_t epoch) override {
+    inner_->SetRegionEpoch(rkey, epoch);
+  }
+  uint64_t RegionEpoch(RKey rkey) const override { return inner_->RegionEpoch(rkey); }
+  void RevokeRegion(RKey rkey) override { inner_->RevokeRegion(rkey); }
+  bool IsRegionRevoked(RKey rkey) const override {
+    return inner_->IsRegionRevoked(rkey);
+  }
+  bool AdmitAccess(RKey rkey, uint64_t expected_epoch) const override {
+    return inner_->AdmitAccess(rkey, expected_epoch);
+  }
+
+  /// Wraps the inner backend's channel in a ChaosChannel.
+  std::unique_ptr<TransportChannel> CreateChannel() override;
+
+ private:
+  std::unique_ptr<Transport> inner_;
+};
+
+}  // namespace dhnsw::rdma

@@ -1,6 +1,7 @@
 #include "rdma/fabric.h"
 
 #include "common/logging.h"
+#include "rdma/chaos_transport.h"
 #include "rdma/sim_transport.h"
 #include "telemetry/metrics.h"
 
@@ -43,6 +44,12 @@ Fabric::Fabric(NicModelConfig nic, TransportOptions options) : nic_(nic) {
   Result<std::unique_ptr<Transport>> made = MakeTransport(options);
   if (made.ok()) {
     transport_ = std::move(made.value());
+    if (!transport_->is_sim()) {
+      // Real backends get the chaos decorator so armed FaultPlans fire on
+      // the wire. The sim keeps its in-ExecuteWr injector (byte-identical
+      // same-seed traces) and stays unwrapped.
+      transport_ = std::make_unique<ChaosTransport>(std::move(transport_));
+    }
   } else {
     DHNSW_LOG(kError) << "transport \"" << TransportKindName(options.Resolve())
                       << "\" failed to initialise (" << made.status().message()
@@ -106,11 +113,6 @@ bool Fabric::AdmitAccess(RKey rkey, uint64_t expected_epoch) const {
 }
 
 Status Fabric::ArmFaults(FaultPlan plan) {
-  if (!transport_->is_sim()) {
-    return Status::Unimplemented(
-        "ArmFaults: fault injection is sim-only; the \"" + std::string(transport_->name()) +
-        "\" transport surfaces real wire failures instead");
-  }
   std::lock_guard<std::mutex> lock(mutex_);
   fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
   Instruments().fault_plans_armed->Add(1);

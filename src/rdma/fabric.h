@@ -13,10 +13,12 @@
 // kRemoteUnreachable, exercising error paths that real deployments hit when a
 // memory node reboots. Beyond the whole-node SetNodeReachable switch, a
 // seedable FaultPlan (fault_injection.h) can be armed to inject per-verb
-// transient/permanent failures, timeouts, latency spikes, and payload
-// bit-flips deterministically. FaultPlans are sim-only by construction:
-// ArmFaults returns FailedPrecondition on a real transport, where failures
-// come from the wire instead.
+// transient/permanent failures, timeouts, latency spikes, disconnects, and
+// payload bit-flips deterministically — on every backend. The simulator
+// evaluates plans per-WR inside its ExecuteWr (byte-identical legacy path);
+// real transports are wrapped in the ChaosTransport decorator at
+// construction, which applies the same plans as connection-level events
+// (chaos_transport.h, DESIGN.md §15).
 #pragma once
 
 #include <atomic>
@@ -93,9 +95,9 @@ class Fabric {
 
   /// Arms a fault schedule: every queue pair on this fabric starts consulting
   /// it (each with fresh per-QP trigger state). Re-arming — even with an
-  /// identical plan — resets all injector state. Sim-only: returns
-  /// Unimplemented (and arms nothing) on a real transport, whose faults
-  /// come from the wire.
+  /// identical plan — resets all injector state. Works on every backend:
+  /// the sim injects per-WR; real transports inject through the chaos
+  /// decorator, in front of the real wire's own failures.
   [[nodiscard]] Status ArmFaults(FaultPlan plan);
   /// Removes the armed plan; subsequent verbs execute fault-free.
   void ClearFaults();

@@ -10,6 +10,7 @@ std::string_view FaultKindName(FaultKind kind) noexcept {
     case FaultKind::kTimeout: return "timeout";
     case FaultKind::kBitFlip: return "bit-flip";
     case FaultKind::kDelay: return "delay";
+    case FaultKind::kDisconnect: return "disconnect";
   }
   return "?";
 }
@@ -65,6 +66,7 @@ FaultDecision FaultInjector::Evaluate(NodeId owner, const WorkRequest& wr) {
     decision.kind = rule.kind;
     switch (rule.kind) {
       case FaultKind::kUnreachable:
+      case FaultKind::kDisconnect:
         break;
       case FaultKind::kTimeout:
       case FaultKind::kDelay:

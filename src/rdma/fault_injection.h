@@ -1,10 +1,15 @@
-// Deterministic fault injection for the simulated RDMA fabric.
+// Deterministic fault injection for the RDMA fabric — any backend.
 //
 // A FaultPlan is a seedable list of rules describing which work requests may
 // fail and how: per-verb probabilities, every-Nth-op triggers, transient
-// windows (max_triggers), permanent outages, injected latency spikes, and
-// payload bit-flips that exercise the CRC paths of cluster blobs, overflow
-// records, and the global metadata block.
+// windows (max_triggers), permanent outages, injected latency spikes,
+// forced disconnects, and payload bit-flips that exercise the CRC paths of
+// cluster blobs, overflow records, and the global metadata block.
+//
+// On the simulator the plan is evaluated per-WR inside SimTransport's
+// ExecuteWr. On real backends (tcp, verbs) the same plan drives the
+// ChaosTransport decorator (src/rdma/chaos_transport.h), which evaluates
+// WRs client-side in posted order before handing them to the wire.
 //
 // Determinism contract: decisions are a pure function of
 //   (plan seed, queue-pair id, the QP's own WR sequence).
@@ -33,6 +38,13 @@ enum class FaultKind : uint8_t {
   kTimeout = 1,      ///< complete with kTimeout; op NOT executed
   kBitFlip = 2,      ///< execute, then flip bits in the moved payload
   kDelay = 3,        ///< execute normally but charge delay_ns extra
+  /// Force the connection closed mid-ring: the op completes
+  /// kRemoteUnreachable and is NOT executed; every later WR in the same
+  /// doorbell fails unevaluated (the wire is gone). On real backends the
+  /// decorator also tears down the channel's socket, exercising the
+  /// reconnect-with-backoff path; on sim it degrades to kUnreachable
+  /// for the single WR (the sim has no connection to sever).
+  kDisconnect = 4,
 };
 
 std::string_view FaultKindName(FaultKind kind) noexcept;

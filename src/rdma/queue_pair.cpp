@@ -74,7 +74,6 @@ QueuePair::QueuePair(Fabric* fabric, SimClock* clock, uint32_t max_doorbell_wrs)
       qp_id_(fabric->AllocateQpId()) {}
 
 void QueuePair::RefreshInjector() {
-  if (!sim_) return;  // ArmFaults refuses on real transports; keep null
   std::shared_ptr<const FaultPlan> plan = fabric_->fault_plan();
   if (plan == armed_plan_) return;
   armed_plan_ = std::move(plan);
@@ -123,8 +122,8 @@ void QueuePair::PostFetchAdd(RKey rkey, uint64_t remote_offset, uint64_t add, ui
 uint64_t QueuePair::ExecuteRing(std::span<const WorkRequest> wrs,
                                 std::span<Completion> completions,
                                 uint64_t* injected_faults) {
-  // The injector is non-null only on the simulator (RefreshInjector no-ops
-  // elsewhere), so real channels always see a null fault context.
+  // Sim consumes the injector per-WR in ExecuteWr; on real backends the
+  // ChaosChannel decorator consumes it before WRs reach the wire.
   const RingFaultContext faults{injector_.get(), injected_faults};
   return channel_->ExecuteRing(wrs, completions, faults);
 }

@@ -167,7 +167,8 @@ class QueuePair {
 
  private:
   /// Executes one doorbell chunk through the transport channel: data movement
-  /// and (sim-only) fault evaluation, no QP accounting. Returns the chunk's
+  /// and fault evaluation (sim: per-WR in the backend; real: client-side in
+  /// the chaos decorator), no QP accounting. Returns the chunk's
   /// raw charge — injected latency on sim, measured wall ns on real backends.
   /// Fault hits are counted into `*injected_faults` (the sync path passes
   /// &stats_.injected_faults, the async path a batch-local count folded in at
@@ -183,7 +184,8 @@ class QueuePair {
   /// Mirrors the QpStats delta since `before` into the process registry.
   void MirrorStatsDelta(const QpStats& before);
   /// Installs/refreshes the injector when the fabric's armed plan changed.
-  /// No-op on real transports (ArmFaults refuses there anyway).
+  /// On sim the injector is evaluated per-WR in the backend; on real
+  /// transports the ChaosChannel decorator consumes it client-side.
   void RefreshInjector();
 
   Fabric* fabric_;

@@ -1,16 +1,21 @@
 #include "rdma/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace dhnsw::rdma {
 
@@ -96,14 +101,19 @@ void CloseFd(int& fd) {
 /// so steady-state execution performs no per-ring allocation once warmed.
 class TcpChannel final : public TransportChannel {
  public:
-  TcpChannel(uint16_t port, uint32_t recv_timeout_ms)
-      : port_(port), recv_timeout_ms_(recv_timeout_ms) {}
+  TcpChannel(uint16_t port, const TransportOptions& options, uint64_t jitter_seed)
+      : port_(port),
+        recv_timeout_ms_(options.tcp_recv_timeout_ms),
+        connect_timeout_ms_(options.tcp_connect_timeout_ms),
+        reconnect_initial_backoff_ns_(options.tcp_reconnect_initial_backoff_ns),
+        reconnect_max_backoff_ns_(options.tcp_reconnect_max_backoff_ns),
+        rng_(jitter_seed) {}
 
   ~TcpChannel() override { CloseFd(fd_); }
 
   uint64_t ExecuteRing(std::span<const WorkRequest> wrs, std::span<Completion> completions,
                        const RingFaultContext& faults) override {
-    (void)faults;  // fault injection is sim-only by construction
+    (void)faults;  // injection happens in ChaosChannel before WRs get here
     const auto start = std::chrono::steady_clock::now();
     const bool ok = RoundTrip(wrs, completions);
     const auto end = std::chrono::steady_clock::now();
@@ -111,18 +121,73 @@ class TcpChannel final : public TransportChannel {
       // A failed round trip poisons the connection: drop it so the next ring
       // reconnects cleanly instead of desynchronizing on a half-read frame.
       CloseFd(fd_);
+      ++consecutive_failures_;
       const WcStatus status = timed_out_ ? WcStatus::kTimeout : WcStatus::kRemoteUnreachable;
       for (size_t i = 0; i < wrs.size(); ++i) {
         completions[i] = Completion{wrs[i].wr_id, wrs[i].opcode, status, 0, 0};
       }
+    } else {
+      consecutive_failures_ = 0;
     }
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
   }
 
+  /// Chaos hook: sever the connection. The next ring reconnects (with
+  /// backoff once failures accumulate). Closing mid-ring from another thread
+  /// is NOT supported — channels are single-threaded like their QP.
+  void Disconnect() override { CloseFd(fd_); }
+
  private:
+  /// Jittered exponential backoff between reconnect attempts: doubling from
+  /// the configured initial to the cap, each wait drawn uniformly from
+  /// [backoff/2, 3*backoff/2] so a herd of channels re-dialing a rebooted
+  /// memory node decorrelates instead of synchronizing.
+  void BackoffBeforeReconnect() {
+    if (consecutive_failures_ == 0 || reconnect_initial_backoff_ns_ == 0) return;
+    uint64_t backoff = reconnect_initial_backoff_ns_;
+    for (uint32_t i = 1; i < consecutive_failures_ && backoff < reconnect_max_backoff_ns_;
+         ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, reconnect_max_backoff_ns_);
+    const uint64_t jittered = backoff / 2 + rng_.NextBounded(backoff + 1);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(jittered));
+  }
+
+  /// Non-blocking connect + poll with a deadline: a black-holed address
+  /// surfaces as a failed connect after connect_timeout_ms_ instead of
+  /// wedging the compute thread in a blocking connect(2) for minutes.
+  bool ConnectWithDeadline(const sockaddr_in& addr) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) return false;
+    int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && errno != EINPROGRESS) return false;
+    if (rc != 0) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      const int timeout_ms = connect_timeout_ms_ == 0
+                                 ? -1
+                                 : static_cast<int>(connect_timeout_ms_);
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, timeout_ms);
+      } while (pr < 0 && errno == EINTR);
+      if (pr <= 0) return false;  // timeout (0) or poll error
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+        return false;
+      }
+    }
+    // Back to blocking; SO_RCVTIMEO governs the data-plane deadlines.
+    return ::fcntl(fd_, F_SETFL, flags) == 0;
+  }
+
   bool Connect() {
     if (fd_ >= 0) return true;
+    BackoffBeforeReconnect();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
     const int one = 1;
@@ -137,7 +202,7 @@ class TcpChannel final : public TransportChannel {
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port_);
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (!ConnectWithDeadline(addr)) {
       CloseFd(fd_);
       return false;
     }
@@ -216,8 +281,13 @@ class TcpChannel final : public TransportChannel {
 
   uint16_t port_;
   uint32_t recv_timeout_ms_;
+  uint32_t connect_timeout_ms_;
+  uint64_t reconnect_initial_backoff_ns_;
+  uint64_t reconnect_max_backoff_ns_;
   int fd_ = -1;
   bool timed_out_ = false;
+  uint32_t consecutive_failures_ = 0;
+  Xoshiro256 rng_;  ///< reconnect jitter, deterministic per channel
   std::vector<uint8_t> request_;
   std::vector<uint8_t> response_;
 };
@@ -267,8 +337,17 @@ Status TcpTransport::Start() {
 
 TcpTransport::~TcpTransport() { Shutdown(); }
 
+void TcpTransport::set_hang_handlers(bool hang) {
+  {
+    std::lock_guard<std::mutex> lock(hang_mutex_);
+    hang_handlers_ = hang;
+  }
+  hang_cv_.notify_all();
+}
+
 void TcpTransport::Shutdown() {
   if (stopping_.exchange(true)) return;
+  hang_cv_.notify_all();  // release handlers parked by set_hang_handlers(true)
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     CloseFd(listen_fd_);
@@ -378,6 +457,14 @@ void TcpTransport::ServeConnection(int fd) {
       }
     }
 
+    // Chaos hook: a "hung" memory node has accepted and fully read the
+    // request but never executes or answers — park here until released.
+    {
+      std::unique_lock<std::mutex> lock(hang_mutex_);
+      hang_cv_.wait(lock, [this] { return !hang_handlers_ || stopping_.load(); });
+      if (stopping_.load()) break;
+    }
+
     completions.assign(wrs.size(), Completion{});
     ExecuteRingLocal(wrs, completions, RingFaultContext{});
 
@@ -412,7 +499,13 @@ void TcpTransport::ServeConnection(int fd) {
 }
 
 std::unique_ptr<TransportChannel> TcpTransport::CreateChannel() {
-  return std::make_unique<TcpChannel>(port_, options_.tcp_recv_timeout_ms);
+  // Per-channel jitter seed: stable for a given (port, creation order), so
+  // reconnect waits are reproducible within a process without being equal
+  // across channels.
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t seed =
+      SplitMix64((uint64_t{port_} << 32) ^ counter.fetch_add(1)).Next();
+  return std::make_unique<TcpChannel>(port_, options_, seed);
 }
 
 }  // namespace dhnsw::rdma

@@ -15,11 +15,18 @@
 //
 // Error model: real socket failures surface as WcStatus — a broken/refused
 // connection completes the ring's WRs with kRemoteUnreachable, a receive
-// timeout with kTimeout. FaultPlan injection is NOT supported here by
-// construction (Fabric::ArmFaults refuses on non-sim transports).
+// timeout with kTimeout, and connection establishment is non-blocking with a
+// configurable deadline (a black-holed address surfaces kRemoteUnreachable
+// instead of hanging the compute thread). A channel whose connection died
+// reconnects transparently on the next ring, waiting a jittered exponential
+// backoff (TransportOptions::tcp_reconnect_*) that resets on the first
+// successful round trip. FaultPlan injection is layered on top by the
+// ChaosTransport decorator (chaos_transport.h), which Fabric wraps around
+// every real backend; this file stays fault-oblivious.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,6 +50,16 @@ class TcpTransport final : public LocalTransport {
   std::unique_ptr<TransportChannel> CreateChannel() override;
 
   uint16_t port() const noexcept { return port_; }
+
+  /// Chaos hook: when true, every handler parks after fully reading a
+  /// request frame and before executing it — the memory node is alive at the
+  /// TCP level (accepts, reads) but never answers, which is how a wedged
+  /// remote peer actually looks. Clients hit their SO_RCVTIMEO receive
+  /// deadline (kTimeout). Un-hanging releases all parked handlers; their
+  /// connections were already poisoned by the clients' timeouts, so parked
+  /// rings execute against whatever state remains and the response write
+  /// fails harmlessly.
+  void set_hang_handlers(bool hang);
 
  private:
   explicit TcpTransport(const TransportOptions& options) : options_(options) {}
@@ -70,6 +87,9 @@ class TcpTransport final : public LocalTransport {
   std::thread accept_thread_;
   std::mutex handler_mutex_;
   std::vector<std::unique_ptr<Conn>> handlers_;
+  std::mutex hang_mutex_;
+  std::condition_variable hang_cv_;
+  bool hang_handlers_ = false;
 };
 
 }  // namespace dhnsw::rdma

@@ -173,7 +173,12 @@ Completion LocalTransport::ExecuteWr(const WorkRequest& wr, const RingFaultConte
     if (fault.fired) {
       if (faults.injected_faults != nullptr) ++*faults.injected_faults;
       *extra_ns += fault.extra_ns;
-      if (fault.kind == FaultKind::kUnreachable) {
+      if (fault.kind == FaultKind::kUnreachable ||
+          fault.kind == FaultKind::kDisconnect) {
+        // kDisconnect degrades to a single-WR unreachable on sim: there is
+        // no connection to sever, and failing the rest of the ring here
+        // would change historical same-seed traces. Real backends get the
+        // full mid-ring teardown via ChaosChannel.
         c.status = WcStatus::kRemoteUnreachable;
         return c;
       }

@@ -19,8 +19,8 @@
 //            in-process and returns zero measured time; the QueuePair then
 //            charges the NicModel cost, so behaviour, QpStats, and same-seed
 //            wall-free traces stay byte-identical to the pre-transport code.
-//            The only backend that supports FaultPlan injection and
-//            SimClock-charged backoff.
+//            FaultPlans evaluate per-WR inside ExecuteWr; backoff is
+//            SimClock-charged.
 //   kTcp   — real sockets: a memory-node server thread owns the registered
 //            regions and executes ring frames received over loopback TCP.
 //            Every payload byte crosses the socket; one ring = one
@@ -29,6 +29,10 @@
 //   kVerbs — libibverbs loopback RC queue pairs, compiled in when
 //            <infiniband/verbs.h> is available; falls back to kTcp at
 //            runtime when no RDMA device is present.
+//
+// Real backends are wrapped by the ChaosTransport decorator
+// (src/rdma/chaos_transport.h) inside Fabric, so the same seeded FaultPlans
+// the simulator honours also fire on real sockets (DESIGN.md §15).
 //
 // Selection: DhnswConfig::transport, or the DHNSW_TRANSPORT environment
 // variable ("sim" | "tcp" | "verbs") when the config leaves the kind unset.
@@ -68,6 +72,17 @@ struct TransportOptions {
   /// in time completes every WR of the ring with kTimeout (the real-world
   /// analogue of a lost response). 0 = block forever.
   uint32_t tcp_recv_timeout_ms = 10'000;
+  /// TCP backend: connection-establishment deadline. Non-blocking connect +
+  /// poll; a black-holed address surfaces kRemoteUnreachable after this long
+  /// instead of hanging the compute thread on a blocking connect(). 0 = OS
+  /// default (minutes — do not use in tests).
+  uint32_t tcp_connect_timeout_ms = 2'000;
+  /// TCP backend: jittered exponential backoff between client reconnect
+  /// attempts after a disconnect or connect failure. The first retry waits
+  /// ~initial (±50% deterministic jitter), doubling up to max; the counter
+  /// resets on any successful round trip.
+  uint64_t tcp_reconnect_initial_backoff_ns = 1'000'000;     // 1 ms
+  uint64_t tcp_reconnect_max_backoff_ns = 100'000'000;       // 100 ms
 
   /// The kind this options struct resolves to (env override applied).
   TransportKind Resolve() const;
@@ -84,10 +99,11 @@ struct TransportOptions {
   }
 };
 
-/// Sim-only per-ring context: the owning QueuePair's armed fault injector and
-/// where fault hits are counted. Real backends MUST ignore it — fault
-/// injection is sim-by-construction (Fabric::ArmFaults refuses otherwise) —
-/// so the injector pointer is always null for them.
+/// Per-ring fault context: the owning QueuePair's armed fault injector and
+/// where fault hits are counted. On sim the injector is evaluated per-WR
+/// inside LocalTransport::ExecuteWr (byte-identical legacy path). On real
+/// backends the ChaosTransport decorator consumes it client-side before WRs
+/// reach the wire; the inner channel always sees a null injector.
 struct RingFaultContext {
   FaultInjector* injector = nullptr;
   uint64_t* injected_faults = nullptr;
@@ -110,6 +126,12 @@ class TransportChannel {
   virtual uint64_t ExecuteRing(std::span<const WorkRequest> wrs,
                                std::span<Completion> completions,
                                const RingFaultContext& faults) = 0;
+
+  /// Forcibly severs the channel's connection, if it has one. The next ring
+  /// transparently reconnects (with jittered backoff on TCP). No-op for
+  /// connectionless backends (sim). Used by the chaos decorator's
+  /// kDisconnect fault; safe to call from the channel's owning thread only.
+  virtual void Disconnect() {}
 };
 
 class Transport {
@@ -166,7 +188,8 @@ class LocalTransport : public Transport {
 
   /// Backend-internal: executes one ring's WRs in posted order against the
   /// local region registry — region lookup, reachability, fence admission,
-  /// bounds validation, data movement / atomics, and (sim only) fault
+  /// bounds validation, data movement / atomics, and (when the ring context
+  /// carries an injector — the sim path) fault
   /// evaluation. Returns accumulated injected latency ns. This is the single
   /// semantic definition of one-sided execution: the sim channel calls it
   /// directly; the TCP server calls it after the request crossed the socket.

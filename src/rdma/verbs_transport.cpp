@@ -219,7 +219,7 @@ bool VerbsChannel::ConnectLoopback() {
 uint64_t VerbsChannel::ExecuteRing(std::span<const WorkRequest> wrs,
                                    std::span<Completion> completions,
                                    const RingFaultContext& faults) {
-  (void)faults;  // fault injection is sim-only by construction
+  (void)faults;  // injection happens in ChaosChannel before WRs get here
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&] {
     return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(

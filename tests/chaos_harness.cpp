@@ -26,10 +26,11 @@ DhnswConfig MakeConfig(const ChaosHarness::Config& c) {
   config.compute.cache_capacity = c.num_clusters;  // one cold load per cluster
   config.replication.factor = c.replication_factor;
   config.num_compute_nodes = c.num_compute_nodes;
-  // Chaos runs arm FaultPlans and byte-compare deterministic traces — both
-  // simulator-only contracts — so pin the sim backend even when the suite
-  // runs under DHNSW_TRANSPORT=tcp.
-  config.transport = rdma::TransportOptions::Sim();
+  // FaultPlans arm on every backend since the chaos decorator landed, so the
+  // harness follows DHNSW_TRANSPORT by default (content-oracle suites hold
+  // on real sockets too). Suites that byte-compare simulated time pin Sim()
+  // through this knob.
+  config.transport = c.transport;
   return config;
 }
 

@@ -25,7 +25,7 @@ struct Observed {
 };
 
 Observed RunOnce(size_t search_threads, uint64_t plan_seed) {
-  ChaosHarness h({});
+  ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
   ComputeNode& node = h.engine().compute(0);
   node.mutable_options()->search_threads = search_threads;
 
@@ -84,7 +84,7 @@ TEST(ChaosDeterminismTest, DifferentPlanSeedsGiveDifferentSchedules) {
 // JSONL — this is what CI byte-compares and archives.
 TEST(ChaosDeterminismTest, TraceJsonlIsByteIdenticalAcrossSameSeedRuns) {
   const auto run_traced = [](uint64_t plan_seed) {
-    ChaosHarness h({});
+    ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
     h.engine().EnableTracing(1 << 16);
     RetryPolicy retry = RetryPolicy::Default();
     retry.max_attempts = ChaosHarness::kTransientTriggerBudget + 4;
@@ -125,7 +125,7 @@ TEST(ChaosDeterminismTest, TraceJsonlIsByteIdenticalAcrossSameSeedRuns) {
 
 TEST(ChaosDeterminismTest, PermanentSchedulesReplayIdenticallyToo) {
   auto run_permanent = [] {
-    ChaosHarness h({});
+    ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
     uint32_t victim = 0;
     auto run = h.RunUnderPlan(h.MakePermanentPlan(&victim), RetryPolicy::Default(),
                               /*partial_results=*/true);

@@ -75,7 +75,15 @@ TEST(ChaosFailoverTest, KillPrimaryMidBatchConvergesToOracle) {
 }
 
 TEST(ChaosFailoverTest, FailoverLatencyIsBounded) {
-  ChaosHarness h(ReplicatedConfig());
+  // The bound below reasons about deterministic NicModel charges and
+  // SimClock backoff; on a real socket the charge is measured wall time,
+  // which is noisy enough that "killed > healthy" need not hold. The
+  // latency *model* is a simulator contract, so pin sim here — the
+  // content-oracle failover tests above run on whatever DHNSW_TRANSPORT
+  // selects.
+  ChaosHarness::Config config = ReplicatedConfig();
+  config.transport = rdma::TransportOptions::Sim();
+  ChaosHarness h(config);
   const RetryPolicy retry = FailoverRetry();
 
   const uint64_t t0 = h.engine().compute(0).clock().now_ns();
@@ -105,7 +113,11 @@ TEST(ChaosFailoverTest, TraceJsonlIsByteIdenticalAcrossSameSeedKillRuns) {
   // control-plane events — must be a pure function of the seeds, in the
   // wall-free export form. CI archives exactly this serialization.
   const auto run_traced = [] {
-    ChaosHarness h(ReplicatedConfig());
+    // Byte-compared wall-free traces are a simulator contract: real-socket
+    // runs retry/timeout on wall time, which perturbs span counts.
+    ChaosHarness::Config config = ReplicatedConfig();
+    config.transport = rdma::TransportOptions::Sim();
+    ChaosHarness h(config);
     h.engine().EnableTracing(1 << 16);
     auto run = h.RunUnderPlan(h.MakeKillPrimaryPlan(kKillSkipFirst), FailoverRetry(), false);
     EXPECT_TRUE(run.ok()) << run.status().ToString();

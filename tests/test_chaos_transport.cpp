@@ -1,0 +1,579 @@
+// Chaos-on-the-wire tests (DESIGN.md §15).
+//
+// Proves the transport-agnostic fault layer on real sockets:
+//   - ChaosChannel translates every FaultKind into the right connection-level
+//     event on a TCP-backed fabric (drop, stall, delay, payload corruption,
+//     forced disconnect mid-doorbell) with sim-identical determinism and
+//     trigger-consumption ordering;
+//   - the TCP client survives what the decorator throws: transparent
+//     reconnect after a severed connection, fast kUnreachable from a refused
+//     port (non-blocking connect with a deadline), and jittered backoff
+//     between redial attempts;
+//   - RetryBudget's wall-clock deadline actually expires against a hung TCP
+//     server (the dual-clock contract of common/retry_policy.h);
+//   - the memory-node server never crashes, hangs, or unbounded-allocates on
+//     malformed frames (fuzz-style table test over the wire protocol).
+
+#include "rdma/chaos_transport.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/retry_policy.h"
+#include "rdma/fabric.h"
+#include "rdma/fault_injection.h"
+#include "rdma/nic_model.h"
+#include "rdma/queue_pair.h"
+#include "rdma/tcp_transport.h"
+
+namespace dhnsw {
+namespace {
+
+using rdma::ChaosTransport;
+using rdma::Fabric;
+using rdma::FaultKind;
+using rdma::FaultPlan;
+using rdma::FaultRule;
+using rdma::NicModelConfig;
+using rdma::TcpTransport;
+using rdma::TransportKind;
+using rdma::TransportOptions;
+using rdma::WcStatus;
+
+uint64_t WallNsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+/// TCP-backed fabric + one registered region, the canvas every chaos test
+/// paints on. Mirrors TcpTransportTest in test_transport.cpp.
+class ChaosTcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(fabric_.transport().kind(), TransportKind::kTcp);
+    mem_node_ = fabric_.AddNode("mem");
+    fabric_.AddNode("compute");
+    auto rkey = fabric_.RegisterMemory(mem_node_, kRegionSize);
+    ASSERT_TRUE(rkey.ok());
+    rkey_ = rkey.value();
+  }
+
+  static FaultRule Rule(FaultKind kind) {
+    FaultRule rule;
+    rule.kind = kind;
+    return rule;
+  }
+
+  static constexpr size_t kRegionSize = 1 << 20;
+  Fabric fabric_{NicModelConfig{}, TransportOptions::Tcp()};
+  rdma::NodeId mem_node_ = 0;
+  rdma::RKey rkey_ = 0;
+  SimClock clock_;
+};
+
+TEST_F(ChaosTcpTest, RealBackendIsWrappedInTheChaosDecorator) {
+  // The decorator is invisible through the Transport interface (kind/name
+  // forward), but present: real backends get it, the sim does not.
+  auto* chaos = dynamic_cast<ChaosTransport*>(&fabric_.transport());
+  ASSERT_NE(chaos, nullptr);
+  EXPECT_EQ(chaos->kind(), TransportKind::kTcp);
+  EXPECT_EQ(chaos->inner().kind(), TransportKind::kTcp);
+  EXPECT_NE(dynamic_cast<TcpTransport*>(&chaos->inner()), nullptr);
+
+  Fabric sim(NicModelConfig{}, TransportOptions::Sim());
+  EXPECT_EQ(dynamic_cast<ChaosTransport*>(&sim.transport()), nullptr);
+}
+
+TEST_F(ChaosTcpTest, UnreachableFaultFiresOnTheWireAndClearsWithThePlan) {
+  FaultPlan plan(7);
+  FaultRule rule = Rule(FaultKind::kUnreachable);
+  rule.max_triggers = 2;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(64, 0);
+  Status first = qp.Read(rkey_, 0, buf);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable) << first.ToString();
+  Status second = qp.Read(rkey_, 0, buf);
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable) << second.ToString();
+  EXPECT_EQ(qp.stats().injected_faults, 2u);
+
+  // Trigger budget spent: the wire is healthy again.
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+
+  fabric_.ClearFaults();
+  EXPECT_TRUE(qp.Read(rkey_, 0, buf).ok());
+}
+
+TEST_F(ChaosTcpTest, TimeoutFaultStallsForRealAndMapsToDeadlineExceeded) {
+  FaultPlan plan(8);
+  FaultRule rule = Rule(FaultKind::kTimeout);
+  rule.max_triggers = 1;
+  rule.delay_ns = 2'000'000;  // 2 ms: measurable, not slow
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(64, 0);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = qp.Read(rkey_, 0, buf);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  // Real backends charge measured wall time; the injected stall both
+  // actually elapsed and got charged to the clock.
+  EXPECT_GE(WallNsSince(start), 2'000'000u);
+  EXPECT_GE(clock_.now_ns(), 2'000'000u);
+  fabric_.ClearFaults();
+}
+
+TEST_F(ChaosTcpTest, DelayFaultExecutesTheOpSlowly) {
+  FaultPlan plan(9);
+  FaultRule rule = Rule(FaultKind::kDelay);
+  rule.max_triggers = 1;
+  rule.delay_ns = 2'000'000;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> payload(64, 0x5A);
+  ASSERT_TRUE(qp.Write(rkey_, 0, payload).ok());  // slow but successful
+  EXPECT_GE(clock_.now_ns(), 2'000'000u);
+  EXPECT_EQ(qp.stats().injected_faults, 1u);
+
+  std::vector<uint8_t> back(64, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, back).ok());
+  EXPECT_EQ(back, payload);
+  fabric_.ClearFaults();
+}
+
+TEST_F(ChaosTcpTest, BitFlipCorruptsReadPayloadAfterItCrossedTheSocket) {
+  std::vector<uint8_t> payload(256, 0xAB);
+  {
+    rdma::QueuePair qp(&fabric_, &clock_);
+    ASSERT_TRUE(qp.Write(rkey_, 0, payload).ok());
+  }
+
+  FaultPlan plan(10);
+  FaultRule rule = Rule(FaultKind::kBitFlip);
+  rule.opcode = rdma::Opcode::kRead;
+  rule.max_triggers = 1;
+  rule.bit_flips = 3;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> corrupted(256, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, corrupted).ok());  // success, damaged bytes
+  EXPECT_NE(corrupted, payload);
+  EXPECT_EQ(qp.stats().injected_faults, 1u);
+
+  // The remote copy is intact — only the local destination was damaged.
+  std::vector<uint8_t> clean(256, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, clean).ok());
+  EXPECT_EQ(clean, payload);
+  fabric_.ClearFaults();
+}
+
+TEST_F(ChaosTcpTest, BitFlipOnWriteDamagesTheBytesThatLanded) {
+  FaultPlan plan(11);
+  FaultRule rule = Rule(FaultKind::kBitFlip);
+  rule.opcode = rdma::Opcode::kWrite;
+  rule.max_triggers = 1;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> payload(128, 0xCD);
+  ASSERT_TRUE(qp.Write(rkey_, 0, payload).ok());
+  EXPECT_EQ(payload, std::vector<uint8_t>(128, 0xCD));  // source untouched
+  fabric_.ClearFaults();
+
+  std::vector<uint8_t> back(128, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, back).ok());
+  EXPECT_NE(back, payload);  // what landed remotely is damaged
+  size_t diffs = 0;
+  for (size_t i = 0; i < back.size(); ++i) diffs += back[i] != payload[i];
+  EXPECT_EQ(diffs, 1u);  // one trigger, default bit_flips = 1
+}
+
+TEST_F(ChaosTcpTest, DisconnectMidDoorbellFailsTheRestOfTheRingThenReconnects) {
+  FaultPlan plan(12);
+  FaultRule rule = Rule(FaultKind::kDisconnect);
+  rule.skip_first = 1;  // WR 0 executes; WR 1 severs the connection
+  rule.max_triggers = 1;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> a(32, 0x11), b(32, 0x22), c(32, 0x33);
+  qp.PostWrite(rkey_, 0, a, /*wr_id=*/1);
+  qp.PostWrite(rkey_, 64, b, /*wr_id=*/2);
+  qp.PostWrite(rkey_, 128, c, /*wr_id=*/3);
+  std::vector<rdma::Completion> completions = qp.Flush();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(completions[1].status, WcStatus::kRemoteUnreachable);
+  // Collateral: posted after the connection died, failed unevaluated.
+  EXPECT_EQ(completions[2].status, WcStatus::kRemoteUnreachable);
+  EXPECT_EQ(qp.stats().injected_faults, 1u);  // only the trigger counts
+
+  // The channel transparently reconnects on the next ring: the failed WRs
+  // can simply be re-posted, and the first WR's bytes did land.
+  ASSERT_TRUE(qp.Write(rkey_, 64, b).ok());
+  ASSERT_TRUE(qp.Write(rkey_, 128, c).ok());
+  std::vector<uint8_t> back(32, 0);
+  ASSERT_TRUE(qp.Read(rkey_, 0, back).ok());
+  EXPECT_EQ(back, a);
+  fabric_.ClearFaults();
+}
+
+TEST_F(ChaosTcpTest, FenceRejectionsDoNotConsumeFaultTriggers) {
+  // Same ordering contract as the sim: connection-manager rejections happen
+  // before fault evaluation, so a fenced op must not eat the trigger budget.
+  fabric_.SetRegionEpoch(rkey_, 5);
+
+  FaultPlan plan(13);
+  FaultRule rule = Rule(FaultKind::kUnreachable);
+  rule.max_triggers = 1;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric_.ArmFaults(plan).ok());
+
+  rdma::QueuePair qp(&fabric_, &clock_);
+  std::vector<uint8_t> buf(16, 0);
+  // Stale-epoch access: rejected by the fence, not by the fault.
+  qp.PostRead(rkey_, 0, buf, /*wr_id=*/1, /*expected_epoch=*/4);
+  std::vector<rdma::Completion> fenced = qp.Flush();
+  ASSERT_EQ(fenced.size(), 1u);
+  EXPECT_EQ(fenced[0].status, WcStatus::kFenced);
+  EXPECT_EQ(qp.stats().injected_faults, 0u);
+
+  // The healthy access is the one that takes the (still unspent) trigger.
+  Status st = qp.Read(rkey_, 0, buf, /*expected_epoch=*/5);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(qp.stats().injected_faults, 1u);
+  fabric_.ClearFaults();
+}
+
+TEST(ChaosDeterminismTest, SameSeedSamePlanInjectsIdenticalSequencesOnTcp) {
+  // Determinism carries over to real sockets: decisions are a pure function
+  // of (plan seed, qp id, WR sequence) — wall time plays no part. Two fresh
+  // deployments replaying the same probabilistic plan must observe the
+  // exact same success/failure string.
+  const auto run = [](uint64_t seed) {
+    Fabric fabric(NicModelConfig{}, TransportOptions::Tcp());
+    const rdma::NodeId node = fabric.AddNode("mem");
+    auto rkey = fabric.RegisterMemory(node, 4096);
+    EXPECT_TRUE(rkey.ok());
+
+    FaultPlan plan(seed);
+    FaultRule rule;
+    rule.kind = FaultKind::kUnreachable;
+    rule.probability = 0.5;
+    plan.Add(rule);
+    EXPECT_TRUE(fabric.ArmFaults(plan).ok());
+
+    SimClock clock;
+    rdma::QueuePair qp(&fabric, &clock);  // first QP of its fabric: qp_id 0
+    std::string outcome;
+    std::vector<uint8_t> buf(32, 0);
+    for (int i = 0; i < 24; ++i) {
+      outcome += qp.Read(rkey.value(), 0, buf).ok() ? 'o' : 'x';
+    }
+    return outcome;
+  };
+  const std::string first = run(99);
+  const std::string second = run(99);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('x'), std::string::npos);  // p=0.5 over 24 draws:
+  EXPECT_NE(first.find('o'), std::string::npos);  // both outcomes occur
+  EXPECT_NE(first, run(100));  // a different seed draws a different stream
+}
+
+// --- satellite 1: non-blocking connect with a deadline -----------------
+
+TEST(ChaosTcpConnectTest, RefusedPortFailsFastWithUnreachable) {
+  // Stand up a real server to learn a port, then tear it down: connects to
+  // that port are refused (loopback RST), and the channel must surface
+  // kRemoteUnreachable quickly — bounded by the connect deadline plus the
+  // reconnect backoff, nowhere near a blocking-connect hang.
+  TransportOptions options = TransportOptions::Tcp();
+  options.tcp_connect_timeout_ms = 500;
+  options.tcp_reconnect_initial_backoff_ns = 1'000'000;   // 1 ms
+  options.tcp_reconnect_max_backoff_ns = 8'000'000;       // 8 ms cap
+
+  auto made = TcpTransport::Create(options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::unique_ptr<TcpTransport> transport = std::move(made).value();
+  const rdma::NodeId node = transport->AddNode("mem");
+  auto rkey = transport->RegisterMemory(node, 4096, 64);
+  ASSERT_TRUE(rkey.ok());
+  auto channel = transport->CreateChannel();
+
+  // Channel works while the server lives...
+  std::vector<uint8_t> buf(16, 0x77);
+  rdma::WorkRequest wr;
+  wr.opcode = rdma::Opcode::kWrite;
+  wr.rkey = rkey.value();
+  wr.local = buf;
+  rdma::Completion completion;
+  channel->ExecuteRing({&wr, 1}, {&completion, 1}, {});
+  ASSERT_EQ(completion.status, WcStatus::kSuccess);
+
+  // ...then the memory node dies for good. The TcpChannel only holds the
+  // port, so it outlives its transport; every retry redials a dead port.
+  transport.reset();
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    channel->ExecuteRing({&wr, 1}, {&completion, 1}, {});
+    EXPECT_EQ(completion.status, WcStatus::kRemoteUnreachable);
+  }
+  // 3 refused dials + jittered backoffs (≤ 1.5+3+6 ms) come back in well
+  // under a second; a blocking connect would sit in SYN retries for minutes.
+  EXPECT_LT(WallNsSince(start), 2'000'000'000u);
+}
+
+// --- satellite 2: wall-clock deadline vs a hung server ------------------
+
+TEST(ChaosTcpHangTest, RetryDeadlineExpiresAgainstAHungServer) {
+  TransportOptions options = TransportOptions::Tcp();
+  options.tcp_recv_timeout_ms = 50;  // each stalled ring burns 50 ms of wall
+  auto made = TcpTransport::Create(options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::unique_ptr<TcpTransport> transport = std::move(made).value();
+  const rdma::NodeId node = transport->AddNode("mem");
+  auto rkey = transport->RegisterMemory(node, 4096, 64);
+  ASSERT_TRUE(rkey.ok());
+  auto channel = transport->CreateChannel();
+
+  transport->set_hang_handlers(true);  // alive at the TCP level, never answers
+
+  RetryPolicy policy;
+  policy.max_attempts = 1000;            // attempts would never stop us
+  policy.initial_backoff_ns = 1'000'000; // 1 ms
+  policy.max_backoff_ns = 4'000'000;
+  policy.deadline_ns = 400'000'000;      // 400 ms of WALL time
+
+  // Null SimClock + real_sleep: the deadline must be enforced from the wall
+  // clock alone — this is the regression for the dual-clock contract (a
+  // sim-clock-gated check would loop all 1000 attempts here).
+  RetryBudget budget(policy, /*clock=*/nullptr, /*real_sleep=*/true);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<uint8_t> buf(16, 0);
+  rdma::WorkRequest wr;
+  wr.opcode = rdma::Opcode::kRead;
+  wr.rkey = rkey.value();
+  wr.local = buf;
+  rdma::Completion completion;
+  uint32_t failures = 0;
+  for (;;) {
+    channel->ExecuteRing({&wr, 1}, {&completion, 1}, {});
+    EXPECT_EQ(completion.status, WcStatus::kTimeout);
+    ++failures;
+    if (!budget.AllowRetry(failures)) break;
+    ASSERT_LT(failures, 1000u) << "deadline never expired";
+  }
+  const uint64_t elapsed = WallNsSince(start);
+  // The deadline bit: we stopped after a handful of 50 ms stalls, not after
+  // 1000 attempts, and roughly when the budget said so (generous upper bound
+  // for loaded CI machines).
+  EXPECT_GE(failures, 2u);
+  EXPECT_LT(failures, 64u);
+  EXPECT_GE(elapsed, 100'000'000u);
+  EXPECT_LT(elapsed, 30'000'000'000u);
+
+  // Un-hang and confirm the server survived its parked handlers: a fresh
+  // connection serves normally (the old ones died with the client timeouts).
+  transport->set_hang_handlers(false);
+  auto healthy = transport->CreateChannel();
+  wr.opcode = rdma::Opcode::kWrite;
+  channel = nullptr;
+  healthy->ExecuteRing({&wr, 1}, {&completion, 1}, {});
+  EXPECT_EQ(completion.status, WcStatus::kSuccess);
+}
+
+// --- satellite 3: malformed frames never crash/hang/allocate the server --
+
+/// Mirrors the private wire structs of tcp_transport.cpp. Kept in sync by
+/// the asserts below; the protocol is internal, so this duplication is the
+/// test's eyes into it.
+struct RawWireWr {
+  uint8_t opcode = 0;
+  uint8_t pad[3] = {0, 0, 0};
+  uint32_t rkey = 0;
+  uint64_t remote_offset = 0;
+  uint64_t length = 0;
+  uint64_t expected_epoch = 0;
+  uint64_t compare = 0;
+  uint64_t swap_or_add = 0;
+};
+static_assert(sizeof(RawWireWr) == 48);
+
+struct RawFrameHeader {
+  uint32_t magic = 0x64524e47;
+  uint32_t num_wrs = 0;
+};
+static_assert(sizeof(RawFrameHeader) == 8);
+
+class RawSocket {
+ public:
+  explicit RawSocket(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawSocket() { Close(); }
+
+  bool ok() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  bool Send(const void* data, size_t len) {
+    return fd_ >= 0 &&
+           ::send(fd_, data, len, MSG_NOSIGNAL) == static_cast<ssize_t>(len);
+  }
+  /// True when the server closed its end (EOF within `timeout_ms`).
+  bool ServerClosed(int timeout_ms = 5000) {
+    if (fd_ < 0) return false;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ChaosTcpMalformedFrameTest, ServerDropsViolatingConnectionsAndServesOn) {
+  auto made = TcpTransport::Create(TransportOptions::Tcp());
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  std::unique_ptr<TcpTransport> transport = std::move(made).value();
+  const rdma::NodeId node = transport->AddNode("mem");
+  auto rkey = transport->RegisterMemory(node, 4096, 64);
+  ASSERT_TRUE(rkey.ok());
+
+  struct Case {
+    const char* name;
+    std::vector<uint8_t> bytes;  // sent, then the client goes silent
+    /// True when the malformation IS the client dying mid-frame: the server
+    /// sits in ReadFull until our close delivers EOF, so the test closes
+    /// instead of waiting for the server's half-close.
+    bool close_after_send = false;
+  };
+  const auto header_bytes = [](uint32_t magic, uint32_t num_wrs) {
+    RawFrameHeader h;
+    h.magic = magic;
+    h.num_wrs = num_wrs;
+    std::vector<uint8_t> out(sizeof h);
+    std::memcpy(out.data(), &h, sizeof h);
+    return out;
+  };
+  const auto with_descriptor = [&](RawWireWr w) {
+    std::vector<uint8_t> out = header_bytes(0x64524e47, 1);
+    out.resize(out.size() + sizeof w);
+    std::memcpy(out.data() + sizeof(RawFrameHeader), &w, sizeof w);
+    return out;
+  };
+
+  RawWireWr absurd_len;
+  absurd_len.opcode = 0;                        // kRead
+  absurd_len.rkey = rkey.value();
+  absurd_len.length = (1ull << 32) + 1;         // > kMaxPayloadPerWr
+  RawWireWr write_wr;
+  write_wr.opcode = 1;                          // kWrite
+  write_wr.rkey = rkey.value();
+  write_wr.length = 1024;                       // promises a payload
+
+  std::vector<Case> cases;
+  cases.push_back({"truncated header", {0x47, 0x4e, 0x52}, true});
+  cases.push_back({"bad magic", header_bytes(0xdeadbeef, 1)});
+  cases.push_back({"zero wrs", header_bytes(0x64524e47, 0)});
+  // Absurd num_wrs: the cap must reject it BEFORE the descriptor allocation
+  // (num_wrs * 48 bytes would be ~200 GB here).
+  cases.push_back({"absurd num_wrs", header_bytes(0x64524e47, 0xffffffffu)});
+  cases.push_back({"absurd per-wr length", with_descriptor(absurd_len)});
+  // Mid-payload disconnect: full header + descriptor, then the client dies
+  // before sending the promised 1024 payload bytes.
+  cases.push_back({"mid-payload disconnect", with_descriptor(write_wr), true});
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    RawSocket raw(transport->port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.Send(c.bytes.data(), c.bytes.size()));
+    if (c.close_after_send) {
+      raw.Close();  // the client dying mid-frame IS the malformation
+    } else {
+      // The server must half-close (EOF to us) rather than answer, crash,
+      // or hang — and without allocating what the frame claimed to need.
+      EXPECT_TRUE(raw.ServerClosed());
+    }
+
+    // After every abuse, a well-formed client still gets served.
+    auto channel = transport->CreateChannel();
+    std::vector<uint8_t> buf(16, 0x42);
+    rdma::WorkRequest wr;
+    wr.opcode = rdma::Opcode::kWrite;
+    wr.rkey = rkey.value();
+    wr.local = buf;
+    rdma::Completion completion;
+    channel->ExecuteRing({&wr, 1}, {&completion, 1}, {});
+    EXPECT_EQ(completion.status, WcStatus::kSuccess);
+  }
+}
+
+// --- sim degrade path ----------------------------------------------------
+
+TEST(ChaosSimTest, DisconnectDegradesToSingleWrUnreachableOnTheSimulator) {
+  // The sim has no connection to sever: kDisconnect behaves as a per-WR
+  // kUnreachable there, and sibling WRs in the same ring still execute —
+  // preserving the byte-identical historical trace contract.
+  Fabric fabric(NicModelConfig{}, TransportOptions::Sim());
+  const rdma::NodeId node = fabric.AddNode("mem");
+  fabric.AddNode("compute");
+  auto rkey = fabric.RegisterMemory(node, 4096);
+  ASSERT_TRUE(rkey.ok());
+
+  FaultPlan plan(21);
+  FaultRule rule;
+  rule.kind = FaultKind::kDisconnect;
+  rule.skip_first = 1;
+  rule.max_triggers = 1;
+  plan.Add(rule);
+  ASSERT_TRUE(fabric.ArmFaults(plan).ok());
+
+  SimClock clock;
+  rdma::QueuePair qp(&fabric, &clock);
+  std::vector<uint8_t> a(16, 0x01), b(16, 0x02), c(16, 0x03);
+  qp.PostWrite(rkey.value(), 0, a, 1);
+  qp.PostWrite(rkey.value(), 64, b, 2);
+  qp.PostWrite(rkey.value(), 128, c, 3);
+  std::vector<rdma::Completion> completions = qp.Flush();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(completions[1].status, WcStatus::kRemoteUnreachable);
+  EXPECT_EQ(completions[2].status, WcStatus::kSuccess);  // sim: ring survives
+  EXPECT_EQ(qp.stats().injected_faults, 1u);
+  fabric.ClearFaults();
+}
+
+}  // namespace
+}  // namespace dhnsw

@@ -282,6 +282,40 @@ TEST(CliScaleoutTest, PacedOverloadShedsInsteadOfHanging) {
   EXPECT_NE(out.find("--nodes must be >= 1"), std::string::npos) << out;
 }
 
+TEST(CliChaosTest, TransientDrillConvergesOnTcpAndSim) {
+  // Fixture-free like CliScaleoutTest: synthetic-only, no snapshot files.
+  // The transient schedule is a pure function of the seed, so both backends
+  // inject the same fault sequence and both must converge to the oracle.
+  for (const char* transport : {"sim", "tcp"}) {
+    std::string out;
+    ASSERT_EQ(cli::RunCli({"chaos", "--mode=transient", "--rows=900",
+                           std::string("--transport=") + transport},
+                          &out), 0) << out;
+    EXPECT_NE(out.find(std::string("transport=") + transport),
+              std::string::npos) << out;
+    EXPECT_NE(out.find("transient rule(s)"), std::string::npos) << out;
+    EXPECT_NE(out.find("converged: results byte-identical"), std::string::npos)
+        << out;
+    EXPECT_EQ(out.find("injected 0 fault"), std::string::npos)
+        << "the plan never fired?\n" << out;
+  }
+}
+
+TEST(CliChaosTest, KillDrillFailsOverOnRealSockets) {
+  std::string out;
+  ASSERT_EQ(cli::RunCli({"chaos", "--mode=kill", "--transport=tcp",
+                         "--rows=900"},
+                        &out), 0) << out;
+  EXPECT_NE(out.find("slot-0 primary crashes"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 failover(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("converged: results byte-identical"), std::string::npos)
+      << out;
+
+  out.clear();
+  EXPECT_EQ(cli::RunCli({"chaos", "--mode=bogus"}, &out), 1);
+  EXPECT_NE(out.find("--mode must be transient|kill"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, MissingFilesSurfaceErrors) {
   std::string out;
   EXPECT_EQ(Run({"build", "--base=/nope.fvecs", "--out=" + Path("region.dsnp")}, &out), 1);

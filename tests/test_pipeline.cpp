@@ -47,7 +47,7 @@ Observed ObserveNode(ChaosHarness& h, BatchResult result) {
 
 Observed RunTransient(uint32_t pipeline_depth, size_t search_threads, uint64_t plan_seed,
                       bool partial_results) {
-  ChaosHarness h({});
+  ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
   ComputeNode& node = h.engine().compute(0);
   node.mutable_options()->pipeline_depth = pipeline_depth;
   node.mutable_options()->search_threads = search_threads;
@@ -97,7 +97,7 @@ TEST(PipelineTest, DepthZeroAndOneBothMeanSequential) {
 // shared retry machinery: with a budget that outlasts the schedule's trigger
 // budget, the answers converge to the fault-free oracle.
 TEST(PipelineTest, TransientFaultsOnPrefetchedClustersConverge) {
-  ChaosHarness h({});
+  ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
   ComputeNode& node = h.engine().compute(0);
   node.mutable_options()->pipeline_depth = 2;
 
@@ -114,7 +114,7 @@ TEST(PipelineTest, TransientFaultsOnPrefetchedClustersConverge) {
 // candidates kept from healthy clusters) must be identical either way.
 TEST(PipelineTest, PermanentFailureDegradationParity) {
   auto run_permanent = [](uint32_t pipeline_depth) {
-    ChaosHarness h({});
+    ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
     h.engine().compute(0).mutable_options()->pipeline_depth = pipeline_depth;
     uint32_t victim = 0;
     auto run = h.RunUnderPlan(h.MakePermanentPlan(&victim), RetryPolicy::Default(),
@@ -135,7 +135,7 @@ TEST(PipelineTest, PermanentFailureDegradationParity) {
 // the abandoned prefetch must not leak into the next batch: a follow-up
 // fault-free run on the SAME node returns correct answers.
 TEST(PipelineTest, FailedBatchLeavesNoStalePrefetchBehind) {
-  ChaosHarness h({});
+  ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
   ComputeNode& node = h.engine().compute(0);
   node.mutable_options()->pipeline_depth = 2;
   uint32_t victim = 0;
@@ -156,7 +156,7 @@ TEST(PipelineTest, FailedBatchLeavesNoStalePrefetchBehind) {
 // set AND same recency order driving the same evictions) as sequential.
 TEST(PipelineTest, WarmCacheSecondBatchHitsMatchSequential) {
   auto two_batches = [](uint32_t pipeline_depth) {
-    ChaosHarness h({});
+    ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
     ComputeNode& node = h.engine().compute(0);
     node.mutable_options()->pipeline_depth = pipeline_depth;
     auto first = h.engine().SearchAll(h.dataset().queries, h.config().k,
@@ -181,7 +181,7 @@ TEST(PipelineTest, PrefetchWavesCounterAdvances) {
       telemetry::DefaultRegistry().GetCounter("dhnsw_compute_prefetch_waves_total");
   const uint64_t before = waves->value();
 
-  ChaosHarness h({});
+  ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
   h.engine().compute(0).mutable_options()->pipeline_depth = 2;
   auto run = h.engine().SearchAll(h.dataset().queries, h.config().k, h.config().ef_search);
   ASSERT_TRUE(run.ok());
@@ -193,7 +193,7 @@ TEST(PipelineTest, PrefetchWavesCounterAdvances) {
 // archives + byte-compares the export (see the pipeline job).
 TEST(PipelineTest, TraceJsonlByteIdenticalAcrossSameSeedPipelinedRuns) {
   const auto run_traced = [](uint64_t plan_seed) {
-    ChaosHarness h({});
+    ChaosHarness h({.transport = rdma::TransportOptions::Sim()});
     h.engine().compute(0).mutable_options()->pipeline_depth = 2;
     h.engine().EnableTracing(1 << 16);
     RetryPolicy retry = RetryPolicy::Default();

@@ -236,7 +236,8 @@ TEST(ScaleoutTest, ConcurrentRetryBackoffDoesNotCrossInflateSimClocks) {
   // Solo baselines: one node at a time, fresh deployment each, same plan.
   std::vector<Obs> solo(kNodes);
   for (size_t i = 0; i < kNodes; ++i) {
-    ChaosHarness h({.num_compute_nodes = kNodes});
+    ChaosHarness h({.num_compute_nodes = kNodes,
+                    .transport = rdma::TransportOptions::Sim()});
     prep_node(h, i);
     ASSERT_TRUE(h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed)).ok());
     auto run = h.engine().compute(i).SearchAll(h.dataset().queries, h.config().k,
@@ -250,7 +251,8 @@ TEST(ScaleoutTest, ConcurrentRetryBackoffDoesNotCrossInflateSimClocks) {
   }
 
   // Concurrent: all four nodes at once on one deployment.
-  ChaosHarness h({.num_compute_nodes = kNodes});
+  ChaosHarness h({.num_compute_nodes = kNodes,
+                  .transport = rdma::TransportOptions::Sim()});
   for (size_t i = 0; i < kNodes; ++i) prep_node(h, i);
   ASSERT_TRUE(h.engine().fabric().ArmFaults(h.MakeTransientPlan(kPlanSeed)).ok());
   std::vector<Result<BatchResult>> runs(kNodes, Status::Internal("never ran"));

@@ -2,7 +2,7 @@
 //
 // Covers backend selection (config + DHNSW_TRANSPORT), the TCP backend's
 // one-sided semantics (round trips, doorbell batching, fencing, node
-// reachability), the sim-only fault-injection contract, NicModelConfig JSON
+// reachability), the every-backend ArmFaults contract, NicModelConfig JSON
 // round-trips for the calibration artifact, and — the core guarantee — that
 // a snapshot restored under the TCP backend answers queries bit-identically
 // to the simulator.
@@ -187,7 +187,10 @@ TEST_F(TcpTransportTest, TwoTcpFabricsCoexistOnEphemeralPorts) {
   EXPECT_EQ(back, b);
 }
 
-TEST(TransportFaultTest, ArmFaultsIsSimOnlyByConstruction) {
+TEST(TransportFaultTest, ArmFaultsWorksOnEveryBackend) {
+  // Since the chaos decorator landed, FaultPlans arm on real transports too:
+  // the sim evaluates per-WR in its backend, real backends through
+  // ChaosChannel (tests/test_chaos_transport.cpp covers the semantics).
   rdma::FaultPlan plan(42);
   rdma::FaultRule rule;
   rule.kind = rdma::FaultKind::kUnreachable;
@@ -198,9 +201,10 @@ TEST(TransportFaultTest, ArmFaultsIsSimOnlyByConstruction) {
   sim.ClearFaults();
 
   Fabric tcp(NicModelConfig{}, TransportOptions::Tcp());
-  const Status refused = tcp.ArmFaults(plan);
-  EXPECT_EQ(refused.code(), StatusCode::kUnimplemented);
-  tcp.ClearFaults();  // still safe to call
+  EXPECT_TRUE(tcp.ArmFaults(plan).ok());
+  EXPECT_NE(tcp.fault_plan(), nullptr);
+  tcp.ClearFaults();
+  EXPECT_EQ(tcp.fault_plan(), nullptr);
 }
 
 TEST(NicModelJsonTest, CalibrationArtifactRoundTrips) {

@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <map>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/compute_pool.h"
 #include "core/engine.h"
 #include "core/workload_gen.h"
+#include "rdma/fault_injection.h"
 #include "rdma/queue_pair.h"
 #include "dataset/ground_truth.h"
 #include "dataset/synthetic.h"
@@ -392,6 +394,138 @@ Status CmdScaleout(const Flags& flags, std::string* out) {
   return Status::Ok();
 }
 
+Status CmdChaos(const Flags& flags, std::string* out) {
+  // Chaos drill on a synthetic deployment: build, record the fault-free
+  // oracle, arm a seeded FaultPlan on the fabric (any backend — the chaos
+  // decorator injects on real sockets, the simulator in ExecuteWr), replay
+  // the batch with retries, and report whether it converged. Two schedules:
+  //   --mode=transient  bounded budget of unreachable/timeout/bit-flip/delay
+  //                     rules; a retry policy that outlasts it must converge
+  //   --mode=kill       the slot-0 primary dies mid-batch (every verb against
+  //                     its region fails forever, probes included); with
+  //                     --replicas>=2 the batch drives detection + epoch-
+  //                     fenced failover and converges on the promoted copy
+  const std::string mode = flags.Get("mode", "transient");
+  if (mode != "transient" && mode != "kill") {
+    return Status::InvalidArgument("--mode must be transient|kill, got: " + mode);
+  }
+  const uint32_t replicas = static_cast<uint32_t>(
+      flags.GetU64("replicas", mode == "kill" ? 2 : 1));
+  const uint32_t clusters = static_cast<uint32_t>(flags.GetU64("clusters", 6));
+  const uint64_t seed = flags.GetU64("seed", 42);
+  const Dataset ds =
+      MakeSynthetic({.dim = static_cast<uint32_t>(flags.GetU64("dim", 8)),
+                     .num_base = static_cast<uint32_t>(flags.GetU64("rows", 1500)),
+                     .num_queries = static_cast<uint32_t>(flags.GetU64("queries", 16)),
+                     .num_clusters = clusters,
+                     .seed = seed});
+  DhnswConfig config = DhnswConfig::Defaults();
+  config.meta.num_representatives = clusters;
+  config.compute.clusters_per_query = 3;
+  config.compute.cache_capacity = clusters;
+  config.replication.factor = replicas;
+  if (flags.Has("transport")) {
+    DHNSW_ASSIGN_OR_RETURN(config.transport.kind,
+                           rdma::ParseTransportKind(flags.Get("transport")));
+  }  // default: unset kind honours DHNSW_TRANSPORT
+  DHNSW_ASSIGN_OR_RETURN(DhnswEngine engine, DhnswEngine::Build(ds.base, config));
+  Emit(out, "chaos drill: mode=%s transport=%s replicas=%u seed=%llu",
+       mode.c_str(), std::string(engine.fabric().transport().name()).c_str(),
+       replicas, static_cast<unsigned long long>(seed));
+
+  const size_t k = flags.GetU64("k", 5);
+  const uint32_t ef = static_cast<uint32_t>(flags.GetU64("ef", 300));
+  DHNSW_ASSIGN_OR_RETURN(const BatchResult baseline, engine.SearchAll(ds.queries, k, ef));
+
+  rdma::FaultPlan plan(seed);
+  if (mode == "kill") {
+    const ReplicaManager* manager = engine.replication();
+    rdma::FaultRule rule;
+    rule.kind = rdma::FaultKind::kUnreachable;
+    rule.rkey = manager != nullptr ? manager->PrimaryRoute(0).rkey
+                                   : engine.memory_handle().rkey_for_slot(0);
+    rule.skip_first = flags.GetU64("skip", 4);
+    plan.Add(rule);  // max_triggers stays unbounded: the node never returns
+    Emit(out, "armed: slot-0 primary crashes after %llu ops (probes included)",
+         static_cast<unsigned long long>(rule.skip_first));
+  } else {
+    // Bounded transient schedule, bit-flips confined to CRC-protected blob
+    // bytes (the metadata table's FAA counter is outside its CRC).
+    uint64_t blob_area = UINT64_MAX;
+    for (const ClusterMeta& e : engine.memory_node()->plan().entries) {
+      blob_area = std::min(blob_area, e.blob_offset);
+    }
+    Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0x5bf0);
+    uint64_t budget = flags.GetU64("budget", 6);
+    uint32_t num_rules = 0;
+    while (budget > 0) {
+      rdma::FaultRule rule;
+      rule.opcode = rdma::Opcode::kRead;
+      rule.max_triggers = 1 + rng.NextBounded(std::min<uint64_t>(2, budget));
+      budget -= rule.max_triggers;
+      rule.skip_first = rng.NextBounded(4);
+      switch (rng.NextBounded(4)) {
+        case 0: rule.kind = rdma::FaultKind::kUnreachable; break;
+        case 1:
+          rule.kind = rdma::FaultKind::kTimeout;
+          rule.delay_ns = 10'000 + rng.NextBounded(90'000);
+          break;
+        case 2:
+          rule.kind = rdma::FaultKind::kBitFlip;
+          rule.offset_lo = blob_area;
+          rule.bit_flips = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+          break;
+        default:
+          rule.kind = rdma::FaultKind::kDelay;
+          rule.delay_ns = 5'000 + rng.NextBounded(45'000);
+          break;
+      }
+      plan.Add(rule);
+      ++num_rules;
+    }
+    Emit(out, "armed: %u transient rule(s), total trigger budget %llu", num_rules,
+         flags.GetU64("budget", 6));
+  }
+
+  ComputeNode& node = engine.compute(0);
+  node.InvalidateCache();  // every cluster crosses the faulty wire again
+  RetryPolicy retry = RetryPolicy::Default();
+  retry.max_attempts = static_cast<uint32_t>(flags.GetU64("attempts", 12));
+  node.mutable_options()->retry = retry;
+  const uint64_t faults_before = node.qp_stats().injected_faults;
+
+  DHNSW_RETURN_IF_ERROR(engine.fabric().ArmFaults(plan));
+  auto run = node.SearchAll(ds.queries, k, ef);
+  engine.fabric().ClearFaults();
+  DHNSW_RETURN_IF_ERROR(run.status());
+  const BatchResult& result = run.value();
+
+  size_t ok = 0;
+  for (const Status& st : result.statuses) ok += st.ok() ? 1 : 0;
+  const BatchBreakdown& b = result.breakdown;
+  Emit(out, "injected %llu fault(s); %llu retries, %llu failover(s), %llu failed load(s)",
+       static_cast<unsigned long long>(node.qp_stats().injected_faults - faults_before),
+       static_cast<unsigned long long>(b.retries),
+       static_cast<unsigned long long>(b.failovers),
+       static_cast<unsigned long long>(b.failed_loads));
+  Emit(out, "queries ok: %zu/%zu", ok, result.statuses.size());
+
+  bool converged = baseline.results.size() == result.results.size();
+  for (size_t i = 0; converged && i < result.results.size(); ++i) {
+    converged = baseline.results[i].size() == result.results[i].size();
+    for (size_t j = 0; converged && j < result.results[i].size(); ++j) {
+      converged = baseline.results[i][j].id == result.results[i][j].id &&
+                  baseline.results[i][j].distance == result.results[i][j].distance;
+    }
+  }
+  if (!converged || ok != result.statuses.size()) {
+    Emit(out, "DIVERGED from the fault-free oracle");
+    return Status::Corruption("chaos run diverged from oracle");
+  }
+  Emit(out, "converged: results byte-identical to the fault-free oracle");
+  return Status::Ok();
+}
+
 /// Runs `iters` identical rings built by `post` and returns the median
 /// per-ring network charge in ns — the NicModel cost on the simulator, the
 /// measured wall time of the round trip on a real transport (tcp/verbs).
@@ -504,7 +638,7 @@ Status CmdCalibrate(const Flags& flags, std::string* out) {
 }
 
 const char kUsage[] =
-    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology|scaleout|calibrate> --key=value ...\n"
+    "usage: dhnsw_cli <build|query|insert|compact|info|stats|trace|topology|scaleout|chaos|calibrate> --key=value ...\n"
     "  build   --base=x.fvecs --out=region.dsnp [--reps --m --efc --metric --shards]\n"
     "  query   --snapshot=region.dsnp --queries=q.fvecs [--k --ef --gt --out]\n"
     "  insert  --snapshot=region.dsnp --vectors=new.fvecs --out=updated.dsnp\n"
@@ -518,6 +652,9 @@ const char kUsage[] =
     "  scaleout [--nodes=4 --ops=2000 --qps=20000 --read_fraction=0.9 --zipf=1.1\n"
     "          --tenants=2 --drain=1 --queue_capacity --tenant_limit --k --ef --dim\n"
     "          --rows --clusters --seed]  (compute-pool run on a synthetic pool)\n"
+    "  chaos   [--mode=transient|kill --transport=sim|tcp|verbs --replicas --skip=4\n"
+    "          --budget=6 --attempts=12 --dim --rows --queries --clusters --k --ef\n"
+    "          --seed]  (seeded fault drill vs the fault-free oracle; exit 1 on divergence)\n"
     "  calibrate [--transport=tcp --iters=33 --bytes=1048576 --out=nic_calibration.json]\n"
     "          (measure real per-RT latency/bandwidth; write NicModelConfig JSON)";
 
@@ -554,6 +691,8 @@ int RunCli(const std::vector<std::string>& args, std::string* out) {
     st = CmdTopology(flags.value(), out);
   } else if (command == "scaleout") {
     st = CmdScaleout(flags.value(), out);
+  } else if (command == "chaos") {
+    st = CmdChaos(flags.value(), out);
   } else if (command == "calibrate") {
     st = CmdCalibrate(flags.value(), out);
   } else {
