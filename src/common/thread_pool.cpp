@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace dhnsw {
@@ -35,19 +36,50 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || workers_.size() == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) fn(i);  // a throw propagates directly
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::future<void>> futures;
   const size_t shards = std::min(n, workers_.size());
   futures.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     futures.push_back(Submit([&] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error == nullptr) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain EVERY shard before unwinding: the shard lambdas reference this
+  // frame's locals (next/failed/fn), so returning — or rethrowing — while a
+  // shard still runs would leave workers touching a dead stack. The old
+  // `f.get()` loop did exactly that when the first shard threw.
+  for (auto& f : futures) f.wait();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::ParallelForChunked(size_t n, size_t grain,
+                                    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = (n + grain - 1) / grain;
+  ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
 }
 
 void ThreadPool::WorkerLoop() {

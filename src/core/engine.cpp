@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/rng.h"
 #include "core/snapshot.h"
@@ -33,19 +35,32 @@ Status DhnswEngine::ConnectComputePool(const DhnswConfig& config) {
 Result<DhnswEngine> DhnswEngine::Build(const VectorSet& base, DhnswConfig config) {
   if (base.empty()) return Status::InvalidArgument("DhnswEngine: empty base set");
 
+  // Operational escape hatch: force reproducible builds without a config
+  // change (e.g. to re-provision a byte-identical region for an audit).
+  if (const char* env = std::getenv("DHNSW_DETERMINISTIC_BUILD");
+      env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    config.deterministic_build = true;
+  }
+
   DhnswEngine engine;
   engine.config_ = config;
   engine.dim_ = base.dim();
   engine.next_global_id_ = static_cast<uint32_t>(base.size());
 
-  // 1. Representative sampling + meta graph (§3.1).
-  DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::Build(base, config.meta));
+  // 1. Representative sampling + meta graph (§3.1). The k-means scans use
+  // the build pool too; they are deterministic for every thread count, so no
+  // deterministic_build gate is needed here.
+  MetaHnswOptions mopts = config.meta;
+  mopts.build_threads = static_cast<uint32_t>(
+      std::max<size_t>(mopts.build_threads, config.build_threads));
+  DHNSW_ASSIGN_OR_RETURN(MetaHnsw meta, MetaHnsw::Build(base, mopts));
   engine.num_partitions_ = meta.num_partitions();
 
   // 2. Classify all vectors and build per-partition sub-HNSWs.
   PartitionerOptions popts;
   popts.sub_hnsw = config.sub_hnsw;
   popts.num_threads = config.build_threads;
+  popts.deterministic = config.deterministic_build;
   DHNSW_ASSIGN_OR_RETURN(Partitioning parts, PartitionDataset(base, meta, popts));
   engine.partition_sizes_.reserve(parts.clusters.size());
   for (const Cluster& c : parts.clusters) {
@@ -104,7 +119,8 @@ Result<DhnswEngine> DhnswEngine::Build(const VectorSet& base, DhnswConfig config
   engine.memory_ = std::make_unique<MemoryNode>(engine.fabric_.get());
   DHNSW_RETURN_IF_ERROR(engine.memory_->Provision(
       meta, parts.clusters, config.layout, /*layout_version=*/0,
-      static_cast<uint32_t>(std::max<size_t>(config.num_memory_nodes, 1))));
+      static_cast<uint32_t>(std::max<size_t>(config.num_memory_nodes, 1)),
+      config.build_threads));
   engine.memory_handle_ = engine.memory_->handle();
   engine.meta_blob_bytes_ = engine.memory_->plan().header.meta_blob_size;
 

@@ -59,7 +59,16 @@ struct DhnswConfig {
   PqConfig pq;                   ///< product-quantized payload sections
   size_t num_compute_nodes = 1;  ///< instances in the compute pool
   size_t num_memory_nodes = 1;   ///< instances in the memory pool (shards)
-  size_t build_threads = 1;      ///< parallelism for partition/build phase
+  /// Worker threads for the whole build pipeline: k-means, classification,
+  /// sub-HNSW construction, PQ encode, and serialization. 1 = fully
+  /// sequential (the seed behaviour).
+  size_t build_threads = 1;
+  /// Reproducible builds: keep parallelism to the stages that are
+  /// deterministic by construction and force sequential insertion inside
+  /// each graph, so the provisioned region is byte-identical for every
+  /// `build_threads` value (see DESIGN.md §16). The DHNSW_DETERMINISTIC_BUILD=1
+  /// environment variable forces this on at Build time.
+  bool deterministic_build = false;
   /// Replicated memory pool: factor > 1 provisions every shard region onto
   /// that many memory nodes and turns on failure detection, epoch-fenced
   /// failover, and online re-replication (core/replication.h). The default

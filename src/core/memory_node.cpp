@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <memory>
+#include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/distance.h"
 #include "serialize/overflow.h"
@@ -16,7 +20,7 @@ MemoryNode::MemoryNode(rdma::Fabric* fabric, std::string name)
 
 Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& clusters,
                              const LayoutConfig& config, uint64_t layout_version,
-                             uint32_t num_shards) {
+                             uint32_t num_shards, size_t encode_threads) {
   if (provisioned()) return Status::InvalidArgument("MemoryNode already provisioned");
   if (clusters.empty()) return Status::InvalidArgument("Provision: no clusters");
   WallTimer provision_timer;
@@ -26,62 +30,61 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
     return Status::InvalidArgument("Provision: quantizer dim mismatch");
   }
 
-  // Serialize everything first so the layout knows exact sizes. When the meta
-  // carries a PQ codebook, every cluster blob additionally gets a codes
-  // extension section: residuals against the partition's representative,
-  // re-encoded here — so compaction (which replays Provision with the decoded
-  // meta) preserves PQ for free.
-  const std::vector<uint8_t> meta_blob = meta.ToBlob();
-  std::vector<std::vector<uint8_t>> blobs;
-  std::vector<uint64_t> blob_sizes;
-  std::vector<uint64_t> head_sizes(clusters.size(), 0);
-  blobs.reserve(clusters.size());
-  blob_sizes.reserve(clusters.size());
-  for (uint32_t c = 0; c < clusters.size(); ++c) {
-    if (pq == nullptr) {
-      blobs.push_back(EncodeCluster(clusters[c]));
-    } else {
-      const std::span<const float> center = meta.index().vector(c);
-      const uint32_t count = clusters[c].index.size();
-      std::vector<uint8_t> codes(static_cast<size_t>(count) * pq->m());
-      std::vector<float> residual(pq->dim());
-      for (uint32_t local = 0; local < count; ++local) {
-        const std::span<const float> v = clusters[c].index.vector(local);
-        for (uint32_t d = 0; d < pq->dim(); ++d) residual[d] = v[d] - center[d];
-        pq->Encode(residual,
-                   std::span<uint8_t>(codes).subspan(
-                       static_cast<size_t>(local) * pq->m(), pq->m()));
-      }
-      ClusterPqExtensions ext;
-      ext.codes = codes;
-      ext.code_m = pq->m();
-      blobs.push_back(EncodeCluster(clusters[c], ext, &head_sizes[c]));
-    }
-    blob_sizes.push_back(blobs.back().size());
+  std::unique_ptr<ThreadPool> pool;
+  if (encode_threads > 1 && clusters.size() > 1) {
+    pool = std::make_unique<ThreadPool>(encode_threads);
   }
+  // Per-cluster fan-out with the pool's exception contract surfaced as a
+  // Status (a throwing encode task must fail the provision, not vanish).
+  const auto for_each_cluster = [&](const char* stage,
+                                    const std::function<void(size_t)>& fn) -> Status {
+    try {
+      if (pool) {
+        pool->ParallelFor(clusters.size(), fn);
+      } else {
+        for (size_t c = 0; c < clusters.size(); ++c) fn(c);
+      }
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("Provision ") + stage + " failed: " + e.what());
+    }
+    return Status::Ok();
+  };
+
+  // Analyze: exact blob sizes (PlanClusterSize mirrors EncodeCluster
+  // byte-for-byte) and covering radii, one cluster per task. The layout is
+  // planned from these predictions so the encode below can stream each blob
+  // straight into its final offset instead of holding every blob in memory.
+  const std::vector<uint8_t> meta_blob = meta.ToBlob();
+  const uint32_t code_m = pq != nullptr ? pq->m() : 0;
+  const Metric metric = meta.index().options().metric;
+  std::vector<uint64_t> blob_sizes(clusters.size());
+  std::vector<uint64_t> head_sizes(clusters.size(), 0);
+  std::vector<float> radii(clusters.size(), 0.0f);
+  DHNSW_RETURN_IF_ERROR(for_each_cluster("analyze", [&](size_t c) {
+    const ClusterSizePlan size_plan = PlanClusterSize(clusters[c], code_m);
+    blob_sizes[c] = size_plan.total_size;
+    head_sizes[c] = size_plan.pq_head_size;
+    // Covering radius (L2 only): max distance from the partition's
+    // representative to any member. Powers compute-side adaptive pruning.
+    if (metric == Metric::kL2) {
+      const std::span<const float> center = meta.index().vector(c);
+      float max_sq = 0.0f;
+      for (uint32_t local = 0; local < clusters[c].index.size(); ++local) {
+        max_sq = std::max(max_sq, L2Sq(center, clusters[c].index.vector(local)));
+      }
+      radii[c] = std::sqrt(max_sq);
+    }
+  }));
 
   const uint32_t dim = meta.dim();
   const uint32_t record_size = static_cast<uint32_t>(OverflowRecordSize(dim));
-  const Metric metric = meta.index().options().metric;
   DHNSW_ASSIGN_OR_RETURN(
       plan_, PlanLayout(dim, metric, record_size, meta_blob.size(), blob_sizes, config,
                         num_shards));
   plan_.header.layout_version = layout_version;
   for (uint32_t c = 0; c < head_sizes.size(); ++c) {
     plan_.entries[c].pq_head_size = head_sizes[c];
-  }
-
-  // Covering radius per cluster (L2 only): max distance from the partition's
-  // representative to any member. Powers compute-side adaptive pruning.
-  if (metric == Metric::kL2) {
-    for (uint32_t c = 0; c < clusters.size(); ++c) {
-      const std::span<const float> center = meta.index().vector(c);
-      float max_sq = 0.0f;
-      for (uint32_t local = 0; local < clusters[c].index.size(); ++local) {
-        max_sq = std::max(max_sq, L2Sq(center, clusters[c].index.vector(local)));
-      }
-      plan_.entries[c].radius = std::sqrt(max_sq);
-    }
+    plan_.entries[c].radius = radii[c];
   }
 
   // Register one region per shard; slot 0 lives on this node, further slots
@@ -97,9 +100,16 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
     shard_nodes.push_back(owner);
   }
 
-  rdma::MemoryRegion* primary = fabric_->FindRegion(shard_rkeys[0]);
-  if (primary == nullptr) return Status::Internal("freshly registered region not found");
-  std::span<uint8_t> mem = primary->host_span();
+  // Resolve every shard's host span up-front (sequentially): the encode
+  // workers below then only touch disjoint [blob_offset, blob_offset+size)
+  // windows of these spans.
+  std::vector<std::span<uint8_t>> shard_mem(plan_.num_shards());
+  for (uint32_t s = 0; s < plan_.num_shards(); ++s) {
+    rdma::MemoryRegion* shard = fabric_->FindRegion(shard_rkeys[s]);
+    if (shard == nullptr) return Status::Internal("freshly registered region not found");
+    shard_mem[s] = shard->host_span();
+  }
+  std::span<uint8_t> mem = shard_mem[0];
 
   // Region header + metadata table (primary only).
   EncodeRegionHeader(plan_.header, mem.subspan(0, RegionHeader::kEncodedSize));
@@ -111,13 +121,40 @@ Status MemoryNode::Provision(const MetaHnsw& meta, const std::vector<Cluster>& c
   // meta-HNSW blob (primary only).
   std::memcpy(mem.data() + plan_.header.meta_blob_offset, meta_blob.data(), meta_blob.size());
 
-  // Cluster blobs at their planned offsets on their owning shard.
-  for (uint32_t c = 0; c < blobs.size(); ++c) {
-    rdma::MemoryRegion* shard = fabric_->FindRegion(shard_rkeys[plan_.entries[c].node_slot]);
-    if (shard == nullptr) return Status::Internal("shard region vanished");
-    std::memcpy(shard->host_span().data() + plan_.entries[c].blob_offset, blobs[c].data(),
-                blobs[c].size());
-  }
+  // Encode + store, streamed: each cluster's blob (with its PQ codes section
+  // when the meta carries a codebook — residuals against the partition's
+  // representative, re-encoded here so compaction, which replays Provision
+  // with the decoded meta, preserves PQ for free) is built and copied to its
+  // planned offset, then freed. Peak memory is one blob per worker.
+  DHNSW_RETURN_IF_ERROR(for_each_cluster("encode", [&](size_t c) {
+    std::vector<uint8_t> blob;
+    uint64_t head = 0;
+    if (pq == nullptr) {
+      blob = EncodeCluster(clusters[c]);
+    } else {
+      const std::span<const float> center = meta.index().vector(c);
+      const uint32_t count = clusters[c].index.size();
+      std::vector<uint8_t> codes(static_cast<size_t>(count) * pq->m());
+      std::vector<float> residual(pq->dim());
+      for (uint32_t local = 0; local < count; ++local) {
+        const std::span<const float> v = clusters[c].index.vector(local);
+        for (uint32_t d = 0; d < pq->dim(); ++d) residual[d] = v[d] - center[d];
+        pq->Encode(residual,
+                   std::span<uint8_t>(codes).subspan(
+                       static_cast<size_t>(local) * pq->m(), pq->m()));
+      }
+      ClusterPqExtensions ext;
+      ext.codes = codes;
+      ext.code_m = pq->m();
+      blob = EncodeCluster(clusters[c], ext, &head);
+    }
+    if (blob.size() != blob_sizes[c] || head != head_sizes[c]) {
+      throw std::logic_error("cluster " + std::to_string(c) +
+                             " encoded size disagrees with PlanClusterSize");
+    }
+    std::memcpy(shard_mem[plan_.entries[c].node_slot].data() + plan_.entries[c].blob_offset,
+                blob.data(), blob.size());
+  }));
 
   handle_ = MemoryNodeHandle{node_, shard_rkeys[0], plan_.total_size,
                              std::move(shard_rkeys), std::move(shard_nodes)};

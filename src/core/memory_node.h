@@ -52,9 +52,15 @@ class MemoryNode {
   /// With `num_shards` > 1 this provisions a memory POOL: cluster groups are
   /// spread round-robin over that many memory instances, while the header,
   /// table, and meta-HNSW stay on the primary (paper Fig. 2's memory pool).
+  /// `encode_threads` > 1 parallelizes the per-cluster work (size analysis,
+  /// PQ encode, serialization) over that many workers; the layout is planned
+  /// from exact predicted sizes and each blob is encoded straight into its
+  /// final region offset, so peak memory is ~encode_threads blobs instead of
+  /// all of them, and the provisioned bytes are identical for every thread
+  /// count.
   Status Provision(const MetaHnsw& meta, const std::vector<Cluster>& clusters,
                    const LayoutConfig& config, uint64_t layout_version = 0,
-                   uint32_t num_shards = 1);
+                   uint32_t num_shards = 1, size_t encode_threads = 1);
 
   const MemoryNodeHandle& handle() const noexcept { return handle_; }
   const LayoutPlan& plan() const noexcept { return plan_; }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "serialize/cluster_blob.h"
 
 namespace dhnsw {
@@ -27,14 +29,27 @@ std::vector<uint32_t> SampleIndices(size_t n, uint32_t count, uint64_t seed) {
   return all;
 }
 
+/// Fixed work-splitting grain for the k-means scans. Chunk boundaries are a
+/// pure function of (n, grain) — never of the worker count — so every
+/// parallel stage below produces bit-identical output on 1, 2, or 64 threads.
+constexpr size_t kKmeansGrain = 2048;
+
 /// Lloyd's k-means over the base set, seeded by a uniform sample; returns
 /// the base-row index nearest each final centroid (medoid snap) so that
 /// representatives stay actual data points, preserving the paper's "each
 /// vector in L0 defines a partition and serves as an entry point" semantics.
+///
+/// `pool` (optional) parallelizes the two O(n·r·d) scans — assignment and
+/// medoid snap. The result is bit-identical to the sequential run: assignment
+/// writes are disjoint per row, the centroid-update reduction stays
+/// sequential, and the medoid argmin conflicts are resolved sequentially in
+/// centroid order (see below).
 std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
-                                            uint32_t iterations, uint64_t seed) {
+                                            uint32_t iterations, uint64_t seed,
+                                            ThreadPool* pool) {
   const uint32_t dim = base.dim();
   const size_t n = base.size();
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
 
   std::vector<uint32_t> init = SampleIndices(n, r, seed);
   std::vector<float> centroids(static_cast<size_t>(r) * dim);
@@ -51,21 +66,33 @@ std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
   std::vector<uint32_t> assign(n, 0);
   std::vector<double> sums(static_cast<size_t>(r) * dim);
   std::vector<uint32_t> counts(r);
-  for (uint32_t iter = 0; iter < iterations; ++iter) {
-    // Assign.
-    for (size_t i = 0; i < n; ++i) {
-      l2_rows(base[i].data(), centroids.data(), dim, r, dists.data());
+  const auto assign_rows = [&](size_t begin, size_t end, float* row_dists) {
+    for (size_t i = begin; i < end; ++i) {
+      l2_rows(base[i].data(), centroids.data(), dim, r, row_dists);
       float best = std::numeric_limits<float>::max();
       uint32_t best_c = 0;
       for (uint32_t c = 0; c < r; ++c) {
-        if (dists[c] < best) {
-          best = dists[c];
+        if (row_dists[c] < best) {
+          best = row_dists[c];
           best_c = c;
         }
       }
       assign[i] = best_c;
     }
-    // Update.
+  };
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    // Assign (parallel; per-row writes, so chunking cannot change the result).
+    if (parallel) {
+      pool->ParallelForChunked(n, kKmeansGrain, [&](size_t begin, size_t end) {
+        std::vector<float> local(r);
+        assign_rows(begin, end, local.data());
+      });
+    } else {
+      assign_rows(0, n, dists.data());
+    }
+    // Update: sequential on purpose — the float accumulation order is part of
+    // the deterministic-build contract, and it is O(n·d) against the
+    // assignment's O(n·r·d).
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0u);
     for (size_t i = 0; i < n; ++i) {
@@ -75,37 +102,103 @@ std::vector<uint32_t> KmeansRepresentatives(const VectorSet& base, uint32_t r,
       ++counts[assign[i]];
     }
     for (uint32_t c = 0; c < r; ++c) {
-      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      if (counts[c] == 0) continue;  // re-seeded below, from the largest cluster
       float* centroid = centroids.data() + static_cast<size_t>(c) * dim;
       const double* sum = sums.data() + static_cast<size_t>(c) * dim;
       for (uint32_t d = 0; d < dim; ++d) {
         centroid[d] = static_cast<float>(sum[d] / counts[c]);
       }
     }
+    // Empty clusters: the old behavior silently kept the stale centroid, so a
+    // cluster that lost all members stayed dead for every remaining round and
+    // the medoid snap later collapsed it onto an already-taken row. Re-seed
+    // each empty cluster (in index order, deterministically) from the point
+    // farthest from the largest cluster's centroid — the classic split of the
+    // heaviest cluster.
+    for (uint32_t c = 0; c < r; ++c) {
+      if (counts[c] != 0) continue;
+      uint32_t donor = 0;
+      for (uint32_t d = 1; d < r; ++d) {
+        if (counts[d] > counts[donor]) donor = d;  // lowest index wins ties
+      }
+      if (counts[donor] < 2) break;  // nothing left to split
+      l2_rows(centroids.data() + static_cast<size_t>(donor) * dim,
+              base.flat().data(), dim, n, dists.data());
+      float worst = -1.0f;
+      uint32_t worst_row = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (assign[i] != donor) continue;
+        if (dists[i] > worst) {  // strict >: lowest index wins ties
+          worst = dists[i];
+          worst_row = static_cast<uint32_t>(i);
+        }
+      }
+      const auto v = base[worst_row];
+      std::copy(v.begin(), v.end(),
+                centroids.begin() + static_cast<size_t>(c) * dim);
+      assign[worst_row] = c;
+      counts[c] = 1;
+      --counts[donor];
+    }
   }
 
   // Medoid snap: nearest base row per centroid, de-duplicated. The base set
   // is contiguous, so each centroid's scan is one batched-kernel call.
+  //
+  // Parallel form: each centroid's UNCONSTRAINED argmin (no taken mask) is
+  // computed concurrently, then conflicts are resolved sequentially in
+  // centroid order — a centroid whose global argmin is already taken rescans
+  // under the mask. Proof of equivalence to the old sequential loop: the
+  // strict-< scan picks the lowest-index minimum; if that row is untaken it
+  // is also the lowest-index minimum over untaken rows (the old answer), and
+  // if taken, the masked rescan IS the old scan.
+  std::vector<uint32_t> snap_row(r, 0);
+  const auto snap_centroids = [&](size_t begin, size_t end, float* row_dists) {
+    for (size_t c = begin; c < end; ++c) {
+      l2_rows(centroids.data() + c * dim, base.flat().data(), dim, n, row_dists);
+      float best = std::numeric_limits<float>::max();
+      uint32_t best_row = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (row_dists[i] < best) {
+          best = row_dists[i];
+          best_row = static_cast<uint32_t>(i);
+        }
+      }
+      snap_row[c] = best_row;
+    }
+  };
+  if (parallel) {
+    // Grain 1: each centroid scan is already a large batched-kernel call.
+    pool->ParallelForChunked(r, 1, [&](size_t begin, size_t end) {
+      std::vector<float> local(n);
+      snap_centroids(begin, end, local.data());
+    });
+  } else {
+    snap_centroids(0, r, dists.data());
+  }
+
   std::vector<uint32_t> reps;
   std::vector<uint8_t> taken(n, 0);
   for (uint32_t c = 0; c < r; ++c) {
-    l2_rows(centroids.data() + static_cast<size_t>(c) * dim,
-            base.flat().data(), dim, n, dists.data());
-    float best = std::numeric_limits<float>::max();
-    uint32_t best_row = 0;
-    bool found = false;
-    for (size_t i = 0; i < n; ++i) {
-      if (taken[i]) continue;
-      if (dists[i] < best) {
-        best = dists[i];
-        best_row = static_cast<uint32_t>(i);
-        found = true;
+    uint32_t row = snap_row[c];
+    if (taken[row]) {
+      // Conflict: rescan this centroid under the taken mask (rare).
+      l2_rows(centroids.data() + static_cast<size_t>(c) * dim,
+              base.flat().data(), dim, n, dists.data());
+      float best = std::numeric_limits<float>::max();
+      bool found = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (taken[i]) continue;
+        if (dists[i] < best) {
+          best = dists[i];
+          row = static_cast<uint32_t>(i);
+          found = true;
+        }
       }
+      if (!found) continue;
     }
-    if (found) {
-      taken[best_row] = 1;
-      reps.push_back(best_row);
-    }
+    taken[row] = 1;
+    reps.push_back(row);
   }
   std::sort(reps.begin(), reps.end());
   return reps;
@@ -129,10 +222,17 @@ Result<MetaHnsw> MetaHnsw::Build(const VectorSet& base, const MetaHnswOptions& o
       std::min<size_t>(options.num_representatives, base.size()));
   if (r == 0) return Status::InvalidArgument("meta-HNSW: zero representatives");
 
-  std::vector<uint32_t> rep_ids =
-      options.selection == RepresentativeSelection::kKmeans
-          ? KmeansRepresentatives(base, r, options.kmeans_iterations, options.seed)
-          : SampleIndices(base.size(), r, options.seed);
+  std::vector<uint32_t> rep_ids;
+  if (options.selection == RepresentativeSelection::kKmeans) {
+    std::unique_ptr<ThreadPool> pool;
+    if (options.build_threads > 1) {
+      pool = std::make_unique<ThreadPool>(options.build_threads);
+    }
+    rep_ids = KmeansRepresentatives(base, r, options.kmeans_iterations,
+                                    options.seed, pool.get());
+  } else {
+    rep_ids = SampleIndices(base.size(), r, options.seed);
+  }
 
   HnswIndex index(base.dim(), MetaGraphOptions(options));
   for (uint32_t id : rep_ids) index.Add(base[id]);

@@ -41,6 +41,12 @@ struct MetaHnswOptions {
   uint64_t seed = 0x4d455441ULL;       ///< sampling + level-assignment seed
   RepresentativeSelection selection = RepresentativeSelection::kUniformSample;
   uint32_t kmeans_iterations = 8;      ///< Lloyd rounds (kKmeans only)
+  /// Worker threads for the k-means assignment and medoid-snap scans
+  /// (kKmeans only; the 3-layer graph build itself stays sequential — R is
+  /// tiny). The result is bit-identical for every thread count: assignment
+  /// writes are per-row, the centroid update reduction is sequential, and
+  /// the parallel medoid argmin is resolved sequentially in centroid order.
+  uint32_t build_threads = 1;
 };
 
 class MetaHnsw {

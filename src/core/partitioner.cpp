@@ -1,7 +1,9 @@
 #include "core/partitioner.h"
 
 #include <cassert>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "common/thread_pool.h"
 
@@ -18,47 +20,79 @@ Result<Partitioning> PartitionDataset(const VectorSet& base, const MetaHnsw& met
   Partitioning out;
   out.assignment.resize(base.size());
 
-  // Phase 1: classify. Each base vector goes to its nearest representative.
-  // (Representatives classify to themselves: distance 0 to their own node.)
-  {
-    auto classify = [&](size_t i) { out.assignment[i] = meta.RouteOne(base[i]); };
-    if (options.num_threads > 1) {
-      ThreadPool pool(options.num_threads);
-      pool.ParallelFor(base.size(), classify);
-    } else {
-      for (size_t i = 0; i < base.size(); ++i) classify(i);
+  // One pool serves every phase (the old per-phase pools paid thread spawn +
+  // join twice per build).
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) pool = std::make_unique<ThreadPool>(options.num_threads);
+
+  // A throwing build task (OOM, kernel assertion) used to vanish inside the
+  // pool — ParallelFor now rethrows after draining, and we surface it as a
+  // Status instead of unwinding through the caller.
+  try {
+    // Phase 1: classify. Each base vector goes to its nearest representative.
+    // (Representatives classify to themselves: distance 0 to their own node.)
+    // Per-row writes — deterministic regardless of scheduling.
+    {
+      auto classify = [&](size_t i) { out.assignment[i] = meta.RouteOne(base[i]); };
+      if (pool) {
+        pool->ParallelFor(base.size(), classify);
+      } else {
+        for (size_t i = 0; i < base.size(); ++i) classify(i);
+      }
     }
-  }
 
-  // Phase 2: bucket members per partition (partition order == meta id order).
-  std::vector<std::vector<uint32_t>> members(num_parts);
-  for (size_t i = 0; i < base.size(); ++i) {
-    assert(out.assignment[i] < num_parts);
-    members[out.assignment[i]].push_back(static_cast<uint32_t>(i));
-  }
+    // Phase 2: bucket members per partition (partition order == meta id order).
+    std::vector<std::vector<uint32_t>> members(num_parts);
+    for (size_t i = 0; i < base.size(); ++i) {
+      assert(out.assignment[i] < num_parts);
+      members[out.assignment[i]].push_back(static_cast<uint32_t>(i));
+    }
 
-  // Phase 3: build one sub-HNSW per partition. Build is independent across
-  // partitions, so this parallelizes trivially.
-  std::vector<std::optional<Cluster>> built(num_parts);
-  auto build_one = [&](size_t p) {
-    HnswOptions sub_options = options.sub_hnsw;
-    // Decorrelate level assignment across partitions while staying
-    // deterministic for a fixed top-level seed.
-    sub_options.seed = options.sub_hnsw.seed * 0x9e3779b97f4a7c15ULL + p;
-    HnswIndex index(base.dim(), sub_options);
-    for (uint32_t gid : members[p]) index.Add(base[gid]);
-    built[p].emplace(static_cast<uint32_t>(p), std::move(index), std::move(members[p]));
-  };
-  if (options.num_threads > 1) {
-    ThreadPool pool(options.num_threads);
-    pool.ParallelFor(num_parts, build_one);
-  } else {
-    for (uint32_t p = 0; p < num_parts; ++p) build_one(p);
-  }
+    // Phase 3: build one sub-HNSW per partition. Two parallel schedules:
+    //  - ACROSS partitions (default): each pool worker builds whole
+    //    sub-HNSWs sequentially. Order-free and deterministic — every
+    //    partition's graph depends only on its own seed and member order.
+    //  - WITHIN partitions: when there are too few partitions to keep the
+    //    pool busy (and determinism is not requested), the partition loop
+    //    runs sequentially on this thread and each sub-HNSW is built with
+    //    batch-parallel insertion on the pool. ParallelFor must never be
+    //    entered from inside a pool task, so exactly one of the two
+    //    schedules drives the pool.
+    const bool intra_graph =
+        pool != nullptr && !options.deterministic && num_parts < options.num_threads;
+    std::vector<std::optional<Cluster>> built(num_parts);
+    std::vector<float> rows;  // intra-graph row staging, reused per partition
+    auto build_one = [&](size_t p) {
+      HnswOptions sub_options = options.sub_hnsw;
+      // Decorrelate level assignment across partitions while staying
+      // deterministic for a fixed top-level seed.
+      sub_options.seed = options.sub_hnsw.seed * 0x9e3779b97f4a7c15ULL + p;
+      HnswIndex index(base.dim(), sub_options);
+      if (intra_graph) {
+        rows.clear();
+        rows.reserve(members[p].size() * base.dim());
+        for (uint32_t gid : members[p]) {
+          const auto v = base[gid];
+          rows.insert(rows.end(), v.begin(), v.end());
+        }
+        index.AddBatchParallel(rows, members[p].size(), pool.get());
+      } else {
+        for (uint32_t gid : members[p]) index.Add(base[gid]);
+      }
+      built[p].emplace(static_cast<uint32_t>(p), std::move(index), std::move(members[p]));
+    };
+    if (intra_graph || pool == nullptr) {
+      for (uint32_t p = 0; p < num_parts; ++p) build_one(p);
+    } else {
+      pool->ParallelFor(num_parts, build_one);
+    }
 
-  out.clusters.reserve(num_parts);
-  for (uint32_t p = 0; p < num_parts; ++p) {
-    out.clusters.push_back(std::move(*built[p]));
+    out.clusters.reserve(num_parts);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      out.clusters.push_back(std::move(*built[p]));
+    }
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("partition build failed: ") + e.what());
   }
   return out;
 }

@@ -15,7 +15,15 @@ namespace dhnsw {
 
 struct PartitionerOptions {
   HnswOptions sub_hnsw;        ///< build parameters for every sub-HNSW
-  size_t num_threads = 1;      ///< parallel sub-HNSW construction
+  size_t num_threads = 1;      ///< parallel classification + sub-HNSW construction
+  /// Force reproducible graphs: restrict parallelism to the order-free stages
+  /// (classification and the partition-level fan-out, which are deterministic
+  /// by construction) and keep every individual sub-HNSW insertion
+  /// sequential. When false and the partition count cannot saturate
+  /// `num_threads`, the partitioner switches to batch-parallel insertion
+  /// WITHIN each sub-HNSW (HnswIndex::AddBatchParallel), which builds faster
+  /// but makes link structure dependent on thread interleaving.
+  bool deterministic = false;
 };
 
 /// Result of partitioning: the clusters, aligned with meta partition ids

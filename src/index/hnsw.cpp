@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.h"
 
 namespace dhnsw {
 
@@ -13,6 +17,16 @@ struct MinCmp {
   bool operator()(const Scored& a, const Scored& b) const noexcept { return b < a; }
 };
 }  // namespace
+
+/// One mutex per node, guarding that node's neighbor lists (all layers).
+/// Allocated per batch — the table must cover the final node count before
+/// the parallel phase starts, and per-node (not striped) locking is what
+/// keeps contention proportional to true neighborhood overlap.
+struct HnswNodeLocks {
+  explicit HnswNodeLocks(size_t n) : locks(std::make_unique<std::mutex[]>(n)) {}
+  std::mutex& Of(uint32_t id) { return locks[id]; }
+  std::unique_ptr<std::mutex[]> locks;
+};
 
 HnswIndex::HnswIndex(uint32_t dim, HnswOptions options)
     : dim_(dim),
@@ -119,6 +133,217 @@ uint32_t HnswIndex::AddWithLevel(std::span<const float> v, uint32_t level) {
     entry_point_ = id;
   }
   return id;
+}
+
+uint32_t HnswIndex::AddBatchParallel(std::span<const float> rows, size_t count,
+                                     ThreadPool* pool) {
+  assert(rows.size() == static_cast<size_t>(count) * dim_);
+  const uint32_t first_id = static_cast<uint32_t>(levels_.size());
+  const bool sequential = pool == nullptr || pool->num_threads() < 2 ||
+                          count < kParallelBatchMin || options_.extend_candidates;
+  if (sequential) {
+    // Same RNG consumption order as the parallel path's pre-draw, so the
+    // level sequence is identical either way.
+    for (size_t i = 0; i < count; ++i) Add(rows.subspan(i * dim_, dim_));
+    return first_id;
+  }
+
+  // Pre-draw all levels in row order — bit-identical to sequential Add.
+  std::vector<uint32_t> batch_levels(count);
+  for (size_t i = 0; i < count; ++i) batch_levels[i] = DrawLevel();
+
+  // Publish vectors, levels, and empty adjacency rows for the whole batch
+  // before any linking: the parallel phase must never grow these outer
+  // containers (inner neighbor lists are guarded by their node's lock).
+  const size_t total = first_id + count;
+  vectors_.insert(vectors_.end(), rows.begin(), rows.end());
+  levels_.reserve(total);
+  links_.reserve(total);
+  for (size_t i = 0; i < count; ++i) {
+    levels_.push_back(batch_levels[i]);
+    links_.emplace_back(batch_levels[i] + 1);
+  }
+
+  size_t start = 0;
+  if (first_id == 0) {
+    // Seed node: the empty graph's entry point, placed before any
+    // concurrency so every worker observes a valid entry.
+    entry_point_ = 0;
+    max_level_ = static_cast<int32_t>(batch_levels[0]);
+    start = 1;
+  }
+  if (start >= count) return first_id;
+
+  HnswNodeLocks locks(total);
+  std::mutex top_mutex;
+  pool->ParallelFor(count - start, [&](size_t t) {
+    const uint32_t id = first_id + static_cast<uint32_t>(start + t);
+    ScratchLease lease(scratch_pool_);
+    SearchScratch& s = *lease;
+    s.EnsureBatchCapacity(2 * options_.M + 2);
+    InsertLinkedSync(id, levels_[id], s, locks, top_mutex);
+  });
+  return first_id;
+}
+
+void HnswIndex::SnapshotNeighborsSync(uint32_t id, uint32_t layer, HnswNodeLocks& locks,
+                                      std::vector<uint32_t>* out) const {
+  std::lock_guard<std::mutex> lock(locks.Of(id));
+  const std::vector<uint32_t>& nbs = links_[id][layer];
+  out->assign(nbs.begin(), nbs.end());
+}
+
+uint32_t HnswIndex::GreedyClosestSync(const float* query, uint32_t entry, uint32_t layer,
+                                      SearchScratch& s, HnswNodeLocks& locks) const {
+  uint32_t current = entry;
+  float current_dist = pair_(query, RowPtr(current), dim_);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    SnapshotNeighborsSync(current, layer, locks, &s.nb_snapshot);
+    if (s.nb_snapshot.empty()) break;
+    s.EnsureBatchCapacity(s.nb_snapshot.size());
+    gather_(query, vectors_.data(), dim_, s.nb_snapshot.data(), s.nb_snapshot.size(),
+            s.dists.data());
+    for (size_t j = 0; j < s.nb_snapshot.size(); ++j) {
+      if (s.dists[j] < current_dist) {
+        current = s.nb_snapshot[j];
+        current_dist = s.dists[j];
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+void HnswIndex::SearchLayerIntoSync(const float* query, uint32_t entry, uint32_t ef,
+                                    uint32_t layer, SearchScratch& s,
+                                    HnswNodeLocks& locks) const {
+  if (ef == 0) ef = 1;
+  s.visited.Reset(levels_.size());
+  s.frontier.clear();
+  s.best.Reset(ef);
+
+  const float entry_dist = pair_(query, RowPtr(entry), dim_);
+  s.frontier.push_back({entry_dist, entry});
+  s.best.Push(entry_dist, entry);
+  s.visited.TestAndSet(entry);
+
+  while (!s.frontier.empty()) {
+    std::pop_heap(s.frontier.begin(), s.frontier.end(), MinCmp{});
+    const Scored candidate = s.frontier.back();
+    s.frontier.pop_back();
+    if (s.best.full() && candidate.distance > s.best.worst()) break;
+
+    SnapshotNeighborsSync(candidate.id, layer, locks, &s.nb_snapshot);
+    size_t n = 0;
+    for (uint32_t nb : s.nb_snapshot) {
+      if (!s.visited.TestAndSet(nb)) s.ids[n++] = nb;
+    }
+    if (n == 0) continue;
+    gather_(query, vectors_.data(), dim_, s.ids.data(), n, s.dists.data());
+    for (size_t j = 0; j < n; ++j) {
+      const float d = s.dists[j];
+      if (!s.best.full() || d < s.best.worst()) {
+        s.frontier.push_back({d, s.ids[j]});
+        std::push_heap(s.frontier.begin(), s.frontier.end(), MinCmp{});
+        s.best.Push(d, s.ids[j]);
+      }
+    }
+  }
+}
+
+void HnswIndex::InsertLinkedSync(uint32_t id, uint32_t level, SearchScratch& s,
+                                 HnswNodeLocks& locks, std::mutex& top_mutex) {
+  const float* base = RowPtr(id);
+  uint32_t current;
+  int32_t observed_top;
+  {
+    std::lock_guard<std::mutex> lock(top_mutex);
+    current = entry_point_;
+    observed_top = max_level_;
+  }
+
+  for (int32_t layer = observed_top; layer > static_cast<int32_t>(level); --layer) {
+    current = GreedyClosestSync(base, current, static_cast<uint32_t>(layer), s, locks);
+  }
+
+  const int32_t top = std::min<int32_t>(static_cast<int32_t>(level), observed_top);
+  for (int32_t layer = top; layer >= 0; --layer) {
+    const uint32_t ulayer = static_cast<uint32_t>(layer);
+    SearchLayerIntoSync(base, current, options_.ef_construction, ulayer, s, locks);
+    const std::span<const Scored> found = s.best.SortAscending();
+    s.candidates.assign(found.begin(), found.end());
+    // A concurrent insert may already have linked to this node, so the search
+    // can rediscover the node itself — never self-link.
+    std::erase_if(s.candidates, [id](const Scored& c) { return c.id == id; });
+    if (!s.candidates.empty()) {
+      current = s.candidates.front().id;
+    }
+    // extend_candidates is rejected up-front by AddBatchParallel, so this
+    // SelectNeighbors call reads only the immutable vector rows.
+    SelectNeighbors(id, base, s.candidates, options_.M, ulayer, s, &s.selected);
+
+    {
+      std::lock_guard<std::mutex> lock(locks.Of(id));
+      std::vector<uint32_t>& own = links_[id][ulayer];
+      // Concurrent inserts may already have back-linked into our (initially
+      // empty) list; keep those edges and fill the rest from our selection.
+      own.reserve(std::min<size_t>(own.size() + s.selected.size(), MaxDegree(ulayer)));
+      for (const Scored& sc : s.selected) {
+        if (own.size() >= MaxDegree(ulayer)) break;
+        if (std::find(own.begin(), own.end(), sc.id) == own.end()) own.push_back(sc.id);
+      }
+    }
+    // LinkBackSync's shrink path reuses the shared scratch, so walk a private
+    // copy of the selected ids+distances.
+    s.candidates.assign(s.selected.begin(), s.selected.end());
+    for (const Scored& sel : s.candidates) {
+      LinkBackSync(id, sel, ulayer, s, locks);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(top_mutex);
+    if (static_cast<int32_t>(level) > max_level_) {
+      max_level_ = static_cast<int32_t>(level);
+      entry_point_ = id;
+    }
+  }
+}
+
+void HnswIndex::LinkBackSync(uint32_t id, const Scored& sel, uint32_t layer,
+                             SearchScratch& s, HnswNodeLocks& locks) {
+  const uint32_t nb = sel.id;
+  std::lock_guard<std::mutex> lock(locks.Of(nb));
+  std::vector<uint32_t>& nb_links = links_[nb][layer];
+  // Two in-flight nodes can select each other; nb's own insert may already
+  // have written this edge — never duplicate it.
+  if (std::find(nb_links.begin(), nb_links.end(), id) != nb_links.end()) return;
+  const uint32_t cap = MaxDegree(layer);
+  if (nb_links.size() < cap) {
+    nb_links.push_back(id);
+    return;
+  }
+  // Overflow: re-select from the list as it exists NOW, under this lock
+  // hold. Concurrency audit of the PR 2 distance cache: the per-link score
+  // sel.distance is a pure function of two immutable vector rows, so it can
+  // never go stale and is safe to reuse; what CAN go stale is the neighbor
+  // LIST a concurrent insert grew between our selection and this shrink —
+  // hence the full re-gather over the lock-held snapshot rather than any
+  // remembered list scores.
+  const float* nb_vec = RowPtr(nb);
+  const size_t old_n = nb_links.size();
+  s.EnsureBatchCapacity(old_n + 1);
+  gather_(nb_vec, vectors_.data(), dim_, nb_links.data(), old_n, s.dists.data());
+  s.shrink_scored.clear();
+  for (size_t j = 0; j < old_n; ++j) {
+    s.shrink_scored.push_back({s.dists[j], nb_links[j]});
+  }
+  s.shrink_scored.push_back({sel.distance, id});
+  SelectNeighbors(nb, nb_vec, s.shrink_scored, cap, layer, s, &s.shrink_out);
+  nb_links.clear();
+  for (const Scored& sc : s.shrink_out) nb_links.push_back(sc.id);
 }
 
 uint32_t HnswIndex::GreedyClosest(const float* query, uint32_t entry, uint32_t layer,

@@ -19,7 +19,11 @@
 //
 // Concurrency: `Search` is const and safe to call from many threads
 // concurrently; `Add` requires external exclusion (d-HNSW serializes inserts
-// per partition, so the index itself stays single-writer).
+// per partition, so the index itself stays single-writer). The bulk-build
+// path `AddBatchParallel` is the one exception: it inserts a whole batch
+// concurrently under per-node neighbor-list locks (see its contract below);
+// no other mutation — and no Search — may run against the index while a
+// batch is in flight.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +38,9 @@
 #include "index/search_scratch.h"
 
 namespace dhnsw {
+
+class ThreadPool;       // common/thread_pool.h
+struct HnswNodeLocks;   // per-node neighbor-list mutexes (hnsw.cpp)
 
 struct HnswOptions {
   uint32_t M = 16;                ///< max out-degree on layers > 0 (layer 0: 2M)
@@ -67,6 +74,23 @@ class HnswIndex {
   /// Inserts a vector at a forced level (used by deserialization to rebuild a
   /// structurally identical graph, and by tests).
   uint32_t AddWithLevel(std::span<const float> v, uint32_t level);
+
+  /// Batch-parallel bulk insertion (build path). Appends `count` vectors
+  /// stored row-major in `rows` (rows.size() == count * dim). Levels are
+  /// drawn from the index RNG up-front in row order, so the level SEQUENCE
+  /// is bit-identical to what `count` sequential Add calls would draw; the
+  /// links are then built concurrently on `pool` under per-node
+  /// neighbor-list locks, so the graph STRUCTURE depends on insert
+  /// interleaving (recall is statistically unchanged; bytes are not
+  /// reproducible across runs). Falls back to the exact sequential Add loop
+  /// — and its reproducible graphs — when `pool` is null or single-threaded,
+  /// when `count` < kParallelBatchMin, or when extend_candidates is set
+  /// (candidate extension reads foreign neighbor lists mid-selection, which
+  /// the one-lock-at-a-time discipline does not cover).
+  /// The caller must not run any other operation on the index while the
+  /// batch is in flight. Returns the id of the first inserted row.
+  static constexpr size_t kParallelBatchMin = 128;
+  uint32_t AddBatchParallel(std::span<const float> rows, size_t count, ThreadPool* pool);
 
   /// Top-k approximate search with dynamic candidate list `ef`
   /// (ef is clamped up to k). Results sorted ascending by distance.
@@ -127,6 +151,29 @@ class HnswIndex {
                        std::vector<Scored>& candidates, uint32_t m,
                        uint32_t layer, SearchScratch& scratch,
                        std::vector<Scored>* out) const;
+
+  /// --- batch-parallel insert internals (AddBatchParallel) ---
+  /// All *Sync helpers read neighbor lists only as lock-held snapshots
+  /// (copied into scratch.nb_snapshot) and never hold two node locks at
+  /// once, so the lock order is trivially acyclic.
+  /// Copies links_[id][layer] into *out under the node's lock.
+  void SnapshotNeighborsSync(uint32_t id, uint32_t layer, HnswNodeLocks& locks,
+                             std::vector<uint32_t>* out) const;
+  uint32_t GreedyClosestSync(const float* query, uint32_t entry, uint32_t layer,
+                             SearchScratch& scratch, HnswNodeLocks& locks) const;
+  void SearchLayerIntoSync(const float* query, uint32_t entry, uint32_t ef,
+                           uint32_t layer, SearchScratch& scratch,
+                           HnswNodeLocks& locks) const;
+  /// Full phase-1 + phase-2 insertion of a pre-allocated node (vector,
+  /// level, and empty adjacency rows already published).
+  void InsertLinkedSync(uint32_t id, uint32_t level, SearchScratch& scratch,
+                        HnswNodeLocks& locks, std::mutex& top_mutex);
+  /// Bidirectional back-link with overflow shrink, entirely under the
+  /// neighbor's lock: the candidate set is the list as snapshotted in this
+  /// lock hold, so two concurrent inserts shrinking the same node each
+  /// select against the list as it actually was at their turn.
+  void LinkBackSync(uint32_t id, const Scored& sel, uint32_t layer,
+                    SearchScratch& scratch, HnswNodeLocks& locks);
 
   /// Draws a level ~ floor(-ln(U) * 1/ln(M)), clamped by options_.max_level.
   uint32_t DrawLevel();

@@ -60,6 +60,7 @@ struct SearchScratch {
   std::vector<Scored> shrink_out;    ///< back-link shrink re-selection
   std::vector<Scored> pruned;        ///< Algorithm 4 keepPrunedConnections pool
   std::vector<uint32_t> sel_ids;     ///< contiguous ids of selected (batch diversity)
+  std::vector<uint32_t> nb_snapshot; ///< lock-held neighbor-list copy (parallel insert)
 
   /// Guarantees the batch-staging buffers can hold `n` entries.
   void EnsureBatchCapacity(size_t n) {

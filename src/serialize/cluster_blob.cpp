@@ -128,6 +128,19 @@ size_t EncodedClusterSize(const Cluster& cluster) {
   return ClusterHeader::kEncodedSize + payload;
 }
 
+ClusterSizePlan PlanClusterSize(const Cluster& cluster, uint32_t code_m) {
+  const size_t count = cluster.index.size();
+  const size_t payload_size = EncodedClusterSize(cluster) - ClusterHeader::kEncodedSize;
+  const size_t vectors_offset = payload_size - count * cluster.index.dim() * 4;
+  // Codes section: 8-byte framing + fixed 20-byte body head + codes + 4-byte CRC.
+  const size_t ext_size = code_m > 0 ? 8 + 20 + count * code_m + 4 : 0;
+  ClusterSizePlan plan;
+  plan.total_size = ClusterHeader::kEncodedSize + ext_size + payload_size;
+  plan.pq_head_size =
+      code_m > 0 ? ClusterHeader::kEncodedSize + ext_size + vectors_offset : 0;
+  return plan;
+}
+
 std::vector<uint8_t> EncodeCluster(const Cluster& cluster) {
   return EncodeCluster(cluster, ClusterPqExtensions{}, nullptr);
 }
@@ -215,6 +228,9 @@ std::vector<uint8_t> EncodeCluster(const Cluster& cluster,
   EncodeHeader(h, &w);
   w.PutBytes(ext_bytes);
   w.PutBytes(payload);
+  // Keep the size predictor honest (codebook sections are out of its scope).
+  assert(ext.codebook != nullptr ||
+         out.size() == PlanClusterSize(cluster, ext.code_m).total_size);
   return out;
 }
 

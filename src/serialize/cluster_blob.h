@@ -92,6 +92,18 @@ std::vector<uint8_t> EncodeCluster(const Cluster& cluster,
 /// Exact encoded size without materializing the bytes (layout planning).
 size_t EncodedClusterSize(const Cluster& cluster);
 
+/// Exact sizes of the blob EncodeCluster would emit for `cluster` with a
+/// codes section of `code_m` bytes/vector (0 = no PQ section), again without
+/// materializing anything. Lets the provisioner plan the full region layout
+/// first and then encode straight into each cluster's final offset — the
+/// streamed build path never holds more than a few blobs in flight.
+/// (Codebook sections are not covered; only the meta blob carries one.)
+struct ClusterSizePlan {
+  size_t total_size = 0;     ///< header + extensions + payload
+  uint64_t pq_head_size = 0; ///< prefix a `payload=pq` reader fetches; 0 if no codes
+};
+ClusterSizePlan PlanClusterSize(const Cluster& cluster, uint32_t code_m);
+
 /// Parses and CRC-verifies a blob. `bytes` may be longer than the blob
 /// (e.g. a read that also covered the overflow region); trailing bytes are
 /// ignored. HnswOptions besides M/metric come from `options_template`.

@@ -154,6 +154,61 @@ TEST(MetaHnswTest, BlobRoundTripRoutesIdentically) {
   }
 }
 
+// Regression (empty-cluster handling): with 200 duplicate rows and a few far
+// outliers, the k-means seeds nearly always land on duplicates, every point
+// ties onto centroid 0, and clusters 1..r-1 go empty. The old code kept the
+// stale duplicate centroids forever, so the medoid snap returned r copies of
+// the duplicate point and the outliers never got a partition. The fix
+// re-seeds each empty cluster from the farthest point of the largest
+// cluster, which peels the outliers into their own partitions.
+TEST(MetaHnswTest, KmeansReseedsEmptyClustersFromLargestCluster) {
+  const uint32_t dim = 4;
+  const size_t dup = 200;
+  VectorSet base(dim);
+  for (size_t i = 0; i < dup; ++i) {
+    base.Append(std::vector<float>{0.f, 0.f, 0.f, 0.f});
+  }
+  base.Append(std::vector<float>{100.f, 0.f, 0.f, 0.f});
+  base.Append(std::vector<float>{0.f, 100.f, 0.f, 0.f});
+  base.Append(std::vector<float>{0.f, 0.f, 100.f, 0.f});
+  base.Append(std::vector<float>{0.f, 0.f, 0.f, 100.f});
+
+  MetaHnswOptions options;
+  options.num_representatives = 4;
+  options.selection = RepresentativeSelection::kKmeans;
+  options.kmeans_iterations = 8;
+  auto built = MetaHnsw::Build(base, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  int outlier_reps = 0;
+  for (uint32_t p = 0; p < built.value().num_partitions(); ++p) {
+    if (built.value().representative_global_id(p) >= dup) ++outlier_reps;
+  }
+  // At least 3 of the 4 partitions must be anchored on outliers (one
+  // partition keeps the duplicate mass).
+  EXPECT_GE(outlier_reps, 3);
+}
+
+TEST(MetaHnswTest, KmeansRepresentativesIdenticalAcrossThreadCounts) {
+  const Dataset ds = SmallClustered();
+  auto reps_with = [&](uint32_t threads) {
+    MetaHnswOptions options;
+    options.num_representatives = 24;
+    options.selection = RepresentativeSelection::kKmeans;
+    options.build_threads = threads;
+    auto built = MetaHnsw::Build(ds.base, options);
+    EXPECT_TRUE(built.ok());
+    std::vector<uint32_t> ids;
+    for (uint32_t p = 0; p < built.value().num_partitions(); ++p) {
+      ids.push_back(built.value().representative_global_id(p));
+    }
+    return ids;
+  };
+  const auto r1 = reps_with(1);
+  EXPECT_EQ(r1, reps_with(2));
+  EXPECT_EQ(r1, reps_with(8));
+}
+
 TEST(MetaHnswTest, FromBlobRejectsSubHnswBlob) {
   // A regular cluster blob (partition id != sentinel) must be rejected.
   HnswIndex index(4, {.M = 4, .ef_construction = 20});

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace dhnsw {
@@ -54,6 +58,88 @@ TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
   pool.ParallelFor(500, [&](size_t i) { partial[i] = static_cast<long>(i) * 2; });
   const long sum = std::accumulate(partial.begin(), partial.end(), 0L);
   EXPECT_EQ(sum, 499L * 500L);  // 2 * sum(0..499)
+}
+
+TEST(ThreadPoolTest, SubmitFutureCarriesTaskException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task died"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the throw and keeps serving tasks.
+  std::atomic<int> value{0};
+  pool.Submit([&] { value.store(7); }).get();
+  EXPECT_EQ(value.load(), 7);
+}
+
+// Regression: a throwing build task used to be "dropped" — the first
+// future.get() rethrew while sibling shards still ran against the unwound
+// stack frame. ParallelFor must drain every shard, then rethrow.
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(200,
+                                [&](size_t i) {
+                                  if (i == 37) throw std::runtime_error("partition failed");
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // Every iteration either completed or was skipped after the failure; no
+  // iteration is left in flight once ParallelFor returns.
+  EXPECT_LE(completed.load(), 199);
+  // The pool is still healthy: later parallel work runs to completion.
+  std::atomic<int> after{0};
+  pool.ParallelFor(50, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsOneOfManyFailures) {
+  ThreadPool pool(4);
+  // Every iteration throws; exactly one exception must surface.
+  EXPECT_THROW(
+      pool.ParallelFor(64, [](size_t i) { throw std::invalid_argument(std::to_string(i)); }),
+      std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ParallelForSequentialPathPropagatesToo) {
+  ThreadPool pool(1);  // single worker takes the inline path
+  EXPECT_THROW(pool.ParallelFor(10, [](size_t i) {
+    if (i == 3) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversEveryElementExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);  // non-multiple of grain
+  pool.ParallelForChunked(1003, 64, [&](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end - begin, 64u);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedBoundariesIndependentOfThreadCount) {
+  // Chunk boundaries are a pure function of (n, grain): per-chunk sums merged
+  // in chunk order must be bit-identical across pool sizes — the property the
+  // deterministic k-means reduction relies on.
+  auto chunk_starts = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> ranges;
+    pool.ParallelForChunked(777, 50, [&](size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      ranges.emplace_back(b, e);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  const auto r1 = chunk_starts(1);
+  const auto r2 = chunk_starts(2);
+  const auto r8 = chunk_starts(8);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanlyWithPendingWork) {
